@@ -1,0 +1,60 @@
+"""E10 (ablation) — the optimizer's end-to-end effect.
+
+E1 measures expressions in isolation; this ablation runs the *whole* query
+pipeline with the Section 3.2 optimizer switched off, so the naive
+translated chain (all ``⊃d``, full length) is what executes.  Answers are
+identical (Theorem 3.6 equivalence); only cost changes.
+
+Also ablates the multi-variable narrowing: the citation join with and
+without per-variable optimization.
+"""
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY, bibtex_schema
+
+CITATION_JOIN = (
+    "SELECT r1.Key, r2.Key FROM Reference r1, Reference r2 "
+    "WHERE r1.Referred.RefKey = r2.Key "
+    'AND r2.Authors.Name.Last_Name = "Chang"'
+)
+
+
+@pytest.fixture(scope="module")
+def unoptimized_engine(bibtex_texts):
+    return FileQueryEngine(
+        bibtex_schema(), bibtex_texts[400], optimize_expressions=False
+    )
+
+
+def bench_pipeline_with_optimizer(benchmark, bibtex_engines):
+    engine = bibtex_engines[400]
+    result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        expression=str(engine.plan(CHANG_AUTHOR_QUERY).optimized_expression),
+        rows=len(result.rows),
+    )
+
+
+def bench_pipeline_without_optimizer(benchmark, unoptimized_engine, bibtex_engines):
+    result = benchmark(lambda: unoptimized_engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        expression=str(
+            unoptimized_engine.plan(CHANG_AUTHOR_QUERY).optimized_expression
+        ),
+        rows=len(result.rows),
+    )
+    reference = bibtex_engines[400].query(CHANG_AUTHOR_QUERY)
+    assert result.canonical_rows() == reference.canonical_rows()
+
+
+def bench_multi_join_with_optimizer(benchmark, bibtex_engines):
+    engine = bibtex_engines[400]
+    result = benchmark(lambda: engine.query(CITATION_JOIN))
+    benchmark.extra_info.update(rows=len(result.rows))
+
+
+def bench_multi_join_without_optimizer(benchmark, unoptimized_engine):
+    result = benchmark(lambda: unoptimized_engine.query(CITATION_JOIN))
+    benchmark.extra_info.update(rows=len(result.rows))

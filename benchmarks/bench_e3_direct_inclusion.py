@@ -1,0 +1,56 @@
+"""E3 — the cost of direct inclusion (Section 3.1).
+
+The paper presents the layered while-program for ``⊃d`` specifically "to
+show that it is significantly more expensive than the simple inclusion
+operation ⊃".  We measure, on deeply nested SGML sections:
+
+- ``⊃``  (one merge-join pass);
+- ``⊃d`` (pairwise with betweenness probes against all indexed regions);
+- the paper's layered ω/−/⊃ program (one round per nesting layer).
+
+Expected shape: ⊃ < ⊃d < layered program, with the gaps growing in nesting
+depth.
+"""
+
+import pytest
+
+from repro.algebra import ops
+from repro.algebra.direct import layered_directly_including
+
+
+@pytest.fixture(scope="module")
+def nested_sets(sgml_engine):
+    instance = sgml_engine.index.instance
+    return instance.get("Section"), instance.get("ParaText"), instance
+
+
+def bench_simple_inclusion(benchmark, nested_sets):
+    sections, paragraphs, instance = nested_sets
+    result = benchmark(lambda: ops.including(sections, paragraphs))
+    benchmark.extra_info.update(sections=len(sections), result=len(result))
+
+
+def bench_direct_inclusion(benchmark, nested_sets):
+    sections, paragraphs, instance = nested_sets
+    result = benchmark(
+        lambda: ops.directly_including(sections, paragraphs, instance)
+    )
+    benchmark.extra_info.update(sections=len(sections), result=len(result))
+
+
+def bench_layered_program(benchmark, nested_sets):
+    sections, paragraphs, instance = nested_sets
+    result = benchmark(
+        lambda: layered_directly_including(sections, paragraphs, instance)
+    )
+    benchmark.extra_info.update(sections=len(sections), result=len(result))
+    # Exactness on this laminar (parse-tree) instance:
+    assert result == ops.directly_including(sections, paragraphs, instance)
+
+
+def bench_self_nested_direct(benchmark, nested_sets):
+    """Sections directly inside sections — the worst case for ⊃d: every
+    candidate pair needs a betweenness probe through the whole instance."""
+    sections, _, instance = nested_sets
+    result = benchmark(lambda: ops.directly_including(sections, sections, instance))
+    benchmark.extra_info.update(result=len(result))

@@ -1,0 +1,79 @@
+"""E4 — partial indexing: candidates, filtering, and the space tradeoff
+(Sections 2 and 6).
+
+With the paper's partial index {Reference, Key, Last_Name}, the author
+query's candidates include editor-only matches; those candidates are parsed
+and filtered.  "The number of these potentially relevant references is
+significantly smaller than the number of all the references in the file
+system. Thus scanning those references ... provides big performance
+improvement."
+
+Expected shape: partial indexing sits between full indexing and the full
+scan — slower than full indexing (it parses candidates), far faster than
+scanning everything — while storing a fraction of the index entries.
+"""
+
+import pytest
+
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def bench_full_indexing(benchmark, bibtex_engines, size):
+    engine = bibtex_engines[size]
+    result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        size=size,
+        strategy=result.stats.strategy,
+        candidates=result.stats.candidate_regions,
+        rows=len(result.rows),
+        bytes_parsed=result.stats.bytes_parsed,
+        index_entries=engine.statistics().total_region_entries,
+    )
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def bench_partial_indexing(benchmark, bibtex_partial_engines, size):
+    engine = bibtex_partial_engines[size]
+    result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        size=size,
+        strategy=result.stats.strategy,
+        candidates=result.stats.candidate_regions,
+        rows=len(result.rows),
+        filtered_out=result.stats.objects_filtered_out,
+        bytes_parsed=result.stats.bytes_parsed,
+        corpus_bytes=len(engine.text),
+        index_entries=engine.statistics().total_region_entries,
+    )
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def bench_partial_vs_scan_baseline(benchmark, bibtex_partial_engines, size):
+    engine = bibtex_partial_engines[size]
+    result = benchmark(lambda: engine.baseline_query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        size=size, bytes_parsed=result.stats.bytes_parsed
+    )
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def bench_scoped_indexing(benchmark, bibtex_texts, size):
+    """Section 7's selective indexing: Last_Name only inside Authors —
+    exact answers with a small index."""
+    from repro.core.engine import FileQueryEngine
+    from repro.index.config import IndexConfig
+    from repro.workloads.bibtex import bibtex_schema
+
+    config = IndexConfig.partial({"Reference", "Key"}).with_scoped(
+        "Last_Name", "Authors"
+    )
+    engine = FileQueryEngine(bibtex_schema(), bibtex_texts[size], config)
+    result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        size=size,
+        strategy=result.stats.strategy,
+        candidates=result.stats.candidate_regions,
+        rows=len(result.rows),
+        index_entries=engine.statistics().total_region_entries,
+    )

@@ -1,0 +1,71 @@
+"""E6 — transitive-closure path queries (Section 5.3).
+
+"Within the framework we describe here it is possible to evaluate paths
+with a regular expression involving a transitive closure, with just an
+inclusion expression.  This shows, once more, that in some cases a
+traditionally expensive query (a closure) can be implemented much more
+efficiently."
+
+Workload: self-nested SGML sections.  "Sections at any nesting depth whose
+paragraphs mention a word" is one ``⊃`` on the index; the OODB must
+recursively traverse the section tree.
+"""
+
+from repro.core.pathexpr import containment_closure
+from repro.db.evaluator import NaiveEvaluator
+from repro.db.parser import parse_query
+
+STAR_QUERY = 'SELECT d FROM Document d WHERE d.*X.ParaText = "nesting"'
+
+
+def bench_index_closure(benchmark, sgml_engine):
+    result = benchmark(
+        lambda: containment_closure(
+            sgml_engine.index, "Section", "ParaText", word="nesting", mode="contains"
+        )
+    )
+    benchmark.extra_info.update(
+        sections=len(sgml_engine.index.instance.get("Section")),
+        matches=len(result),
+    )
+
+
+def bench_index_star_document_query(benchmark, sgml_engine):
+    result = benchmark(lambda: sgml_engine.query(STAR_QUERY))
+    benchmark.extra_info.update(rows=len(result.rows))
+
+
+def bench_oodb_recursive_traversal(benchmark, sgml_engine):
+    database = sgml_engine.load_baseline_database()
+    query = parse_query(STAR_QUERY)
+    rows = benchmark(lambda: NaiveEvaluator(database).evaluate(query))
+    benchmark.extra_info.update(rows=len(rows))
+
+
+def bench_oodb_full_pipeline(benchmark, sgml_engine):
+    result = benchmark(lambda: sgml_engine.baseline_query(STAR_QUERY))
+    benchmark.extra_info.update(rows=len(result.rows))
+
+
+def bench_regular_path_closure(benchmark, sgml_engine):
+    """The GraphLog regular path Section.**.ParaText as one inclusion."""
+    from repro.core.regular import evaluate_regular_path
+
+    result = benchmark(
+        lambda: evaluate_regular_path(
+            sgml_engine.index, "Section.**.ParaText", word="nesting", mode="contains"
+        )
+    )
+    benchmark.extra_info.update(matches=len(result))
+
+
+def bench_call_graph_closure(benchmark):
+    """Source-code workload: functions calling `alloc` at any block depth."""
+    from repro.core.engine import FileQueryEngine
+    from repro.workloads.source import CALLERS_OF_ALLOC, generate_source, source_schema
+
+    engine = FileQueryEngine(
+        source_schema(), generate_source(functions=150, depth=3, seed=31)
+    )
+    result = benchmark(lambda: engine.query(CALLERS_OF_ALLOC))
+    benchmark.extra_info.update(rows=len(result.rows))

@@ -1,0 +1,69 @@
+"""E8 — choosing what to index (Section 7).
+
+The advisor applies the paper's guideline: index the non-terminals the
+optimized expression mentions plus one blocker per interior path of every
+surviving direct inclusion.  The claim: the minimal set computes queries
+exactly while storing a fraction of the full index.
+
+Measured: query latency under the advisor's configuration vs full indexing,
+plus index-size accounting and index build time.
+"""
+
+import pytest
+
+from repro.core.advisor import IndexAdvisor
+from repro.core.engine import FileQueryEngine
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY, bibtex_schema
+
+WORKLOAD = [
+    CHANG_AUTHOR_QUERY,
+    'SELECT r FROM Reference r WHERE r.Year = "1982"',
+]
+
+
+@pytest.fixture(scope="module")
+def advisor_engine(bibtex_texts):
+    schema = bibtex_schema()
+    report = IndexAdvisor(schema).recommend(WORKLOAD)
+    return FileQueryEngine(schema, bibtex_texts[400], report.config), report
+
+
+def bench_advisor_config_query(benchmark, advisor_engine):
+    engine, report = advisor_engine
+    result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        strategy=result.stats.strategy,
+        exact=result.plan.exact,
+        rows=len(result.rows),
+        index_entries=engine.statistics().total_region_entries,
+        recommended=sorted(report.config.region_names or ()),
+    )
+
+
+def bench_full_config_query(benchmark, bibtex_engines):
+    engine = bibtex_engines[400]
+    result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        strategy=result.stats.strategy,
+        rows=len(result.rows),
+        index_entries=engine.statistics().total_region_entries,
+    )
+
+
+def bench_advisor_index_build(benchmark, bibtex_texts):
+    schema = bibtex_schema()
+    report = IndexAdvisor(schema).recommend(WORKLOAD)
+    engine = benchmark(
+        lambda: FileQueryEngine(schema, bibtex_texts[100], report.config)
+    )
+    benchmark.extra_info.update(
+        index_entries=engine.statistics().total_region_entries
+    )
+
+
+def bench_full_index_build(benchmark, bibtex_texts):
+    schema = bibtex_schema()
+    engine = benchmark(lambda: FileQueryEngine(schema, bibtex_texts[100]))
+    benchmark.extra_info.update(
+        index_entries=engine.statistics().total_region_entries
+    )

@@ -1,0 +1,57 @@
+"""E9 — scaling in corpus size (Section 1's motivation).
+
+"To answer queries on files, one would like to avoid scanning the whole
+file system."  The index strategy's cost tracks the *answer* size; the
+baseline's tracks the *corpus* size.
+
+Expected shape: baseline latency grows linearly with corpus size; the index
+strategy grows much more slowly (index lookups are logarithmic-to-linear in
+the matching postings, candidate parsing is linear in answer bytes), so the
+ratio widens monotonically.
+"""
+
+import pytest
+
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY
+
+SIZES = [100, 200, 400, 800]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_index_scaling(benchmark, bibtex_engines, size):
+    engine = bibtex_engines[size]
+    result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        size=size,
+        corpus_bytes=len(engine.text),
+        rows=len(result.rows),
+        bytes_parsed=result.stats.bytes_parsed,
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_index_scaling_fixed_answer(benchmark, bibtex_engines, size):
+    """A highly selective query (one specific key): answer size is constant,
+    so the index strategy's latency stays near-flat while the baseline keeps
+    growing linearly — the sublinear-scaling shape."""
+    engine = bibtex_engines[size]
+    # Pick a key that exists in this corpus.
+    key_region = next(iter(engine.index.instance.get("Key")))
+    key = engine.index.region_text(key_region)
+    query = f'SELECT r FROM Reference r WHERE r.Key = "{key}"'
+    result = benchmark(lambda: engine.query(query))
+    benchmark.extra_info.update(
+        size=size, rows=len(result.rows), bytes_parsed=result.stats.bytes_parsed
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_baseline_scaling(benchmark, bibtex_engines, size):
+    engine = bibtex_engines[size]
+    result = benchmark(lambda: engine.baseline_query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        size=size,
+        corpus_bytes=len(engine.text),
+        rows=len(result.rows),
+        bytes_parsed=result.stats.bytes_parsed,
+    )

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Corpora and engines are session-scoped: building indexes is part of what
+several experiments measure explicitly (E8), but most benchmarks measure
+query evaluation over a prepared engine, the steady state the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.index.config import IndexConfig
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+from repro.workloads.logs import generate_log, log_schema
+from repro.workloads.sgml import generate_sgml, sgml_schema
+
+SIZES = [100, 400]
+
+
+@pytest.fixture(scope="session")
+def bibtex_texts() -> dict[int, str]:
+    return {
+        size: generate_bibtex(entries=size, seed=17, self_edited_rate=0.1)
+        for size in SIZES + [200, 800]
+    }
+
+
+@pytest.fixture(scope="session")
+def bibtex_engines(bibtex_texts) -> dict[int, FileQueryEngine]:
+    schema = bibtex_schema()
+    return {size: FileQueryEngine(schema, text) for size, text in bibtex_texts.items()}
+
+
+@pytest.fixture(scope="session")
+def bibtex_partial_engines(bibtex_texts) -> dict[int, FileQueryEngine]:
+    schema = bibtex_schema()
+    config = IndexConfig.partial({"Reference", "Key", "Last_Name"})
+    return {
+        size: FileQueryEngine(schema, text, config)
+        for size, text in bibtex_texts.items()
+        if size in SIZES
+    }
+
+
+@pytest.fixture(scope="session")
+def sgml_engine() -> FileQueryEngine:
+    text = generate_sgml(documents=40, depth=5, branching=2, seed=23)
+    return FileQueryEngine(sgml_schema(), text)
+
+
+@pytest.fixture(scope="session")
+def log_engine() -> FileQueryEngine:
+    text = generate_log(entries=1500, seed=29, requests_per_entry=2)
+    return FileQueryEngine(log_schema(), text)

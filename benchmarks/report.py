@@ -1,0 +1,132 @@
+"""Render benchmark results as per-experiment tables.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json
+
+Groups results by experiment module (E1...E10), prints median latencies and
+the extra-info counters each benchmark recorded, and computes the headline
+ratios EXPERIMENTS.md reports (optimized vs unoptimized, index vs scan,
+...).  This is the "regenerate the paper's tables" entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from collections import defaultdict
+
+_EXPERIMENT_RE = re.compile(r"bench_(e\d+)_(\w+)\.py")
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds:8.3f} s "
+
+
+def load_results(path: str) -> dict[str, list[dict]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    grouped: dict[str, list[dict]] = defaultdict(list)
+    for bench in data.get("benchmarks", []):
+        match = _EXPERIMENT_RE.search(bench.get("fullname", ""))
+        experiment = match.group(1).upper() + ":" + match.group(2) if match else "other"
+        grouped[experiment].append(bench)
+    return dict(grouped)
+
+
+def print_report(grouped: dict[str, list[dict]]) -> None:
+    for experiment in sorted(grouped):
+        benches = sorted(grouped[experiment], key=lambda b: b["stats"]["median"])
+        print(f"\n=== {experiment} " + "=" * max(0, 66 - len(experiment)))
+        for bench in benches:
+            name = bench["name"]
+            median = bench["stats"]["median"]
+            extra = bench.get("extra_info", {})
+            extras = ", ".join(
+                f"{key}={value}" for key, value in sorted(extra.items())
+                if not isinstance(value, (list, dict))
+            )
+            print(f"  {_format_seconds(median)}  {name}")
+            if extras:
+                print(f"               {extras}")
+        _print_ratios(experiment, benches)
+
+
+def _print_ratios(experiment: str, benches: list[dict]) -> None:
+    """Headline ratios between natural fast/slow pairs in an experiment."""
+    def median_of(substring: str) -> dict[str, float]:
+        return {
+            bench["name"]: bench["stats"]["median"]
+            for bench in benches
+            if substring in bench["name"]
+        }
+
+    pairs = {
+        "E1": ("optimized", "unoptimized"),
+        "E2": ("bench_index_strategy", "bench_standard_database"),
+        "E3": ("simple_inclusion", "direct_inclusion"),
+        "E4": ("bench_full_indexing", "bench_partial_vs_scan_baseline"),
+        "E5": ("index_star_expression", "oodb_star_path"),
+        "E6": ("index_closure", "oodb_full_pipeline"),
+        "E7": ("index_assisted_join", "full_scan_join"),
+        "E9": ("index_scaling_fixed", "baseline_scaling"),
+        "E10": ("with_optimizer", "without_optimizer"),
+    }
+    key = experiment.split(":")[0]
+    if key not in pairs:
+        return
+    fast_sub, slow_sub = pairs[key]
+    fast = median_of(fast_sub)
+    slow = median_of(slow_sub)
+    # Disambiguate when one substring contains the other ("optimized" is a
+    # substring of "unoptimized").
+    if fast_sub in slow_sub:
+        fast = {name: value for name, value in fast.items() if slow_sub not in name}
+    if slow_sub in fast_sub:
+        slow = {name: value for name, value in slow.items() if fast_sub not in name}
+    if not fast or not slow:
+        return
+
+    def suffix(name: str) -> str:
+        bracket = name.find("[")
+        return name[bracket:] if bracket >= 0 else ""
+
+    ratios = []
+    # Preferred pairing: the slow benchmark's name with the substring swapped
+    # names its fast counterpart (bench_unoptimized_x[n] -> bench_optimized_x[n]).
+    for slow_name, slow_median in slow.items():
+        counterpart = slow_name.replace(slow_sub, fast_sub)
+        if counterpart in fast and fast[counterpart] > 0:
+            label = suffix(slow_name) or "-"
+            ratios.append((label, slow_median / fast[counterpart]))
+    if not ratios:
+        # Fall back to pairing by parameter suffix across the two families.
+        for fast_name, fast_median in fast.items():
+            for slow_name, slow_median in slow.items():
+                if suffix(fast_name) == suffix(slow_name) and fast_median > 0:
+                    label = suffix(fast_name) or "-"
+                    ratios.append((label, slow_median / fast_median))
+    for label, ratio in sorted(ratios):
+        print(f"  ratio {label:>20} ({slow_sub} / {fast_sub}): {ratio:.1f}x")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    grouped = load_results(argv[1])
+    if not grouped:
+        print("no benchmark results found", file=sys.stderr)
+        return 1
+    print_report(grouped)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

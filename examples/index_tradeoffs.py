@@ -1,0 +1,60 @@
+"""The efficiency / amount-of-indexing tradeoff (Sections 6 and 7).
+
+Sweeps index configurations from minimal to full on one corpus and reports,
+for the paper's Chang-as-author query:
+
+- index size (entries and estimated bytes);
+- candidate count vs answer count;
+- bytes of file text parsed (the quantity partial indexing trades for
+  index space).
+
+Run:  python examples/index_tradeoffs.py
+"""
+
+from repro import FileQueryEngine, IndexConfig
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY, bibtex_schema, generate_bibtex
+
+CONFIGS = [
+    ("reference-only", IndexConfig.partial({"Reference"})),
+    ("paper-partial", IndexConfig.partial({"Reference", "Key", "Last_Name"})),
+    (
+        "advisor-minimal",
+        IndexConfig.partial({"Reference", "Authors", "Last_Name"}),
+    ),
+    (
+        "scoped",
+        IndexConfig.partial({"Reference"}).with_scoped("Last_Name", "Authors"),
+    ),
+    ("full", IndexConfig.full()),
+]
+
+
+def main() -> None:
+    text = generate_bibtex(entries=300, seed=21)
+    schema = bibtex_schema()
+    print(f"corpus: {len(text)} bytes; query: {CHANG_AUTHOR_QUERY}\n")
+    header = (
+        f"{'config':<16} {'index entries':>13} {'index bytes':>11} "
+        f"{'strategy':>17} {'cands':>5} {'rows':>4} {'parsed bytes':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, config in CONFIGS:
+        engine = FileQueryEngine(schema, text, config)
+        stats = engine.statistics()
+        result = engine.query(CHANG_AUTHOR_QUERY)
+        print(
+            f"{label:<16} {stats.total_region_entries:>13} "
+            f"{stats.estimated_bytes:>11} {result.stats.strategy:>17} "
+            f"{result.stats.candidate_regions:>5} {len(result.rows):>4} "
+            f"{result.stats.bytes_parsed:>12}"
+        )
+    print(
+        "\nReading guide: more indexing -> fewer candidates and less file "
+        "parsing;\nthe scoped index matches full indexing's precision at a "
+        "fraction of the size\n(Section 7's guideline)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a reproduction of "Optimizing Queries on Files"
+(Consens & Milo, SIGMOD 1994).
+
+The library lets you view semi-structured files as a database and evaluate
+XSQL-style queries on them through text indexes, with the paper's
+RIG-based optimization of region expressions.
+
+Quickstart
+----------
+>>> from repro import FileQueryEngine
+>>> from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+>>> engine = FileQueryEngine(bibtex_schema(), generate_bibtex(entries=100))
+>>> result = engine.query(
+...     'SELECT r FROM Reference r '
+...     'WHERE r.Authors.Name.Last_Name = "Chang"')
+>>> print(engine.explain(result.plan.query))  # doctest: +SKIP
+
+Package layout
+--------------
+- :mod:`repro.algebra` — the PAT region algebra (Section 3.1);
+- :mod:`repro.rig` — region inclusion graphs (Section 3.2 / 4.2 / 6.1);
+- :mod:`repro.core` — the optimizer (Theorem 3.6) and query engine;
+- :mod:`repro.schema` — structuring schemas (Section 4);
+- :mod:`repro.index` — the text indexing engine (PAT stand-in);
+- :mod:`repro.db` — the object-database baseline;
+- :mod:`repro.text` — documents, corpora, tokenization;
+- :mod:`repro.workloads` — BibTeX / logs / SGML grammars and generators.
+"""
+
+from repro.algebra import (
+    Region,
+    RegionSet,
+    Instance,
+    parse_expression,
+)
+from repro.core import (
+    FileQueryEngine,
+    QueryResult,
+    IndexAdvisor,
+    optimize,
+    is_trivially_empty,
+    explain_plan,
+)
+from repro.db import parse_query
+from repro.index import IndexConfig, ScopedRegionSpec
+from repro.rig import RegionInclusionGraph, derive_full_rig, derive_partial_rig
+from repro.schema import Grammar, StructuringSchema
+from repro.text import Corpus, Document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Region",
+    "RegionSet",
+    "Instance",
+    "parse_expression",
+    "FileQueryEngine",
+    "QueryResult",
+    "IndexAdvisor",
+    "optimize",
+    "is_trivially_empty",
+    "explain_plan",
+    "parse_query",
+    "IndexConfig",
+    "ScopedRegionSpec",
+    "RegionInclusionGraph",
+    "derive_full_rig",
+    "derive_partial_rig",
+    "Grammar",
+    "StructuringSchema",
+    "Corpus",
+    "Document",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""The region algebra of Section 3.1 of the paper.
+
+Two kinds of values flow through the algebra: *match points* (word
+occurrences, represented as zero-width or word-width regions) and *regions*
+(spans of text defined by a begin and end position).  This package provides:
+
+- :class:`Region` / :class:`RegionSet` — the value types;
+- :mod:`repro.algebra.ops` — the set-at-a-time operators
+  (union, intersection, difference, selection, innermost/outermost,
+  inclusion ``⊃``/``⊂`` and direct inclusion ``⊃d``/``⊂d``);
+- :mod:`repro.algebra.ast` — the region-expression AST used by the
+  optimizer and evaluator;
+- :mod:`repro.algebra.evaluator` — an instrumented evaluator that runs
+  expressions against a region instance + word lookup;
+- :mod:`repro.algebra.direct` — the paper's layered while-loop program for
+  ``⊃d`` (used to demonstrate its cost relative to plain ``⊃``).
+"""
+
+from repro.algebra.region import Region, RegionSet, Instance
+from repro.algebra.ast import (
+    RegionExpr,
+    Name,
+    Select,
+    Inclusion,
+    SetOp,
+    Innermost,
+    Outermost,
+    name,
+    select,
+    including,
+    directly_including,
+    included,
+    directly_included,
+    union,
+    intersect,
+    difference,
+    innermost,
+    outermost,
+    chain,
+    parse_expression,
+)
+from repro.algebra.evaluator import Evaluator, EvalStats
+from repro.algebra.counters import OperationCounters
+
+__all__ = [
+    "Region",
+    "RegionSet",
+    "Instance",
+    "RegionExpr",
+    "Name",
+    "Select",
+    "Inclusion",
+    "SetOp",
+    "Innermost",
+    "Outermost",
+    "name",
+    "select",
+    "including",
+    "directly_including",
+    "included",
+    "directly_included",
+    "union",
+    "intersect",
+    "difference",
+    "innermost",
+    "outermost",
+    "chain",
+    "parse_expression",
+    "Evaluator",
+    "EvalStats",
+    "OperationCounters",
+]

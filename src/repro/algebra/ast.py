@@ -1,0 +1,421 @@
+"""Region-expression AST.
+
+Region expressions follow the grammar of Section 3.1:
+
+    e ->  Ri | e ∪ e | e ∩ e | e − e | σw(e) | ι(e) | ω(e)
+        | e ⊃ e | e ⊂ e | e ⊃d e | e ⊂d e | (e)
+
+Inclusion operators are *not* associative; the paper groups them from the
+right, and so do the builder helpers here.  The textual syntax accepted by
+:func:`parse_expression` uses ASCII operator spellings::
+
+    Reference > Authors > sigma[Chang](Last_Name)
+    Last_Name <d Name <d Authors <d Reference
+    a & (b | c) - d
+    innermost(Section)
+
+``>`` / ``>d`` are including / directly-including, ``<`` / ``<d`` are
+included / directly-included, ``&`` ``|`` ``-`` are intersection, union and
+difference, ``sigma[w](e)`` is exact-word selection and ``sigmac[w](e)`` is
+containment selection.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import AlgebraError
+
+INCLUDING = ">"
+DIRECTLY_INCLUDING = ">d"
+INCLUDED = "<"
+DIRECTLY_INCLUDED = "<d"
+
+INCLUSION_OPS = (INCLUDING, DIRECTLY_INCLUDING, INCLUDED, DIRECTLY_INCLUDED)
+#: Operators of the ``⊃`` family (left operand is the container).
+FORWARD_OPS = (INCLUDING, DIRECTLY_INCLUDING)
+#: Operators of the ``⊂`` family (left operand is the containee).
+BACKWARD_OPS = (INCLUDED, DIRECTLY_INCLUDED)
+
+_PRETTY = {
+    INCLUDING: "⊃",
+    DIRECTLY_INCLUDING: "⊃d",
+    INCLUDED: "⊂",
+    DIRECTLY_INCLUDED: "⊂d",
+    "union": "∪",
+    "intersect": "∩",
+    "difference": "−",
+}
+
+
+class RegionExpr:
+    """Base class for region-expression nodes (all nodes are immutable)."""
+
+    def region_names(self) -> set[str]:
+        """All region names mentioned anywhere in the expression."""
+        return {node.region_name for node in self.walk() if isinstance(node, Name)}
+
+    def walk(self) -> Iterator["RegionExpr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["RegionExpr", ...]:
+        return ()
+
+    # Builder sugar: ``a >> b`` is not used; explicit helpers below instead.
+
+    def __str__(self) -> str:
+        return pretty(self)
+
+
+@dataclass(frozen=True)
+class Name(RegionExpr):
+    """A region-index name ``Ri``."""
+
+    region_name: str
+
+
+@dataclass(frozen=True)
+class Select(RegionExpr):
+    """Selection ``σw(e)`` — filter regions by word content.
+
+    ``mode`` is ``"exact"`` (region *is* the word) or ``"contains"``.
+    """
+
+    child: RegionExpr
+    word: str
+    mode: str = "exact"
+
+    MODES = ("exact", "contains", "prefix", "prefix_contains")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise AlgebraError(f"unknown selection mode {self.mode!r}")
+
+    def children(self) -> tuple[RegionExpr, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Inclusion(RegionExpr):
+    """An inclusion join ``left op right`` with ``op`` one of
+    ``>``, ``>d``, ``<``, ``<d``."""
+
+    op: str
+    left: RegionExpr
+    right: RegionExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in INCLUSION_OPS:
+            raise AlgebraError(f"unknown inclusion operator {self.op!r}")
+
+    def children(self) -> tuple[RegionExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class SetOp(RegionExpr):
+    """Union / intersection / difference of two region expressions."""
+
+    kind: str
+    left: RegionExpr
+    right: RegionExpr
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("union", "intersect", "difference"):
+            raise AlgebraError(f"unknown set operation {self.kind!r}")
+
+    def children(self) -> tuple[RegionExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Innermost(RegionExpr):
+    """``ι(e)``: regions of the result including no other result region."""
+
+    child: RegionExpr
+
+    def children(self) -> tuple[RegionExpr, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Outermost(RegionExpr):
+    """``ω(e)``: regions of the result included in no other result region."""
+
+    child: RegionExpr
+
+    def children(self) -> tuple[RegionExpr, ...]:
+        return (self.child,)
+
+
+# -- builder helpers ---------------------------------------------------------
+
+
+def name(region_name: str) -> Name:
+    return Name(region_name)
+
+
+def select(child: RegionExpr | str, word: str, mode: str = "exact") -> Select:
+    if isinstance(child, str):
+        child = Name(child)
+    return Select(child=child, word=word, mode=mode)
+
+
+def including(left: RegionExpr | str, right: RegionExpr | str) -> Inclusion:
+    return _inclusion(INCLUDING, left, right)
+
+
+def directly_including(left: RegionExpr | str, right: RegionExpr | str) -> Inclusion:
+    return _inclusion(DIRECTLY_INCLUDING, left, right)
+
+
+def included(left: RegionExpr | str, right: RegionExpr | str) -> Inclusion:
+    return _inclusion(INCLUDED, left, right)
+
+
+def directly_included(left: RegionExpr | str, right: RegionExpr | str) -> Inclusion:
+    return _inclusion(DIRECTLY_INCLUDED, left, right)
+
+
+def union(left: RegionExpr | str, right: RegionExpr | str) -> SetOp:
+    return SetOp("union", _coerce(left), _coerce(right))
+
+
+def intersect(left: RegionExpr | str, right: RegionExpr | str) -> SetOp:
+    return SetOp("intersect", _coerce(left), _coerce(right))
+
+
+def difference(left: RegionExpr | str, right: RegionExpr | str) -> SetOp:
+    return SetOp("difference", _coerce(left), _coerce(right))
+
+
+def innermost(child: RegionExpr | str) -> Innermost:
+    return Innermost(_coerce(child))
+
+
+def outermost(child: RegionExpr | str) -> Outermost:
+    return Outermost(_coerce(child))
+
+
+def _coerce(node: RegionExpr | str) -> RegionExpr:
+    return Name(node) if isinstance(node, str) else node
+
+
+def _inclusion(op: str, left: RegionExpr | str, right: RegionExpr | str) -> Inclusion:
+    return Inclusion(op=op, left=_coerce(left), right=_coerce(right))
+
+
+def chain(
+    names: Sequence[str],
+    *,
+    op: str = DIRECTLY_INCLUDING,
+    word: str | None = None,
+    mode: str = "exact",
+) -> RegionExpr:
+    """Build a right-grouped inclusion chain ``A1 op (A2 op (... op An))``.
+
+    If ``word`` is given, the last name is wrapped in ``σ_word``.  This is
+    the shape produced by query translation (Section 5.1):
+    ``chain(["Reference", "Authors", "Name", "Last_Name"], word="Chang")``
+    yields ``Reference >d Authors >d Name >d sigma[Chang](Last_Name)``.
+    """
+    if not names:
+        raise AlgebraError("chain requires at least one region name")
+    if op not in INCLUSION_OPS:
+        raise AlgebraError(f"unknown inclusion operator {op!r}")
+    last: RegionExpr = Name(names[-1])
+    if word is not None:
+        last = Select(child=last, word=word, mode=mode)
+    expression = last
+    for region_name in reversed(names[:-1]):
+        expression = Inclusion(op=op, left=Name(region_name), right=expression)
+    return expression
+
+
+# -- pretty printing ---------------------------------------------------------
+
+
+def pretty(expression: RegionExpr, unicode_symbols: bool = True) -> str:
+    """Render an expression; round-trips through :func:`parse_expression`
+    when ``unicode_symbols`` is false."""
+
+    def render(node: RegionExpr, parent_is_inclusion: bool) -> str:
+        if isinstance(node, Name):
+            return node.region_name
+        if isinstance(node, Select):
+            ascii_keywords = {
+                "exact": "sigma",
+                "contains": "sigmac",
+                "prefix": "sigmap",
+                "prefix_contains": "sigmapc",
+            }
+            unicode_keywords = {
+                "exact": "σ",
+                "contains": "σc",
+                "prefix": "σp",
+                "prefix_contains": "σpc",
+            }
+            keyword = (
+                unicode_keywords[node.mode] if unicode_symbols else ascii_keywords[node.mode]
+            )
+            return f"{keyword}[{node.word}]({render(node.child, False)})"
+        if isinstance(node, Innermost):
+            return f"innermost({render(node.child, False)})"
+        if isinstance(node, Outermost):
+            return f"outermost({render(node.child, False)})"
+        if isinstance(node, Inclusion):
+            symbol = _PRETTY[node.op] if unicode_symbols else node.op
+            left = render(node.left, True)
+            right = render(node.right, True)
+            if isinstance(node.left, (Inclusion, SetOp)):
+                left = f"({left})"
+            if isinstance(node.right, SetOp):
+                right = f"({right})"
+            text = f"{left} {symbol} {right}"
+            return text
+        if isinstance(node, SetOp):
+            symbol = _PRETTY[node.kind] if unicode_symbols else {"union": "|", "intersect": "&", "difference": "-"}[node.kind]
+            left = render(node.left, False)
+            right = render(node.right, False)
+            if isinstance(node.right, SetOp):
+                right = f"({right})"
+            text = f"{left} {symbol} {right}"
+            return f"({text})" if parent_is_inclusion else text
+        raise AlgebraError(f"cannot render node {node!r}")
+
+    return render(expression, False)
+
+
+# -- parsing -----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<op>>d|<d|>|<|&|\||-)"
+    r"|(?P<select>(?:sigmapc|sigmap|sigmac|sigma|σpc|σp|σc|σ)\[(?P<word>[^\]]*)\])"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_@.]*)"
+    r"|(?P<lparen>\()|(?P<rparen>\)))"
+)
+
+
+def parse_expression(text: str) -> RegionExpr:
+    """Parse the ASCII expression syntax described in the module docstring."""
+    tokens = _tokenize_expression(text)
+    parser = _ExpressionParser(tokens, text)
+    expression = parser.parse_set_expression()
+    parser.expect_end()
+    return expression
+
+
+def _tokenize_expression(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise AlgebraError(f"cannot tokenize expression at: {remainder[:30]!r}")
+        if match.group("op"):
+            tokens.append(("op", match.group("op")))
+        elif match.group("select"):
+            keyword = match.group("select")
+            if keyword.startswith(("sigmapc", "σpc")):
+                mode = "prefix_contains"
+            elif keyword.startswith(("sigmap", "σp")):
+                mode = "prefix"
+            elif keyword.startswith(("sigmac", "σc")):
+                mode = "contains"
+            else:
+                mode = "exact"
+            tokens.append(("select", f"{mode}:{match.group('word')}"))
+        elif match.group("name"):
+            tokens.append(("name", match.group("name")))
+        elif match.group("lparen"):
+            tokens.append(("lparen", "("))
+        else:
+            tokens.append(("rparen", ")"))
+        position = match.end()
+    return tokens
+
+
+class _ExpressionParser:
+    """Recursive-descent parser for the ASCII expression syntax."""
+
+    def __init__(self, tokens: list[tuple[str, str]], source: str) -> None:
+        self._tokens = tokens
+        self._position = 0
+        self._source = source
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def expect_end(self) -> None:
+        if self._peek() is not None:
+            raise AlgebraError(f"trailing input in expression {self._source!r}")
+
+    def parse_set_expression(self) -> RegionExpr:
+        left = self.parse_inclusion()
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "op" or token[1] not in ("&", "|", "-"):
+                return left
+            self._advance()
+            kind = {"&": "intersect", "|": "union", "-": "difference"}[token[1]]
+            right = self.parse_inclusion()
+            left = SetOp(kind, left, right)
+
+    def parse_inclusion(self) -> RegionExpr:
+        left = self.parse_primary()
+        token = self._peek()
+        if token is not None and token[0] == "op" and token[1] in INCLUSION_OPS:
+            self._advance()
+            right = self.parse_inclusion()  # right associative
+            return Inclusion(token[1], left, right)
+        return left
+
+    def parse_primary(self) -> RegionExpr:
+        token = self._peek()
+        if token is None:
+            raise AlgebraError(f"unexpected end of expression {self._source!r}")
+        kind, value = token
+        if kind == "name":
+            self._advance()
+            if value in ("innermost", "outermost") and self._peek() == ("lparen", "("):
+                self._advance()
+                child = self.parse_set_expression()
+                self._expect_rparen()
+                return Innermost(child) if value == "innermost" else Outermost(child)
+            return Name(value)
+        if kind == "select":
+            self._advance()
+            mode, _, word = value.partition(":")
+            if self._peek() != ("lparen", "("):
+                raise AlgebraError("selection must be followed by a parenthesised expression")
+            self._advance()
+            child = self.parse_set_expression()
+            self._expect_rparen()
+            return Select(child=child, word=word, mode=mode)
+        if kind == "lparen":
+            self._advance()
+            child = self.parse_set_expression()
+            self._expect_rparen()
+            return child
+        raise AlgebraError(f"unexpected token {value!r} in expression {self._source!r}")
+
+    def _expect_rparen(self) -> None:
+        token = self._peek()
+        if token != ("rparen", ")"):
+            raise AlgebraError(f"expected ')' in expression {self._source!r}")
+        self._advance()

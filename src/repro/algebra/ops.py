@@ -1,0 +1,245 @@
+"""Set-at-a-time operators of the region algebra (Section 3.1).
+
+Every operator takes and returns :class:`~repro.algebra.region.RegionSet`
+values and optionally reports its work to an
+:class:`~repro.algebra.counters.OperationCounters`.
+
+Semantics follow the paper:
+
+- ``∪, ∩, −`` — ordinary set operations on sets of regions;
+- ``σ_w`` — selection: the regions "containing (exactly) the word w";
+  we expose both readings: ``mode="exact"`` (the region *is* the word, i.e.
+  it contains that word occurrence and no other word) and
+  ``mode="contains"`` (the region contains at least one occurrence);
+- ``ι`` (innermost) — regions including no other region of the set;
+- ``ω`` (outermost) — regions included in no other region of the set;
+- ``⊃`` / ``⊂`` — inclusion joins returning the left operand's survivors;
+- ``⊃d`` / ``⊂d`` — *direct* inclusion: additionally, no other indexed
+  region may sit between the pair.  "Other indexed region" means a region of
+  a different extent occurring anywhere in the instance, matching the
+  paper's "there is no other indexed region between r and s".
+
+Inclusion is extent-based and non-strict (two regions with identical
+endpoints include each other); direct inclusion treats regions whose extent
+coincides with either endpoint as *not* between — so a parse-tree edge is
+always a direct inclusion even when parent and child spans coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.counters import OperationCounters
+from repro.algebra.region import Instance, Region, RegionSet
+
+_NO_COUNTERS = OperationCounters()
+
+
+def union(left: RegionSet, right: RegionSet, counters: OperationCounters | None = None) -> RegionSet:
+    result = RegionSet(set(left.regions) | set(right.regions))
+    if counters is not None:
+        counters.record("∪", comparisons=len(left) + len(right), produced=len(result))
+    return result
+
+
+def intersect(left: RegionSet, right: RegionSet, counters: OperationCounters | None = None) -> RegionSet:
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    result = RegionSet(region for region in small if region in large)
+    if counters is not None:
+        counters.record("∩", comparisons=len(small), produced=len(result))
+    return result
+
+
+def difference(left: RegionSet, right: RegionSet, counters: OperationCounters | None = None) -> RegionSet:
+    result = RegionSet(region for region in left if region not in right)
+    if counters is not None:
+        counters.record("−", comparisons=len(left), produced=len(result))
+    return result
+
+
+def select_word(
+    regions: RegionSet,
+    occurrences: RegionSet,
+    *,
+    mode: str = "exact",
+    token_counter=None,
+    counters: OperationCounters | None = None,
+) -> RegionSet:
+    """Selection ``σ_w``: filter ``regions`` by word content.
+
+    Parameters
+    ----------
+    regions:
+        The candidate region set ``R``.
+    occurrences:
+        The match points of the word ``w`` (from the word index), as
+        word-width regions.
+    mode:
+        ``"exact"`` — the region *is* the word: it includes an occurrence of
+        ``w`` and contains exactly one word token overall (whitespace,
+        quotes, and punctuation around the word are ignored, matching the
+        paper's ``σ_"Chang"(Last_Name)`` examples).
+        ``"contains"`` — the region includes at least one occurrence of
+        ``w`` (useful for long fields such as ``ABSTRACT``).
+    token_counter:
+        Callable ``(start, end) -> int`` returning how many word tokens fall
+        inside a span; required for ``mode="exact"`` (the word index provides
+        it).
+    """
+    if mode not in ("exact", "contains"):
+        raise ValueError(f"unknown selection mode {mode!r}")
+    if mode == "exact" and token_counter is None:
+        raise ValueError("mode='exact' requires a token_counter")
+    comparisons = 0
+    selected: list[Region] = []
+    for region in regions:
+        comparisons += 1
+        if not occurrences.any_included_in(region):
+            continue
+        if mode == "exact":
+            comparisons += 1
+            if token_counter(region.start, region.end) != 1:
+                continue
+        selected.append(region)
+    result = RegionSet(selected)
+    if counters is not None:
+        counters.record("σ", comparisons=comparisons, produced=len(result))
+    return result
+
+
+def innermost(regions: RegionSet, counters: OperationCounters | None = None) -> RegionSet:
+    """``ι``: regions of the set that include no *other* region of the set."""
+    kept: list[Region] = []
+    comparisons = 0
+    for region in regions:
+        comparisons += 1
+        has_inner = any(other != region for other in regions.iter_included_in(region))
+        if not has_inner:
+            kept.append(region)
+    result = RegionSet(kept)
+    if counters is not None:
+        counters.record("ι", comparisons=comparisons, produced=len(result))
+    return result
+
+
+def outermost(regions: RegionSet, counters: OperationCounters | None = None) -> RegionSet:
+    """``ω``: regions of the set included in no *other* region of the set."""
+    kept = [region for region in regions if not regions.any_strictly_including(region)]
+    result = RegionSet(kept)
+    if counters is not None:
+        counters.record("ω", comparisons=len(regions), produced=len(result))
+    return result
+
+
+def including(left: RegionSet, right: RegionSet, counters: OperationCounters | None = None) -> RegionSet:
+    """``R ⊃ S``: the regions of ``left`` that include some region of ``right``."""
+    kept = [region for region in left if right.any_included_in(region)]
+    result = RegionSet(kept)
+    if counters is not None:
+        counters.record("⊃", comparisons=len(left), produced=len(result))
+    return result
+
+
+def included(left: RegionSet, right: RegionSet, counters: OperationCounters | None = None) -> RegionSet:
+    """``R ⊂ S``: the regions of ``left`` included in some region of ``right``."""
+    kept = [region for region in left if right.any_including(region)]
+    result = RegionSet(kept)
+    if counters is not None:
+        counters.record("⊂", comparisons=len(left), produced=len(result))
+    return result
+
+
+def directly_including(
+    left: RegionSet,
+    right: RegionSet,
+    instance: Instance,
+    counters: OperationCounters | None = None,
+) -> RegionSet:
+    """``R ⊃d S``: regions of ``left`` that *directly* include a region of
+    ``right`` — no other indexed region of the instance lies between."""
+    all_indexed = instance.all_regions()
+    kept: list[Region] = []
+    comparisons = 0
+    for region in left:
+        comparisons += 1
+        for candidate in right.iter_included_in(region):
+            comparisons += 1
+            if not all_indexed.any_strictly_between(region, candidate):
+                kept.append(region)
+                break
+    result = RegionSet(kept)
+    if counters is not None:
+        counters.record("⊃d", comparisons=comparisons, produced=len(result))
+    return result
+
+
+def directly_included(
+    left: RegionSet,
+    right: RegionSet,
+    instance: Instance,
+    counters: OperationCounters | None = None,
+) -> RegionSet:
+    """``R ⊂d S``: regions of ``left`` directly included in a region of
+    ``right``."""
+    all_indexed = instance.all_regions()
+    kept: list[Region] = []
+    comparisons = 0
+    for region in left:
+        comparisons += 1
+        for container in _iter_including(right, region):
+            comparisons += 1
+            if not all_indexed.any_strictly_between(container, region):
+                kept.append(region)
+                break
+    result = RegionSet(kept)
+    if counters is not None:
+        counters.record("⊂d", comparisons=comparisons, produced=len(result))
+    return result
+
+
+def _iter_including(candidates: RegionSet, target: Region) -> Iterable[Region]:
+    """Yield regions of ``candidates`` that include ``target``."""
+    count = candidates.first_index_with_start_greater(target.start)
+    for index in range(count):
+        region = candidates.region_at(index)
+        if region.end >= target.end:
+            yield region
+
+
+# -- brute-force reference implementations (used by property tests) ---------
+
+
+def brute_force_directly_including(left: RegionSet, right: RegionSet, instance: Instance) -> RegionSet:
+    """Quadratic reference semantics for ``⊃d`` (pairwise definition)."""
+    all_indexed = list(instance.all_regions())
+    kept = []
+    for region in left:
+        for candidate in right:
+            if not region.includes(candidate):
+                continue
+            between = any(
+                region.includes(t) and t.includes(candidate) and t != region and t != candidate
+                for t in all_indexed
+            )
+            if not between:
+                kept.append(region)
+                break
+    return RegionSet(kept)
+
+
+def brute_force_directly_included(left: RegionSet, right: RegionSet, instance: Instance) -> RegionSet:
+    """Quadratic reference semantics for ``⊂d``."""
+    all_indexed = list(instance.all_regions())
+    kept = []
+    for region in left:
+        for container in right:
+            if not container.includes(region):
+                continue
+            between = any(
+                container.includes(t) and t.includes(region) and t != container and t != region
+                for t in all_indexed
+            )
+            if not between:
+                kept.append(region)
+                break
+    return RegionSet(kept)

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Examples::
+
+    # Generate a synthetic corpus
+    python -m repro generate --workload bibtex --entries 200 --seed 1 > refs.bib
+
+    # Query a file through its database view
+    python -m repro query --workload bibtex --file refs.bib \
+        'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+    # Show the plan (translation + Section 3.2 rewrites)
+    python -m repro explain --workload bibtex --file refs.bib 'SELECT ...'
+
+    # Build and persist indexes, then query without re-parsing
+    python -m repro index --workload bibtex --file refs.bib --out ./idx
+    python -m repro query --workload bibtex --index ./idx 'SELECT ...'
+
+    # Index statistics
+    python -m repro stats --workload bibtex --file refs.bib
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.core.engine import FileQueryEngine
+from repro.db.values import AtomicValue, ObjectValue, canonical
+from repro.index.config import IndexConfig
+
+WORKLOADS: dict[str, tuple[Callable, Callable]] = {}
+
+
+def _register_workloads() -> None:
+    from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+    from repro.workloads.logs import generate_log, log_schema
+    from repro.workloads.sgml import generate_sgml, sgml_schema
+    from repro.workloads.source import generate_source, source_schema
+
+    WORKLOADS["bibtex"] = (bibtex_schema, lambda n, s: generate_bibtex(entries=n, seed=s))
+    WORKLOADS["logs"] = (log_schema, lambda n, s: generate_log(entries=n, seed=s))
+    WORKLOADS["sgml"] = (sgml_schema, lambda n, s: generate_sgml(documents=n, seed=s))
+    WORKLOADS["source"] = (source_schema, lambda n, s: generate_source(functions=n, seed=s))
+
+
+def _schema_for(name: str):
+    _register_workloads()
+    try:
+        return WORKLOADS[name][0]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r} (available: {', '.join(sorted(WORKLOADS))})"
+        )
+
+
+def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
+    schema = _schema_for(args.workload)
+    if getattr(args, "index", None):
+        return FileQueryEngine.from_saved(schema, args.index)
+    if not args.file:
+        raise SystemExit("either --file or --index is required")
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    config = IndexConfig.full()
+    if getattr(args, "partial", None):
+        config = IndexConfig.partial(set(args.partial.split(",")))
+    return FileQueryEngine(schema, text, config)
+
+
+def _render_value(value) -> str:
+    if isinstance(value, AtomicValue):
+        return value.text
+    if isinstance(value, ObjectValue):
+        scalars = {
+            key: child.text
+            for key, child in value.attributes.items()
+            if isinstance(child, AtomicValue)
+        }
+        inner = ", ".join(f"{key}={text!r}" for key, text in sorted(scalars.items()))
+        return f"{value.class_name}({inner})"
+    return str(canonical(value))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    _register_workloads()
+    if args.workload not in WORKLOADS:
+        raise SystemExit(f"unknown workload {args.workload!r}")
+    sys.stdout.write(WORKLOADS[args.workload][1](args.entries, args.seed))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    result = engine.query(args.query)
+    for row in result.rows:
+        print(" | ".join(_render_value(value) for value in row))
+    print(
+        f"-- {len(result.rows)} row(s), strategy {result.stats.strategy}, "
+        f"{result.stats.bytes_parsed} bytes parsed",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    print(engine.explain(args.query))
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    engine.save(args.out)
+    print(f"saved index to {args.out}", file=sys.stderr)
+    print(engine.statistics().summary())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    print(engine.statistics().summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query semi-structured files through a database view "
+        "(Consens & Milo, SIGMOD 1994).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, with_query: bool) -> None:
+        sub.add_argument("--workload", required=True, help="bibtex | logs | sgml")
+        sub.add_argument("--file", help="corpus file to parse and index")
+        sub.add_argument("--index", help="directory of a saved index")
+        sub.add_argument(
+            "--partial",
+            help="comma-separated non-terminals for a partial region index",
+        )
+        if with_query:
+            sub.add_argument("query", help="XSQL-subset query text")
+
+    generate = commands.add_parser("generate", help="emit a synthetic corpus")
+    generate.add_argument("--workload", required=True)
+    generate.add_argument("--entries", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    query = commands.add_parser("query", help="run a query")
+    add_common(query, with_query=True)
+    query.set_defaults(handler=_cmd_query)
+
+    explain = commands.add_parser("explain", help="show a query's plan")
+    add_common(explain, with_query=True)
+    explain.set_defaults(handler=_cmd_explain)
+
+    index = commands.add_parser("index", help="build and persist indexes")
+    add_common(index, with_query=False)
+    index.add_argument("--out", required=True, help="output directory")
+    index.set_defaults(handler=_cmd_index)
+
+    stats = commands.add_parser("stats", help="index statistics")
+    add_common(stats, with_query=False)
+    stats.set_defaults(handler=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Index selection (Section 7).
+
+"To fully compute Q, it is sufficient to (i) index the nonterminals
+mentioned in e, and (ii) for every subexpression Ai ⊃d Ai+1 in e, index one
+non-terminal (other than Ai, Ai+1) on each path from Ai to Ai+1 in the RIG
+of the grammar G."
+
+The advisor translates each workload query under *full* indexing, optimizes
+it, collects the names the optimized expression mentions, and — for every
+surviving direct inclusion — covers all interior paths with a greedy hitting
+set of *blocker* non-terminals.  It can also recommend *scoped* indexes:
+when a name is only ever queried inside one ancestor ("users often query
+names of authors, but never names of editors"), a scoped index replaces the
+global one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.ast import (
+    DIRECTLY_INCLUDED,
+    DIRECTLY_INCLUDING,
+    Inclusion,
+    Name,
+    RegionExpr,
+)
+from repro.core.optimizer import optimize
+from repro.core.planner import Planner
+from repro.core.translate import Translator
+from repro.db.parser import parse_query
+from repro.db.query import Query
+from repro.index.config import IndexConfig
+from repro.rig.derive import derive_full_rig
+from repro.rig.paths import simple_paths
+from repro.schema.structuring import StructuringSchema
+
+
+@dataclass
+class AdvisorReport:
+    """The recommendation plus its rationale."""
+
+    config: IndexConfig
+    mentioned: set[str] = field(default_factory=set)
+    blockers: set[str] = field(default_factory=set)
+    per_query: list[tuple[str, list[str]]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = ["index recommendation (Section 7):"]
+        names = self.config.region_names or frozenset()
+        lines.append(f"  region indexes: {sorted(names)}")
+        if self.config.scoped:
+            lines.append(
+                "  scoped indexes: "
+                + ", ".join(f"{s.source} inside {s.scope}" for s in self.config.scoped)
+            )
+        lines.append(f"  mentioned by expressions: {sorted(self.mentioned)}")
+        lines.append(f"  blockers for direct inclusion: {sorted(self.blockers)}")
+        for query_text, notes in self.per_query:
+            lines.append(f"  - {query_text}")
+            for note in notes:
+                lines.append(f"      {note}")
+        return "\n".join(lines)
+
+
+class IndexAdvisor:
+    """Recommends a minimal region-index set for a query workload."""
+
+    def __init__(self, schema: StructuringSchema) -> None:
+        self._schema = schema
+        self._full_config = IndexConfig.full()
+        self._full_translator = Translator(schema, self._full_config)
+        self._full_planner = Planner(self._full_translator)
+        self._full_rig = derive_full_rig(schema.grammar, include_root=True)
+
+    def recommend(self, queries: list[Query | str]) -> AdvisorReport:
+        """The Section-7 recommendation for a workload."""
+        mentioned: set[str] = set()
+        interior_paths: list[frozenset[str]] = []
+        per_query: list[tuple[str, list[str]]] = []
+        for raw_query in queries:
+            query = parse_query(raw_query) if isinstance(raw_query, str) else raw_query
+            notes: list[str] = []
+            plan = self._full_planner.plan(query)
+            mentioned.add(query.source_class)
+            expression = plan.optimized_expression
+            if expression is None:
+                translated = self._full_translator.translate_query(query)
+                if translated.expression is None:
+                    notes.append("no index support under full indexing; skipped")
+                    per_query.append((query.render(), notes))
+                    continue
+                expression = optimize(translated.expression, self._full_planner.rig)
+            names = expression.region_names()
+            mentioned.update(names)
+            notes.append(f"optimized expression: {expression}")
+            for container, containee in _direct_pairs(expression):
+                for path in simple_paths(self._full_rig, container, containee):
+                    interior = frozenset(path[1:-1])
+                    if interior:
+                        interior_paths.append(interior)
+                        notes.append(
+                            f"direct inclusion {container} ⊃d {containee}: "
+                            f"interior path {list(path[1:-1])} needs a blocker"
+                        )
+            per_query.append((query.render(), notes))
+        blockers = _greedy_hitting_set(interior_paths, prefer=mentioned)
+        config = IndexConfig.partial(sorted(mentioned | blockers))
+        return AdvisorReport(
+            config=config,
+            mentioned=mentioned,
+            blockers=blockers - mentioned,
+            per_query=per_query,
+        )
+
+
+def _direct_pairs(expression: RegionExpr) -> list[tuple[str, str]]:
+    """(container, containee) pairs joined by a direct inclusion."""
+    pairs: list[tuple[str, str]] = []
+    for node in expression.walk():
+        if not isinstance(node, Inclusion):
+            continue
+        left = _leaf_name(node.left)
+        right = _leaf_name(node.right)
+        if left is None or right is None:
+            continue
+        if node.op == DIRECTLY_INCLUDING:
+            pairs.append((left, right))
+        elif node.op == DIRECTLY_INCLUDED:
+            pairs.append((right, left))
+    return pairs
+
+
+def _leaf_name(node: RegionExpr) -> str | None:
+    from repro.algebra.ast import Select
+
+    if isinstance(node, Name):
+        return node.region_name
+    if isinstance(node, Select):
+        return _leaf_name(node.child)
+    if isinstance(node, Inclusion):
+        return _leaf_name(node.left)
+    return None
+
+
+def _greedy_hitting_set(
+    paths: list[frozenset[str]], prefer: set[str]
+) -> set[str]:
+    """Pick nodes covering every interior path, preferring already-needed
+    names, then highest coverage."""
+    chosen: set[str] = set()
+    remaining = [path for path in paths if path]
+    # Paths already hit by preferred names cost nothing extra.
+    chosen.update(
+        name for name in prefer if any(name in path for path in remaining)
+    )
+    remaining = [path for path in remaining if not path & chosen]
+    while remaining:
+        counts: dict[str, int] = {}
+        for path in remaining:
+            for name in path:
+                counts[name] = counts.get(name, 0) + 1
+        best = max(sorted(counts), key=lambda name: counts[name])
+        chosen.add(best)
+        remaining = [path for path in remaining if best not in path]
+    return chosen

@@ -1,0 +1,127 @@
+"""Inclusion-chain view of region expressions.
+
+The optimization algorithm of Section 3.2 operates on *inclusion
+expressions*: right-grouped chains ``R1 o1 (R2 o2 (... on-1 Rn))`` whose
+operators all come from one family (``⊃``/``⊃d`` for selections,
+``⊂``/``⊂d`` for projections), where any link may carry a word selection.
+:func:`extract_chain` recognises that shape inside a general expression;
+:func:`chain_to_expression` rebuilds the AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.algebra.ast import (
+    BACKWARD_OPS,
+    FORWARD_OPS,
+    Inclusion,
+    Name,
+    RegionExpr,
+    Select,
+)
+
+
+@dataclass(frozen=True)
+class Link:
+    """One chain element: a region name plus an optional selection."""
+
+    region: str
+    word: str | None = None
+    mode: str = "exact"
+
+    @property
+    def has_select(self) -> bool:
+        return self.word is not None
+
+    def to_expression(self) -> RegionExpr:
+        node: RegionExpr = Name(self.region)
+        if self.word is not None:
+            node = Select(child=node, word=self.word, mode=self.mode)
+        return node
+
+
+@dataclass(frozen=True)
+class ChainView:
+    """A right-grouped inclusion chain: ``links[0] ops[0] (links[1] ...)``.
+
+    ``forward`` chains use ``>``/``>d`` (the output is the outermost,
+    leftmost region set); backward chains use ``<``/``<d`` (the output is
+    the innermost, leftmost region set).
+    """
+
+    links: tuple[Link, ...]
+    ops: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        assert len(self.ops) == len(self.links) - 1
+
+    @property
+    def forward(self) -> bool:
+        return not self.ops or self.ops[0] in FORWARD_OPS
+
+    def with_op(self, index: int, op: str) -> "ChainView":
+        ops = list(self.ops)
+        ops[index] = op
+        return replace(self, ops=tuple(ops))
+
+    def without_link(self, index: int) -> "ChainView":
+        """Drop an interior link, keeping the outer operator pair's left op.
+
+        Shortening ``Ri > Rj > Rk`` to ``Ri > Rk`` keeps the left ``>``.
+        """
+        assert 0 < index < len(self.links) - 1
+        links = self.links[:index] + self.links[index + 1 :]
+        ops = self.ops[:index] + self.ops[index + 1 :]
+        return ChainView(links=links, ops=ops)
+
+    def region_names(self) -> list[str]:
+        return [link.region for link in self.links]
+
+
+def _link_of(node: RegionExpr) -> Link | None:
+    """A leaf link: a name, optionally wrapped in one selection."""
+    if isinstance(node, Name):
+        return Link(region=node.region_name)
+    if isinstance(node, Select) and isinstance(node.child, Name):
+        return Link(region=node.child.region_name, word=node.word, mode=node.mode)
+    return None
+
+
+def extract_chain(expression: RegionExpr) -> ChainView | None:
+    """Recognise a right-grouped single-family inclusion chain.
+
+    Returns ``None`` for anything else (set operations, mixed families,
+    non-leaf left operands, left-grouped chains) — the optimizer then simply
+    recurses into subexpressions.
+    """
+    links: list[Link] = []
+    ops: list[str] = []
+    node = expression
+    family: tuple[str, ...] | None = None
+    while isinstance(node, Inclusion):
+        if family is None:
+            family = FORWARD_OPS if node.op in FORWARD_OPS else BACKWARD_OPS
+        if node.op not in family:
+            return None
+        left_link = _link_of(node.left)
+        if left_link is None:
+            return None
+        links.append(left_link)
+        ops.append(node.op)
+        node = node.right
+    last_link = _link_of(node)
+    if last_link is None:
+        return None
+    links.append(last_link)
+    if len(links) < 2:
+        return None
+    return ChainView(links=tuple(links), ops=tuple(ops))
+
+
+def chain_to_expression(chain: ChainView) -> RegionExpr:
+    """Rebuild the right-grouped AST for a chain."""
+    node = chain.links[-1].to_expression()
+    for link, op in zip(reversed(chain.links[:-1]), reversed(chain.ops)):
+        node = Inclusion(op=op, left=link.to_expression(), right=node)
+    return node

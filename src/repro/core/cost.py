@@ -1,0 +1,53 @@
+"""Static cost model for region expressions.
+
+Definition 3.4 orders expressions by rewriting ("e2 was obtained from e1 by
+replacing ..."), so the optimizer itself never needs numeric costs.  This
+model exists for *explain* output and for asserting, in tests, that every
+rewrite strictly decreases cost: fewer operations are cheaper, and a direct
+inclusion is far more expensive than a simple one (Section 3.1's layered
+program runs one ``ω``/``⊃``/``−`` round per nesting layer).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    DIRECTLY_INCLUDED,
+    DIRECTLY_INCLUDING,
+    Inclusion,
+    Innermost,
+    Name,
+    Outermost,
+    RegionExpr,
+    Select,
+    SetOp,
+)
+
+#: Relative operator weights (arbitrary units; only the ordering matters).
+WEIGHTS = {
+    "name": 1,
+    "select": 3,
+    "set_op": 2,
+    "extremal": 4,
+    "simple_inclusion": 5,
+    "direct_inclusion": 40,
+}
+
+
+def static_cost(expression: RegionExpr) -> int:
+    """The summed operator weight of an expression."""
+    total = 0
+    for node in expression.walk():
+        if isinstance(node, Name):
+            total += WEIGHTS["name"]
+        elif isinstance(node, Select):
+            total += WEIGHTS["select"]
+        elif isinstance(node, SetOp):
+            total += WEIGHTS["set_op"]
+        elif isinstance(node, (Innermost, Outermost)):
+            total += WEIGHTS["extremal"]
+        elif isinstance(node, Inclusion):
+            if node.op in (DIRECTLY_INCLUDING, DIRECTLY_INCLUDED):
+                total += WEIGHTS["direct_inclusion"]
+            else:
+                total += WEIGHTS["simple_inclusion"]
+    return total

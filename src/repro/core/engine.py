@@ -1,0 +1,205 @@
+"""The public facade: :class:`FileQueryEngine`.
+
+Ties everything together the way the paper's system does:
+
+1. a structuring schema maps the file(s) to a database view (Section 4);
+2. an index configuration decides which regions/words get indexed
+   (Sections 5–7);
+3. queries in the XSQL subset are translated to region expressions,
+   optimized against the derived RIG, evaluated on the index engine, and —
+   when the indexes are not sufficient for full computation — completed by
+   parsing just the candidate regions (Section 6).
+
+Example
+-------
+>>> from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+>>> schema = bibtex_schema()
+>>> engine = FileQueryEngine(schema, generate_bibtex(entries=50, seed=1))
+>>> result = engine.query(
+...     'SELECT r FROM Reference r '
+...     'WHERE r.Authors.Name.Last_Name = "Chang"')
+>>> result.stats.strategy
+'index-exact'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.counters import OperationCounters
+from repro.algebra.region import RegionSet
+from repro.core.partial import Execution, ExecutionStats, PlanExecutor
+from repro.core.planner import Plan, Planner
+from repro.core.translate import Translator
+from repro.db.model import Database
+from repro.db.parser import parse_query
+from repro.db.query import Query
+from repro.db.values import Value, canonical
+from repro.index.builder import build_engine
+from repro.index.config import IndexConfig
+from repro.index.engine import IndexEngine
+from repro.index.stats import IndexStatistics
+from repro.schema.structuring import StructuringSchema
+from repro.text.document import Corpus
+
+
+@dataclass
+class QueryResult:
+    """Rows, their source regions, the plan, and the execution costs."""
+
+    rows: list[tuple[Value, ...]]
+    regions: RegionSet
+    plan: Plan
+    stats: ExecutionStats
+
+    @property
+    def values(self) -> list[Value]:
+        """First column of every row (convenience for single-output queries)."""
+        return [row[0] for row in self.rows]
+
+    def canonical_rows(self) -> set[tuple]:
+        """Identity-free row representations, for comparing strategies."""
+        return {tuple(canonical(value) for value in row) for row in self.rows}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class FileQueryEngine:
+    """Query files through their database view, via text indexes."""
+
+    def __init__(
+        self,
+        schema: StructuringSchema,
+        corpus: Corpus | str,
+        config: IndexConfig | None = None,
+        optimize_expressions: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.corpus: Corpus | None = corpus if isinstance(corpus, Corpus) else None
+        self.text = corpus.text if isinstance(corpus, Corpus) else corpus
+        self.config = config if config is not None else IndexConfig.full()
+        build_counters = OperationCounters()
+        tree = schema.parse(self.text, counters=build_counters)
+        self.index_build_bytes = build_counters.bytes_scanned
+        self.index: IndexEngine = build_engine(
+            self.text,
+            tree,
+            self.config,
+            root=schema.grammar.start,
+            known_names=schema.grammar.nonterminals,
+        )
+        self.translator = Translator(
+            schema, self.config, has_word_index=self.index.word_index is not None
+        )
+        self.planner = Planner(self.translator, optimize_expressions=optimize_expressions)
+        self._executor = PlanExecutor(schema, self.index, self.translator)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist the built indexes (see :mod:`repro.index.persist`)."""
+        from repro.index.persist import save_index
+
+        save_index(self.index, directory)
+
+    @classmethod
+    def from_saved(
+        cls,
+        schema: StructuringSchema,
+        directory: str,
+        optimize_expressions: bool = True,
+    ) -> "FileQueryEngine":
+        """Load a persisted engine, skipping the corpus re-parse."""
+        from repro.index.persist import load_index
+
+        index = load_index(directory)
+        engine = cls.__new__(cls)
+        engine.schema = schema
+        engine.corpus = None
+        engine.text = index.text
+        engine.config = index.config
+        engine.index_build_bytes = 0
+        engine.index = index
+        engine.translator = Translator(
+            schema, index.config, has_word_index=index.word_index is not None
+        )
+        engine.planner = Planner(
+            engine.translator, optimize_expressions=optimize_expressions
+        )
+        engine._executor = PlanExecutor(schema, index, engine.translator)
+        return engine
+
+    # -- querying -----------------------------------------------------------------
+
+    def plan(self, query: Query | str) -> Plan:
+        """Plan a query without executing it."""
+        return self.planner.plan(query)
+
+    def query(self, query: Query | str) -> QueryResult:
+        """Plan and execute a query."""
+        plan = self.planner.plan(query)
+        execution: Execution = self._executor.execute(plan)
+        return QueryResult(
+            rows=execution.rows,
+            regions=execution.regions,
+            plan=plan,
+            stats=execution.stats,
+        )
+
+    def explain(self, query: Query | str) -> str:
+        """A human-readable account of the plan for a query."""
+        from repro.core.explain import explain_plan
+
+        return explain_plan(self.plan(query))
+
+    # -- the baseline ----------------------------------------------------------------
+
+    def baseline_query(self, query: Query | str) -> QueryResult:
+        """Run the query through the standard-database pipeline (parse the
+        whole corpus, load, evaluate) regardless of index support."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        plan = Plan(strategy="full-scan", query=query, notes=["forced baseline"])
+        execution = self._executor.execute(plan)
+        return QueryResult(
+            rows=execution.rows,
+            regions=execution.regions,
+            plan=plan,
+            stats=execution.stats,
+        )
+
+    def load_baseline_database(self) -> Database:
+        """Parse the whole corpus once and load its full database image —
+        the amortised variant of the baseline."""
+        from repro.db.loader import load_database
+
+        return load_database(self.schema, self.text).database
+
+    # -- introspection -----------------------------------------------------------------
+
+    def locate_results(self, result: QueryResult) -> list[tuple[str, int, int]]:
+        """Map a result's regions back to ``(document name, local start,
+        local end)`` triples — which *file* each answer lives in.
+
+        Requires the engine to have been built from a :class:`Corpus`; with
+        a bare string the single pseudo-document is named ``"<text>"``.
+        """
+        located: list[tuple[str, int, int]] = []
+        for region in result.regions:
+            if self.corpus is None:
+                located.append(("<text>", region.start, region.end))
+                continue
+            doc_index, local_start = self.corpus.locate(region.start)
+            document = self.corpus.documents[doc_index]
+            located.append(
+                (document.name, local_start, local_start + (region.end - region.start))
+            )
+        return located
+
+    def statistics(self) -> IndexStatistics:
+        return self.index.statistics()
+
+    @property
+    def indexed_names(self) -> frozenset[str]:
+        return self.translator.indexed_names

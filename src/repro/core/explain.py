@@ -1,0 +1,33 @@
+"""Human-readable plan explanations."""
+
+from __future__ import annotations
+
+from repro.core.cost import static_cost
+from repro.core.planner import Plan
+
+
+def explain_plan(plan: Plan) -> str:
+    """Render a plan the way EXPLAIN would."""
+    lines = [f"query:     {plan.query.render()}", f"strategy:  {plan.strategy}"]
+    if plan.raw_expression is not None:
+        lines.append(f"translated: {plan.raw_expression}")
+        lines.append(f"            (static cost {static_cost(plan.raw_expression)})")
+    if plan.optimized_expression is not None:
+        lines.append(f"optimized:  {plan.optimized_expression}")
+        lines.append(
+            f"            (static cost {static_cost(plan.optimized_expression)})"
+        )
+    if plan.trace.rewrite_count:
+        for line in plan.trace.describe().splitlines():
+            lines.append(f"  rewrite: {line}")
+    for var, expression in plan.per_variable.items():
+        if expression is None:
+            lines.append(f"narrow {var}: (whole extent)")
+        else:
+            lines.append(f"narrow {var}: {expression}")
+    lines.append(f"exact:     {plan.exact}")
+    if plan.join_condition is not None:
+        lines.append("join:      index-located attribute contents compared")
+    for note in plan.notes:
+        lines.append(f"note:      {note}")
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""The optimization algorithm of Section 3.2 (Prop. 3.5, Theorem 3.6).
+
+Given an inclusion expression and a RIG, compute the *most efficient
+version*: the unique equivalent expression obtained by
+
+1. replacing ``⊃d`` with ``⊃`` wherever Proposition 3.5(a) licenses it, and
+2. repeatedly shortening ``Ri ⊃ Rj ⊃ Rk`` to ``Ri ⊃ Rk`` wherever
+   Proposition 3.5(b) licenses it, until a fixpoint.
+
+Theorem 3.6 shows the rewrite system is finite Church–Rosser, so the result
+does not depend on rewrite order; the property tests exercise this by
+applying rule (b) in random orders.
+
+Rule preconditions, as implemented (see DESIGN.md for the two documented
+soundness refinements over the paper's statement — both vacuous on the
+paper's acyclic, coincidence-free examples):
+
+(a) ``Ri ⊃d Rj -> Ri ⊃ Rj`` when
+    - no node ``t`` satisfies ``Ri →⁺ t →⁺ Rj``  (the paper's "the edge is
+      the only path from Ri to Rj", in walk semantics), or
+    - ``Rj`` is the chain's rightmost region, carries **no selection**, and
+      every walk from ``Ri`` to ``Rj`` starts with the edge ``(Ri, Rj)``.
+(b) ``Ri ⊃ Rj ⊃ Rk -> Ri ⊃ Rk`` when every walk from ``Ri`` to ``Rk``
+    passes through ``Rj``, the dropped ``Rj`` carries no selection, and
+    ``Ri``/``Rk`` are not coincidence-related.
+
+The mirrored rules handle projection chains (``⊂``/``⊂d``), with the
+container/containee roles swapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.ast import (
+    DIRECTLY_INCLUDED,
+    DIRECTLY_INCLUDING,
+    INCLUDED,
+    INCLUDING,
+    Inclusion,
+    Innermost,
+    Name,
+    Outermost,
+    RegionExpr,
+    Select,
+    SetOp,
+)
+from repro.core.chains import ChainView, chain_to_expression, extract_chain
+from repro.rig.graph import RegionInclusionGraph
+from repro.rig.paths import (
+    coincident_related,
+    every_path_ends_with_edge,
+    every_path_starts_with_edge,
+    every_path_through,
+    has_intermediate,
+)
+
+
+@dataclass
+class OptimizationTrace:
+    """A record of the rewrites applied, for explain output and tests."""
+
+    direct_to_simple: list[tuple[str, str]] = field(default_factory=list)
+    shortened: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def rewrite_count(self) -> int:
+        return len(self.direct_to_simple) + len(self.shortened)
+
+    def describe(self) -> str:
+        lines = []
+        for left, right in self.direct_to_simple:
+            lines.append(f"direct inclusion relaxed: {left} ⊃d {right}  ->  {left} ⊃ {right}")
+        for left, via, right in self.shortened:
+            lines.append(f"chain shortened: {left} ⊃ {via} ⊃ {right}  ->  {left} ⊃ {right}")
+        return "\n".join(lines) if lines else "no rewrites applicable"
+
+
+def optimize(
+    expression: RegionExpr,
+    graph: RegionInclusionGraph,
+    trace: OptimizationTrace | None = None,
+) -> RegionExpr:
+    """Compute the most efficient version of ``expression`` w.r.t. ``graph``.
+
+    Non-chain structure (set operations, selections over chains, ι/ω) is
+    preserved; every maximal inclusion chain inside it is optimized.
+    """
+    if isinstance(expression, Name):
+        return expression
+    if isinstance(expression, Select):
+        # A selection over a bare name is part of a chain link; anything
+        # else is optimized recursively.
+        optimized_child = optimize(expression.child, graph, trace)
+        return Select(child=optimized_child, word=expression.word, mode=expression.mode)
+    if isinstance(expression, Innermost):
+        return Innermost(optimize(expression.child, graph, trace))
+    if isinstance(expression, Outermost):
+        return Outermost(optimize(expression.child, graph, trace))
+    if isinstance(expression, SetOp):
+        return SetOp(
+            expression.kind,
+            optimize(expression.left, graph, trace),
+            optimize(expression.right, graph, trace),
+        )
+    if isinstance(expression, Inclusion):
+        chain = extract_chain(expression)
+        if chain is None:
+            return Inclusion(
+                expression.op,
+                optimize(expression.left, graph, trace),
+                optimize(expression.right, graph, trace),
+            )
+        return chain_to_expression(_optimize_chain(chain, graph, trace))
+    return expression
+
+
+# -- the two steps on a chain ---------------------------------------------------
+
+
+def _optimize_chain(
+    chain: ChainView, graph: RegionInclusionGraph, trace: OptimizationTrace | None
+) -> ChainView:
+    chain = _step_relax_direct(chain, graph, trace)
+    chain = _step_shorten(chain, graph, trace)
+    return chain
+
+
+def _container_containee(chain: ChainView, index: int) -> tuple[str, str]:
+    """The (container, containee) names of the pair at ``index``."""
+    left = chain.links[index].region
+    right = chain.links[index + 1].region
+    if chain.forward:
+        return left, right
+    return right, left
+
+
+def _step_relax_direct(
+    chain: ChainView, graph: RegionInclusionGraph, trace: OptimizationTrace | None
+) -> ChainView:
+    """Step 1: apply Proposition 3.5(a) to every ``⊃d``/``⊂d``."""
+    simple_op = INCLUDING if chain.forward else INCLUDED
+    direct_op = DIRECTLY_INCLUDING if chain.forward else DIRECTLY_INCLUDED
+    for index, op in enumerate(chain.ops):
+        if op != direct_op:
+            continue
+        container, containee = _container_containee(chain, index)
+        if _relax_allowed(chain, graph, index, container, containee):
+            chain = chain.with_op(index, simple_op)
+            if trace is not None:
+                trace.direct_to_simple.append((container, containee))
+    return chain
+
+
+def _relax_allowed(
+    chain: ChainView,
+    graph: RegionInclusionGraph,
+    index: int,
+    container: str,
+    containee: str,
+) -> bool:
+    # Disjunct 1: nothing can ever sit between the pair.
+    if not has_intermediate(graph, container, containee):
+        return True
+    # Disjunct 2: only at the chain's non-container end, selection-free.
+    is_last_pair = index == len(chain.ops) - 1
+    if not is_last_pair:
+        return False
+    if chain.forward:
+        rightmost = chain.links[-1]
+        if rightmost.has_select:
+            return False
+        return every_path_starts_with_edge(graph, container, containee)
+    # Backward (projection) chain: the rightmost link is the top container.
+    rightmost = chain.links[-1]
+    if rightmost.has_select:
+        return False
+    return every_path_ends_with_edge(graph, container, containee)
+
+
+def _step_shorten(
+    chain: ChainView, graph: RegionInclusionGraph, trace: OptimizationTrace | None
+) -> ChainView:
+    """Step 2: apply Proposition 3.5(b) until no triple can be shortened."""
+    simple_op = INCLUDING if chain.forward else INCLUDED
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(chain.ops) - 1):
+            if chain.ops[index] != simple_op or chain.ops[index + 1] != simple_op:
+                continue
+            middle = chain.links[index + 1]
+            if middle.has_select:
+                continue
+            if chain.forward:
+                top, via, bottom = (
+                    chain.links[index].region,
+                    middle.region,
+                    chain.links[index + 2].region,
+                )
+            else:
+                top, via, bottom = (
+                    chain.links[index + 2].region,
+                    middle.region,
+                    chain.links[index].region,
+                )
+            if not every_path_through(graph, top, bottom, via):
+                continue
+            if coincident_related(graph, top, bottom):
+                # A coincident pair can realise top ⊇ bottom with no room
+                # for a `via` region between; keep the middle test.
+                continue
+            chain = chain.without_link(index + 1)
+            if trace is not None:
+                trace.shortened.append((top, via, bottom))
+            changed = True
+            break
+    return chain

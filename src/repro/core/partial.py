@@ -1,0 +1,345 @@
+"""Plan execution: candidate evaluation, parsing, filtering, joining.
+
+Implements the two-phase evaluation of Section 6 — "(i) the query is
+compiled into an inclusion expression that computes a super set of the
+required result - a set of candidate regions, and (ii) the candidate regions
+are further processed to obtain the exact result" — plus the index-assisted
+join of Section 5.2 and the full-scan baseline.
+
+All costs are tallied in an :class:`ExecutionStats`: algebra operation
+counts, candidate counts, bytes of file text parsed, and database values
+built.  Benchmarks read these next to wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.algebra.counters import OperationCounters
+from repro.algebra.region import Region, RegionSet
+from repro.core.planner import Plan
+from repro.core.translate import Translator
+from repro.db.evaluator import NaiveEvaluator
+from repro.db.model import Database
+from repro.db.query import PathComparison, Query, TrueCondition
+from repro.db.values import ObjectValue, Value
+from repro.errors import ParseError, PlanningError
+from repro.index.engine import IndexEngine
+from repro.schema.pushdown import AnchoredTrie, InstantiationStats, PathTrie
+from repro.schema.structuring import StructuringSchema
+
+
+@dataclass
+class ExecutionStats:
+    """The measured cost of executing one plan."""
+
+    strategy: str = ""
+    candidate_regions: int = 0
+    result_regions: int = 0
+    bytes_parsed: int = 0
+    values_built: int = 0
+    objects_filtered_out: int = 0
+    rows: int = 0
+    algebra: OperationCounters = field(default_factory=OperationCounters)
+    join_bytes_compared: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"strategy:          {self.strategy}",
+            f"candidates:        {self.candidate_regions}",
+            f"results:           {self.result_regions} regions, {self.rows} rows",
+            f"bytes parsed:      {self.bytes_parsed}",
+            f"values built:      {self.values_built}",
+            f"filtered out:      {self.objects_filtered_out}",
+            f"algebra ops:       {self.algebra.total_operations} "
+            f"({self.algebra.comparisons} comparisons)",
+        ]
+        if self.join_bytes_compared:
+            lines.append(f"join bytes:        {self.join_bytes_compared}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Execution:
+    """Rows plus the regions they came from plus the cost tally."""
+
+    rows: list[tuple[Value, ...]]
+    regions: RegionSet
+    stats: ExecutionStats
+
+
+class PlanExecutor:
+    """Executes plans against one indexed corpus."""
+
+    def __init__(
+        self,
+        schema: StructuringSchema,
+        index_engine: IndexEngine,
+        translator: Translator,
+    ) -> None:
+        self._schema = schema
+        self._engine = index_engine
+        self._translator = translator
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def execute(self, plan: Plan) -> Execution:
+        if plan.strategy == "empty":
+            stats = ExecutionStats(strategy="empty")
+            return Execution(rows=[], regions=RegionSet.empty(), stats=stats)
+        if plan.strategy == "full-scan":
+            return self._execute_full_scan(plan)
+        if plan.strategy == "index-join":
+            return self._execute_join(plan)
+        if plan.strategy == "index-multi":
+            return self._execute_multi(plan)
+        if plan.strategy in ("index-exact", "index-candidates"):
+            return self._execute_index(plan)
+        raise PlanningError(f"unknown strategy {plan.strategy!r}")
+
+    # -- index strategies ------------------------------------------------------------
+
+    def _execute_index(self, plan: Plan) -> Execution:
+        stats = ExecutionStats(strategy=plan.strategy)
+        assert plan.optimized_expression is not None
+        evaluation = self._engine.run(plan.optimized_expression)
+        stats.algebra = evaluation.counters
+        candidates = evaluation.result
+        stats.candidate_regions = len(candidates)
+        return self._parse_filter_output(plan, candidates, stats, exact=plan.exact)
+
+    def _parse_filter_output(
+        self,
+        plan: Plan,
+        candidates: RegionSet,
+        stats: ExecutionStats,
+        exact: bool,
+    ) -> Execution:
+        """Parse candidate regions, filter if needed, and produce rows."""
+        query = plan.query
+        trie = self._translator.needed_paths(query)
+        parsed = self._parse_candidates(query.source_class, candidates, trie, stats)
+        database = Database()
+        region_of: dict[int, Region] = {}
+        kept_objects: list[ObjectValue] = []
+        checker = NaiveEvaluator(Database())  # only used for object_satisfies
+        for region, obj in parsed:
+            if not exact and not checker.object_satisfies(query, obj):
+                stats.objects_filtered_out += 1
+                continue
+            kept_objects.append(obj)
+            region_of[obj.oid] = region
+            database.insert(obj)
+        final_query = query if not exact else Query(
+            outputs=query.outputs,
+            source_class=query.source_class,
+            var=query.var,
+            where=query.where if _outputs_need_where(query) else TrueCondition(),
+        )
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(final_query)
+        stats.rows = len(rows)
+        result_regions = RegionSet(region_of[obj.oid] for obj in kept_objects)
+        if query.is_identity_select():
+            result_regions = RegionSet(
+                region_of[row[0].oid]
+                for row in rows
+                if isinstance(row[0], ObjectValue) and row[0].oid in region_of
+            )
+        stats.result_regions = len(result_regions)
+        return Execution(rows=rows, regions=result_regions, stats=stats)
+
+    def _parse_candidates(
+        self,
+        source_class: str,
+        candidates: RegionSet,
+        trie: PathTrie,
+        stats: ExecutionStats,
+    ) -> list[tuple[Region, ObjectValue]]:
+        """Re-parse each candidate region as the source non-terminal and
+        instantiate it (restricted to the push-down trie)."""
+        parsed: list[tuple[Region, ObjectValue]] = []
+        counters = OperationCounters()
+        instantiation = InstantiationStats()
+        for region in candidates:
+            try:
+                node = self._schema.parse(
+                    self._engine.text,
+                    symbol=source_class,
+                    start=region.start,
+                    end=region.end,
+                    counters=counters,
+                )
+            except ParseError:
+                # A candidate that fails to re-parse cannot be an answer.
+                stats.objects_filtered_out += 1
+                continue
+            value = self._schema.instantiate(node, needed=trie, stats=instantiation)
+            if isinstance(value, ObjectValue):
+                parsed.append((region, value))
+            else:
+                stats.objects_filtered_out += 1
+        stats.bytes_parsed += counters.bytes_scanned
+        stats.values_built += instantiation.values_built
+        return parsed
+
+    # -- multi-variable queries (Section 5.2's join discussion) ----------------------------
+
+    def _execute_multi(self, plan: Plan) -> Execution:
+        """Narrow each range variable's extent through the index, parse only
+        the surviving candidates, then run the database join loops."""
+        stats = ExecutionStats(strategy="index-multi")
+        query = plan.query
+        database = Database()
+        extents_by_var: dict[str, tuple[ObjectValue, ...]] = {}
+        region_of: dict[int, Region] = {}
+        for source in query.sources:
+            expression = plan.per_variable.get(source.var)
+            if expression is None:
+                candidates = self._engine.instance.get(source.class_name)
+            else:
+                evaluation = self._engine.run(expression)
+                stats.algebra.merge(evaluation.counters)
+                candidates = evaluation.result
+            stats.candidate_regions += len(candidates)
+            trie = self._translator.needed_paths(query, var=source.var)
+            parsed = self._parse_candidates(source.class_name, candidates, trie, stats)
+            objects = []
+            for region, obj in parsed:
+                database.insert(obj)
+                region_of[obj.oid] = region
+                objects.append(obj)
+            extents_by_var[source.var] = tuple(objects)
+        evaluator = NaiveEvaluator(database, extents_by_var=extents_by_var)
+        rows = evaluator.evaluate(query)
+        stats.rows = len(rows)
+        result_regions = RegionSet.empty()
+        if query.is_identity_select():
+            result_regions = RegionSet(
+                region_of[row[0].oid]
+                for row in rows
+                if isinstance(row[0], ObjectValue) and row[0].oid in region_of
+            )
+        stats.result_regions = len(result_regions)
+        return Execution(rows=rows, regions=result_regions, stats=stats)
+
+    # -- the index-assisted join (Section 5.2) --------------------------------------------
+
+    def _execute_join(self, plan: Plan) -> Execution:
+        stats = ExecutionStats(strategy="index-join")
+        query = plan.query
+        join = plan.join_condition
+        assert join is not None
+        source = query.source_class
+        left = self._endpoint_regions(source, join, side="left", stats=stats)
+        right = self._endpoint_regions(source, join, side="right", stats=stats)
+        if left is None or right is None:
+            # The endpoints cannot be located exactly through the index;
+            # fall back to candidate filtering over the structural narrowing.
+            assert plan.optimized_expression is not None
+            evaluation = self._engine.run(plan.optimized_expression)
+            stats.algebra.merge(evaluation.counters)
+            stats.candidate_regions = len(evaluation.result)
+            stats.strategy = "index-join(fallback)"
+            return self._parse_filter_output(plan, evaluation.result, stats, exact=False)
+        left_regions, left_exact = left
+        right_regions, right_exact = right
+        sources = self._engine.instance.get(source)
+        left_texts = self._texts_by_source(sources, left_regions, stats)
+        right_texts = self._texts_by_source(sources, right_regions, stats)
+        qualifying = [
+            region
+            for region in sources
+            if left_texts.get(region) and right_texts.get(region)
+            and left_texts[region] & right_texts[region]
+        ]
+        candidates = RegionSet(qualifying)
+        stats.candidate_regions = len(candidates)
+        exact = left_exact and right_exact
+        return self._parse_filter_output(plan, candidates, stats, exact=exact)
+
+    def _endpoint_regions(
+        self, source: str, join: PathComparison, side: str, stats: ExecutionStats
+    ) -> tuple[RegionSet, bool] | None:
+        """Locate the regions of one join side's endpoint attribute.
+
+        Returns ``(regions, exact)`` where ``exact`` means "region text
+        equals the attribute value and the path context is unambiguous"."""
+        path = join.left if side == "left" else join.right
+        resolved = self._translator.translate_path(source, path, word=None)
+        if resolved.expression is None:
+            return None
+        endpoint = self._translator.endpoint_chain(source, path)
+        if endpoint is None:
+            return None
+        expression, exact = endpoint
+        evaluation = self._engine.run(expression)
+        stats.algebra.merge(evaluation.counters)
+        return evaluation.result, exact
+
+    def _texts_by_source(
+        self, sources: RegionSet, endpoints: RegionSet, stats: ExecutionStats
+    ) -> dict[Region, set[str]]:
+        """Group endpoint-region texts by their enclosing source region —
+        "the content of the regions is then loaded into the database"."""
+        texts: dict[Region, set[str]] = defaultdict(set)
+        for source_region in sources:
+            for endpoint in endpoints.iter_included_in(source_region):
+                content = self._engine.region_text(endpoint).strip()
+                stats.join_bytes_compared += len(endpoint)
+                texts[source_region].add(content)
+        return dict(texts)
+
+    # -- the baseline ----------------------------------------------------------------------
+
+    def _execute_full_scan(self, plan: Plan) -> Execution:
+        stats = ExecutionStats(strategy="full-scan")
+        query = plan.query
+        counters = OperationCounters()
+        tree = self._schema.parse(self._engine.text, counters=counters)
+        stats.bytes_parsed = counters.bytes_scanned
+        instantiation = InstantiationStats()
+        if query.is_single_source():
+            # The query trie is rooted at the source class; instantiation
+            # starts at the grammar root, so anchor it (outer structure kept).
+            trie = AnchoredTrie(
+                anchor=query.source_class, inner=self._translator.needed_paths(query)
+            )
+        else:
+            # Multi-variable scans build the full image (each class would
+            # need its own anchor; correctness over cleverness here).
+            trie = PathTrie.everything()
+        root = self._schema.instantiate(tree, needed=trie, stats=instantiation)
+        stats.values_built = instantiation.values_built
+        database = Database()
+        database.load_value(root)
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(query)
+        stats.rows = len(rows)
+        stats.candidate_regions = len(database.extent(query.source_class))
+        # Map qualifying objects back to their parse regions for parity with
+        # the index strategies.
+        regions: list[Region] = []
+        if query.is_identity_select():
+            qualifying = {
+                row[0].oid for row in rows if isinstance(row[0], ObjectValue)
+            }
+            spans = [
+                (node.start, node.end)
+                for node in tree.walk()
+                if node.symbol == query.source_class
+            ]
+            objects = database.extent(query.source_class)
+            for (start, end), obj in zip(spans, objects):
+                if obj.oid in qualifying:
+                    regions.append(Region(start, end))
+            stats.objects_filtered_out = stats.candidate_regions - len(qualifying)
+        result_regions = RegionSet(regions)
+        stats.result_regions = len(result_regions)
+        return Execution(rows=rows, regions=result_regions, stats=stats)
+
+
+def _outputs_need_where(query: Query) -> bool:
+    """Variable-using outputs need WHERE bindings even on exact plans."""
+    return any(output.has_variables() for output in query.outputs)

@@ -1,0 +1,88 @@
+"""Extended path expressions (Section 5.3) as direct algebra helpers.
+
+The translator already handles star and plain variables inside queries;
+this module exposes the underlying tricks as a small public API:
+
+- :func:`star_query` — build ``SELECT r FROM C r WHERE r.*X.attr = w``;
+- :func:`containment_closure` — a *regular path* with transitive closure
+  ("find the sections, at any nesting depth, containing w") evaluated
+  "with just an inclusion expression";
+- :func:`nesting_layers` — peel a self-nested region set into its nesting
+  layers using ``ω`` and ``−`` (the machinery of the paper's ⊃d program);
+- :func:`regions_at_depth` — the regions exactly ``n`` layers deep, the
+  algebra analogue of fixed-arity variable paths ``Ai.X1...Xn.Aj``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ops
+from repro.algebra.ast import (
+    Inclusion,
+    Name,
+    RegionExpr,
+    Select,
+)
+from repro.algebra.region import RegionSet
+from repro.db.query import Attr, Comparison, PathExpr, Query, StarVar
+from repro.index.engine import IndexEngine
+
+
+def star_query(source_class: str, attribute: str, word: str, var: str = "r") -> Query:
+    """``SELECT r FROM source r WHERE r.*X.attribute = "word"``."""
+    path = PathExpr(var=var, steps=(StarVar("X"), Attr(attribute)))
+    return Query(
+        outputs=(PathExpr(var=var),),
+        source_class=source_class,
+        var=var,
+        where=Comparison(path=path, op="=", literal=word),
+    )
+
+
+def containment_closure(
+    engine: IndexEngine,
+    ancestor: str,
+    descendant: str,
+    word: str | None = None,
+    mode: str = "exact",
+) -> RegionSet:
+    """All ``ancestor`` regions containing a ``descendant`` region at any
+    nesting depth — the transitive-closure path query, as one ``⊃``.
+
+    This is the paper's point that "a traditionally expensive query (a
+    closure) can be implemented much more efficiently": no fixpoint, just a
+    single inclusion join.
+    """
+    tail: RegionExpr = Name(descendant)
+    if word is not None:
+        tail = Select(child=tail, word=word, mode=mode)
+    return engine.evaluate(Inclusion(op=">", left=Name(ancestor), right=tail))
+
+
+def nesting_layers(regions: RegionSet) -> list[RegionSet]:
+    """Split a region set into nesting layers: layer 0 is the outermost
+    regions, layer 1 the outermost of what remains, and so on."""
+    layers: list[RegionSet] = []
+    rest = regions
+    while rest:
+        layer = ops.outermost(rest)
+        layers.append(layer)
+        rest = ops.difference(rest, layer)
+    return layers
+
+
+def regions_at_depth(regions: RegionSet, depth: int) -> RegionSet:
+    """The regions exactly ``depth`` layers deep within their own set.
+
+    ``regions_at_depth(sections, 2)`` finds sub-sub-sections — what a query
+    path ``Section.X1.X2`` (two fixed-arity variables over a self-nested
+    type) denotes.
+    """
+    layers = nesting_layers(regions)
+    if depth < 0 or depth >= len(layers):
+        return RegionSet.empty()
+    return layers[depth]
+
+
+def max_nesting_depth(regions: RegionSet) -> int:
+    """How deeply the set nests (0 for flat, -1 for empty)."""
+    return len(nesting_layers(regions)) - 1

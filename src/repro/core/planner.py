@@ -1,0 +1,213 @@
+"""Query planning: choosing an execution strategy.
+
+Strategies, in order of preference:
+
+- ``empty``            — the translated expression is trivially empty
+                         (Proposition 3.3) or statically unsatisfiable;
+- ``index-exact``      — the optimized expression computes exactly the
+                         qualifying source regions (full indexing, or partial
+                         indexing meeting Section 6.3's condition); only the
+                         answer regions are parsed;
+- ``index-join``       — a path-to-path comparison evaluated by locating
+                         both attribute-region sets through the index and
+                         joining their *contents* (Section 5.2);
+- ``index-candidates`` — the expression computes a candidate superset; the
+                         candidates are parsed with the query pushed into
+                         instantiation, then filtered (Section 6.2);
+- ``full-scan``        — the baseline: parse the whole corpus and evaluate
+                         in the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.ast import RegionExpr
+from repro.core.optimizer import OptimizationTrace, optimize
+from repro.core.translate import TranslatedCondition, Translator
+from repro.core.triviality import is_trivially_empty
+from repro.db.parser import parse_query
+from repro.db.query import (
+    PathComparison,
+    Query,
+    condition_range_variables,
+    conjoin,
+    split_conjuncts,
+)
+from repro.rig.graph import RegionInclusionGraph
+
+
+@dataclass
+class Plan:
+    """An executable plan for one query."""
+
+    strategy: str
+    query: Query
+    translated: TranslatedCondition | None = None
+    raw_expression: RegionExpr | None = None
+    optimized_expression: RegionExpr | None = None
+    trace: OptimizationTrace = field(default_factory=OptimizationTrace)
+    exact: bool = False
+    join_condition: PathComparison | None = None
+    #: Multi-variable plans: one structural narrowing expression per range
+    #: variable (``None`` entry = no narrowing, take the whole extent).
+    per_variable: dict[str, RegionExpr | None] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+
+class Planner:
+    """Turns queries into plans for one translator + RIG.
+
+    ``optimize_expressions=False`` disables the Section 3.2 rewriting —
+    translated expressions run as-is.  This exists purely for ablation
+    measurements (benchmark E10); answers are unaffected (Theorem 3.6's
+    equivalence), only costs change.
+    """
+
+    def __init__(self, translator: Translator, optimize_expressions: bool = True) -> None:
+        self._translator = translator
+        self._rig = translator.effective_rig()
+        self._optimize = optimize_expressions
+
+    @property
+    def translator(self) -> Translator:
+        return self._translator
+
+    @property
+    def rig(self) -> RegionInclusionGraph:
+        return self._rig
+
+    def plan(self, query: Query | str) -> Plan:
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not query.is_single_source():
+            return self._plan_multi(query)
+        translated = self._translator.translate_query(query)
+        if translated.never:
+            return Plan(
+                strategy="empty",
+                query=query,
+                translated=translated,
+                exact=True,
+                notes=translated.notes + ["statically unsatisfiable"],
+            )
+        if translated.expression is None:
+            return Plan(
+                strategy="full-scan",
+                query=query,
+                translated=translated,
+                notes=translated.notes + ["no index support: scanning the corpus"],
+            )
+        trace = OptimizationTrace()
+        optimized = (
+            optimize(translated.expression, self._rig, trace)
+            if self._optimize
+            else translated.expression
+        )
+        if is_trivially_empty(optimized, self._rig):
+            return Plan(
+                strategy="empty",
+                query=query,
+                translated=translated,
+                raw_expression=translated.expression,
+                optimized_expression=optimized,
+                trace=trace,
+                exact=True,
+                notes=translated.notes
+                + ["expression is trivially empty on every instance (Prop. 3.3)"],
+            )
+        join = self._join_condition(query)
+        if join is not None:
+            return Plan(
+                strategy="index-join",
+                query=query,
+                translated=translated,
+                raw_expression=translated.expression,
+                optimized_expression=optimized,
+                trace=trace,
+                exact=False,  # the executor refines this
+                join_condition=join,
+                notes=translated.notes,
+            )
+        strategy = "index-exact" if translated.exact else "index-candidates"
+        return Plan(
+            strategy=strategy,
+            query=query,
+            translated=translated,
+            raw_expression=translated.expression,
+            optimized_expression=optimized,
+            trace=trace,
+            exact=translated.exact,
+            notes=list(translated.notes),
+        )
+
+    def _plan_multi(self, query: Query) -> Plan:
+        """Plan a multi-variable query (Section 5.2's join discussion).
+
+        Each variable's single-variable conjuncts translate to a structural
+        narrowing over its class; cross-variable conjuncts are evaluated in
+        the database over the narrowed extents.  If any class is unindexed,
+        the whole query falls back to the scan pipeline.
+        """
+        conjuncts = split_conjuncts(query.where)
+        per_variable: dict[str, RegionExpr | None] = {}
+        notes: list[str] = []
+        for source in query.sources:
+            if source.class_name not in self._translator.indexed_names:
+                return Plan(
+                    strategy="full-scan",
+                    query=query,
+                    notes=[f"class {source.class_name!r} is not indexed"],
+                )
+            own = [
+                conjunct
+                for conjunct in conjuncts
+                if condition_range_variables(conjunct) == {source.var}
+            ]
+            if not own:
+                per_variable[source.var] = None
+                continue
+            translated = self._translator.translate_condition_for(
+                conjoin(own), source.class_name
+            )
+            if translated.never:
+                return Plan(
+                    strategy="empty",
+                    query=query,
+                    exact=True,
+                    notes=translated.notes + [f"{source.var}: statically unsatisfiable"],
+                )
+            if translated.expression is None:
+                per_variable[source.var] = None
+                notes.extend(translated.notes)
+                continue
+            trace = OptimizationTrace()
+            optimized = (
+                optimize(translated.expression, self._rig, trace)
+                if self._optimize
+                else translated.expression
+            )
+            if is_trivially_empty(optimized, self._rig):
+                return Plan(
+                    strategy="empty",
+                    query=query,
+                    exact=True,
+                    notes=[f"{source.var}: trivially empty narrowing (Prop. 3.3)"],
+                )
+            per_variable[source.var] = optimized
+            notes.extend(translated.notes)
+        return Plan(
+            strategy="index-multi",
+            query=query,
+            per_variable=per_variable,
+            exact=False,
+            notes=notes,
+        )
+
+    def _join_condition(self, query: Query) -> PathComparison | None:
+        """Use the join strategy only for a lone equality path comparison."""
+        where = query.where
+        if isinstance(where, PathComparison) and where.op == "=":
+            if not where.left.has_variables() and not where.right.has_variables():
+                return where
+        return None

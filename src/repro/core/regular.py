@@ -1,0 +1,190 @@
+"""Regular path expressions (Section 5.3, after GraphLog [Con89, CM90]).
+
+"One could also go beyond first order queries, and use ... path regular
+expressions.  These extend path expressions with the traditional regular
+expression operators (in particular, the transitive closure operator).
+Within the framework we describe here it is possible to evaluate paths with
+a regular expression involving a transitive closure, with just an inclusion
+expression."
+
+Pattern syntax (anchored at a region name, XPath-flavoured)::
+
+    Document.Sections.Section            concrete child steps
+    Document.**.ParaText                 ** : any path (zero or more steps)
+    Section.Section+.ParaText            +  : one or more nested Sections
+    Document.Section*.Title              *  : zero or more nested Sections
+
+Compilation (:func:`compile_regular_path`) produces a union of inclusion
+chains: concrete adjacent steps become direct inclusion ``⊃d``, any step
+after a closure becomes simple inclusion ``⊃`` — the paper's trick.  The
+result can then be run through the Section 3.2 optimizer like any other
+inclusion expression.
+
+Semantics note: closures compile to *descendant* (containment) semantics.
+``X+`` requires an ``X`` region on the way down but does not forbid other
+region types interleaving below it; this is exact when the RIG confines the
+intermediates (self-nesting grammars) and an over-approximation otherwise —
+matching the containment-based evaluation the paper describes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.algebra.ast import (
+    DIRECTLY_INCLUDING,
+    INCLUDING,
+    Inclusion,
+    Name,
+    RegionExpr,
+    Select,
+    SetOp,
+)
+from repro.algebra.region import RegionSet
+from repro.core.optimizer import optimize
+from repro.errors import QuerySyntaxError
+from repro.index.engine import IndexEngine
+from repro.rig.graph import RegionInclusionGraph
+
+
+@dataclass(frozen=True)
+class Step:
+    """A concrete region-name step."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Plus:
+    """``name+``: one or more nested occurrences."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Star:
+    """``name*``: zero or more nested occurrences."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AnyPath:
+    """``**``: any attribute path, possibly empty."""
+
+
+Atom = Union[Step, Plus, Star, AnyPath]
+
+_ATOM_RE = re.compile(r"^(?:(?P<any>\*\*)|(?P<name>[A-Za-z_][A-Za-z0-9_@]*)(?P<mod>[+*]?))$")
+
+
+def parse_regular_path(pattern: str) -> tuple[str, tuple[Atom, ...]]:
+    """Parse ``Anchor.atom.atom...`` into an anchor name plus atoms."""
+    parts = [part.strip() for part in pattern.split(".")]
+    if len(parts) < 2:
+        raise QuerySyntaxError(
+            f"regular path needs an anchor and at least one step: {pattern!r}"
+        )
+    anchor_match = _ATOM_RE.match(parts[0])
+    if anchor_match is None or anchor_match.group("any") or anchor_match.group("mod"):
+        raise QuerySyntaxError(f"anchor must be a plain name: {parts[0]!r}")
+    atoms: list[Atom] = []
+    for part in parts[1:]:
+        match = _ATOM_RE.match(part)
+        if match is None:
+            raise QuerySyntaxError(f"bad regular-path atom {part!r} in {pattern!r}")
+        if match.group("any"):
+            atoms.append(AnyPath())
+        elif match.group("mod") == "+":
+            atoms.append(Plus(match.group("name")))
+        elif match.group("mod") == "*":
+            atoms.append(Star(match.group("name")))
+        else:
+            atoms.append(Step(match.group("name")))
+    return parts[0], tuple(atoms)
+
+
+def compile_regular_path(
+    anchor: str,
+    atoms: tuple[Atom, ...],
+    word: str | None = None,
+    mode: str = "exact",
+) -> RegionExpr:
+    """Compile to a union of inclusion chains returning *anchor* regions."""
+    # Each branch is a list of (name, loose-gap-before) pairs.
+    branches: list[list[tuple[str, bool]]] = [[]]
+    loose_flags: list[bool] = [False]  # parallel to branches: pending looseness
+
+    def advanced(atom: Atom) -> None:
+        nonlocal branches, loose_flags
+        new_branches: list[list[tuple[str, bool]]] = []
+        new_flags: list[bool] = []
+        for branch, loose in zip(branches, loose_flags):
+            if isinstance(atom, Step):
+                new_branches.append(branch + [(atom.name, loose)])
+                new_flags.append(False)
+            elif isinstance(atom, Plus):
+                new_branches.append(branch + [(atom.name, loose)])
+                new_flags.append(True)
+            elif isinstance(atom, Star):
+                # Zero occurrences: unchanged; one-or-more: like Plus.
+                new_branches.append(list(branch))
+                new_flags.append(loose)
+                new_branches.append(branch + [(atom.name, loose)])
+                new_flags.append(True)
+            else:  # AnyPath
+                new_branches.append(list(branch))
+                new_flags.append(True)
+        branches, loose_flags = new_branches, new_flags
+
+    for atom in atoms:
+        advanced(atom)
+
+    expressions: list[RegionExpr] = []
+    seen: set[str] = set()
+    for branch in branches:
+        if not branch:
+            continue  # a pattern of closures only: no constraint beyond anchor
+        tail_name, _ = branch[-1]
+        tail: RegionExpr = Name(tail_name)
+        if word is not None:
+            tail = Select(child=tail, word=word, mode=mode)
+        expression = tail
+        for index in range(len(branch) - 1, 0, -1):
+            _, loose = branch[index]
+            op = INCLUDING if loose else DIRECTLY_INCLUDING
+            expression = Inclusion(op=op, left=Name(branch[index - 1][0]), right=expression)
+        first_loose = branch[0][1]
+        op = INCLUDING if first_loose else DIRECTLY_INCLUDING
+        expression = Inclusion(op=op, left=Name(anchor), right=expression)
+        key = str(expression)
+        if key not in seen:
+            seen.add(key)
+            expressions.append(expression)
+    if not expressions:
+        return Name(anchor)
+    combined = expressions[0]
+    for expression in expressions[1:]:
+        combined = SetOp("union", combined, expression)
+    return combined
+
+
+def evaluate_regular_path(
+    engine: IndexEngine,
+    pattern: str,
+    word: str | None = None,
+    mode: str = "exact",
+    rig: RegionInclusionGraph | None = None,
+) -> RegionSet:
+    """Parse, compile, optionally optimize, and evaluate a regular path.
+
+    Returns the anchor regions matched.  With ``rig`` given, the compiled
+    expression is first optimized (Section 3.2) against it.
+    """
+    anchor, atoms = parse_regular_path(pattern)
+    expression = compile_regular_path(anchor, atoms, word=word, mode=mode)
+    if rig is not None:
+        expression = optimize(expression, rig)
+    return engine.evaluate(expression)

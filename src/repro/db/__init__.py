@@ -1,0 +1,68 @@
+"""Object database substrate.
+
+The paper's baseline ("standard database implementations") parses the whole
+file, loads its database image, and evaluates the query inside the DBMS.
+This package is that DBMS: a small in-memory object-oriented database in the
+style of O2 with an XSQL-subset query language [KKS92]:
+
+- :mod:`repro.db.values` — the value model (atomic, tuple, set, list,
+  object);
+- :mod:`repro.db.model` — the database (classes and extents);
+- :mod:`repro.db.query` — query AST (select / path expressions with
+  variables / conditions);
+- :mod:`repro.db.parser` — text syntax for queries;
+- :mod:`repro.db.evaluator` — the naive evaluator used as the baseline;
+- :mod:`repro.db.loader` — load structuring-schema parse results into a
+  database.
+"""
+
+from repro.db.values import (
+    Value,
+    AtomicValue,
+    TupleValue,
+    SetValue,
+    ListValue,
+    ObjectValue,
+    canonical,
+)
+from repro.db.model import Database
+from repro.db.query import (
+    Query,
+    PathExpr,
+    Attr,
+    StarVar,
+    SeqVars,
+    Comparison,
+    PathComparison,
+    And,
+    Or,
+    Not,
+    TrueCondition,
+)
+from repro.db.parser import parse_query
+from repro.db.evaluator import NaiveEvaluator, EvaluationReport
+
+__all__ = [
+    "Value",
+    "AtomicValue",
+    "TupleValue",
+    "SetValue",
+    "ListValue",
+    "ObjectValue",
+    "canonical",
+    "Database",
+    "Query",
+    "PathExpr",
+    "Attr",
+    "StarVar",
+    "SeqVars",
+    "Comparison",
+    "PathComparison",
+    "And",
+    "Or",
+    "Not",
+    "TrueCondition",
+    "parse_query",
+    "NaiveEvaluator",
+    "EvaluationReport",
+]

@@ -1,0 +1,209 @@
+"""Text syntax for the XSQL query subset.
+
+Examples::
+
+    SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"
+    SELECT r.Authors.Name.Last_Name FROM References r
+    SELECT r FROM References r
+        WHERE r.*X.Last_Name = "Chang" OR r.Key = "Corl82a"
+    SELECT r FROM References r WHERE r.Editors.Name = r.Authors.Name
+
+Path-step conventions (documented, following the paper's notation):
+
+- ``*X`` is a star variable — an arbitrary attribute sequence;
+- a bare step matching one uppercase letter plus optional digits (``X``,
+  ``X1``, ``Y2``) is a plain variable standing for exactly one attribute
+  step; everything else is an attribute name.
+
+Keywords are case-insensitive; string constants use double quotes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.db.query import (
+    And,
+    Attr,
+    Comparison,
+    Condition,
+    Not,
+    Or,
+    PathComparison,
+    PathExpr,
+    Query,
+    SeqVars,
+    Source,
+    StarVar,
+    TrueCondition,
+)
+from repro.errors import QuerySyntaxError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r'(?P<string>"(?P<string_body>[^"]*)")'
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<punct><>|=|\.|,|\*|\(|\))"
+    r")"
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "not", "like"}
+_PLAIN_VARIABLE_RE = re.compile(r"^[A-Z][0-9]*$")
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise QuerySyntaxError(
+                    f"cannot tokenize {text[position:position + 20]!r}", position
+                )
+            break
+        if match.group("string") is not None:
+            tokens.append(("string", match.group("string_body"), match.start()))
+        elif match.group("ident") is not None:
+            word = match.group("ident")
+            kind = "keyword" if word.lower() in _KEYWORDS else "ident"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append((kind, value, match.start()))
+        else:
+            tokens.append(("punct", match.group("punct"), match.start()))
+        position = match.end()
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._position = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def _peek(self) -> tuple[str, str, int] | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> tuple[str, str, int]:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query", len(self._text))
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> tuple[str, str, int]:
+        token = self._advance()
+        if token[0] != kind or (value is not None and token[1] != value):
+            expected = value if value is not None else kind
+            raise QuerySyntaxError(f"expected {expected!r}, found {token[1]!r}", token[2])
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token[0] == "keyword" and token[1] == word
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect("keyword", "select")
+        outputs = [self._parse_path()]
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "punct" or token[1] != ",":
+                break
+            self._advance()
+            outputs.append(self._parse_path())
+        self._expect("keyword", "from")
+        sources = [self._parse_source()]
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "punct" or token[1] != ",":
+                break
+            self._advance()
+            sources.append(self._parse_source())
+        where: Condition = TrueCondition()
+        if self._at_keyword("where"):
+            self._advance()
+            where = self._parse_or()
+        if self._peek() is not None:
+            token = self._peek()
+            raise QuerySyntaxError(f"trailing input: {token[1]!r}", token[2])
+        return Query(outputs=tuple(outputs), sources=tuple(sources), where=where)
+
+    def _parse_source(self) -> Source:
+        class_name = self._expect("ident")[1]
+        var = self._expect("ident")[1]
+        return Source(class_name=class_name, var=var)
+
+    def _parse_or(self) -> Condition:
+        left = self._parse_and()
+        while self._at_keyword("or"):
+            self._advance()
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Condition:
+        left = self._parse_not()
+        while self._at_keyword("and"):
+            self._advance()
+            left = And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Condition:
+        if self._at_keyword("not"):
+            self._advance()
+            return Not(self._parse_not())
+        token = self._peek()
+        if token is not None and token[0] == "punct" and token[1] == "(":
+            self._advance()
+            inner = self._parse_or()
+            self._expect("punct", ")")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Condition:
+        left = self._parse_path()
+        token = self._peek()
+        if token is not None and token[0] == "keyword" and token[1] == "like":
+            self._advance()
+            literal = self._expect("string")
+            return Comparison(path=left, op="like", literal=literal[1])
+        op = self._expect("punct")[1]
+        if op not in ("=", "<>"):
+            raise QuerySyntaxError(f"expected '=', '<>' or LIKE, found {op!r}", 0)
+        token = self._peek()
+        if token is not None and token[0] == "string":
+            self._advance()
+            return Comparison(path=left, op=op, literal=token[1])
+        right = self._parse_path()
+        return PathComparison(left=left, op=op, right=right)
+
+    def _parse_path(self) -> PathExpr:
+        var = self._expect("ident")[1]
+        steps = []
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "punct" or token[1] != ".":
+                break
+            self._advance()
+            token = self._peek()
+            if token is not None and token[0] == "punct" and token[1] == "*":
+                self._advance()
+                name = self._expect("ident")[1]
+                steps.append(StarVar(name))
+                continue
+            name = self._expect("ident")[1]
+            if _PLAIN_VARIABLE_RE.match(name):
+                steps.append(SeqVars(name))
+            else:
+                steps.append(Attr(name))
+        return PathExpr(var=var, steps=tuple(steps))
+
+
+def parse_query(text: str) -> Query:
+    """Parse an XSQL-subset query."""
+    return _QueryParser(text).parse()

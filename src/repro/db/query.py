@@ -1,0 +1,311 @@
+"""Query AST: the XSQL subset of the paper.
+
+Supported shape (Sections 2, 5.1–5.3)::
+
+    SELECT <output>, ...  FROM <Class> <var>  WHERE <condition>
+
+- outputs are the range variable itself (``SELECT r``) or attribute paths
+  (``SELECT r.Authors.Name.Last_Name``);
+- conditions compare a path to a string constant (``r.p = "Chang"``), or a
+  path to a path (the join-like comparison of Section 5.2), combined with
+  ``AND`` / ``OR`` / ``NOT``;
+- path steps are attribute names, star variables ``*X`` ("no matter what is
+  the path leading to this attribute"), or plain variables ``X`` standing
+  for exactly one attribute step — a sequence ``X1.X2...Xn`` is "an
+  arbitrary path of length n".
+
+Variables with the same name must bind to the same attribute sequence
+everywhere they occur; evaluation therefore deals in *bindings*
+(variable -> attribute-name tuple), not booleans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import QueryError
+
+# -- path steps ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Attr:
+    """A concrete attribute step."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StarVar:
+    """``*X``: an arbitrary attribute sequence (zero or more steps)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SeqVars:
+    """One plain variable: exactly one attribute step.
+
+    ``X1.X2...Xn`` in a path parses to n consecutive ``SeqVars`` steps.
+    """
+
+    name: str
+
+
+PathStep = Union[Attr, StarVar, SeqVars]
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """``var.step1.step2...`` — an attribute path from a range variable."""
+
+    var: str
+    steps: tuple[PathStep, ...] = ()
+
+    def has_variables(self) -> bool:
+        return any(not isinstance(step, Attr) for step in self.steps)
+
+    def variable_names(self) -> set[str]:
+        return {step.name for step in self.steps if not isinstance(step, Attr)}
+
+    def attribute_names(self) -> list[str]:
+        return [step.name for step in self.steps if isinstance(step, Attr)]
+
+    def render(self) -> str:
+        parts = [self.var]
+        for step in self.steps:
+            if isinstance(step, Attr):
+                parts.append(step.name)
+            elif isinstance(step, StarVar):
+                parts.append(f"*{step.name}")
+            else:
+                parts.append(step.name)
+        return ".".join(parts)
+
+
+# -- conditions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrueCondition:
+    """No WHERE clause."""
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``path op "constant"`` with op ``=``, ``<>`` or ``like``.
+
+    ``like`` is PAT's lexical (prefix) search: the constant must end with a
+    single ``*`` and matches values starting with the prefix before it.
+    """
+
+    path: PathExpr
+    op: str
+    literal: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "<>", "like"):
+            raise QueryError(f"unsupported comparison operator {self.op!r}")
+        if self.op == "like":
+            if not self.literal.endswith("*") or "*" in self.literal[:-1]:
+                raise QueryError(
+                    "LIKE patterns are prefixes: one trailing '*', e.g. \"Chan*\""
+                )
+            if len(self.literal) < 2:
+                raise QueryError("LIKE prefix must be non-empty")
+
+    @property
+    def prefix(self) -> str:
+        """The prefix of a ``like`` comparison."""
+        assert self.op == "like"
+        return self.literal[:-1]
+
+
+@dataclass(frozen=True)
+class PathComparison:
+    """``path op path`` — the join-like comparison of Section 5.2."""
+
+    left: PathExpr
+    op: str
+    right: PathExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "<>"):
+            raise QueryError(f"unsupported comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class Not:
+    child: "Condition"
+
+
+Condition = Union[TrueCondition, Comparison, PathComparison, And, Or, Not]
+
+
+# -- the query -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Source:
+    """One FROM-clause entry: a class extent bound to a range variable."""
+
+    class_name: str
+    var: str
+
+
+@dataclass(frozen=True)
+class Query:
+    """One SELECT–FROM–WHERE block.
+
+    ``sources`` may declare several range variables over (possibly the
+    same) class extents — Section 5.2's "complex queries involving several
+    view definitions or several occurrences of the same view (e.g. nested
+    queries) use join".
+    """
+
+    outputs: tuple[PathExpr, ...]
+    sources: tuple[Source, ...]
+    where: Condition = TrueCondition()
+
+    def __init__(
+        self,
+        outputs: tuple[PathExpr, ...],
+        sources: tuple[Source, ...] | None = None,
+        where: Condition = TrueCondition(),
+        source_class: str | None = None,
+        var: str | None = None,
+    ) -> None:
+        if sources is None:
+            if source_class is None or var is None:
+                raise QueryError("query needs sources (or source_class + var)")
+            sources = (Source(class_name=source_class, var=var),)
+        object.__setattr__(self, "outputs", tuple(outputs))
+        object.__setattr__(self, "sources", tuple(sources))
+        object.__setattr__(self, "where", where)
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise QueryError("query must select at least one output")
+        if not self.sources:
+            raise QueryError("query must range over at least one class")
+        declared = [source.var for source in self.sources]
+        if len(set(declared)) != len(declared):
+            raise QueryError(f"duplicate range variables in FROM: {declared}")
+        variables = set(declared)
+        for output in self.outputs:
+            if output.var not in variables:
+                raise QueryError(
+                    f"output {output.render()!r} does not use a declared "
+                    f"range variable (declared: {sorted(variables)})"
+                )
+        for path in iter_condition_paths(self.where):
+            if path.var not in variables:
+                raise QueryError(
+                    f"condition path {path.render()!r} does not use a declared "
+                    f"range variable (declared: {sorted(variables)})"
+                )
+
+    # -- single-source conveniences (most queries) ---------------------------
+
+    @property
+    def source_class(self) -> str:
+        return self.sources[0].class_name
+
+    @property
+    def var(self) -> str:
+        return self.sources[0].var
+
+    def is_single_source(self) -> bool:
+        return len(self.sources) == 1
+
+    def class_of(self, var: str) -> str:
+        for source in self.sources:
+            if source.var == var:
+                return source.class_name
+        raise QueryError(f"unknown range variable {var!r}")
+
+    def is_identity_select(self) -> bool:
+        """``SELECT r`` — the outputs are the bare range variable."""
+        return len(self.outputs) == 1 and not self.outputs[0].steps
+
+    def render(self) -> str:
+        from_clause = ", ".join(
+            f"{source.class_name} {source.var}" for source in self.sources
+        )
+        text = (
+            f"SELECT {', '.join(o.render() for o in self.outputs)} "
+            f"FROM {from_clause}"
+        )
+        if not isinstance(self.where, TrueCondition):
+            text += f" WHERE {render_condition(self.where)}"
+        return text
+
+
+def iter_condition_paths(condition: Condition):
+    """Yield every path expression inside a condition."""
+    if isinstance(condition, Comparison):
+        yield condition.path
+    elif isinstance(condition, PathComparison):
+        yield condition.left
+        yield condition.right
+    elif isinstance(condition, (And, Or)):
+        yield from iter_condition_paths(condition.left)
+        yield from iter_condition_paths(condition.right)
+    elif isinstance(condition, Not):
+        yield from iter_condition_paths(condition.child)
+
+
+def condition_range_variables(condition: Condition) -> frozenset[str]:
+    """The range variables a condition's paths mention."""
+    return frozenset(path.var for path in iter_condition_paths(condition))
+
+
+def split_conjuncts(condition: Condition) -> list[Condition]:
+    """Flatten top-level ANDs into a conjunct list."""
+    if isinstance(condition, And):
+        return split_conjuncts(condition.left) + split_conjuncts(condition.right)
+    if isinstance(condition, TrueCondition):
+        return []
+    return [condition]
+
+
+def conjoin(conditions: list[Condition]) -> Condition:
+    """Rebuild a condition from conjuncts."""
+    if not conditions:
+        return TrueCondition()
+    combined = conditions[0]
+    for conjunct in conditions[1:]:
+        combined = And(combined, conjunct)
+    return combined
+
+
+def render_condition(condition: Condition) -> str:
+    if isinstance(condition, TrueCondition):
+        return "TRUE"
+    if isinstance(condition, Comparison):
+        if condition.op == "like":
+            return f'{condition.path.render()} LIKE "{condition.literal}"'
+        return f'{condition.path.render()} {condition.op} "{condition.literal}"'
+    if isinstance(condition, PathComparison):
+        return f"{condition.left.render()} {condition.op} {condition.right.render()}"
+    if isinstance(condition, And):
+        return f"({render_condition(condition.left)} AND {render_condition(condition.right)})"
+    if isinstance(condition, Or):
+        return f"({render_condition(condition.left)} OR {render_condition(condition.right)})"
+    if isinstance(condition, Not):
+        return f"NOT ({render_condition(condition.child)})"
+    raise QueryError(f"cannot render condition {condition!r}")

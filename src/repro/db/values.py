@@ -1,0 +1,194 @@
+"""The object-database value model.
+
+Matches the data model the paper borrows from XSQL/O2 (Section 2): classes
+with object identity, tuple types, set and list values, and atomic values.
+A BibTeX file, for instance, maps to a set of ``Reference`` objects whose
+``Authors`` attribute is a set of ``Name`` tuples with ``First_Name`` and
+``Last_Name`` string attributes.
+
+Values are immutable.  :func:`canonical` converts any value to plain Python
+data (dicts / frozensets / tuples / strings), which is how tests compare
+query results across evaluation strategies (object identity is not part of
+query-answer equality).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Union
+
+from repro.errors import DatabaseError
+
+_OID_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AtomicValue:
+    """A string (or stringly-typed scalar) value.
+
+    ``type_name`` records which non-terminal produced the value (the
+    innermost named one) so that paths can address atomic set elements by
+    name (``r.Keywords.Keyword``); it does not affect canonical equality.
+    """
+
+    text: str
+    type_name: str = ""
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class TupleValue:
+    """A tuple value: named attributes, no identity.
+
+    ``type_name`` names the tuple type (e.g. ``"Name"``).
+    """
+
+    type_name: str
+    attributes: Mapping[str, "Value"]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def get(self, attribute: str) -> "Value":
+        try:
+            return self.attributes[attribute]
+        except KeyError:
+            raise DatabaseError(
+                f"tuple type {self.type_name!r} has no attribute {attribute!r} "
+                f"(has: {', '.join(sorted(self.attributes))})"
+            ) from None
+
+    def has(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.type_name, frozenset(self.attributes.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleValue):
+            return NotImplemented
+        return self.type_name == other.type_name and self.attributes == other.attributes
+
+
+@dataclass(frozen=True)
+class SetValue:
+    """A set value.  Stored as a tuple but compared as a set."""
+
+    elements: tuple["Value", ...]
+
+    def __init__(self, elements: Iterable["Value"] = ()) -> None:
+        object.__setattr__(self, "elements", tuple(elements))
+
+    def __iter__(self) -> Iterator["Value"]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetValue):
+            return NotImplemented
+        return frozenset(self.elements) == frozenset(other.elements)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.elements))
+
+
+@dataclass(frozen=True)
+class ListValue:
+    """A list value (order matters)."""
+
+    elements: tuple["Value", ...]
+
+    def __init__(self, elements: Iterable["Value"] = ()) -> None:
+        object.__setattr__(self, "elements", tuple(elements))
+
+    def __iter__(self) -> Iterator["Value"]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+@dataclass(frozen=True, eq=False)
+class ObjectValue:
+    """An object: identity (``oid``) plus named attributes."""
+
+    class_name: str
+    attributes: Mapping[str, "Value"]
+    oid: int = field(default_factory=lambda: next(_OID_COUNTER))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def get(self, attribute: str) -> "Value":
+        try:
+            return self.attributes[attribute]
+        except KeyError:
+            raise DatabaseError(
+                f"class {self.class_name!r} has no attribute {attribute!r} "
+                f"(has: {', '.join(sorted(self.attributes))})"
+            ) from None
+
+    def has(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash(self.oid)
+
+
+Value = Union[AtomicValue, TupleValue, SetValue, ListValue, ObjectValue]
+
+
+def atom(text: str) -> AtomicValue:
+    """Shorthand constructor for an atomic string value."""
+    return AtomicValue(text)
+
+
+def canonical(value: Value) -> object:
+    """Convert a value to plain, identity-free Python data.
+
+    Objects become ``("object", class_name, {attr: canonical})``; sets become
+    frozensets; lists become tuples.  Two query answers are "the same" iff
+    their canonical forms are equal — this is what integration tests compare.
+    """
+    if isinstance(value, AtomicValue):
+        return value.text
+    if isinstance(value, TupleValue):
+        return (
+            "tuple",
+            value.type_name,
+            tuple(sorted((k, canonical(v)) for k, v in value.attributes.items())),
+        )
+    if isinstance(value, ObjectValue):
+        return (
+            "object",
+            value.class_name,
+            tuple(sorted((k, canonical(v)) for k, v in value.attributes.items())),
+        )
+    if isinstance(value, SetValue):
+        return frozenset(canonical(element) for element in value)
+    if isinstance(value, ListValue):
+        return tuple(canonical(element) for element in value)
+    raise DatabaseError(f"cannot canonicalise {value!r}")
+
+
+def iter_children(value: Value) -> Iterator[tuple[str | None, Value]]:
+    """Iterate the immediate sub-values of ``value`` as ``(attribute, child)``.
+
+    Set/list elements yield ``None`` as the attribute.  Used by the path
+    evaluator: path navigation descends through sets implicitly (XSQL
+    semantics: ``r.Authors.Name`` ranges over the set members).
+    """
+    if isinstance(value, (TupleValue, ObjectValue)):
+        for attribute, child in value.attributes.items():
+            yield attribute, child
+    elif isinstance(value, (SetValue, ListValue)):
+        for element in value:
+            yield None, element

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Sub-hierarchies mirror the major
+subsystems (algebra, indexing, schemas, database, query compilation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RegionError(ReproError):
+    """Invalid region or region-set construction (e.g. end before start)."""
+
+
+class AlgebraError(ReproError):
+    """Invalid region-algebra expression or evaluation failure."""
+
+
+class UnknownRegionNameError(AlgebraError):
+    """A region expression refers to a region name that is not indexed."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.available = available
+        detail = f"unknown region name {name!r}"
+        if available:
+            detail += f" (indexed: {', '.join(sorted(available))})"
+        super().__init__(detail)
+
+
+class RigError(ReproError):
+    """Invalid region inclusion graph or RIG-related analysis failure."""
+
+
+class GrammarError(ReproError):
+    """Ill-formed grammar or structuring schema."""
+
+
+class ParseError(ReproError):
+    """A file (or file region) does not match the structuring grammar."""
+
+    def __init__(self, message: str, position: int = 0, symbol: str | None = None) -> None:
+        self.position = position
+        self.symbol = symbol
+        prefix = f"parse error at offset {position}"
+        if symbol is not None:
+            prefix += f" (while parsing <{symbol}>)"
+        super().__init__(f"{prefix}: {message}")
+
+
+class QueryError(ReproError):
+    """Ill-formed query (syntax or semantic error)."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed."""
+
+    def __init__(self, message: str, position: int = 0) -> None:
+        self.position = position
+        super().__init__(f"query syntax error at offset {position}: {message}")
+
+
+class TranslationError(QueryError):
+    """A query path does not match any path in the region inclusion graph."""
+
+
+class PlanningError(QueryError):
+    """The planner cannot produce an executable plan for a query."""
+
+
+class DatabaseError(ReproError):
+    """Errors in the object database substrate."""
+
+
+class IndexError_(ReproError):
+    """Errors in the indexing engine (named with an underscore to avoid
+    shadowing the builtin :class:`IndexError`)."""
+
+
+class IndexConfigError(IndexError_):
+    """Invalid index configuration (unknown non-terminal, bad scope, ...)."""

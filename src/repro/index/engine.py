@@ -1,0 +1,124 @@
+"""The index engine facade.
+
+Plays the role of the PAT engine: holds the indexed text, the word index and
+the region instance, evaluates region expressions, and implements the
+evaluator's word-lookup protocol.  All evaluation work is tallied in the
+engine's counters so benchmarks can report operation counts next to wall
+times.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import RegionExpr, parse_expression
+from repro.algebra.counters import OperationCounters
+from repro.algebra.evaluator import EvalStats, Evaluator
+from repro.algebra.region import Instance, Region, RegionSet
+from repro.errors import IndexError_
+from repro.index.config import IndexConfig
+from repro.index.stats import IndexStatistics
+from repro.index.suffix_array import SuffixArray
+from repro.index.word_index import WordIndex
+
+
+class IndexEngine:
+    """An indexed corpus: text + word index + region indexes."""
+
+    def __init__(
+        self,
+        text: str,
+        instance: Instance,
+        word_index: WordIndex | None = None,
+        suffix_array: SuffixArray | None = None,
+        config: IndexConfig | None = None,
+    ) -> None:
+        self.text = text
+        self.instance = instance
+        self.word_index = word_index
+        self.suffix_array = suffix_array
+        self.config = config if config is not None else IndexConfig.full()
+        self.counters = OperationCounters()
+
+    # -- WordLookup protocol --------------------------------------------------------
+
+    def occurrences(self, word: str) -> RegionSet:
+        if self.word_index is None:
+            raise IndexError_("this engine was built without a word index")
+        return self.word_index.occurrences(word)
+
+    def occurrences_with_prefix(self, prefix: str) -> RegionSet:
+        if self.word_index is None:
+            raise IndexError_("this engine was built without a word index")
+        return self.word_index.occurrences_with_prefix(prefix)
+
+    def token_count_between(self, start: int, end: int) -> int:
+        if self.word_index is None:
+            raise IndexError_("this engine was built without a word index")
+        return self.word_index.token_count_between(start, end)
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def evaluator(self, strict_names: bool = True) -> Evaluator:
+        return Evaluator(
+            self.instance,
+            word_lookup=self if self.word_index is not None else None,
+            counters=self.counters,
+            strict_names=strict_names,
+        )
+
+    def evaluate(self, expression: RegionExpr | str) -> RegionSet:
+        """Evaluate a region expression (AST or ASCII syntax)."""
+        if isinstance(expression, str):
+            expression = parse_expression(expression)
+        return self.evaluator().evaluate(expression)
+
+    def run(self, expression: RegionExpr | str) -> EvalStats:
+        """Evaluate with a private counter tally (for measurements)."""
+        if isinstance(expression, str):
+            expression = parse_expression(expression)
+        return self.evaluator().run(expression)
+
+    # -- PAT search conveniences -----------------------------------------------------
+
+    def phrase(self, *words: str, max_gap: int = 2) -> RegionSet:
+        """Spans where the words occur in order, each within ``max_gap``
+        characters of the previous (PAT's proximity search)."""
+        from repro.index import search
+
+        if not words:
+            raise IndexError_("phrase needs at least one word")
+        spans = self.occurrences(words[0])
+        for word in words[1:]:
+            spans = search.followed_by(spans, self.occurrences(word), max_gap=max_gap)
+        return spans
+
+    def near(self, first: str, second: str, max_gap: int = 80) -> RegionSet:
+        """Unordered word proximity."""
+        from repro.index import search
+
+        return search.proximity(
+            self.occurrences(first), self.occurrences(second), max_gap=max_gap
+        )
+
+    def regions_with_frequency(
+        self, region_name: str, word: str, min_count: int
+    ) -> RegionSet:
+        """Frequency search: the ``region_name`` regions containing at least
+        ``min_count`` occurrences of ``word``."""
+        from repro.index import search
+
+        return search.select_by_frequency(
+            self.instance.get(region_name), self.occurrences(word), min_count
+        )
+
+    # -- text access --------------------------------------------------------------------
+
+    def region_text(self, region: Region) -> str:
+        return self.text[region.start : region.end]
+
+    def region_names(self) -> tuple[str, ...]:
+        return self.instance.names
+
+    # -- accounting ----------------------------------------------------------------------
+
+    def statistics(self) -> IndexStatistics:
+        return IndexStatistics.measure(self)

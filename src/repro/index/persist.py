@@ -1,0 +1,106 @@
+"""Index persistence.
+
+Building region indexes requires parsing the corpus — by far the most
+expensive step.  Persisting the engine saves the corpus text and the region
+instance; the word index and sistring array are rebuilt from the text at
+load time (tokenisation is an order of magnitude cheaper than parsing).
+
+Layout of a saved engine directory::
+
+    corpus.txt     the indexed text
+    regions.json   {"region name": [[start, end], ...], ...}
+    config.json    the IndexConfig that built the engine
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.algebra.region import Instance, Region, RegionSet
+from repro.errors import IndexError_
+from repro.index.config import IndexConfig, ScopedRegionSpec
+from repro.index.engine import IndexEngine
+from repro.index.suffix_array import SuffixArray
+from repro.index.word_index import WordIndex
+
+_FORMAT_VERSION = 1
+
+
+def save_index(engine: IndexEngine, directory: str | os.PathLike[str]) -> None:
+    """Persist an engine's text and region indexes to ``directory``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / "corpus.txt").write_text(engine.text, encoding="utf-8")
+    regions = {
+        name: [[region.start, region.end] for region in region_set]
+        for name, region_set in engine.instance.items()
+    }
+    (path / "regions.json").write_text(json.dumps(regions), encoding="utf-8")
+    config = engine.config
+    config_data = {
+        "version": _FORMAT_VERSION,
+        "region_names": (
+            sorted(config.region_names) if config.region_names is not None else None
+        ),
+        "scoped": [
+            {"source": spec.source, "scope": spec.scope, "name": spec.name}
+            for spec in config.scoped
+        ],
+        "word_index": config.word_index,
+        "word_scope": config.word_scope,
+        "lowercase_words": config.lowercase_words,
+        "suffix_array": config.suffix_array,
+    }
+    (path / "config.json").write_text(json.dumps(config_data, indent=2), encoding="utf-8")
+
+
+def load_index(directory: str | os.PathLike[str]) -> IndexEngine:
+    """Load a persisted engine; rebuilds word/suffix indexes from the text."""
+    path = Path(directory)
+    try:
+        text = (path / "corpus.txt").read_text(encoding="utf-8")
+        regions_data = json.loads((path / "regions.json").read_text(encoding="utf-8"))
+        config_data = json.loads((path / "config.json").read_text(encoding="utf-8"))
+    except FileNotFoundError as error:
+        raise IndexError_(f"not a saved index directory: {path} ({error})") from None
+    if config_data.get("version") != _FORMAT_VERSION:
+        raise IndexError_(
+            f"unsupported saved-index version {config_data.get('version')!r}"
+        )
+    config = IndexConfig(
+        region_names=(
+            frozenset(config_data["region_names"])
+            if config_data["region_names"] is not None
+            else None
+        ),
+        scoped=tuple(
+            ScopedRegionSpec(
+                source=item["source"], scope=item["scope"], name=item["name"]
+            )
+            for item in config_data["scoped"]
+        ),
+        word_index=config_data["word_index"],
+        word_scope=config_data["word_scope"],
+        lowercase_words=config_data["lowercase_words"],
+        suffix_array=config_data["suffix_array"],
+    )
+    instance = Instance(
+        {
+            name: RegionSet(Region(start, end) for start, end in spans)
+            for name, spans in regions_data.items()
+        }
+    )
+    word_index = None
+    if config.word_index:
+        scope = instance.get(config.word_scope) if config.word_scope else None
+        word_index = WordIndex(text, lowercase=config.lowercase_words, scope=scope)
+    suffixes = SuffixArray(text) if config.suffix_array else None
+    return IndexEngine(
+        text=text,
+        instance=instance,
+        word_index=word_index,
+        suffix_array=suffixes,
+        config=config,
+    )

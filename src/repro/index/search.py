@@ -1,0 +1,91 @@
+"""PAT-style search operations over match points (Section 3).
+
+"PAT combines traditional text search capabilities (lexical, proximity,
+contextual, boolean, see [SM83]) with some original powerful features
+(position and frequency search)."  The region algebra covers boolean and
+contextual search; this module supplies the rest as set-at-a-time
+operations over match-point region sets:
+
+- :func:`followed_by` / :func:`proximity` — ordered and unordered word
+  proximity, producing the spanning regions of each matching pair;
+- :func:`within_window` — position search: match points inside an offset
+  window;
+- :func:`contextual` — match points inside given regions (PAT's "within");
+- :func:`frequency_in` / :func:`select_by_frequency` — frequency search:
+  per-region occurrence counts, and selecting regions by a minimum count.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.region import Region, RegionSet
+
+
+def followed_by(first: RegionSet, second: RegionSet, max_gap: int = 80) -> RegionSet:
+    """Ordered proximity: spans from a ``first`` occurrence to the nearest
+    following ``second`` occurrence within ``max_gap`` characters.
+
+    ``max_gap`` bounds the distance from the end of the first match to the
+    start of the second.
+    """
+    if max_gap < 0:
+        raise ValueError("max_gap must be non-negative")
+    spans: list[Region] = []
+    for left in first:
+        index = second.first_index_with_start_at_least(left.end)
+        while index < len(second):
+            right = second.region_at(index)
+            if right.start - left.end > max_gap:
+                break
+            spans.append(Region(left.start, right.end))
+            index += 1
+    return RegionSet(spans)
+
+
+def proximity(first: RegionSet, second: RegionSet, max_gap: int = 80) -> RegionSet:
+    """Unordered proximity: spans where the two occurrences appear within
+    ``max_gap`` of each other, in either order."""
+    return RegionSet(
+        set(followed_by(first, second, max_gap))
+        | set(followed_by(second, first, max_gap))
+    )
+
+
+def within_window(occurrences: RegionSet, start: int, end: int) -> RegionSet:
+    """Position search: the occurrences lying inside ``[start, end)``."""
+    window = Region(start, end)
+    return RegionSet(occurrences.iter_included_in(window))
+
+
+def contextual(occurrences: RegionSet, contexts: RegionSet) -> RegionSet:
+    """PAT's ``within``: occurrences inside some context region."""
+    return RegionSet(
+        occurrence for occurrence in occurrences if contexts.any_including(occurrence)
+    )
+
+
+def frequency_in(regions: RegionSet, occurrences: RegionSet) -> dict[Region, int]:
+    """Frequency search: occurrence count per region (regions with zero
+    occurrences are omitted)."""
+    counts: dict[Region, int] = {}
+    for region in regions:
+        count = sum(1 for _ in occurrences.iter_included_in(region))
+        if count:
+            counts[region] = count
+    return counts
+
+
+def select_by_frequency(
+    regions: RegionSet, occurrences: RegionSet, min_count: int = 1
+) -> RegionSet:
+    """The regions containing at least ``min_count`` occurrences."""
+    if min_count < 1:
+        raise ValueError("min_count must be at least 1")
+    kept: list[Region] = []
+    for region in regions:
+        count = 0
+        for _ in occurrences.iter_included_in(region):
+            count += 1
+            if count >= min_count:
+                kept.append(region)
+                break
+    return RegionSet(kept)

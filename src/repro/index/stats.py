@@ -1,0 +1,78 @@
+"""Index size accounting.
+
+Section 7: "There is a tradeoff between performance and the number of
+regions being indexed."  To make the tradeoff measurable, every index
+structure reports its entry counts and an estimated byte footprint (two
+4-byte offsets per region entry, one 4-byte offset per word posting — the
+granularity PAT-era systems used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+BYTES_PER_REGION_ENTRY = 8
+BYTES_PER_WORD_POSTING = 4
+BYTES_PER_SISTRING = 4
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Sizes of one engine's index structures."""
+
+    region_entries: dict[str, int] = field(default_factory=dict)
+    word_postings: int = 0
+    vocabulary_size: int = 0
+    sistring_count: int = 0
+    text_bytes: int = 0
+
+    @classmethod
+    def measure(cls, engine) -> "IndexStatistics":
+        region_entries = {
+            name: len(region_set) for name, region_set in engine.instance.items()
+        }
+        word_postings = engine.word_index.posting_count if engine.word_index else 0
+        vocabulary = engine.word_index.vocabulary_size if engine.word_index else 0
+        sistrings = len(engine.suffix_array) if engine.suffix_array else 0
+        return cls(
+            region_entries=region_entries,
+            word_postings=word_postings,
+            vocabulary_size=vocabulary,
+            sistring_count=sistrings,
+            text_bytes=len(engine.text),
+        )
+
+    @property
+    def total_region_entries(self) -> int:
+        return sum(self.region_entries.values())
+
+    @property
+    def estimated_bytes(self) -> int:
+        return (
+            self.total_region_entries * BYTES_PER_REGION_ENTRY
+            + self.word_postings * BYTES_PER_WORD_POSTING
+            + self.sistring_count * BYTES_PER_SISTRING
+        )
+
+    @property
+    def index_to_text_ratio(self) -> float:
+        """Index footprint relative to the raw text size."""
+        if not self.text_bytes:
+            return 0.0
+        return self.estimated_bytes / self.text_bytes
+
+    def summary(self) -> str:
+        lines = [
+            f"text bytes:        {self.text_bytes}",
+            f"region entries:    {self.total_region_entries} "
+            f"(over {len(self.region_entries)} names)",
+            f"word postings:     {self.word_postings} "
+            f"(vocabulary {self.vocabulary_size})",
+        ]
+        if self.sistring_count:
+            lines.append(f"sistrings:         {self.sistring_count}")
+        lines.append(
+            f"estimated index:   {self.estimated_bytes} bytes "
+            f"({self.index_to_text_ratio:.2f}x text)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Inverted word index with positions.
+
+Records every word occurrence as a word-width region, supporting:
+
+- ``occurrences(word)`` — the match points of a word (what selections join
+  against region indexes);
+- ``token_count_between(start, end)`` — how many words a span contains
+  (exact-selection support: a ``Last_Name`` region *is* "Chang" iff it
+  contains that occurrence and exactly one word);
+- prefix lookups over the sorted vocabulary (PAT's lexical search).
+
+A *selective* word index (Section 7: "Selective indexing can also be done
+for words") only records occurrences inside a given scope region set.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+from repro.algebra.region import Region, RegionSet
+from repro.text.tokenizer import DEFAULT_EXTRA_WORD_CHARS, tokenize
+
+
+class WordIndex:
+    """An inverted index over one text.
+
+    Parameters
+    ----------
+    text:
+        The corpus text.
+    lowercase:
+        Fold words to lower case (queries are folded too).
+    extra_word_chars:
+        Extra characters counting as word characters.
+    scope:
+        When given, only tokens inside some scope region are indexed.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        *,
+        lowercase: bool = False,
+        extra_word_chars: str = DEFAULT_EXTRA_WORD_CHARS,
+        scope: RegionSet | None = None,
+    ) -> None:
+        self._lowercase = lowercase
+        postings: dict[str, list[Region]] = {}
+        starts: list[int] = []
+        ends: list[int] = []
+        for token in tokenize(text, extra_word_chars=extra_word_chars, lowercase=lowercase):
+            occurrence = Region(token.start, token.end)
+            if scope is not None and not scope.any_including(occurrence):
+                continue
+            postings.setdefault(token.text, []).append(occurrence)
+            starts.append(token.start)
+            ends.append(token.end)
+        self._postings: dict[str, RegionSet] = {
+            word: RegionSet(entries) for word, entries in postings.items()
+        }
+        self._token_starts = starts
+        self._token_ends = ends
+        self._vocabulary = sorted(self._postings)
+
+    # -- the evaluator's WordLookup protocol -----------------------------------
+
+    def occurrences(self, word: str) -> RegionSet:
+        """All spans where ``word`` occurs."""
+        if self._lowercase:
+            word = word.lower()
+        return self._postings.get(word, RegionSet.empty())
+
+    def token_count_between(self, start: int, end: int) -> int:
+        """Number of word tokens whose span lies entirely in ``[start, end)``.
+
+        Tokens never overlap, so only the last token starting in the range
+        can cross its right edge.
+        """
+        low = bisect_left(self._token_starts, start)
+        high = bisect_left(self._token_starts, end)
+        count = high - low
+        if count and self._token_ends[high - 1] > end:
+            count -= 1
+        return count
+
+    # -- lexical (prefix) search -------------------------------------------------
+
+    def words_with_prefix(self, prefix: str) -> Iterator[str]:
+        """Vocabulary words starting with ``prefix``, in sorted order."""
+        if self._lowercase:
+            prefix = prefix.lower()
+        index = bisect_left(self._vocabulary, prefix)
+        while index < len(self._vocabulary) and self._vocabulary[index].startswith(prefix):
+            yield self._vocabulary[index]
+            index += 1
+
+    def occurrences_with_prefix(self, prefix: str) -> RegionSet:
+        """All occurrences of all words starting with ``prefix``."""
+        merged: set[Region] = set()
+        for word in self.words_with_prefix(prefix):
+            merged.update(self._postings[word])
+        return RegionSet(merged)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        return tuple(self._vocabulary)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._vocabulary)
+
+    @property
+    def posting_count(self) -> int:
+        """Total number of indexed occurrences."""
+        return len(self._token_starts)
+
+    def frequency(self, word: str) -> int:
+        if self._lowercase:
+            word = word.lower()
+        return len(self._postings.get(word, ()))
+
+    def __contains__(self, word: str) -> bool:
+        if self._lowercase:
+            word = word.lower()
+        return word in self._postings

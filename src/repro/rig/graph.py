@@ -1,0 +1,219 @@
+"""The region inclusion graph (RIG) model.
+
+Definition 3.1 of the paper: an instance ``I`` of a region index satisfies a
+RIG ``G = (Z, E)`` iff whenever a region ``r ∈ Ri(I)`` *directly* includes a
+region ``s ∈ Rj(I)``, the edge ``(Ri, Rj)`` is in ``E``.
+
+Regions in this library are bare extents, so two region names can hold a
+region with the *same* extent (e.g. an ``Authors`` list whose single ``Name``
+spans the whole list).  The paper does not discuss this corner; we model it
+explicitly with a *coincidence* relation: a subset of the edges marked as
+able to produce coincident (equal-extent) parent/child regions.  Satisfaction
+then reads:
+
+- every strict direct inclusion (distinct extents, no indexed region of a
+  third extent between) requires its edge, for every pair of names held by
+  the two extents;
+- every equal-extent co-occurrence of two names requires the names to be
+  connected by a chain of coincidence edges (in either direction).
+
+For RIGs built by hand (like the paper's BibTeX example) the coincidence
+relation defaults to empty, and all definitions collapse to the paper's.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from repro.algebra.region import Instance, Region
+from repro.errors import RigError
+
+
+class RegionInclusionGraph:
+    """A directed graph over region names, with a coincidence sub-relation."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        edges: Iterable[tuple[str, str]] = (),
+        coincident: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        self._nodes: set[str] = set(nodes)
+        self._succ: dict[str, set[str]] = defaultdict(set)
+        self._pred: dict[str, set[str]] = defaultdict(set)
+        self._coincident: set[tuple[str, str]] = set()
+        for source, target in edges:
+            self.add_edge(source, target)
+        for source, target in coincident:
+            self.mark_coincident(source, target)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Mapping[str, Iterable[str]],
+        coincident: Iterable[tuple[str, str]] = (),
+    ) -> "RegionInclusionGraph":
+        """Build from ``{parent: [children, ...]}``."""
+        graph = cls()
+        for source, targets in adjacency.items():
+            graph.add_node(source)
+            for target in targets:
+                graph.add_edge(source, target)
+        for source, target in coincident:
+            graph.mark_coincident(source, target)
+        return graph
+
+    def add_node(self, node: str) -> None:
+        self._nodes.add(node)
+
+    def add_edge(self, source: str, target: str) -> None:
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    def mark_coincident(self, source: str, target: str) -> None:
+        """Mark the edge ``(source, target)`` as able to produce coincident
+        parent/child extents.  The edge must exist."""
+        if not self.has_edge(source, target):
+            raise RigError(
+                f"coincidence requires the edge ({source!r}, {target!r}) to be present"
+            )
+        self._coincident.add((source, target))
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    @property
+    def edges(self) -> frozenset[tuple[str, str]]:
+        return frozenset(
+            (source, target) for source, targets in self._succ.items() for target in targets
+        )
+
+    @property
+    def coincident_edges(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self._coincident)
+
+    def has_node(self, node: str) -> bool:
+        return node in self._nodes
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return target in self._succ.get(source, ())
+
+    def successors(self, node: str) -> frozenset[str]:
+        return frozenset(self._succ.get(node, ()))
+
+    def predecessors(self, node: str) -> frozenset[str]:
+        return frozenset(self._pred.get(node, ()))
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionInclusionGraph(nodes={len(self._nodes)}, "
+            f"edges={len(self.edges)}, coincident={len(self._coincident)})"
+        )
+
+    def subgraph(self, nodes: Iterable[str]) -> "RegionInclusionGraph":
+        """The induced subgraph on ``nodes`` (edges between kept nodes only).
+
+        Note this is *not* the partial-indexing RIG — that one contracts
+        paths through dropped nodes (see :func:`repro.rig.derive.derive_partial_rig`).
+        """
+        keep = set(nodes)
+        graph = RegionInclusionGraph(nodes=keep & self._nodes)
+        for source, target in self.edges:
+            if source in keep and target in keep:
+                graph.add_edge(source, target)
+        for source, target in self._coincident:
+            if source in keep and target in keep:
+                graph.mark_coincident(source, target)
+        return graph
+
+    # -- Definition 3.1: instance satisfaction --------------------------------
+
+    def violations(self, instance: Instance, limit: int = 10) -> list[str]:
+        """Describe up to ``limit`` ways ``instance`` violates this RIG.
+
+        Empty list means the instance satisfies the graph (Definition 3.1,
+        extended for coincident extents as described in the module docstring).
+        """
+        problems: list[str] = []
+        extent_names = _names_by_extent(instance)
+        all_regions = instance.all_regions()
+        extents = sorted(extent_names)
+
+        # Equal-extent co-occurrence: names must be coincidence-connected.
+        from repro.rig.paths import coincident_related  # local import: avoid cycle
+
+        for extent in extents:
+            names_here = sorted(extent_names[extent])
+            for first in names_here:
+                for second in names_here:
+                    if first >= second:
+                        continue
+                    if first not in self._nodes or second not in self._nodes:
+                        problems.append(
+                            f"region name {first!r}/{second!r} not a node of the graph"
+                        )
+                    elif not coincident_related(self, first, second):
+                        problems.append(
+                            f"names {first!r} and {second!r} share extent "
+                            f"({extent.start},{extent.end}) but are not "
+                            "coincidence-connected"
+                        )
+                    if len(problems) >= limit:
+                        return problems
+
+        # Strict direct inclusions: some name at the outer extent must have an
+        # edge to some name at the inner extent.  (With coincident extents a
+        # single extent carries a chain of names — e.g. a single-editor
+        # ``Editors``/``Name`` span — and only the chain's adjacent pair is
+        # connected by an edge.)
+        for outer in extents:
+            for inner in _strict_direct_children(outer, extents, all_regions):
+                connected = any(
+                    self.has_edge(outer_name, inner_name)
+                    for outer_name in extent_names[outer]
+                    for inner_name in extent_names[inner]
+                )
+                if not connected:
+                    problems.append(
+                        f"regions ({outer.start},{outer.end}) "
+                        f"{sorted(extent_names[outer])} directly include "
+                        f"({inner.start},{inner.end}) "
+                        f"{sorted(extent_names[inner])} but no edge connects them"
+                    )
+                    if len(problems) >= limit:
+                        return problems
+        return problems
+
+    def is_satisfied_by(self, instance: Instance) -> bool:
+        """Definition 3.1: does ``instance`` satisfy this graph?"""
+        return not self.violations(instance, limit=1)
+
+
+def _names_by_extent(instance: Instance) -> dict[Region, set[str]]:
+    extent_names: dict[Region, set[str]] = defaultdict(set)
+    for region_name, region_set in instance.items():
+        for region in region_set:
+            extent_names[region].add(region_name)
+    return extent_names
+
+
+def _strict_direct_children(outer: Region, extents: list[Region], all_regions) -> list[Region]:
+    """Extents strictly inside ``outer`` with no third extent strictly between."""
+    children: list[Region] = []
+    for inner in extents:
+        if inner == outer or not outer.includes(inner):
+            continue
+        if not all_regions.any_strictly_between(outer, inner):
+            children.append(inner)
+    return children

@@ -1,0 +1,313 @@
+"""Region-capturing recursive-descent parser.
+
+This is the Yacc stand-in of the reproduction.  Beyond ordinary parsing, it
+does the two extra things the paper needs:
+
+1. every non-terminal occurrence records its region — the half-open span of
+   text it derives — because those spans *are* the entries of the region
+   indexes (Section 4.2: "each index Ai is instantiated by the set of all
+   regions corresponding to occurrences of Ai in the parse tree of the
+   file");
+2. it can parse an arbitrary *slice* of the file starting at any
+   non-terminal, which is how candidate regions are filtered under partial
+   indexing (Section 6.2: "we parse the regions in the superset").
+
+The parser is PEG-style: ordered alternatives with backtracking, whitespace
+skipped before every symbol.  Grammars used by structuring schemas are
+near-deterministic, so backtracking is shallow in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.algebra.counters import OperationCounters
+from repro.errors import ParseError
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    Rule,
+    SeqRule,
+    StarRule,
+    Symbol,
+    TNumber,
+    TQuoted,
+    TUntil,
+    TWord,
+)
+
+_WHITESPACE = " \t\r\n"
+
+
+@dataclass(frozen=True)
+class ParseNode:
+    """A node of the parse tree.
+
+    ``symbol`` is the non-terminal name for inner nodes, or ``"#word"`` /
+    ``"#string"`` / ``"#text"`` / ``"#number"`` for terminal captures.
+    ``start``/``end`` is the node's region (half-open offsets into the parsed
+    text).  ``text`` is the captured value for terminal nodes, ``None``
+    otherwise.  ``rule`` records which grammar rule produced an inner node
+    (actions dispatch on it).
+    """
+
+    symbol: str
+    start: int
+    end: int
+    children: tuple["ParseNode", ...] = ()
+    text: str | None = None
+    rule: Rule | None = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.symbol.startswith("#")
+
+    def walk(self) -> Iterator["ParseNode"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def nonterminal_spans(self) -> Iterator[tuple[str, int, int]]:
+        """Yield ``(non-terminal, start, end)`` for every inner node — the
+        raw region-index entries."""
+        for node in self.walk():
+            if not node.is_terminal:
+                yield node.symbol, node.start, node.end
+
+    def child_map(self) -> dict[str, "ParseNode"]:
+        """Map each non-terminal child's symbol to its node (valid because
+        footnote 4 forbids repeated non-terminals in one rule)."""
+        return {child.symbol: child for child in self.children if not child.is_terminal}
+
+
+class Parser:
+    """Parse text (or a slice of it) according to a grammar."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self._grammar = grammar
+
+    @property
+    def grammar(self) -> Grammar:
+        return self._grammar
+
+    def parse(
+        self,
+        text: str,
+        symbol: str | None = None,
+        start: int = 0,
+        end: int | None = None,
+        require_all: bool = True,
+        counters: OperationCounters | None = None,
+    ) -> ParseNode:
+        """Parse ``text[start:end]`` as non-terminal ``symbol``.
+
+        Parameters
+        ----------
+        symbol:
+            The non-terminal to parse; defaults to the grammar's start symbol.
+        start, end:
+            The slice of ``text`` to parse (offsets in the returned tree are
+            absolute, so region indexes line up with the corpus text).
+        require_all:
+            When true, raise :class:`ParseError` unless the whole slice
+            (minus trailing whitespace) is consumed.
+        counters:
+            Optional tally; the number of characters scanned is added to
+            ``bytes_scanned`` — this is what makes "how much of the file did
+            we touch" measurable in the benchmarks.
+        """
+        target = symbol if symbol is not None else self._grammar.start
+        state = _State(text=text, limit=end if end is not None else len(text))
+        node = self._parse_nonterminal(state, target, start)
+        if node is None:
+            raise ParseError(
+                f"cannot parse as <{target}>; furthest failure expecting "
+                f"{state.expected!r}",
+                position=state.furthest,
+                symbol=target,
+            )
+        position = self._skip_whitespace(state, node.end)
+        if require_all and position < state.limit:
+            raise ParseError(
+                f"trailing input after <{target}>: "
+                f"{text[position:position + 30]!r}",
+                position=position,
+                symbol=target,
+            )
+        if counters is not None:
+            counters.scan(node.end - start)
+        return node
+
+    # -- internals -------------------------------------------------------------
+
+    def _skip_whitespace(self, state: "_State", position: int) -> int:
+        text, limit = state.text, state.limit
+        while position < limit and text[position] in _WHITESPACE:
+            position += 1
+        return position
+
+    def _parse_nonterminal(self, state: "_State", name: str, position: int) -> ParseNode | None:
+        for rule in self._grammar.rules_for(name):
+            node = self._parse_rule(state, rule, position)
+            if node is not None:
+                return node
+        return None
+
+    def _parse_rule(self, state: "_State", rule: Rule, position: int) -> ParseNode | None:
+        if isinstance(rule, SeqRule):
+            return self._parse_sequence(state, rule, position)
+        return self._parse_star(state, rule, position)
+
+    def _parse_sequence(self, state: "_State", rule: SeqRule, position: int) -> ParseNode | None:
+        start = self._skip_whitespace(state, position)
+        children: list[ParseNode] = []
+        cursor = start
+        content_end = start
+        for item in rule.items:
+            result = self._parse_symbol(state, item, cursor)
+            if result is None:
+                return None
+            node, cursor = result
+            if node is not None:
+                children.append(node)
+            content_end = cursor
+        return ParseNode(
+            symbol=rule.lhs,
+            start=start,
+            end=content_end,
+            children=tuple(children),
+            rule=rule,
+        )
+
+    def _parse_star(self, state: "_State", rule: StarRule, position: int) -> ParseNode | None:
+        start = self._skip_whitespace(state, position)
+        children: list[ParseNode] = []
+        cursor = start
+        content_end = start
+        while True:
+            attempt_from = cursor
+            if children and rule.separator is not None:
+                after_sep = self._match_literal(state, rule.separator, cursor)
+                if after_sep is None:
+                    break
+                attempt_from = after_sep
+            child = self._parse_nonterminal(state, rule.item.name, attempt_from)
+            if child is None:
+                break
+            children.append(child)
+            cursor = child.end
+            content_end = child.end
+        if len(children) < rule.min_count:
+            return None
+        return ParseNode(
+            symbol=rule.lhs,
+            start=start if children else start,
+            end=content_end if children else start,
+            children=tuple(children),
+            rule=rule,
+        )
+
+    def _parse_symbol(
+        self, state: "_State", symbol: Symbol, position: int
+    ) -> tuple[ParseNode | None, int] | None:
+        """Parse one rule item.  Returns ``(node_or_None, new_position)`` on
+        success (literals produce no node), or ``None`` on failure."""
+        if isinstance(symbol, NonTerminal):
+            node = self._parse_nonterminal(state, symbol.name, position)
+            if node is None:
+                return None
+            return node, node.end
+        if isinstance(symbol, Literal):
+            after = self._match_literal(state, symbol, position)
+            if after is None:
+                return None
+            return None, after
+        return self._parse_terminal(state, symbol, position)
+
+    def _match_literal(self, state: "_State", literal: Literal, position: int) -> int | None:
+        position = self._skip_whitespace(state, position)
+        end = position + len(literal.text)
+        if end <= state.limit and state.text.startswith(literal.text, position):
+            return end
+        state.note_failure(position, literal.text)
+        return None
+
+    def _parse_terminal(
+        self, state: "_State", symbol: Symbol, position: int
+    ) -> tuple[ParseNode, int] | None:
+        text, limit = state.text, state.limit
+        position = self._skip_whitespace(state, position)
+
+        if isinstance(symbol, TWord):
+            cursor = position
+            while cursor < limit and (text[cursor].isalnum() or text[cursor] in symbol.extra):
+                cursor += 1
+            if cursor == position:
+                state.note_failure(position, "<word>")
+                return None
+            node = ParseNode("#word", position, cursor, text=text[position:cursor])
+            return node, cursor
+
+        if isinstance(symbol, TNumber):
+            cursor = position
+            while cursor < limit and text[cursor].isdigit():
+                cursor += 1
+            if cursor == position:
+                state.note_failure(position, "<number>")
+                return None
+            node = ParseNode("#number", position, cursor, text=text[position:cursor])
+            return node, cursor
+
+        if isinstance(symbol, TQuoted):
+            if position >= limit or text[position] != symbol.quote:
+                state.note_failure(position, symbol.quote)
+                return None
+            closing = text.find(symbol.quote, position + 1, limit)
+            if closing < 0:
+                state.note_failure(position, f"closing {symbol.quote}")
+                return None
+            inner_start, inner_end = position + 1, closing
+            node = ParseNode("#string", inner_start, inner_end, text=text[inner_start:inner_end])
+            return node, closing + 1
+
+        if isinstance(symbol, TUntil):
+            raw_end = limit
+            for stop in symbol.stops:
+                stop_at = text.find(stop, position, limit)
+                if 0 <= stop_at < raw_end:
+                    raw_end = stop_at
+            captured_start, captured_end = position, raw_end
+            while captured_start < captured_end and text[captured_start] in _WHITESPACE:
+                captured_start += 1
+            while captured_end > captured_start and text[captured_end - 1] in _WHITESPACE:
+                captured_end -= 1
+            if captured_end == captured_start and not symbol.allow_empty:
+                state.note_failure(position, f"text before {symbol.stop!r}")
+                return None
+            node = ParseNode(
+                "#text", captured_start, captured_end, text=text[captured_start:captured_end]
+            )
+            return node, raw_end
+
+        raise ParseError(f"unknown symbol {symbol!r}", position=position)
+
+
+class _State:
+    """Shared mutable parse state: the text, the slice limit, and the
+    furthest-failure diagnostics."""
+
+    __slots__ = ("text", "limit", "furthest", "expected")
+
+    def __init__(self, text: str, limit: int) -> None:
+        self.text = text
+        self.limit = limit
+        self.furthest = 0
+        self.expected = ""
+
+    def note_failure(self, position: int, expected: str) -> None:
+        if position >= self.furthest:
+            self.furthest = position
+            self.expected = expected

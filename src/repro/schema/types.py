@@ -1,0 +1,70 @@
+"""Database type descriptions for structuring schemas.
+
+These mirror the first two parts of the paper's structuring-schema example
+(Section 4.1): the class/type definitions and the non-terminal type
+annotations.  They are *descriptions* — the values themselves live in
+:mod:`repro.db.values`.  :meth:`repro.schema.structuring.StructuringSchema.describe_types`
+derives them automatically for natural schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+
+@dataclass(frozen=True)
+class AtomicTypeDesc:
+    """An atomic type (``string`` in all the paper's examples)."""
+
+    name: str = "string"
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SetTypeDesc:
+    """``set(Element)``."""
+
+    element: str
+
+    def render(self) -> str:
+        return f"set({self.element})"
+
+
+@dataclass(frozen=True)
+class ListTypeDesc:
+    """``list(Element)``."""
+
+    element: str
+
+    def render(self) -> str:
+        return f"list({self.element})"
+
+
+@dataclass(frozen=True)
+class TupleTypeDesc:
+    """``tuple(field: Type, ...)`` — no object identity."""
+
+    name: str
+    fields: Mapping[str, str]
+
+    def render(self) -> str:
+        inner = ", ".join(f"{field} : {type_name}" for field, type_name in self.fields.items())
+        return f"tuple({inner})"
+
+
+@dataclass(frozen=True)
+class ClassTypeDesc:
+    """A class: a named tuple type with object identity."""
+
+    name: str
+    fields: Mapping[str, str]
+
+    def render(self) -> str:
+        inner = ", ".join(f"{field} : {type_name}" for field, type_name in self.fields.items())
+        return f"Class {self.name} = tuple({inner})"
+
+
+TypeDesc = Union[AtomicTypeDesc, SetTypeDesc, ListTypeDesc, TupleTypeDesc, ClassTypeDesc]

@@ -1,0 +1,14 @@
+"""Text substrate: documents, corpora, and tokenization.
+
+The paper queries data "residing in files".  This package provides the file
+abstraction the rest of the library works over: a :class:`Document` is one
+file's text, a :class:`Corpus` is an ordered collection of documents exposed
+as a single concatenated address space (the way PAT indexes a text
+collection), and :func:`tokenize` produces the word occurrences that feed the
+word index.
+"""
+
+from repro.text.document import Document, Corpus
+from repro.text.tokenizer import Token, tokenize, tokenize_words
+
+__all__ = ["Document", "Corpus", "Token", "tokenize", "tokenize_words"]

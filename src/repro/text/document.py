@@ -1,0 +1,127 @@
+"""Documents and corpora.
+
+A :class:`Document` wraps one file's text.  A :class:`Corpus` concatenates
+several documents into a single address space, which is how the PAT system
+(and therefore our index engine) addresses text: every match point and region
+is an offset into the corpus text.  Documents are separated by a single
+newline so regions can never accidentally span two files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import RegionError
+
+_SEPARATOR = "\n"
+
+
+@dataclass(frozen=True)
+class Document:
+    """One file's worth of text.
+
+    Parameters
+    ----------
+    name:
+        A human-readable identifier (usually the file path).
+    text:
+        The full contents of the file.
+    """
+
+    name: str
+    text: str
+
+    @classmethod
+    def from_path(cls, path: str | os.PathLike[str], encoding: str = "utf-8") -> "Document":
+        """Read a document from the file system."""
+        with open(path, "r", encoding=encoding) as handle:
+            return cls(name=str(path), text=handle.read())
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+class Corpus:
+    """An ordered collection of documents with a single address space.
+
+    The corpus exposes ``text``, the concatenation of all document texts
+    (separated by one newline), plus the mapping between corpus offsets and
+    ``(document, local offset)`` pairs.  All indexes and region sets in the
+    library address this concatenated text.
+    """
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._documents: list[Document] = []
+        self._starts: list[int] = []
+        self._text_parts: list[str] = []
+        self._length = 0
+        for document in documents:
+            self.add(document)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, document: Document) -> int:
+        """Append a document; return the corpus offset where it starts."""
+        if self._documents:
+            self._text_parts.append(_SEPARATOR)
+            self._length += len(_SEPARATOR)
+        start = self._length
+        self._starts.append(start)
+        self._documents.append(document)
+        self._text_parts.append(document.text)
+        self._length += len(document.text)
+        return start
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str], prefix: str = "doc") -> "Corpus":
+        """Build a corpus from raw strings, naming them ``doc0``, ``doc1``, ..."""
+        corpus = cls()
+        for number, text in enumerate(texts):
+            corpus.add(Document(name=f"{prefix}{number}", text=text))
+        return corpus
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str | os.PathLike[str]]) -> "Corpus":
+        """Build a corpus by reading each path from disk."""
+        return cls(Document.from_path(path) for path in paths)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """The concatenated corpus text."""
+        return "".join(self._text_parts)
+
+    @property
+    def documents(self) -> tuple[Document, ...]:
+        return tuple(self._documents)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def document_span(self, index: int) -> tuple[int, int]:
+        """Return the ``(start, end)`` corpus offsets of document ``index``."""
+        start = self._starts[index]
+        return start, start + len(self._documents[index])
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        """Map a corpus offset to ``(document index, local offset)``.
+
+        Offsets falling on an inter-document separator are attributed to the
+        preceding document (at its one-past-the-end position).
+        """
+        if offset < 0 or offset > self._length:
+            raise RegionError(f"offset {offset} outside corpus of length {self._length}")
+        low, high = 0, len(self._starts) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self._starts[mid] <= offset:
+                low = mid
+            else:
+                high = mid - 1
+        return low, offset - self._starts[low]

@@ -1,0 +1,74 @@
+"""Tokenization.
+
+The word index records "the location(s) of all the words in the file"
+(Section 2 of the paper).  We tokenize with a simple, deterministic rule:
+a *word* is a maximal run of alphanumeric characters (plus a configurable set
+of extra word characters such as ``-`` for hyphenated names).  Tokens carry
+their half-open ``[start, end)`` character span so that match points can be
+joined against region indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+DEFAULT_EXTRA_WORD_CHARS = "-_"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A word occurrence: its text and half-open character span."""
+
+    text: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end - self.start != len(self.text):
+            raise ValueError(
+                f"token span [{self.start}, {self.end}) does not match text of "
+                f"length {len(self.text)}"
+            )
+
+
+def _is_word_char(char: str, extra: str) -> bool:
+    return char.isalnum() or char in extra
+
+
+def tokenize(
+    text: str,
+    *,
+    extra_word_chars: str = DEFAULT_EXTRA_WORD_CHARS,
+    lowercase: bool = False,
+) -> Iterator[Token]:
+    """Yield the word tokens of ``text`` in document order.
+
+    Parameters
+    ----------
+    text:
+        The text to tokenize.
+    extra_word_chars:
+        Characters treated as part of a word in addition to alphanumerics.
+    lowercase:
+        If true, token text is lowercased (spans still address the original
+        text).  The index engine uses this for case-insensitive word indexes.
+    """
+    position = 0
+    length = len(text)
+    while position < length:
+        if _is_word_char(text[position], extra_word_chars):
+            start = position
+            while position < length and _is_word_char(text[position], extra_word_chars):
+                position += 1
+            word = text[start:position]
+            if lowercase:
+                word = word.lower()
+            yield Token(text=word, start=start, end=position)
+        else:
+            position += 1
+
+
+def tokenize_words(text: str, **kwargs: object) -> list[str]:
+    """Return just the word strings of ``text`` (convenience for tests)."""
+    return [token.text for token in tokenize(text, **kwargs)]  # type: ignore[arg-type]

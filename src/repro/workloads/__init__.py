@@ -1,0 +1,35 @@
+"""Workloads: grammars, structuring schemas, and synthetic generators.
+
+Three file families exercise the system:
+
+- :mod:`repro.workloads.bibtex` — the paper's running example: BibTeX
+  bibliographies with authors/editors ambiguity (Figure 1, Sections 2–7);
+- :mod:`repro.workloads.logs` — structured log files (one of the paper's
+  motivating semi-structured sources);
+- :mod:`repro.workloads.sgml` — SGML-like documents with *self-nested*
+  sections, giving a cyclic RIG (closure queries, Section 5.3);
+- :mod:`repro.workloads.source` — programs (the Hy+ software-engineering
+  application): disjunctive statements, nested blocks, call-site queries.
+
+All generators are seeded and deterministic so benchmarks are repeatable.
+"""
+
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex, BibtexGenerator
+from repro.workloads.logs import log_schema, generate_log, LogGenerator
+from repro.workloads.sgml import sgml_schema, generate_sgml, SgmlGenerator
+from repro.workloads.source import source_schema, generate_source, SourceGenerator
+
+__all__ = [
+    "bibtex_schema",
+    "generate_bibtex",
+    "BibtexGenerator",
+    "log_schema",
+    "generate_log",
+    "LogGenerator",
+    "sgml_schema",
+    "generate_sgml",
+    "SgmlGenerator",
+    "source_schema",
+    "generate_source",
+    "SourceGenerator",
+]

@@ -1,0 +1,240 @@
+"""The BibTeX workload — the paper's running example.
+
+The grammar mirrors the structuring schema of Section 4.1: a file is a set
+of ``Reference`` objects with a ``Key``, sets of author/editor ``Name``
+tuples (each a ``First_Name``/``Last_Name`` pair), atomic ``Title`` /
+``Booktitle`` / ``Year`` / ``Publisher`` / ``Pages`` fields, a set-valued
+``Keywords`` field, a set-valued ``Referred`` field of cited keys, and an
+``Abstract``.
+
+The generator controls the knob the paper's partial-indexing discussion
+turns on: how often a last name appears as an *editor* as well as an
+*author* — that ambiguity is exactly what makes ``Reference ⊃d
+σ"Chang"(Last_Name)`` a strict superset of the Chang-as-author query.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    SeqRule,
+    StarRule,
+    TNumber,
+    TUntil,
+    TWord,
+)
+from repro.schema.structuring import StructuringSchema
+
+#: Last names used by the generator; "Chang" and "Corliss" match the paper.
+LAST_NAMES = [
+    "Chang", "Corliss", "Griewank", "Milo", "Consens", "Abiteboul", "Cluet",
+    "Tompa", "Gonnet", "Salminen", "Kifer", "Sagiv", "Mendelzon", "Lamport",
+    "Burkowski", "Salton", "McGill", "Bertino", "Schwartz", "Paepcke",
+]
+
+FIRST_NAMES = [
+    "G.", "Y.", "A.", "T.", "M.", "S.", "F.", "W.", "K.", "H.",
+    "L.", "P.", "R.", "D.", "E.", "J.", "N.", "O.", "U.", "V.",
+]
+
+TITLE_WORDS = [
+    "Solving", "Ordinary", "Differential", "Equations", "Using", "Taylor",
+    "Series", "Automatic", "Differentiation", "Algorithms", "Optimizing",
+    "Queries", "Files", "Region", "Algebra", "Text", "Indexing", "Databases",
+    "Structured", "Documents", "Parsing", "Grammars", "Views",
+]
+
+KEYWORD_PHRASES = [
+    "point algorithm", "Taylor series", "radius of convergence",
+    "text indexing", "region algebra", "query optimization",
+    "structuring schema", "partial indexing", "inclusion graph",
+    "semi-structured data",
+]
+
+PUBLISHERS = ["SIAM", "ACM", "Springer", "Elsevier", "IEEE", "Kluwer"]
+ADDRESSES = ["Philadelphia", "Minneapolis", "Toronto", "Waterloo", "Dublin"]
+
+
+def bibtex_grammar() -> Grammar:
+    """The annotated grammar of Section 4.1 (concrete-syntax variant)."""
+    rules = [
+        StarRule("Ref_Set", NonTerminal("Reference")),
+        SeqRule(
+            "Reference",
+            [
+                Literal("@INCOLLECTION{"),
+                NonTerminal("Key"),
+                Literal(","),
+                Literal("AUTHOR"), Literal("="), Literal('"'),
+                NonTerminal("Authors"),
+                Literal('"'), Literal(","),
+                Literal("TITLE"), Literal("="), Literal('"'),
+                NonTerminal("Title"),
+                Literal('"'), Literal(","),
+                Literal("BOOKTITLE"), Literal("="), Literal('"'),
+                NonTerminal("Booktitle"),
+                Literal('"'), Literal(","),
+                Literal("YEAR"), Literal("="), Literal('"'),
+                NonTerminal("Year"),
+                Literal('"'), Literal(","),
+                Literal("EDITOR"), Literal("="), Literal('"'),
+                NonTerminal("Editors"),
+                Literal('"'), Literal(","),
+                Literal("PUBLISHER"), Literal("="), Literal('"'),
+                NonTerminal("Publisher"),
+                Literal('"'), Literal(","),
+                Literal("ADDRESS"), Literal("="), Literal('"'),
+                NonTerminal("Address"),
+                Literal('"'), Literal(","),
+                Literal("PAGES"), Literal("="), Literal('"'),
+                NonTerminal("Pages"),
+                Literal('"'), Literal(","),
+                Literal("REFERRED"), Literal("="), Literal('"'),
+                NonTerminal("Referred"),
+                Literal('"'), Literal(","),
+                Literal("KEYWORDS"), Literal("="), Literal('"'),
+                NonTerminal("Keywords"),
+                Literal('"'), Literal(","),
+                Literal("ABSTRACT"), Literal("="), Literal('"'),
+                NonTerminal("Abstract"),
+                Literal('"'),
+                Literal("}"),
+            ],
+        ),
+        SeqRule("Key", [TWord()]),
+        StarRule("Authors", NonTerminal("Name"), separator=Literal("and")),
+        StarRule("Editors", NonTerminal("Name"), separator=Literal("and")),
+        SeqRule("Name", [NonTerminal("First_Name"), NonTerminal("Last_Name")]),
+        SeqRule("First_Name", [TWord()]),
+        SeqRule("Last_Name", [TWord()]),
+        SeqRule("Title", [TUntil('"')]),
+        SeqRule("Booktitle", [TUntil('"')]),
+        SeqRule("Year", [TNumber()]),
+        SeqRule("Publisher", [TUntil('"')]),
+        SeqRule("Address", [TUntil('"')]),
+        SeqRule("Pages", [TWord()]),
+        StarRule("Referred", NonTerminal("RefKey"), separator=Literal(";")),
+        SeqRule("RefKey", [TWord()]),
+        StarRule("Keywords", NonTerminal("Keyword"), separator=Literal(";")),
+        SeqRule("Keyword", [TUntil((";", '"'))]),
+        SeqRule("Abstract", [TUntil('"')]),
+    ]
+    return Grammar(rules, start="Ref_Set")
+
+
+def bibtex_schema() -> StructuringSchema:
+    """The BibTeX structuring schema: ``Reference`` objects, all else values."""
+    return StructuringSchema(bibtex_grammar(), classes={"Reference"}, name="BibTeX")
+
+
+@dataclass
+class BibtexGenerator:
+    """Seeded synthetic bibliography generator.
+
+    Parameters
+    ----------
+    entries:
+        Number of references.
+    seed:
+        RNG seed (deterministic output).
+    editor_overlap:
+        Probability that an editor's last name is drawn from the same pool
+        as author last names (1.0 reproduces the paper's Chang-as-editor
+        ambiguity at full strength).
+    authors_per_entry, editors_per_entry:
+        Mean list lengths.
+    abstract_words:
+        Length of the unstructured text chunk.
+    """
+
+    entries: int = 100
+    seed: int = 0
+    editor_overlap: float = 1.0
+    self_edited_rate: float = 0.1
+    authors_per_entry: int = 2
+    editors_per_entry: int = 2
+    abstract_words: int = 20
+
+    def generate(self) -> str:
+        rng = random.Random(self.seed)
+        blocks = [self._entry(rng, number) for number in range(self.entries)]
+        return "\n".join(blocks) + "\n"
+
+    # -- pieces -------------------------------------------------------------------
+
+    def _name(self, rng: random.Random, editor: bool) -> str:
+        first = rng.choice(FIRST_NAMES)
+        if editor and rng.random() > self.editor_overlap:
+            last = rng.choice(LAST_NAMES).upper()  # disjoint editor pool
+        else:
+            last = rng.choice(LAST_NAMES)
+        return f"{first} {last}"
+
+    def _names(self, rng: random.Random, mean: int, editor: bool) -> str:
+        count = max(1, mean + rng.randint(-1, 1))
+        return " and ".join(self._name(rng, editor) for _ in range(count))
+
+    def _key(self, number: int) -> str:
+        """Deterministic per entry number, so REFERRED citations resolve."""
+        stem = LAST_NAMES[number % len(LAST_NAMES)][:4]
+        return f"{stem}{80 + number % 20}{chr(97 + number % 26)}"
+
+    def _entry(self, rng: random.Random, number: int) -> str:
+        key = self._key(number)
+        authors = self._names(rng, self.authors_per_entry, editor=False)
+        editors = self._names(rng, self.editors_per_entry, editor=True)
+        if rng.random() < self.self_edited_rate:
+            # One of the authors also edited the volume (Section 5.2's join).
+            shared = rng.choice(authors.split(" and "))
+            editors = shared + " and " + editors
+        title = " ".join(rng.sample(TITLE_WORDS, k=5))
+        booktitle = " ".join(rng.sample(TITLE_WORDS, k=3))
+        year = str(rng.randint(1975, 1994))
+        publisher = rng.choice(PUBLISHERS)
+        address = rng.choice(ADDRESSES)
+        pages = f"{rng.randint(1, 400)}--{rng.randint(401, 900)}"
+        referred = "; ".join(
+            self._key(rng.randrange(max(1, self.entries)))
+            for _ in range(rng.randint(1, 3))
+        )
+        keywords = "; ".join(rng.sample(KEYWORD_PHRASES, k=rng.randint(1, 3)))
+        abstract = " ".join(rng.choice(TITLE_WORDS) for _ in range(self.abstract_words))
+        return (
+            f"@INCOLLECTION{{ {key},\n"
+            f'  AUTHOR = "{authors}",\n'
+            f'  TITLE = "{title}",\n'
+            f'  BOOKTITLE = "{booktitle}",\n'
+            f'  YEAR = "{year}",\n'
+            f'  EDITOR = "{editors}",\n'
+            f'  PUBLISHER = "{publisher}",\n'
+            f'  ADDRESS = "{address}",\n'
+            f'  PAGES = "{pages}",\n'
+            f'  REFERRED = "{referred}",\n'
+            f'  KEYWORDS = "{keywords}",\n'
+            f'  ABSTRACT = "{abstract}"\n'
+            f"}}"
+        )
+
+
+def generate_bibtex(entries: int = 100, seed: int = 0, **knobs: object) -> str:
+    """Generate a synthetic bibliography file (see :class:`BibtexGenerator`)."""
+    return BibtexGenerator(entries=entries, seed=seed, **knobs).generate()  # type: ignore[arg-type]
+
+
+#: The paper's canonical query (Section 2).
+CHANG_AUTHOR_QUERY = (
+    'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+)
+
+#: The star-variable variant (Section 5.3): Chang as author *or* editor.
+CHANG_ANY_QUERY = 'SELECT r FROM Reference r WHERE r.*X.Last_Name = "Chang"'
+
+#: The join query of Section 5.2: edited by one of the authors.
+SELF_EDITED_QUERY = (
+    "SELECT r FROM Reference r WHERE r.Editors.Name = r.Authors.Name"
+)

@@ -1,0 +1,138 @@
+"""The structured-log workload.
+
+Log files are one of the paper's motivating semi-structured sources
+(Section 1).  The grammar models a service log whose entries have a
+timestamp, a severity level, a component, a message, and an optional nested
+request block with a method, a resource and a status:
+
+    [1994-05-24 10:15:03] ERROR storage "disk quota exceeded"
+        { GET /index/regions 503 }
+
+Request blocks give the RIG real depth (``Entry -> Request -> Method``), so
+partial-indexing and advisor experiments have something to drop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    SeqRule,
+    StarRule,
+    TNumber,
+    TUntil,
+    TWord,
+)
+from repro.schema.structuring import StructuringSchema
+
+LEVELS = ["DEBUG", "INFO", "WARN", "ERROR", "FATAL"]
+COMPONENTS = ["storage", "parser", "planner", "index", "network", "cache"]
+MESSAGES = [
+    "disk quota exceeded", "connection reset by peer", "slow query detected",
+    "checkpoint complete", "region index rebuilt", "cache miss storm",
+    "schema reloaded", "backpressure engaged", "lease renewed",
+]
+METHODS = ["GET", "PUT", "POST", "DELETE"]
+RESOURCES = [
+    "/index/regions", "/index/words", "/query/plan", "/corpus/docs",
+    "/admin/stats", "/query/run",
+]
+STATUSES = [200, 201, 204, 400, 404, 500, 503]
+
+
+def log_grammar() -> Grammar:
+    rules = [
+        StarRule("Log", NonTerminal("Entry")),
+        SeqRule(
+            "Entry",
+            [
+                Literal("["),
+                NonTerminal("Timestamp"),
+                Literal("]"),
+                NonTerminal("Level"),
+                NonTerminal("Component"),
+                Literal('"'),
+                NonTerminal("Message"),
+                Literal('"'),
+                NonTerminal("Requests"),
+            ],
+        ),
+        SeqRule("Timestamp", [NonTerminal("Date"), NonTerminal("Time")]),
+        SeqRule("Date", [TWord()]),
+        SeqRule("Time", [TWord(extra=":")]),
+        SeqRule("Level", [TWord()]),
+        SeqRule("Component", [TWord()]),
+        SeqRule("Message", [TUntil('"')]),
+        StarRule("Requests", NonTerminal("Request")),
+        SeqRule(
+            "Request",
+            [
+                Literal("{"),
+                NonTerminal("Method"),
+                NonTerminal("Resource"),
+                NonTerminal("Status"),
+                Literal("}"),
+            ],
+        ),
+        SeqRule("Method", [TWord()]),
+        SeqRule("Resource", [TWord(extra="/._-")]),
+        SeqRule("Status", [TNumber()]),
+    ]
+    return Grammar(rules, start="Log")
+
+
+def log_schema() -> StructuringSchema:
+    return StructuringSchema(log_grammar(), classes={"Entry"}, name="ServiceLog")
+
+
+@dataclass
+class LogGenerator:
+    """Seeded synthetic log generator."""
+
+    entries: int = 500
+    seed: int = 0
+    error_rate: float = 0.15
+    requests_per_entry: int = 1
+
+    def generate(self) -> str:
+        rng = random.Random(self.seed)
+        lines = [self._entry(rng, number) for number in range(self.entries)]
+        return "\n".join(lines) + "\n"
+
+    def _entry(self, rng: random.Random, number: int) -> str:
+        level = "ERROR" if rng.random() < self.error_rate else rng.choice(
+            [l for l in LEVELS if l != "ERROR"]
+        )
+        second = number % 60
+        minute = (number // 60) % 60
+        hour = 8 + (number // 3600) % 12
+        timestamp = f"1994-05-24 {hour:02d}:{minute:02d}:{second:02d}"
+        component = rng.choice(COMPONENTS)
+        message = rng.choice(MESSAGES)
+        request_count = max(0, self.requests_per_entry + rng.randint(-1, 1))
+        requests = " ".join(
+            f"{{ {rng.choice(METHODS)} {rng.choice(RESOURCES)} {rng.choice(STATUSES)} }}"
+            for _ in range(request_count)
+        )
+        entry = f'[{timestamp}] {level} {component} "{message}"'
+        if requests:
+            entry += f" {requests}"
+        return entry
+
+
+def generate_log(entries: int = 500, seed: int = 0, **knobs: object) -> str:
+    return LogGenerator(entries=entries, seed=seed, **knobs).generate()  # type: ignore[arg-type]
+
+
+ERROR_QUERY = 'SELECT e FROM Entry e WHERE e.Level = "ERROR"'
+STORAGE_ERRORS_QUERY = (
+    'SELECT e FROM Entry e WHERE e.Level = "ERROR" AND e.Component = "storage"'
+)
+FAILED_GETS_QUERY = (
+    'SELECT e FROM Entry e '
+    'WHERE e.Requests.Request.Method = "GET" AND e.Requests.Request.Status = "503"'
+)

@@ -1,0 +1,136 @@
+"""The SGML-like document workload: self-nested sections.
+
+Documents contain sections, sections contain paragraphs and *sub-sections*
+— so the derived RIG is cyclic (``Section -> Subsections -> Section``).
+This is the workload for Section 5.3's regular-path/closure discussion
+("find every section, at any nesting depth, containing w" is one ``⊃``) and
+for exercising the optimizer's cycle-safe preconditions.
+
+Concrete syntax::
+
+    <doc> <t>Storage engine</t>
+      <sec> <t>Overview</t>
+        <p>words ...</p>
+        <sec> <t>Compaction</t> <p>words ...</p> </sec>
+      </sec>
+    </doc>
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    SeqRule,
+    StarRule,
+    TUntil,
+)
+from repro.schema.structuring import StructuringSchema
+
+TITLE_WORDS = [
+    "Storage", "Engine", "Overview", "Compaction", "Recovery", "Indexing",
+    "Regions", "Queries", "Planning", "Schemas", "Parsing", "Evaluation",
+]
+
+BODY_WORDS = [
+    "region", "index", "query", "grammar", "schema", "database", "file",
+    "text", "word", "inclusion", "optimization", "candidate", "parse",
+    "layer", "nesting", "algebra", "selection", "projection",
+]
+
+
+def sgml_grammar() -> Grammar:
+    rules = [
+        StarRule("Collection", NonTerminal("Document")),
+        SeqRule(
+            "Document",
+            [
+                Literal("<doc>"),
+                NonTerminal("Title"),
+                NonTerminal("Sections"),
+                Literal("</doc>"),
+            ],
+        ),
+        SeqRule("Title", [Literal("<t>"), NonTerminal("TitleText"), Literal("</t>")]),
+        SeqRule("TitleText", [TUntil("</t>")]),
+        StarRule("Sections", NonTerminal("Section")),
+        SeqRule(
+            "Section",
+            [
+                Literal("<sec>"),
+                NonTerminal("Title"),
+                NonTerminal("Paragraphs"),
+                NonTerminal("Subsections"),
+                Literal("</sec>"),
+            ],
+        ),
+        StarRule("Paragraphs", NonTerminal("Paragraph")),
+        SeqRule("Paragraph", [Literal("<p>"), NonTerminal("ParaText"), Literal("</p>")]),
+        SeqRule("ParaText", [TUntil("</p>")]),
+        StarRule("Subsections", NonTerminal("Section")),
+    ]
+    return Grammar(rules, start="Collection")
+
+
+def sgml_schema() -> StructuringSchema:
+    return StructuringSchema(sgml_grammar(), classes={"Document"}, name="SGML")
+
+
+@dataclass
+class SgmlGenerator:
+    """Seeded generator of nested documents.
+
+    ``depth`` controls maximum section nesting; ``branching`` the number of
+    sections per level.  Deep nesting is what makes closure queries and the
+    layered ``⊃d`` program interesting.
+    """
+
+    documents: int = 20
+    depth: int = 3
+    branching: int = 2
+    paragraphs: int = 2
+    paragraph_words: int = 12
+    seed: int = 0
+
+    def generate(self) -> str:
+        rng = random.Random(self.seed)
+        parts = [self._document(rng, number) for number in range(self.documents)]
+        return "\n".join(parts) + "\n"
+
+    def _document(self, rng: random.Random, number: int) -> str:
+        title = " ".join(rng.sample(TITLE_WORDS, k=2))
+        sections = "\n".join(
+            self._section(rng, self.depth) for _ in range(self.branching)
+        )
+        return f"<doc> <t>{title}</t>\n{sections}\n</doc>"
+
+    def _section(self, rng: random.Random, remaining_depth: int) -> str:
+        title = " ".join(rng.sample(TITLE_WORDS, k=2))
+        paragraphs = "\n".join(
+            "<p>" + " ".join(rng.choice(BODY_WORDS) for _ in range(self.paragraph_words)) + "</p>"
+            for _ in range(self.paragraphs)
+        )
+        inner = ""
+        if remaining_depth > 1 and rng.random() < 0.8:
+            inner = "\n".join(
+                self._section(rng, remaining_depth - 1)
+                for _ in range(rng.randint(1, self.branching))
+            )
+        body = f"<sec> <t>{title}</t>\n{paragraphs}"
+        if inner:
+            body += f"\n{inner}"
+        return body + "\n</sec>"
+
+
+def generate_sgml(documents: int = 20, seed: int = 0, **knobs: object) -> str:
+    return SgmlGenerator(documents=documents, seed=seed, **knobs).generate()  # type: ignore[arg-type]
+
+
+#: Any section (any depth) whose title mentions Compaction, via star path.
+COMPACTION_QUERY = (
+    'SELECT d FROM Document d WHERE d.*X.TitleText = "Compaction Recovery"'
+)

@@ -1,0 +1,179 @@
+"""The source-code workload.
+
+"Programs" are on the paper's list of semi-structured files (Section 1),
+and the Hy+ system the authors built used these techniques for "the
+querying and visualization of software engineering data".  This workload
+models a small imperative language:
+
+    def read_block(buffer, offset) {
+      size = buffer_len;
+      call check_bounds(buffer, offset);
+      if has_lock {
+        call acquire(buffer);
+        result = offset;
+      }
+      call release(buffer);
+    }
+
+Statements are a *disjunctive* non-terminal (``Stmt -> Call | Assign |
+If``, footnote 5's disjunctive types), and ``If`` bodies nest statements —
+so the RIG is cyclic and call-site queries at any depth are closure
+queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    SeqRule,
+    StarRule,
+    TWord,
+)
+from repro.schema.structuring import StructuringSchema
+
+FUNCTION_STEMS = [
+    "read", "write", "flush", "parse", "plan", "scan", "merge", "split",
+    "check", "acquire", "release", "alloc", "free", "hash", "walk",
+]
+NOUNS = ["block", "page", "index", "region", "buffer", "lock", "tree", "row"]
+VARIABLES = ["size", "offset", "count", "cursor", "result", "state", "limit"]
+CONDITIONS = ["has_lock", "is_dirty", "at_end", "needs_split", "in_cache"]
+
+
+def source_grammar() -> Grammar:
+    rules = [
+        StarRule("Program", NonTerminal("Function")),
+        SeqRule(
+            "Function",
+            [
+                Literal("def"),
+                NonTerminal("FuncName"),
+                Literal("("),
+                NonTerminal("Params"),
+                Literal(")"),
+                Literal("{"),
+                NonTerminal("Body"),
+                Literal("}"),
+            ],
+        ),
+        SeqRule("FuncName", [TWord(extra="_")]),
+        StarRule("Params", NonTerminal("Param"), separator=Literal(",")),
+        SeqRule("Param", [TWord(extra="_")]),
+        StarRule("Body", NonTerminal("Stmt")),
+        # Footnote 5: a disjunctive non-terminal.  PEG order matters: the
+        # keyword-led alternatives come before the bare-identifier one.
+        SeqRule("Stmt", [NonTerminal("Call")]),
+        SeqRule("Stmt", [NonTerminal("If")]),
+        SeqRule("Stmt", [NonTerminal("Assign")]),
+        SeqRule(
+            "Call",
+            [
+                Literal("call"),
+                NonTerminal("Callee"),
+                Literal("("),
+                NonTerminal("Args"),
+                Literal(")"),
+                Literal(";"),
+            ],
+        ),
+        SeqRule("Callee", [TWord(extra="_")]),
+        StarRule("Args", NonTerminal("Arg"), separator=Literal(",")),
+        SeqRule("Arg", [TWord(extra="_")]),
+        SeqRule(
+            "If",
+            [
+                Literal("if"),
+                NonTerminal("Cond"),
+                Literal("{"),
+                NonTerminal("Body"),
+                Literal("}"),
+            ],
+        ),
+        SeqRule("Cond", [TWord(extra="_")]),
+        SeqRule(
+            "Assign",
+            [NonTerminal("Var"), Literal("="), NonTerminal("Expr"), Literal(";")],
+        ),
+        SeqRule("Var", [TWord(extra="_")]),
+        SeqRule("Expr", [TWord(extra="_")]),
+    ]
+    return Grammar(rules, start="Program")
+
+
+def source_schema() -> StructuringSchema:
+    return StructuringSchema(
+        source_grammar(), classes={"Function", "Call", "If", "Assign"}, name="Source"
+    )
+
+
+@dataclass
+class SourceGenerator:
+    """Seeded generator of synthetic programs.
+
+    ``depth`` bounds ``if`` nesting; ``call_density`` controls how often a
+    statement is a call (the query target).
+    """
+
+    functions: int = 40
+    statements_per_body: int = 4
+    depth: int = 2
+    call_density: float = 0.5
+    seed: int = 0
+
+    def generate(self) -> str:
+        rng = random.Random(self.seed)
+        self._names = [
+            f"{rng.choice(FUNCTION_STEMS)}_{rng.choice(NOUNS)}_{index}"
+            for index in range(self.functions)
+        ]
+        return "\n".join(
+            self._function(rng, name) for name in self._names
+        ) + "\n"
+
+    def _function(self, rng: random.Random, name: str) -> str:
+        params = ", ".join(
+            rng.sample(VARIABLES, k=rng.randint(0, 3))
+        )
+        body = self._body(rng, self.depth, indent="  ")
+        return f"def {name}({params}) {{\n{body}\n}}"
+
+    def _body(self, rng: random.Random, depth: int, indent: str) -> str:
+        lines = []
+        for _ in range(max(1, self.statements_per_body + rng.randint(-1, 1))):
+            roll = rng.random()
+            if roll < self.call_density:
+                callee = rng.choice(self._names + FUNCTION_STEMS)
+                args = ", ".join(rng.sample(VARIABLES, k=rng.randint(0, 2)))
+                lines.append(f"{indent}call {callee}({args});")
+            elif depth > 0 and roll < self.call_density + 0.2:
+                condition = rng.choice(CONDITIONS)
+                inner = self._body(rng, depth - 1, indent + "  ")
+                lines.append(f"{indent}if {condition} {{\n{inner}\n{indent}}}")
+            else:
+                lines.append(
+                    f"{indent}{rng.choice(VARIABLES)} = {rng.choice(VARIABLES)};"
+                )
+        return "\n".join(lines)
+
+
+def generate_source(functions: int = 40, seed: int = 0, **knobs: object) -> str:
+    return SourceGenerator(functions=functions, seed=seed, **knobs).generate()  # type: ignore[arg-type]
+
+
+#: Functions that call ``alloc`` (at any nesting depth) — a star query.
+CALLERS_OF_ALLOC = (
+    'SELECT f FROM Function f WHERE f.*X.Callee = "alloc"'
+)
+
+#: Top-level calls only: through the concrete Body path.
+TOP_LEVEL_CALLS = (
+    'SELECT f.FuncName FROM Function f WHERE f.Body.Call.Callee = "alloc"'
+)
+
+#: Recursive-ish: functions whose name equals something they call.
+SELF_CALLERS = "SELECT f FROM Function f WHERE f.FuncName = f.Body.Call.Callee"

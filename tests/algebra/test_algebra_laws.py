@@ -1,0 +1,103 @@
+"""Algebraic laws of the region algebra (property-based).
+
+These are the identities the optimizer and translator silently rely on:
+set-operation laws, monotonicity of the inclusion joins, idempotence of the
+extremal operators, and the containment relationships between selection
+modes and between ``⊃``/``⊃d``.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.algebra import ops
+from repro.algebra.region import Instance, Region, RegionSet
+
+spans = st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+    lambda pair: Region(min(pair), max(pair))
+)
+region_sets = st.lists(spans, max_size=9).map(RegionSet)
+
+
+class TestSetLaws:
+    @given(region_sets, region_sets)
+    def test_union_commutative(self, a, b):
+        assert ops.union(a, b) == ops.union(b, a)
+
+    @given(region_sets, region_sets)
+    def test_intersect_commutative(self, a, b):
+        assert ops.intersect(a, b) == ops.intersect(b, a)
+
+    @given(region_sets, region_sets, region_sets)
+    def test_union_associative(self, a, b, c):
+        assert ops.union(ops.union(a, b), c) == ops.union(a, ops.union(b, c))
+
+    @given(region_sets, region_sets, region_sets)
+    def test_intersect_distributes_over_union(self, a, b, c):
+        assert ops.intersect(a, ops.union(b, c)) == ops.union(
+            ops.intersect(a, b), ops.intersect(a, c)
+        )
+
+    @given(region_sets, region_sets)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert ops.intersect(ops.difference(a, b), b) == RegionSet.empty()
+
+    @given(region_sets)
+    def test_idempotence(self, a):
+        assert ops.union(a, a) == a
+        assert ops.intersect(a, a) == a
+        assert ops.difference(a, a) == RegionSet.empty()
+
+
+class TestInclusionLaws:
+    @given(region_sets, region_sets, region_sets)
+    def test_including_monotone_in_right(self, left, small, extra):
+        big = ops.union(small, extra)
+        narrow = ops.including(left, small)
+        wide = ops.including(left, big)
+        assert set(narrow) <= set(wide)
+
+    @given(region_sets, region_sets)
+    def test_including_is_a_selection_of_left(self, left, right):
+        assert set(ops.including(left, right)) <= set(left.regions)
+        assert set(ops.included(left, right)) <= set(left.regions)
+
+    @given(region_sets, region_sets)
+    def test_direct_inclusion_subset_of_simple(self, left, right):
+        instance = Instance({"L": left, "R": right})
+        direct = ops.directly_including(left, right, instance)
+        simple = ops.including(left, right)
+        assert set(direct) <= set(simple)
+
+    @given(region_sets, region_sets)
+    def test_self_inclusion(self, left, right):
+        # Non-strict containment: every region includes itself.
+        assert ops.including(left, left) == left
+        assert ops.included(left, left) == left
+
+    @given(region_sets, region_sets)
+    def test_inclusion_duality(self, left, right):
+        # r ∈ (L ⊃ R) iff some s ∈ (R ⊂ {r}).  Spot-check via full sets:
+        containers = ops.including(left, right)
+        for container in containers:
+            assert ops.included(right, RegionSet([container]))
+
+
+class TestExtremalLaws:
+    @given(region_sets)
+    def test_idempotent(self, regions):
+        inner = ops.innermost(regions)
+        outer = ops.outermost(regions)
+        assert ops.innermost(inner) == inner
+        assert ops.outermost(outer) == outer
+
+    @given(region_sets)
+    def test_nonempty_preserved(self, regions):
+        if regions:
+            assert ops.innermost(regions)
+            assert ops.outermost(regions)
+
+    @given(region_sets)
+    def test_extremal_of_extremal_cross(self, regions):
+        # The outermost of the innermost set is the innermost set itself
+        # when no two innermost regions nest (which they never do).
+        inner = ops.innermost(regions)
+        assert ops.outermost(inner) == inner

@@ -1,0 +1,165 @@
+"""Expression AST: builders, pretty printing, parsing."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Inclusion,
+    Innermost,
+    Name,
+    Outermost,
+    RegionExpr,
+    Select,
+    SetOp,
+    chain,
+    difference,
+    directly_included,
+    directly_including,
+    included,
+    including,
+    innermost,
+    intersect,
+    name,
+    outermost,
+    parse_expression,
+    pretty,
+    select,
+    union,
+)
+from repro.errors import AlgebraError
+
+
+class TestBuilders:
+    def test_name(self):
+        assert name("Reference") == Name("Reference")
+
+    def test_select_coerces_strings(self):
+        node = select("Last_Name", "Chang")
+        assert node == Select(Name("Last_Name"), "Chang", "exact")
+
+    def test_inclusion_builders(self):
+        assert including("A", "B").op == ">"
+        assert directly_including("A", "B").op == ">d"
+        assert included("A", "B").op == "<"
+        assert directly_included("A", "B").op == "<d"
+
+    def test_set_builders(self):
+        assert union("A", "B").kind == "union"
+        assert intersect("A", "B").kind == "intersect"
+        assert difference("A", "B").kind == "difference"
+
+    def test_extremal_builders(self):
+        assert innermost("A") == Innermost(Name("A"))
+        assert outermost("A") == Outermost(Name("A"))
+
+    def test_invalid_operator(self):
+        with pytest.raises(AlgebraError):
+            Inclusion(op="??", left=Name("A"), right=Name("B"))
+
+    def test_invalid_selection_mode(self):
+        with pytest.raises(AlgebraError):
+            Select(Name("A"), "w", mode="bogus")
+
+
+class TestChain:
+    def test_right_grouping(self):
+        expression = chain(["A", "B", "C"], op=">d")
+        assert expression == Inclusion(
+            ">d", Name("A"), Inclusion(">d", Name("B"), Name("C"))
+        )
+
+    def test_chain_with_selection(self):
+        expression = chain(["Reference", "Last_Name"], word="Chang")
+        assert isinstance(expression, Inclusion)
+        assert expression.right == Select(Name("Last_Name"), "Chang", "exact")
+
+    def test_single_name(self):
+        assert chain(["A"]) == Name("A")
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(AlgebraError):
+            chain([])
+
+
+class TestWalkAndNames:
+    def test_region_names(self):
+        expression = parse_expression("A > (B & sigma[w](C))")
+        assert expression.region_names() == {"A", "B", "C"}
+
+    def test_walk_preorder(self):
+        expression = including("A", "B")
+        kinds = [type(node).__name__ for node in expression.walk()]
+        assert kinds == ["Inclusion", "Name", "Name"]
+
+
+class TestParseExpression:
+    def test_paper_example(self):
+        expression = parse_expression(
+            "Reference >d Authors >d Name >d sigma[Chang](Last_Name)"
+        )
+        assert expression == chain(
+            ["Reference", "Authors", "Name", "Last_Name"], op=">d", word="Chang"
+        )
+
+    def test_right_associativity(self):
+        assert parse_expression("A > B > C") == chain(["A", "B", "C"], op=">")
+
+    def test_set_ops_left_associative(self):
+        expression = parse_expression("A | B | C")
+        assert isinstance(expression, SetOp)
+        assert expression.left == SetOp("union", Name("A"), Name("B"))
+
+    def test_mixed_ops_and_parens(self):
+        expression = parse_expression("(A > B) & (C - D)")
+        assert isinstance(expression, SetOp)
+        assert expression.kind == "intersect"
+
+    def test_sigmac_contains_mode(self):
+        expression = parse_expression("sigmac[Chang](Abstract)")
+        assert expression == Select(Name("Abstract"), "Chang", "contains")
+
+    def test_innermost_outermost(self):
+        assert parse_expression("innermost(A)") == Innermost(Name("A"))
+        assert parse_expression("outermost(A > B)") == Outermost(
+            including("A", "B")
+        )
+
+    def test_scoped_index_names(self):
+        expression = parse_expression("Reference > sigma[w](Last_Name@Authors)")
+        assert "Last_Name@Authors" in expression.region_names()
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(AlgebraError):
+            parse_expression("A > B )")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(AlgebraError):
+            parse_expression("(A > B")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlgebraError):
+            parse_expression("")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(AlgebraError):
+            parse_expression("A > #!?")
+
+
+class TestPretty:
+    def test_roundtrip_ascii(self):
+        source = "Reference >d Authors > sigma[Chang](Last_Name)"
+        expression = parse_expression(source)
+        rendered = pretty(expression, unicode_symbols=False)
+        assert parse_expression(rendered) == expression
+
+    def test_unicode_symbols(self):
+        expression = parse_expression("A >d sigma[w](B)")
+        assert pretty(expression) == "A ⊃d σ[w](B)"
+
+    def test_roundtrip_complex(self):
+        source = "(A > B) & (C | sigmac[x](D)) - innermost(E)"
+        expression = parse_expression(source)
+        rendered = pretty(expression, unicode_symbols=False)
+        assert parse_expression(rendered) == expression
+
+    def test_str_uses_pretty(self):
+        assert str(Name("A")) == "A"

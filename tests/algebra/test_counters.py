@@ -1,0 +1,56 @@
+"""Operation counters."""
+
+from repro.algebra.counters import OperationCounters
+
+
+class TestCounters:
+    def test_record(self):
+        counters = OperationCounters()
+        counters.record("⊃", comparisons=5, produced=3)
+        counters.record("⊃", comparisons=2, produced=1)
+        counters.record("σ", comparisons=1)
+        assert counters.operations["⊃"] == 2
+        assert counters.operations["σ"] == 1
+        assert counters.comparisons == 8
+        assert counters.regions_out == 4
+        assert counters.total_operations == 3
+
+    def test_scan(self):
+        counters = OperationCounters()
+        counters.scan(100)
+        counters.scan(50)
+        assert counters.bytes_scanned == 150
+
+    def test_merge(self):
+        first = OperationCounters()
+        first.record("⊃", comparisons=5)
+        first.scan(10)
+        second = OperationCounters()
+        second.record("⊃", comparisons=3)
+        second.record("∪", produced=2)
+        second.scan(20)
+        first.merge(second)
+        assert first.operations["⊃"] == 2
+        assert first.operations["∪"] == 1
+        assert first.comparisons == 8
+        assert first.bytes_scanned == 30
+
+    def test_snapshot(self):
+        counters = OperationCounters()
+        counters.record("⊃d", comparisons=7, produced=2)
+        counters.scan(64)
+        snapshot = counters.snapshot()
+        assert snapshot["op:⊃d"] == 1
+        assert snapshot["comparisons"] == 7
+        assert snapshot["regions_out"] == 2
+        assert snapshot["bytes_scanned"] == 64
+
+    def test_reset(self):
+        counters = OperationCounters()
+        counters.record("⊃", comparisons=5, produced=3)
+        counters.scan(9)
+        counters.reset()
+        assert counters.total_operations == 0
+        assert counters.comparisons == 0
+        assert counters.regions_out == 0
+        assert counters.bytes_scanned == 0

@@ -1,0 +1,91 @@
+"""The paper's layered while-loop program for ⊃d (Section 3.1)."""
+
+import random
+
+from repro.algebra import ops
+from repro.algebra.counters import OperationCounters
+from repro.algebra.direct import is_laminar, layered_directly_including
+from repro.algebra.region import Instance, RegionSet
+from tests.support import instance_from_rig, random_rig
+
+
+class TestIsLaminar:
+    def test_nested_is_laminar(self):
+        instance = Instance(
+            {"A": RegionSet.of((0, 10)), "B": RegionSet.of((2, 8), (1, 9))}
+        )
+        assert is_laminar(instance)
+
+    def test_partial_overlap_is_not_laminar(self):
+        instance = Instance({"A": RegionSet.of((0, 5), (3, 8))})
+        assert not is_laminar(instance)
+
+    def test_disjoint_is_laminar(self):
+        instance = Instance({"A": RegionSet.of((0, 5), (6, 8))})
+        assert is_laminar(instance)
+
+    def test_generated_parse_like_instances_are_laminar(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            graph = random_rig(rng, size=4)
+            _, instance = instance_from_rig(graph, rng)
+            assert is_laminar(instance)
+
+
+class TestLayeredProgram:
+    def test_simple_direct_inclusion(self):
+        instance = Instance(
+            {
+                "A": RegionSet.of((0, 20)),
+                "B": RegionSet.of((2, 18)),
+                "C": RegionSet.of((4, 8)),
+            }
+        )
+        a, b, c = instance.get("A"), instance.get("B"), instance.get("C")
+        assert layered_directly_including(a, b, instance) == a
+        assert layered_directly_including(b, c, instance) == b
+        assert layered_directly_including(a, c, instance) == RegionSet.empty()
+
+    def test_nested_layers_of_same_name(self):
+        # Self-nested sections: outer (0,30) contains inner (5,25) contains
+        # word (10,12).
+        instance = Instance(
+            {
+                "S": RegionSet.of((0, 30), (5, 25)),
+                "W": RegionSet.of((10, 12)),
+            }
+        )
+        s, w = instance.get("S"), instance.get("W")
+        # Only the inner section directly includes the word.
+        assert layered_directly_including(s, w, instance) == RegionSet.of((5, 25))
+
+    def test_matches_pairwise_semantics_on_laminar_instances(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            graph = random_rig(rng, size=5)
+            _, instance = instance_from_rig(graph, rng)
+            names = sorted(instance.names)
+            left = instance.get(rng.choice(names))
+            right = instance.get(rng.choice(names))
+            expected = ops.directly_including(left, right, instance)
+            assert layered_directly_including(left, right, instance) == expected
+
+    def test_layered_program_is_more_expensive(self):
+        rng = random.Random(3)
+        graph = random_rig(rng, size=5)
+        _, instance = instance_from_rig(graph, rng, top_regions=8, max_depth=5)
+        names = sorted(instance.names)
+        left, right = instance.get(names[0]), instance.get(names[-1])
+        direct_counters = OperationCounters()
+        ops.directly_including(left, right, instance, direct_counters)
+        layered_counters = OperationCounters()
+        layered_directly_including(left, right, instance, layered_counters)
+        # The layered program spends at least as many operator applications:
+        # one ω/−/⊃ round per nesting layer (the point of Section 3.1).
+        assert layered_counters.total_operations >= direct_counters.total_operations
+
+    def test_empty_inputs(self):
+        instance = Instance({"A": RegionSet.of((0, 5))})
+        empty = RegionSet.empty()
+        assert layered_directly_including(empty, instance.get("A"), instance) == empty
+        assert layered_directly_including(instance.get("A"), empty, instance) == empty

@@ -1,0 +1,98 @@
+"""The instrumented expression evaluator."""
+
+import pytest
+
+from repro.algebra.ast import parse_expression
+from repro.algebra.evaluator import EmptyWordLookup, Evaluator
+from repro.algebra.region import Instance, RegionSet
+from repro.errors import UnknownRegionNameError
+from repro.index.word_index import WordIndex
+
+TEXT = '(alpha (beta) (beta gamma)) (delta)'
+# A: whole groups; B: inner groups
+INSTANCE = Instance(
+    {
+        "A": RegionSet.of((0, 27), (28, 35)),
+        "B": RegionSet.of((7, 13), (14, 26)),
+        "W": RegionSet.of((1, 6), (8, 12), (15, 19), (20, 25), (29, 34)),
+    }
+)
+
+
+@pytest.fixture()
+def evaluator() -> Evaluator:
+    return Evaluator(INSTANCE, word_lookup=WordIndex(TEXT))
+
+
+class TestEvaluate:
+    def test_name(self, evaluator):
+        assert evaluator.evaluate(parse_expression("A")) == INSTANCE.get("A")
+
+    def test_unknown_name_strict(self, evaluator):
+        with pytest.raises(UnknownRegionNameError):
+            evaluator.evaluate(parse_expression("Missing"))
+
+    def test_unknown_name_lenient(self):
+        lenient = Evaluator(INSTANCE, strict_names=False)
+        assert lenient.evaluate(parse_expression("Missing")) == RegionSet.empty()
+
+    def test_inclusion(self, evaluator):
+        result = evaluator.evaluate(parse_expression("A > B"))
+        assert result == RegionSet.of((0, 27))
+
+    def test_direct_inclusion_blocked_by_b(self, evaluator):
+        # A ⊃d W fails where a B region sits between.
+        result = evaluator.evaluate(parse_expression("A >d W"))
+        # (0,27) directly includes the word at (1,6); (28,35) directly
+        # includes (29,34).
+        assert result == INSTANCE.get("A")
+
+    def test_included(self, evaluator):
+        result = evaluator.evaluate(parse_expression("B < A"))
+        assert result == INSTANCE.get("B")
+
+    def test_selection_exact(self, evaluator):
+        result = evaluator.evaluate(parse_expression("sigma[beta](B)"))
+        assert result == RegionSet.of((7, 13))
+
+    def test_selection_contains(self, evaluator):
+        result = evaluator.evaluate(parse_expression("sigmac[beta](B)"))
+        assert result == RegionSet.of((7, 13), (14, 26))
+
+    def test_set_operations(self, evaluator):
+        result = evaluator.evaluate(parse_expression("A | B"))
+        assert len(result) == 4
+        result = evaluator.evaluate(parse_expression("(A | B) - B"))
+        assert result == INSTANCE.get("A")
+
+    def test_innermost_outermost(self, evaluator):
+        result = evaluator.evaluate(parse_expression("innermost(A | B)"))
+        assert result == RegionSet.of((7, 13), (14, 26), (28, 35))
+        result = evaluator.evaluate(parse_expression("outermost(A | B)"))
+        assert result == INSTANCE.get("A")
+
+    def test_chained_query(self, evaluator):
+        result = evaluator.evaluate(parse_expression("A > B > sigma[gamma](W)"))
+        assert result == RegionSet.of((0, 27))
+
+    def test_empty_word_lookup_makes_selection_empty(self):
+        empty = Evaluator(INSTANCE, word_lookup=EmptyWordLookup())
+        assert empty.evaluate(parse_expression("sigmac[beta](B)")) == RegionSet.empty()
+
+
+class TestRun:
+    def test_run_returns_private_counters(self, evaluator):
+        stats = evaluator.run(parse_expression("A > B"))
+        assert stats.result == RegionSet.of((0, 27))
+        assert stats.counters.operations["⊃"] == 1
+        assert stats.counters.operations["name"] == 2
+
+    def test_run_does_not_pollute_shared_counters(self, evaluator):
+        before = evaluator.counters.total_operations
+        evaluator.run(parse_expression("A > B"))
+        assert evaluator.counters.total_operations == before
+
+    def test_direct_inclusion_costs_more_comparisons(self, evaluator):
+        simple = evaluator.run(parse_expression("A > W")).counters
+        direct = evaluator.run(parse_expression("A >d W")).counters
+        assert direct.comparisons >= simple.comparisons

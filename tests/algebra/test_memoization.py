@@ -1,0 +1,56 @@
+"""Common-subexpression evaluation (Section 5.2)."""
+
+from repro.algebra.ast import parse_expression
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.region import Instance, RegionSet
+
+
+def _instance() -> Instance:
+    return Instance(
+        {
+            "A": RegionSet.of((0, 20), (30, 50)),
+            "B": RegionSet.of((2, 8), (32, 40)),
+            "C": RegionSet.of((3, 5)),
+        }
+    )
+
+
+class TestMemoization:
+    def test_shared_subexpression_evaluated_once(self):
+        evaluator = Evaluator(_instance())
+        expression = parse_expression("(A > B) & ((A > B) | (A > C))")
+        evaluator.evaluate(expression)
+        # "A > B" occurs twice but the ⊃ operator runs only for the distinct
+        # subexpressions: A>B, A>C, plus the two set operations.
+        assert evaluator.counters.operations["⊃"] == 2
+
+    def test_without_memoization_everything_reruns(self):
+        evaluator = Evaluator(_instance(), memoize=False)
+        expression = parse_expression("(A > B) & ((A > B) | (A > C))")
+        evaluator.evaluate(expression)
+        assert evaluator.counters.operations["⊃"] == 3
+
+    def test_memoized_results_are_correct(self):
+        expression = parse_expression("(A > B) & ((A > B) | (A > C))")
+        memoized = Evaluator(_instance()).evaluate(expression)
+        plain = Evaluator(_instance(), memoize=False).evaluate(expression)
+        assert memoized == plain
+
+    def test_memo_survives_across_evaluations_of_same_evaluator(self):
+        evaluator = Evaluator(_instance())
+        expression = parse_expression("A > B")
+        first = evaluator.evaluate(expression)
+        count_after_first = evaluator.counters.operations["⊃"]
+        second = evaluator.evaluate(expression)
+        assert first == second
+        assert evaluator.counters.operations["⊃"] == count_after_first
+
+    def test_run_uses_fresh_counters_but_same_memo(self):
+        evaluator = Evaluator(_instance())
+        expression = parse_expression("A > B")
+        first = evaluator.run(expression)
+        assert first.counters.operations["⊃"] == 1
+        second = evaluator.run(expression)
+        # Cached: no new inclusion work.
+        assert second.counters.operations["⊃"] == 0
+        assert second.result == first.result

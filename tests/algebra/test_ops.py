@@ -1,0 +1,215 @@
+"""Region-algebra operators (Section 3.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import ops
+from repro.algebra.counters import OperationCounters
+from repro.algebra.region import Instance, Region, RegionSet
+from repro.index.word_index import WordIndex
+from tests.support import (
+    brute_force_included,
+    brute_force_including,
+    brute_force_innermost,
+    brute_force_outermost,
+    random_regionset,
+)
+
+spans = st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+    lambda pair: Region(min(pair), max(pair))
+)
+region_sets = st.lists(spans, max_size=10).map(RegionSet)
+
+
+class TestSetOperations:
+    def test_union(self):
+        left = RegionSet.of((0, 1), (2, 3))
+        right = RegionSet.of((2, 3), (4, 5))
+        assert ops.union(left, right) == RegionSet.of((0, 1), (2, 3), (4, 5))
+
+    def test_intersect(self):
+        left = RegionSet.of((0, 1), (2, 3))
+        right = RegionSet.of((2, 3), (4, 5))
+        assert ops.intersect(left, right) == RegionSet.of((2, 3))
+
+    def test_difference(self):
+        left = RegionSet.of((0, 1), (2, 3))
+        right = RegionSet.of((2, 3))
+        assert ops.difference(left, right) == RegionSet.of((0, 1))
+
+    @given(region_sets, region_sets)
+    def test_union_matches_python_sets(self, left, right):
+        expected = RegionSet(set(left.regions) | set(right.regions))
+        assert ops.union(left, right) == expected
+
+    @given(region_sets, region_sets)
+    def test_intersect_matches_python_sets(self, left, right):
+        expected = RegionSet(set(left.regions) & set(right.regions))
+        assert ops.intersect(left, right) == expected
+
+    @given(region_sets, region_sets)
+    def test_difference_matches_python_sets(self, left, right):
+        expected = RegionSet(set(left.regions) - set(right.regions))
+        assert ops.difference(left, right) == expected
+
+
+class TestInclusionJoins:
+    def test_including_example(self):
+        # The paper's R ⊃ S: regions of R including some region of S.
+        containers = RegionSet.of((0, 10), (20, 30))
+        contents = RegionSet.of((2, 4), (40, 45))
+        assert ops.including(containers, contents) == RegionSet.of((0, 10))
+
+    def test_included_example(self):
+        small = RegionSet.of((2, 4), (40, 45))
+        big = RegionSet.of((0, 10))
+        assert ops.included(small, big) == RegionSet.of((2, 4))
+
+    def test_inclusion_is_nonstrict(self):
+        regions = RegionSet.of((0, 10))
+        assert ops.including(regions, regions) == regions
+        assert ops.included(regions, regions) == regions
+
+    @given(region_sets, region_sets)
+    def test_including_matches_bruteforce(self, left, right):
+        assert ops.including(left, right) == brute_force_including(left, right)
+
+    @given(region_sets, region_sets)
+    def test_included_matches_bruteforce(self, left, right):
+        assert ops.included(left, right) == brute_force_included(left, right)
+
+
+class TestExtremal:
+    def test_innermost(self):
+        regions = RegionSet.of((0, 10), (2, 8), (3, 5), (20, 25))
+        assert ops.innermost(regions) == RegionSet.of((3, 5), (20, 25))
+
+    def test_outermost(self):
+        regions = RegionSet.of((0, 10), (2, 8), (3, 5), (20, 25))
+        assert ops.outermost(regions) == RegionSet.of((0, 10), (20, 25))
+
+    @given(region_sets)
+    def test_innermost_matches_bruteforce(self, regions):
+        assert ops.innermost(regions) == brute_force_innermost(regions)
+
+    @given(region_sets)
+    def test_outermost_matches_bruteforce(self, regions):
+        assert ops.outermost(regions) == brute_force_outermost(regions)
+
+    @given(region_sets)
+    def test_extremal_results_are_subsets(self, regions):
+        assert set(ops.innermost(regions)) <= set(regions.regions)
+        assert set(ops.outermost(regions)) <= set(regions.regions)
+
+
+class TestDirectInclusion:
+    def _instance(self) -> Instance:
+        # A(0,20) contains B(2,18) contains C(4,8); D(10,12) inside B too.
+        return Instance(
+            {
+                "A": RegionSet.of((0, 20)),
+                "B": RegionSet.of((2, 18)),
+                "C": RegionSet.of((4, 8)),
+                "D": RegionSet.of((10, 12)),
+            }
+        )
+
+    def test_direct_requires_nothing_between(self):
+        instance = self._instance()
+        a, c = instance.get("A"), instance.get("C")
+        assert ops.directly_including(a, c, instance) == RegionSet.empty()
+        b = instance.get("B")
+        assert ops.directly_including(a, b, instance) == RegionSet.of((0, 20))
+        assert ops.directly_including(b, c, instance) == b
+
+    def test_directly_included_mirror(self):
+        instance = self._instance()
+        b, c = instance.get("B"), instance.get("C")
+        assert ops.directly_included(c, b, instance) == c
+        a = instance.get("A")
+        assert ops.directly_included(c, a, instance) == RegionSet.empty()
+
+    def test_coincident_extents_are_direct(self):
+        # Authors list whose single Name spans the whole list.
+        instance = Instance(
+            {"Authors": RegionSet.of((0, 10)), "Name": RegionSet.of((0, 10))}
+        )
+        result = ops.directly_including(
+            instance.get("Authors"), instance.get("Name"), instance
+        )
+        assert result == RegionSet.of((0, 10))
+
+    def test_matches_bruteforce_on_random_instances(self):
+        rng = random.Random(42)
+        for _ in range(25):
+            instance = Instance(
+                {
+                    "X": random_regionset(rng, count=5),
+                    "Y": random_regionset(rng, count=5),
+                    "Z": random_regionset(rng, count=5),
+                }
+            )
+            left, right = instance.get("X"), instance.get("Y")
+            assert ops.directly_including(left, right, instance) == (
+                ops.brute_force_directly_including(left, right, instance)
+            )
+            assert ops.directly_included(left, right, instance) == (
+                ops.brute_force_directly_included(left, right, instance)
+            )
+
+
+class TestSelection:
+    def _word_index(self, text: str) -> WordIndex:
+        return WordIndex(text)
+
+    def test_exact_selects_single_word_regions(self):
+        text = 'x "Chang" y "Chang Corliss"'
+        words = self._word_index(text)
+        regions = RegionSet.of((3, 8), (13, 26))  # "Chang" and "Chang Corliss"
+        selected = ops.select_word(
+            regions,
+            words.occurrences("Chang"),
+            mode="exact",
+            token_counter=words.token_count_between,
+        )
+        assert selected == RegionSet.of((3, 8))
+
+    def test_contains_selects_any_occurrence(self):
+        text = 'x "Chang" y "Chang Corliss"'
+        words = self._word_index(text)
+        regions = RegionSet.of((3, 8), (13, 26))
+        selected = ops.select_word(
+            regions, words.occurrences("Chang"), mode="contains"
+        )
+        assert selected == regions
+
+    def test_no_occurrences(self):
+        words = self._word_index("nothing here")
+        regions = RegionSet.of((0, 7))
+        assert (
+            ops.select_word(regions, words.occurrences("absent"), mode="contains")
+            == RegionSet.empty()
+        )
+
+    def test_exact_requires_token_counter(self):
+        with pytest.raises(ValueError):
+            ops.select_word(RegionSet.empty(), RegionSet.empty(), mode="exact")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ops.select_word(RegionSet.empty(), RegionSet.empty(), mode="fuzzy")
+
+
+class TestCounters:
+    def test_operators_record_work(self):
+        counters = OperationCounters()
+        left = RegionSet.of((0, 10))
+        right = RegionSet.of((2, 4))
+        ops.including(left, right, counters)
+        ops.union(left, right, counters)
+        assert counters.operations["⊃"] == 1
+        assert counters.operations["∪"] == 1
+        assert counters.regions_out >= 1
+        assert counters.total_operations == 2

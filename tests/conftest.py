@@ -1,0 +1,52 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.index.config import IndexConfig
+from repro.rig.graph import RegionInclusionGraph
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+from repro.workloads.logs import generate_log, log_schema
+from repro.workloads.sgml import generate_sgml, sgml_schema
+
+
+@pytest.fixture(scope="session")
+def paper_rig() -> RegionInclusionGraph:
+    """The BibTeX RIG figure of Section 3.2."""
+    return RegionInclusionGraph.from_adjacency(
+        {
+            "Reference": ["Key", "Title", "Authors", "Editors"],
+            "Authors": ["Name"],
+            "Editors": ["Name"],
+            "Name": ["First_Name", "Last_Name"],
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def bibtex_text() -> str:
+    return generate_bibtex(entries=30, seed=7, self_edited_rate=0.3)
+
+
+@pytest.fixture(scope="session")
+def bibtex_engine(bibtex_text: str) -> FileQueryEngine:
+    return FileQueryEngine(bibtex_schema(), bibtex_text)
+
+
+@pytest.fixture(scope="session")
+def bibtex_partial_engine(bibtex_text: str) -> FileQueryEngine:
+    """The paper's partial index Ip = {Reference, Key, Last_Name}."""
+    config = IndexConfig.partial({"Reference", "Key", "Last_Name"})
+    return FileQueryEngine(bibtex_schema(), bibtex_text, config)
+
+
+@pytest.fixture(scope="session")
+def log_engine() -> FileQueryEngine:
+    return FileQueryEngine(log_schema(), generate_log(entries=120, seed=3))
+
+
+@pytest.fixture(scope="session")
+def sgml_engine() -> FileQueryEngine:
+    return FileQueryEngine(sgml_schema(), generate_sgml(documents=6, depth=4, seed=1))

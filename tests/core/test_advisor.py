@@ -1,0 +1,90 @@
+"""Index selection (Section 7)."""
+
+import pytest
+
+from repro.core.advisor import IndexAdvisor
+from repro.core.engine import FileQueryEngine
+from repro.workloads.bibtex import (
+    CHANG_ANY_QUERY,
+    CHANG_AUTHOR_QUERY,
+    bibtex_schema,
+    generate_bibtex,
+)
+from repro.workloads.logs import (
+    ERROR_QUERY,
+    FAILED_GETS_QUERY,
+    STORAGE_ERRORS_QUERY,
+    generate_log,
+    log_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def bibtex_advisor() -> IndexAdvisor:
+    return IndexAdvisor(bibtex_schema())
+
+
+class TestRecommendation:
+    def test_chang_query_needs_three_indexes(self, bibtex_advisor):
+        report = bibtex_advisor.recommend([CHANG_AUTHOR_QUERY])
+        assert report.config.region_names == frozenset(
+            {"Reference", "Authors", "Last_Name"}
+        )
+
+    def test_star_query_needs_two(self, bibtex_advisor):
+        report = bibtex_advisor.recommend([CHANG_ANY_QUERY])
+        assert report.config.region_names == frozenset({"Reference", "Last_Name"})
+
+    def test_report_describes_itself(self, bibtex_advisor):
+        report = bibtex_advisor.recommend([CHANG_AUTHOR_QUERY])
+        text = report.describe()
+        assert "region indexes" in text
+        assert "Reference" in text
+
+    def test_workload_union(self, bibtex_advisor):
+        report = bibtex_advisor.recommend([CHANG_AUTHOR_QUERY, CHANG_ANY_QUERY])
+        assert {"Reference", "Authors", "Last_Name"} <= set(
+            report.config.region_names
+        )
+
+
+class TestRecommendationIsExact:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            CHANG_AUTHOR_QUERY,
+            CHANG_ANY_QUERY,
+            'SELECT r FROM Reference r WHERE r.Key = "Corl82a"',
+            'SELECT r FROM Reference r WHERE r.Year = "1982" OR r.Year = "1994"',
+        ],
+    )
+    def test_recommended_config_keeps_query_exact(self, bibtex_advisor, query):
+        report = bibtex_advisor.recommend([query])
+        text = generate_bibtex(entries=25, seed=13)
+        engine = FileQueryEngine(bibtex_schema(), text, report.config)
+        result = engine.query(query)
+        baseline = engine.baseline_query(query)
+        assert result.plan.exact, result.plan.notes
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_log_workload(self):
+        advisor = IndexAdvisor(log_schema())
+        queries = [ERROR_QUERY, STORAGE_ERRORS_QUERY, FAILED_GETS_QUERY]
+        report = advisor.recommend(queries)
+        text = generate_log(entries=80, seed=5)
+        engine = FileQueryEngine(log_schema(), text, report.config)
+        for query in queries:
+            result = engine.query(query)
+            baseline = engine.baseline_query(query)
+            assert result.plan.exact, (query, result.plan.notes)
+            assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_recommended_index_is_smaller_than_full(self, bibtex_advisor):
+        report = bibtex_advisor.recommend([CHANG_AUTHOR_QUERY])
+        text = generate_bibtex(entries=25, seed=13)
+        recommended = FileQueryEngine(bibtex_schema(), text, report.config)
+        full = FileQueryEngine(bibtex_schema(), text)
+        assert (
+            recommended.statistics().total_region_entries
+            < full.statistics().total_region_entries / 2
+        )

@@ -1,0 +1,33 @@
+"""Property tests for chain extraction/reconstruction."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chains import chain_to_expression, extract_chain
+from tests.support import random_chain_expression, random_rig
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_extract_then_rebuild_is_identity(seed):
+    rng = random.Random(seed)
+    graph = random_rig(rng, size=rng.randint(3, 7), cyclic=rng.random() < 0.3)
+    expression = random_chain_expression(graph, rng, max_length=7)
+    chain = extract_chain(expression)
+    assert chain is not None
+    assert chain_to_expression(chain) == expression
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_chain_metadata_is_consistent(seed):
+    rng = random.Random(seed)
+    graph = random_rig(rng, size=rng.randint(3, 7))
+    expression = random_chain_expression(graph, rng, max_length=7)
+    chain = extract_chain(expression)
+    assert chain is not None
+    assert len(chain.ops) == len(chain.links) - 1
+    assert chain.forward
+    assert all(op in (">", ">d") for op in chain.ops)
+    assert chain.region_names() == [link.region for link in chain.links]

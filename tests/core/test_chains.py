@@ -1,0 +1,71 @@
+"""Chain extraction and reconstruction."""
+
+from repro.algebra.ast import parse_expression
+from repro.core.chains import ChainView, Link, chain_to_expression, extract_chain
+
+
+class TestExtract:
+    def test_forward_chain(self):
+        expression = parse_expression("A >d B > sigma[w](C)")
+        chain = extract_chain(expression)
+        assert chain is not None
+        assert chain.forward
+        assert chain.region_names() == ["A", "B", "C"]
+        assert chain.ops == (">d", ">")
+        assert chain.links[2] == Link("C", word="w", mode="exact")
+
+    def test_backward_chain(self):
+        expression = parse_expression("C <d B <d A")
+        chain = extract_chain(expression)
+        assert chain is not None
+        assert not chain.forward
+        assert chain.region_names() == ["C", "B", "A"]
+
+    def test_mixed_families_rejected(self):
+        expression = parse_expression("A > B < C")
+        assert extract_chain(expression) is None
+
+    def test_set_operations_rejected(self):
+        expression = parse_expression("A > (B | C)")
+        assert extract_chain(expression) is None
+
+    def test_left_selection_allowed(self):
+        expression = parse_expression("sigma[w](A) > B")
+        chain = extract_chain(expression)
+        assert chain is not None
+        assert chain.links[0] == Link("A", word="w")
+
+    def test_single_name_not_a_chain(self):
+        assert extract_chain(parse_expression("A")) is None
+
+    def test_left_grouped_rejected(self):
+        expression = parse_expression("(A > B) > C")
+        assert extract_chain(expression) is None
+
+
+class TestRoundtrip:
+    def test_expression_roundtrip(self):
+        for source in [
+            "A >d B >d sigma[w](C)",
+            "A > B",
+            "C <d B <d A",
+            "sigmac[x](A) > B > C",
+        ]:
+            expression = parse_expression(source)
+            chain = extract_chain(expression)
+            assert chain is not None
+            assert chain_to_expression(chain) == expression
+
+
+class TestChainEdits:
+    def test_with_op(self):
+        chain = extract_chain(parse_expression("A >d B >d C"))
+        updated = chain.with_op(0, ">")
+        assert updated.ops == (">", ">d")
+
+    def test_without_link(self):
+        chain = extract_chain(parse_expression("A > B > C"))
+        shortened = chain.without_link(1)
+        assert shortened.region_names() == ["A", "C"]
+        assert shortened.ops == (">",)
+        assert chain_to_expression(shortened) == parse_expression("A > C")

@@ -1,0 +1,60 @@
+"""Explain output and static costs."""
+
+from repro.algebra.ast import parse_expression
+from repro.core.cost import static_cost
+from repro.core.explain import explain_plan
+
+
+class TestStaticCost:
+    def test_direct_costs_more_than_simple(self):
+        direct = parse_expression("A >d B")
+        simple = parse_expression("A > B")
+        assert static_cost(direct) > static_cost(simple)
+
+    def test_shorter_chain_costs_less(self):
+        long_chain = parse_expression("A > B > C")
+        short_chain = parse_expression("A > C")
+        assert static_cost(short_chain) < static_cost(long_chain)
+
+    def test_every_node_kind_counted(self):
+        expression = parse_expression(
+            "innermost(sigma[w](A) > B) & (C | D) - outermost(E)"
+        )
+        assert static_cost(expression) > 0
+
+
+class TestExplainPlan:
+    def test_exact_plan_explanation(self, bibtex_engine):
+        text = bibtex_engine.explain(
+            'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+        )
+        assert "translated:" in text
+        assert "optimized:" in text
+        assert "rewrite:" in text
+        assert "exact:     True" in text
+
+    def test_candidate_plan_notes(self, bibtex_partial_engine):
+        text = bibtex_partial_engine.explain(
+            'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+        )
+        assert "index-candidates" in text
+        assert "note:" in text
+
+    def test_join_plan_mentions_join(self, bibtex_engine):
+        text = bibtex_engine.explain(
+            "SELECT r FROM Reference r WHERE r.Editors.Name = r.Authors.Name"
+        )
+        assert "join:" in text
+
+    def test_full_scan_mentions_scan(self):
+        from repro.core.engine import FileQueryEngine
+        from repro.index.config import IndexConfig
+        from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+        engine = FileQueryEngine(
+            bibtex_schema(),
+            generate_bibtex(entries=3, seed=1),
+            IndexConfig.partial({"Key"}),
+        )
+        text = engine.explain('SELECT r FROM Reference r WHERE r.Key = "x"')
+        assert "full-scan" in text

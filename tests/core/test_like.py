@@ -1,0 +1,98 @@
+"""LIKE prefix queries — PAT's lexical search through the query language."""
+
+import pytest
+
+from repro.db.parser import parse_query
+from repro.db.query import Comparison
+from repro.db.values import canonical
+from repro.errors import QueryError
+
+LIKE_QUERY = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name LIKE "Cha*"'
+
+
+class TestParsing:
+    def test_like_parses(self):
+        query = parse_query(LIKE_QUERY)
+        assert isinstance(query.where, Comparison)
+        assert query.where.op == "like"
+        assert query.where.prefix == "Cha"
+
+    def test_render_roundtrip(self):
+        query = parse_query(LIKE_QUERY)
+        assert parse_query(query.render()) == query
+
+    def test_pattern_validation(self):
+        with pytest.raises(QueryError):
+            parse_query('SELECT r FROM Reference r WHERE r.Key LIKE "Cha"')
+        with pytest.raises(QueryError):
+            parse_query('SELECT r FROM Reference r WHERE r.Key LIKE "C*a*"')
+        with pytest.raises(QueryError):
+            parse_query('SELECT r FROM Reference r WHERE r.Key LIKE "*"')
+
+    def test_case_insensitive_keyword(self):
+        query = parse_query(
+            'SELECT r FROM Reference r WHERE r.Key like "Cha*"'
+        )
+        assert query.where.op == "like"
+
+
+class TestSemantics:
+    def test_engine_matches_baseline(self, bibtex_engine):
+        result = bibtex_engine.query(LIKE_QUERY)
+        baseline = bibtex_engine.baseline_query(LIKE_QUERY)
+        assert result.canonical_rows() == baseline.canonical_rows()
+        assert result.rows  # Chang matches Cha*
+
+    def test_prefix_covers_equality(self, bibtex_engine):
+        prefix_rows = bibtex_engine.query(LIKE_QUERY).canonical_rows()
+        exact_rows = bibtex_engine.query(
+            'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+        ).canonical_rows()
+        assert exact_rows <= prefix_rows
+
+    def test_like_on_multiword_field(self, bibtex_engine):
+        # Titles start with a capitalised word; LIKE matches the whole value
+        # prefix even though the value has many tokens.
+        query = 'SELECT r.Title FROM Reference r WHERE r.Title LIKE "Sol*"'
+        result = bibtex_engine.query(query)
+        baseline = bibtex_engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+        for row in result.rows:
+            assert str(canonical(row[0])).startswith("Sol")
+
+    def test_like_under_partial_index(self, bibtex_partial_engine):
+        result = bibtex_partial_engine.query(LIKE_QUERY)
+        baseline = bibtex_partial_engine.baseline_query(LIKE_QUERY)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_like_never_claims_exact(self, bibtex_engine):
+        plan = bibtex_engine.plan(LIKE_QUERY)
+        assert not plan.exact
+        assert "σpc[Cha]" in str(plan.optimized_expression)
+
+    def test_like_star_path(self, bibtex_engine):
+        query = 'SELECT r FROM Reference r WHERE r.*X.Last_Name LIKE "Corl*"'
+        result = bibtex_engine.query(query)
+        baseline = bibtex_engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+
+class TestExpressionModes:
+    def test_prefix_selection_in_algebra(self, bibtex_engine):
+        exact = bibtex_engine.index.evaluate("sigma[Chang](Last_Name)")
+        prefixed = bibtex_engine.index.evaluate("sigmap[Cha](Last_Name)")
+        assert set(exact) <= set(prefixed)
+
+    def test_prefix_contains_mode(self, bibtex_engine):
+        narrow = bibtex_engine.index.evaluate("sigmapc[Tay](Abstract)")
+        wide = bibtex_engine.index.evaluate("sigmac[Taylor](Abstract)")
+        assert set(wide) <= set(narrow)
+
+    def test_pretty_roundtrip(self):
+        from repro.algebra.ast import parse_expression, pretty
+
+        for source in ["sigmap[Cha](A)", "sigmapc[Cha](A)"]:
+            expression = parse_expression(source)
+            assert parse_expression(pretty(expression, unicode_symbols=False)) == (
+                expression
+            )

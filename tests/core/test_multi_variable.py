@@ -1,0 +1,164 @@
+"""Multi-variable queries (Section 5.2's closing join discussion)."""
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.db.parser import parse_query
+from repro.db.values import canonical
+from repro.errors import QueryError
+from repro.index.config import IndexConfig
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+CITES_1982 = (
+    "SELECT r1 FROM Reference r1, Reference r2 "
+    'WHERE r1.Referred.RefKey = r2.Key AND r2.Year = "1982"'
+)
+CITATION_PAIRS = (
+    "SELECT r1.Key, r2.Key FROM Reference r1, Reference r2 "
+    "WHERE r1.Referred.RefKey = r2.Key "
+    'AND r2.Authors.Name.Last_Name = "Chang"'
+)
+SHARED_AUTHOR = (
+    "SELECT r1.Key, r2.Key FROM Reference r1, Reference r2 "
+    "WHERE r1.Authors.Name = r2.Editors.Name "
+    'AND r1.Year = "1982"'
+)
+
+
+@pytest.fixture(scope="module")
+def engine() -> FileQueryEngine:
+    return FileQueryEngine(
+        bibtex_schema(), generate_bibtex(entries=25, seed=3, self_edited_rate=0.2)
+    )
+
+
+class TestParsing:
+    def test_multiple_sources(self):
+        query = parse_query(CITES_1982)
+        assert len(query.sources) == 2
+        assert query.sources[0].var == "r1"
+        assert query.sources[1].class_name == "Reference"
+        assert not query.is_single_source()
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT r FROM Reference r, Reference r")
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query(
+                'SELECT r1 FROM Reference r1 WHERE r2.Key = "x"'
+            )
+
+    def test_render_roundtrip(self):
+        query = parse_query(CITATION_PAIRS)
+        assert parse_query(query.render()) == query
+
+    def test_class_of(self):
+        query = parse_query(CITES_1982)
+        assert query.class_of("r2") == "Reference"
+        with pytest.raises(QueryError):
+            query.class_of("zz")
+
+
+class TestPlanning:
+    def test_multi_strategy(self, engine):
+        plan = engine.plan(CITATION_PAIRS)
+        assert plan.strategy == "index-multi"
+        assert not plan.exact
+        # r2 has a single-variable conjunct -> narrowed; r1 does not.
+        assert plan.per_variable["r1"] is None
+        assert plan.per_variable["r2"] is not None
+        assert "Chang" in str(plan.per_variable["r2"])
+
+    def test_narrowing_is_optimized(self, engine):
+        plan = engine.plan(CITATION_PAIRS)
+        assert "⊃d" not in str(plan.per_variable["r2"])
+
+    def test_statically_empty_variable_empties_plan(self, engine):
+        plan = engine.plan(
+            "SELECT r1 FROM Reference r1, Reference r2 "
+            'WHERE r1.Referred.RefKey = r2.Key AND r2.Bogus = "x"'
+        )
+        assert plan.strategy == "empty"
+
+    def test_unindexed_class_falls_back(self):
+        engine = FileQueryEngine(
+            bibtex_schema(),
+            generate_bibtex(entries=5, seed=1),
+            IndexConfig.partial({"Key"}),
+        )
+        plan = engine.plan(CITES_1982)
+        assert plan.strategy == "full-scan"
+
+
+class TestExecution:
+    @pytest.mark.parametrize("query", [CITES_1982, CITATION_PAIRS, SHARED_AUTHOR])
+    def test_matches_baseline(self, engine, query):
+        result = engine.query(query)
+        baseline = engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_citations_resolve(self, engine):
+        result = engine.query(CITATION_PAIRS)
+        assert result.rows
+        for citing, cited in [
+            (str(canonical(a)), str(canonical(b))) for a, b in result.rows
+        ]:
+            assert citing != "" and cited != ""
+
+    def test_identity_select_regions(self, engine):
+        result = engine.query(CITES_1982)
+        references = engine.index.instance.get("Reference")
+        for region in result.regions:
+            assert region in references
+
+    def test_partial_index_matches_baseline(self):
+        config = IndexConfig.partial({"Reference", "Key", "Last_Name"})
+        engine = FileQueryEngine(
+            bibtex_schema(), generate_bibtex(entries=20, seed=5), config
+        )
+        result = engine.query(CITATION_PAIRS)
+        baseline = engine.baseline_query(CITATION_PAIRS)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_narrowing_reduces_parsing(self, engine):
+        result = engine.query(CITATION_PAIRS)
+        baseline = engine.baseline_query(CITATION_PAIRS)
+        # r2's extent shrinks to Chang-authored references; r1 is parsed in
+        # full, so total parsed bytes stay below two full scans.
+        assert result.stats.bytes_parsed < 2 * baseline.stats.bytes_parsed
+
+    def test_same_entry_can_bind_both_variables(self, engine):
+        query = (
+            "SELECT r1 FROM Reference r1, Reference r2 "
+            "WHERE r1.Key = r2.Key AND r2.Year = r1.Year"
+        )
+        result = engine.query(query)
+        assert len(result.rows) == 25  # every entry pairs with itself
+
+
+class TestNaiveEvaluatorMulti:
+    def test_cartesian_product(self, engine):
+        from repro.db.evaluator import NaiveEvaluator
+
+        database = engine.load_baseline_database()
+        query = parse_query(
+            "SELECT r1.Key, r2.Key FROM Reference r1, Reference r2"
+        )
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(query)
+        assert len(rows) == 25 * 25
+        assert evaluator.report.objects_scanned == 25 * 25
+
+    def test_extent_override(self, engine):
+        from repro.db.evaluator import NaiveEvaluator
+
+        database = engine.load_baseline_database()
+        narrowed = database.extent("Reference")[:3]
+        query = parse_query("SELECT r1.Key, r2.Key FROM Reference r1, Reference r2")
+        evaluator = NaiveEvaluator(
+            database, extents_by_var={"r1": tuple(narrowed)}
+        )
+        rows = evaluator.evaluate(query)
+        assert len(rows) == 3 * 25

@@ -1,0 +1,189 @@
+"""The optimization algorithm (Proposition 3.5, Theorem 3.6)."""
+
+from repro.algebra.ast import parse_expression
+from repro.core.cost import static_cost
+from repro.core.optimizer import OptimizationTrace, optimize
+from repro.rig.graph import RegionInclusionGraph
+
+
+class TestPaperExample:
+    def test_section_3_2_rewrite(self, paper_rig):
+        # e1 = Reference ⊃d Authors ⊃d Name ⊃d σ"Chang"(Last_Name)
+        # e2 = Reference ⊃ Authors ⊃ σ"Chang"(Last_Name)
+        e1 = parse_expression(
+            "Reference >d Authors >d Name >d sigma[Chang](Last_Name)"
+        )
+        e2 = parse_expression("Reference > Authors > sigma[Chang](Last_Name)")
+        assert optimize(e1, paper_rig) == e2
+
+    def test_authors_test_is_kept(self, paper_rig):
+        # "we can not omit the test for inclusion in Authors since we need
+        # to filter out last names of editors."
+        optimized = optimize(
+            parse_expression("Reference >d Authors >d Name >d sigma[Chang](Last_Name)"),
+            paper_rig,
+        )
+        assert "Authors" in optimized.region_names()
+
+    def test_name_removed_because_every_path_passes_it(self, paper_rig):
+        # "every path in G from Reference to Last_Name passes through Name".
+        trace = OptimizationTrace()
+        optimize(
+            parse_expression("Reference >d Authors >d Name >d sigma[Chang](Last_Name)"),
+            paper_rig,
+            trace,
+        )
+        assert ("Authors", "Name", "Last_Name") in trace.shortened
+
+    def test_projection_chain(self, paper_rig):
+        # Section 5.2: Last_Name ⊂d Name ⊂d Authors ⊂d Reference
+        #          ->  Last_Name ⊂ Authors ⊂ Reference
+        e1 = parse_expression("Last_Name <d Name <d Authors <d Reference")
+        e2 = parse_expression("Last_Name < Authors < Reference")
+        assert optimize(e1, paper_rig) == e2
+
+
+class TestRelaxDirect:
+    def test_unique_edge_relaxes(self, paper_rig):
+        assert optimize(
+            parse_expression("Reference >d Authors"), paper_rig
+        ) == parse_expression("Reference > Authors")
+
+    def test_intermediate_blocks_relaxation(self):
+        # A -> B, A -> C, B -> C: something (B) can sit between A and C.
+        graph = RegionInclusionGraph.from_adjacency({"A": ["B", "C"], "B": ["C"]})
+        expression = parse_expression("A >d C")
+        assert optimize(expression, graph) == expression
+
+    def test_rightmost_without_selection_relaxes_on_cycle(self):
+        # Doc -> Sec, Sec -> Sec: every walk Doc ->* Sec starts with the
+        # edge, so Doc ⊃d Sec ≡ Doc ⊃ Sec when Sec carries no selection.
+        graph = RegionInclusionGraph.from_adjacency({"Doc": ["Sec"], "Sec": ["Sec"]})
+        assert optimize(parse_expression("Doc >d Sec"), graph) == parse_expression(
+            "Doc > Sec"
+        )
+
+    def test_rightmost_with_selection_does_not_relax_on_cycle(self):
+        # With σ the deep selected section need not be *directly* included:
+        # the rewrite would change results (DESIGN.md soundness refinement).
+        graph = RegionInclusionGraph.from_adjacency({"Doc": ["Sec"], "Sec": ["Sec"]})
+        expression = parse_expression("Doc >d sigma[w](Sec)")
+        assert optimize(expression, graph) == expression
+
+    def test_self_nesting_blocks_both_pairs(self):
+        graph = RegionInclusionGraph.from_adjacency(
+            {"Doc": ["Sec"], "Sec": ["Sec", "P"]}
+        )
+        # A nested Sec can sit between Doc and Sec AND between Sec and P,
+        # and a walk Sec -> Sec -> P does not start with the edge (Sec, P):
+        # nothing relaxes.
+        expression = parse_expression("Doc >d Sec >d P")
+        assert optimize(expression, graph) == expression
+
+    def test_non_rightmost_relaxes_by_disjunct_one(self):
+        graph = RegionInclusionGraph.from_adjacency(
+            {"Doc": ["Sec"], "Sec": ["P"], "P": ["W"]}
+        )
+        # Mid-chain pairs relax when nothing can sit between them, and the
+        # whole chain then shortens through P (every path passes it).
+        expression = parse_expression("Doc >d Sec >d P >d W")
+        assert optimize(expression, graph) == parse_expression("Doc > W")
+
+
+class TestShorten:
+    def test_multiple_paths_block_shortening(self, paper_rig):
+        # Reference > Authors > Last_Name cannot drop Authors (Editors path).
+        expression = parse_expression("Reference > Authors > Last_Name")
+        assert optimize(expression, paper_rig) == expression
+
+    def test_cascade_shortening(self):
+        graph = RegionInclusionGraph.from_adjacency(
+            {"A": ["B"], "B": ["C"], "C": ["D"]}
+        )
+        expression = parse_expression("A >d B >d C >d D")
+        assert optimize(expression, graph) == parse_expression("A > D")
+
+    def test_selected_middle_link_is_kept(self):
+        graph = RegionInclusionGraph.from_adjacency(
+            {"A": ["B"], "B": ["C"]}
+        )
+        expression = parse_expression("A > sigma[w](B) > C")
+        assert optimize(expression, graph) == expression
+
+    def test_shortening_blocked_across_unrelaxed_direct(self):
+        graph = RegionInclusionGraph.from_adjacency(
+            {"A": ["B", "X"], "B": ["C"], "X": ["B"]}
+        )
+        # A ⊃d B cannot relax (X between); no ⊃-pair to merge.
+        expression = parse_expression("A >d B > C")
+        optimized = optimize(expression, graph)
+        assert optimized == expression
+
+
+class TestStructureRecursion:
+    def test_set_operations_optimized_inside(self, paper_rig):
+        expression = parse_expression(
+            "(Reference >d Authors) | (Reference >d Editors)"
+        )
+        optimized = optimize(expression, paper_rig)
+        assert optimized == parse_expression(
+            "(Reference > Authors) | (Reference > Editors)"
+        )
+
+    def test_selection_over_chain(self, paper_rig):
+        expression = parse_expression("sigma[w](Reference >d Authors)")
+        optimized = optimize(expression, paper_rig)
+        assert optimized == parse_expression("sigma[w](Reference > Authors)")
+
+    def test_innermost_wrapper(self, paper_rig):
+        expression = parse_expression("innermost(Reference >d Authors)")
+        optimized = optimize(expression, paper_rig)
+        assert optimized == parse_expression("innermost(Reference > Authors)")
+
+    def test_name_is_fixed_point(self, paper_rig):
+        assert optimize(parse_expression("Reference"), paper_rig) == parse_expression(
+            "Reference"
+        )
+
+
+class TestCostMonotonicity:
+    def test_optimized_never_costlier(self, paper_rig):
+        expressions = [
+            "Reference >d Authors >d Name >d sigma[Chang](Last_Name)",
+            "Reference > Authors > Last_Name",
+            "Last_Name <d Name <d Authors <d Reference",
+            "Reference >d Editors >d Name",
+        ]
+        for source in expressions:
+            expression = parse_expression(source)
+            optimized = optimize(expression, paper_rig)
+            assert static_cost(optimized) <= static_cost(expression)
+
+    def test_idempotent(self, paper_rig):
+        expression = parse_expression(
+            "Reference >d Authors >d Name >d sigma[Chang](Last_Name)"
+        )
+        once = optimize(expression, paper_rig)
+        twice = optimize(once, paper_rig)
+        assert once == twice
+
+
+class TestTrace:
+    def test_trace_records_rewrites(self, paper_rig):
+        trace = OptimizationTrace()
+        optimize(
+            parse_expression("Reference >d Authors >d Name >d sigma[Chang](Last_Name)"),
+            paper_rig,
+            trace,
+        )
+        assert trace.rewrite_count == 4
+        description = trace.describe()
+        assert "Reference ⊃d Authors" in description
+        assert "chain shortened" in description
+
+    def test_trace_empty_when_nothing_applies(self):
+        graph = RegionInclusionGraph.from_adjacency({"A": ["B", "C"], "B": ["C"]})
+        trace = OptimizationTrace()
+        optimize(parse_expression("A >d C"), graph, trace)
+        assert trace.rewrite_count == 0
+        assert trace.describe() == "no rewrites applicable"

@@ -1,0 +1,218 @@
+"""Property tests for the optimizer (Theorem 3.6).
+
+- *Equivalence*: the optimized expression computes the same region set as
+  the original on every generated RIG-satisfying instance (Definition 3.2).
+- *Finite Church–Rosser*: applying the shortening rule in random orders
+  reaches the same normal form.
+- *Triviality soundness*: expressions flagged empty by Proposition 3.3
+  evaluate to the empty set on every satisfying instance.
+- *Cost monotonicity*: optimization never increases static cost.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.ast import parse_expression, pretty
+from repro.algebra.evaluator import Evaluator
+from repro.core.chains import chain_to_expression, extract_chain
+from repro.core.cost import static_cost
+from repro.core.optimizer import _step_relax_direct, _step_shorten, optimize
+from repro.core.triviality import is_trivially_empty
+from repro.index.word_index import WordIndex
+from repro.rig.paths import coincident_related, every_path_through
+from tests.support import instance_from_rig, random_chain_expression, random_rig
+
+
+def _evaluate(expression, text, instance):
+    evaluator = Evaluator(instance, word_lookup=WordIndex(text), strict_names=False)
+    return evaluator.evaluate(expression)
+
+
+@given(st.integers(0, 10_000), st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_optimize_preserves_results(seed, cyclic):
+    rng = random.Random(seed)
+    graph = random_rig(rng, size=rng.randint(3, 6), cyclic=cyclic)
+    expression = random_chain_expression(graph, rng)
+    optimized = optimize(expression, graph)
+    for sample in range(3):
+        sample_rng = random.Random(seed * 31 + sample)
+        text, instance = instance_from_rig(graph, sample_rng)
+        original_result = _evaluate(expression, text, instance)
+        optimized_result = _evaluate(optimized, text, instance)
+        assert original_result == optimized_result, (
+            f"{pretty(expression)} != {pretty(optimized)} on {text!r}"
+        )
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_triviality_implies_empty(seed):
+    rng = random.Random(seed)
+    graph = random_rig(rng, size=rng.randint(3, 6), cyclic=rng.random() < 0.3)
+    # Random chains over arbitrary (not walk-guided) names hit trivial cases.
+    names = sorted(graph.nodes)
+    length = rng.randint(2, 4)
+    chain_names = [rng.choice(names) for _ in range(length)]
+    op = rng.choice([">", ">d"])
+    expression = parse_expression(f" {op} ".join(chain_names))
+    if not is_trivially_empty(expression, graph):
+        return
+    for sample in range(3):
+        sample_rng = random.Random(seed * 37 + sample)
+        text, instance = instance_from_rig(graph, sample_rng)
+        assert not _evaluate(expression, text, instance), (
+            f"trivially-empty {pretty(expression)} evaluated non-empty on {text!r}"
+        )
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_normal_forms_agree_up_to_equivalence_and_cost(seed):
+    """Theorem 3.6 claims a *unique* most efficient version; as EXPERIMENTS.md
+    records, that is not literally true — when several RIG paths converge
+    (``R0 -> R1 -> R2`` and ``R0 -> R3 -> R2``-style diamonds), rule (b)
+    applied in different orders can leave *different but equally short*
+    middles.  What does hold, and what this test checks on randomized
+    rewrite orders, is:
+
+    - every normal form has the same static cost as the optimizer's, and
+    - every normal form is equivalent to it on satisfying instances.
+
+    The optimizer itself is deterministic (leftmost-first), so the library
+    still exposes one canonical most-efficient version.
+    """
+    rng = random.Random(seed)
+    cyclic = rng.random() < 0.3
+    graph = random_rig(rng, size=rng.randint(3, 6), cyclic=cyclic)
+    expression = random_chain_expression(graph, rng, max_length=6)
+    normal_form = optimize(expression, graph)
+
+    chain = extract_chain(expression)
+    assert chain is not None
+    chain = _step_relax_direct(chain, graph, None)
+    # Randomized fixpoint of rule (b).
+    order_rng = random.Random(seed + 1)
+    while True:
+        candidates = []
+        simple_op = ">" if chain.forward else "<"
+        for index in range(len(chain.ops) - 1):
+            if chain.ops[index] != simple_op or chain.ops[index + 1] != simple_op:
+                continue
+            middle = chain.links[index + 1]
+            if middle.has_select:
+                continue
+            if chain.forward:
+                top, via, bottom = (
+                    chain.links[index].region,
+                    middle.region,
+                    chain.links[index + 2].region,
+                )
+            else:
+                top, via, bottom = (
+                    chain.links[index + 2].region,
+                    middle.region,
+                    chain.links[index].region,
+                )
+            if every_path_through(graph, top, bottom, via) and not coincident_related(
+                graph, top, bottom
+            ):
+                candidates.append(index + 1)
+        if not candidates:
+            break
+        chain = chain.without_link(order_rng.choice(candidates))
+    alternative_form = chain_to_expression(chain)
+    if not cyclic:
+        # On acyclic RIGs every rewrite order reaches an equally short form;
+        # on cyclic ones the same-name guard can dead-end a random order at
+        # a longer (still equivalent) chain.
+        assert static_cost(alternative_form) == static_cost(normal_form)
+    for sample in range(3):
+        sample_rng = random.Random(seed * 13 + sample)
+        text, instance = instance_from_rig(graph, sample_rng)
+        assert _evaluate(alternative_form, text, instance) == _evaluate(
+            normal_form, text, instance
+        ), f"{pretty(alternative_form)} != {pretty(normal_form)} on {text!r}"
+
+
+def test_diamond_counterexample_to_theorem_36_uniqueness():
+    """The concrete Theorem 3.6(i) counterexample recorded in EXPERIMENTS.md:
+    on a diamond-with-bypass RIG, dropping R1 first or R2 first from
+    ``R0 ⊃ R1 ⊃ R2 ⊃ R4 ⊃ σ(R5)`` reaches two distinct, equally short,
+    equivalent normal forms — neither shortens further."""
+    from repro.rig.graph import RegionInclusionGraph
+
+    graph = RegionInclusionGraph.from_adjacency(
+        {
+            "R0": ["R1", "R3"],
+            "R1": ["R2"],
+            "R2": ["R3", "R4"],
+            "R3": ["R4"],
+            "R4": ["R5"],
+        }
+    )
+    form_a = parse_expression("R0 > R2 > sigma[delta](R5)")
+    form_b = parse_expression("R0 > R1 > sigma[delta](R5)")
+    # Both are fixpoints of the optimizer...
+    assert optimize(form_a, graph) == form_a
+    assert optimize(form_b, graph) == form_b
+    # ...equally costly, and equivalent on satisfying instances.
+    assert static_cost(form_a) == static_cost(form_b)
+    for sample in range(8):
+        rng = random.Random(sample)
+        text, instance = instance_from_rig(graph, rng, max_depth=6)
+        assert _evaluate(form_a, text, instance) == _evaluate(form_b, text, instance)
+
+
+def test_cyclic_tie_normal_forms_are_equivalent():
+    """On the cycle R1 -> R2 -> R3 -> R1, the chain R3 ⊃ R1 ⊃ R2 ⊃ R3 has
+    two one-step shortenings (drop R1 or drop R2), both terminal because
+    ``R3 ⊃ R3`` would be the trivially self-including set.  The two normal
+    forms are equally costly and semantically equivalent — the optimizer
+    deterministically picks the leftmost-first one."""
+    from repro.rig.graph import RegionInclusionGraph
+
+    graph = RegionInclusionGraph.from_adjacency(
+        {"R1": ["R2"], "R2": ["R3"], "R3": ["R1"]}
+    )
+    form_a = parse_expression("R3 > R1 > R3")
+    form_b = parse_expression("R3 > R2 > R3")
+    assert static_cost(form_a) == static_cost(form_b)
+    for sample in range(5):
+        rng = random.Random(sample)
+        text, instance = instance_from_rig(graph, rng, max_depth=6)
+        assert _evaluate(form_a, text, instance) == _evaluate(form_b, text, instance)
+    # And both differ from the unsound collapse R3 ⊃ R3 whenever nesting
+    # exists — the guard is necessary.
+    collapsed = parse_expression("R3 > R3")
+    text, instance = instance_from_rig(graph, random.Random(1), max_depth=6)
+    assert _evaluate(collapsed, text, instance) == instance.get("R3")
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=150, deadline=None)
+def test_cost_never_increases(seed):
+    rng = random.Random(seed)
+    graph = random_rig(rng, size=rng.randint(3, 7), cyclic=rng.random() < 0.3)
+    expression = random_chain_expression(graph, rng, max_length=6)
+    assert static_cost(optimize(expression, graph)) <= static_cost(expression)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=100, deadline=None)
+def test_optimize_is_idempotent(seed):
+    rng = random.Random(seed)
+    graph = random_rig(rng, size=rng.randint(3, 6), cyclic=rng.random() < 0.3)
+    expression = random_chain_expression(graph, rng, max_length=6)
+    once = optimize(expression, graph)
+    assert optimize(once, graph) == once
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_generated_instances_satisfy_their_rig(seed):
+    rng = random.Random(seed)
+    graph = random_rig(rng, size=rng.randint(3, 6), cyclic=rng.random() < 0.3)
+    _, instance = instance_from_rig(graph, rng)
+    assert graph.violations(instance, limit=3) == []

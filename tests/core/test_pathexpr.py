@@ -1,0 +1,72 @@
+"""Extended path expressions and closure helpers (Section 5.3)."""
+
+from repro.algebra.region import RegionSet
+from repro.core.pathexpr import (
+    containment_closure,
+    max_nesting_depth,
+    nesting_layers,
+    regions_at_depth,
+    star_query,
+)
+from repro.db.query import Attr, StarVar
+
+
+class TestStarQuery:
+    def test_builds_expected_query(self):
+        query = star_query("Reference", "Last_Name", "Chang")
+        assert query.source_class == "Reference"
+        assert query.is_identity_select()
+        assert query.where.path.steps == (StarVar("X"), Attr("Last_Name"))
+        assert query.where.literal == "Chang"
+
+    def test_runs_on_engine(self, bibtex_engine):
+        query = star_query("Reference", "Last_Name", "Chang")
+        result = bibtex_engine.query(query)
+        baseline = bibtex_engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+
+class TestClosure:
+    def test_closure_is_single_inclusion(self, sgml_engine):
+        sections = containment_closure(sgml_engine.index, "Section", "ParaText")
+        # Every section has paragraphs somewhere below it.
+        assert sections == sgml_engine.index.instance.get("Section")
+
+    def test_closure_with_word(self, sgml_engine):
+        with_word = containment_closure(
+            sgml_engine.index, "Section", "ParaText", word="region", mode="contains"
+        )
+        assert set(with_word) <= set(sgml_engine.index.instance.get("Section"))
+        assert with_word  # the generator's vocabulary contains "region"
+
+
+class TestNestingLayers:
+    def test_layers_partition_the_set(self, sgml_engine):
+        sections = sgml_engine.index.instance.get("Section")
+        layers = nesting_layers(sections)
+        assert sum(len(layer) for layer in layers) == len(sections)
+        assert len(layers) >= 2  # the generator nests sections
+
+    def test_layer_zero_is_outermost(self, sgml_engine):
+        sections = sgml_engine.index.instance.get("Section")
+        layers = nesting_layers(sections)
+        for outer in layers[0]:
+            assert not sections.any_strictly_including(outer)
+
+    def test_regions_at_depth(self, sgml_engine):
+        sections = sgml_engine.index.instance.get("Section")
+        top = regions_at_depth(sections, 0)
+        deeper = regions_at_depth(sections, 1)
+        assert top and deeper
+        for region in deeper:
+            assert top.any_including(region) or sections.any_strictly_including(region)
+
+    def test_out_of_range_depth(self):
+        assert regions_at_depth(RegionSet.of((0, 5)), 3) == RegionSet.empty()
+        assert regions_at_depth(RegionSet.of((0, 5)), -1) == RegionSet.empty()
+
+    def test_max_nesting_depth(self, sgml_engine):
+        sections = sgml_engine.index.instance.get("Section")
+        assert max_nesting_depth(sections) >= 1
+        assert max_nesting_depth(RegionSet.empty()) == -1
+        assert max_nesting_depth(RegionSet.of((0, 5))) == 0

@@ -1,0 +1,127 @@
+"""Regular path expressions (GraphLog-style, Section 5.3)."""
+
+import pytest
+
+from repro.algebra.ast import parse_expression
+from repro.core.regular import (
+    AnyPath,
+    Plus,
+    Star,
+    Step,
+    compile_regular_path,
+    evaluate_regular_path,
+    parse_regular_path,
+)
+from repro.errors import QuerySyntaxError
+
+
+class TestParse:
+    def test_concrete_steps(self):
+        anchor, atoms = parse_regular_path("Document.Sections.Section")
+        assert anchor == "Document"
+        assert atoms == (Step("Sections"), Step("Section"))
+
+    def test_modifiers(self):
+        _, atoms = parse_regular_path("Doc.Section+.Para*.**.Text")
+        assert atoms == (Plus("Section"), Star("Para"), AnyPath(), Step("Text"))
+
+    def test_anchor_only_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_regular_path("Document")
+
+    def test_bad_atom_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_regular_path("Doc.Se!ction")
+
+    def test_anchor_must_be_plain(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_regular_path("Doc+.Section")
+
+
+class TestCompile:
+    def test_concrete_chain_is_direct(self):
+        expression = compile_regular_path(
+            "Document", (Step("Sections"), Step("Section"))
+        )
+        assert expression == parse_expression("Document >d Sections >d Section")
+
+    def test_any_path_is_simple_inclusion(self):
+        expression = compile_regular_path("Document", (AnyPath(), Step("ParaText")))
+        assert expression == parse_expression("Document > ParaText")
+
+    def test_plus_interposes_the_name(self):
+        expression = compile_regular_path("Document", (Plus("Section"), Step("Title")))
+        assert expression == parse_expression("Document >d Section > Title")
+
+    def test_star_branches_zero_and_more(self):
+        expression = compile_regular_path("Sections", (Star("Section"), Step("Title")))
+        assert expression == parse_expression(
+            "(Sections >d Title) | (Sections >d Section > Title)"
+        )
+
+    def test_selection_on_last(self):
+        expression = compile_regular_path(
+            "Document", (AnyPath(), Step("TitleText")), word="Compaction"
+        )
+        assert expression == parse_expression(
+            "Document > sigma[Compaction](TitleText)"
+        )
+
+    def test_closures_only(self):
+        expression = compile_regular_path("Document", (AnyPath(),))
+        assert expression == parse_expression("Document")
+
+
+class TestEvaluate:
+    def test_closure_query_on_sgml(self, sgml_engine):
+        # Sections at any depth with a paragraph mentioning "region".
+        result = evaluate_regular_path(
+            sgml_engine.index,
+            "Section.**.ParaText",
+            word="region",
+            mode="contains",
+        )
+        sections = sgml_engine.index.instance.get("Section")
+        assert set(result) <= set(sections)
+        assert result
+
+    def test_plus_requires_nested_section(self, sgml_engine):
+        nested = evaluate_regular_path(
+            sgml_engine.index, "Section.Subsections.Section+.ParaText",
+            word="region", mode="contains",
+        )
+        any_depth = evaluate_regular_path(
+            sgml_engine.index, "Section.**.ParaText",
+            word="region", mode="contains",
+        )
+        assert set(nested) <= set(any_depth)
+
+    def test_concrete_equals_translator_semantics(self, sgml_engine):
+        direct = evaluate_regular_path(
+            sgml_engine.index, "Document.Title.TitleText"
+        )
+        # Title is transparent in the schema but is still a real region
+        # name, so the concrete pattern addresses it fine.
+        documents = sgml_engine.index.instance.get("Document")
+        assert direct == documents  # every document has a title
+
+    def test_optimizer_integration(self, sgml_engine):
+        from repro.rig.derive import derive_full_rig
+
+        rig = derive_full_rig(sgml_engine.schema.grammar, include_root=False)
+        with_rig = evaluate_regular_path(
+            sgml_engine.index, "Document.**.ParaText", word="region",
+            mode="contains", rig=rig,
+        )
+        without = evaluate_regular_path(
+            sgml_engine.index, "Document.**.ParaText", word="region",
+            mode="contains",
+        )
+        assert with_rig == without
+
+    def test_star_zero_case_counts(self, sgml_engine):
+        # Sections reachable through zero-or-more Subsections wrappers.
+        either = evaluate_regular_path(
+            sgml_engine.index, "Sections.Section*.Title.TitleText"
+        )
+        assert either

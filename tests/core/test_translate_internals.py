@@ -1,0 +1,136 @@
+"""Unit tests for translator internals: pattern matching, path resolution,
+the effective RIG, and gap exactness."""
+
+import pytest
+
+from repro.core.translate import ResolvedPath, Translator, _matches_pattern
+from repro.db.parser import parse_query
+from repro.index.config import IndexConfig
+from repro.workloads.bibtex import bibtex_schema
+
+
+class TestMatchesPattern:
+    def test_exact_sequence(self):
+        assert _matches_pattern(("A", "B"), ["A", "B"])
+        assert not _matches_pattern(("A", "B"), ["A"])
+        assert not _matches_pattern(("A",), ["A", "B"])
+        assert not _matches_pattern(("B", "A"), ["A", "B"])
+
+    def test_empty(self):
+        assert _matches_pattern((), [])
+        assert not _matches_pattern(("A",), [])
+        assert _matches_pattern((), [None])
+
+    def test_leading_wildcard_is_anchored_at_end(self):
+        pattern = [None, "A"]
+        assert _matches_pattern(("X", "Y", "A"), pattern)
+        assert _matches_pattern(("A",), pattern)
+        assert not _matches_pattern(("A", "X"), pattern)
+
+    def test_trailing_wildcard_is_anchored_at_start(self):
+        pattern = ["A", None]
+        assert _matches_pattern(("A",), pattern)
+        assert _matches_pattern(("A", "X", "Y"), pattern)
+        # The bug the anchored matcher prevents: junk before the first
+        # concrete step must NOT match.
+        assert not _matches_pattern(("X", "A"), pattern)
+
+    def test_inner_wildcard(self):
+        pattern = ["A", None, "B"]
+        assert _matches_pattern(("A", "B"), pattern)
+        assert _matches_pattern(("A", "X", "B"), pattern)
+        assert not _matches_pattern(("A", "X"), pattern)
+
+    def test_double_wildcard(self):
+        pattern = [None, "A", None]
+        assert _matches_pattern(("A",), pattern)
+        assert _matches_pattern(("X", "A", "Y"), pattern)
+        assert not _matches_pattern(("X", "Y"), pattern)
+
+
+class TestResolution:
+    @pytest.fixture(scope="class")
+    def translator(self) -> Translator:
+        return Translator(bibtex_schema(), IndexConfig.full())
+
+    def test_concrete_resolution(self, translator):
+        query = parse_query(
+            'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "x"'
+        )
+        resolved = translator._resolve("Reference", query.where.path)
+        assert len(resolved) == 1
+        assert resolved[0].nodes == ("Reference", "Authors", "Name", "Last_Name")
+        assert resolved[0].loose_after == (False, False, False)
+
+    def test_star_resolution(self, translator):
+        query = parse_query('SELECT r FROM Reference r WHERE r.*X.Last_Name = "x"')
+        resolved = translator._resolve("Reference", query.where.path)
+        assert len(resolved) == 1
+        assert resolved[0].nodes == ("Reference", "Last_Name")
+        assert resolved[0].loose_after == (True,)
+
+    def test_seqvar_branches(self, translator):
+        query = parse_query(
+            'SELECT r FROM Reference r WHERE r.X.Name.Last_Name = "x"'
+        )
+        resolved = translator._resolve("Reference", query.where.path)
+        branches = {r.nodes[1] for r in resolved}
+        assert branches == {"Authors", "Editors"}
+        for branch in resolved:
+            assert dict(branch.bindings)["X"] in branches
+
+    def test_trailing_star(self, translator):
+        query = parse_query('SELECT r FROM Reference r WHERE r.Authors.*X = "x"')
+        resolved = translator._resolve("Reference", query.where.path)
+        assert resolved[0].trailing_star
+
+    def test_nonexistent_attribute(self, translator):
+        query = parse_query('SELECT r FROM Reference r WHERE r.Bogus = "x"')
+        assert translator._resolve("Reference", query.where.path) == []
+
+
+class TestEffectiveRig:
+    def test_scoped_node_copies_source_edges(self):
+        config = IndexConfig.partial({"Reference", "Last_Name"}).with_scoped(
+            "Last_Name", "Authors"
+        )
+        translator = Translator(bibtex_schema(), config)
+        rig = translator.effective_rig()
+        assert rig.has_node("Last_Name@Authors")
+        assert rig.has_edge("Reference", "Last_Name@Authors")
+
+    def test_scoped_node_with_unindexed_source(self):
+        config = IndexConfig.partial({"Reference"}).with_scoped(
+            "Last_Name", "Authors"
+        )
+        translator = Translator(bibtex_schema(), config)
+        rig = translator.effective_rig()
+        assert rig.has_edge("Reference", "Last_Name@Authors")
+
+
+class TestGapExactness:
+    def test_ambiguous_gap(self):
+        translator = Translator(
+            bibtex_schema(), IndexConfig.partial({"Reference", "Last_Name"})
+        )
+        resolved = ResolvedPath(
+            nodes=("Reference", "Authors", "Name", "Last_Name"),
+            loose_after=(False, False, False),
+        )
+        assert not translator._gap_is_exact(resolved, 0, 3)
+
+    def test_wildcard_gap_is_exact(self):
+        translator = Translator(
+            bibtex_schema(), IndexConfig.partial({"Reference", "Last_Name"})
+        )
+        resolved = ResolvedPath(
+            nodes=("Reference", "Last_Name"), loose_after=(True,)
+        )
+        assert translator._gap_is_exact(resolved, 0, 1)
+
+    def test_unique_path_gap_is_exact(self):
+        translator = Translator(
+            bibtex_schema(), IndexConfig.partial({"Reference", "Key"})
+        )
+        resolved = ResolvedPath(nodes=("Reference", "Key"), loose_after=(False,))
+        assert translator._gap_is_exact(resolved, 0, 1)

@@ -1,0 +1,206 @@
+"""The naive in-database evaluator (the baseline)."""
+
+import pytest
+
+from repro.db.evaluator import NaiveEvaluator
+from repro.db.model import Database
+from repro.db.parser import parse_query
+from repro.db.values import (
+    AtomicValue,
+    ObjectValue,
+    SetValue,
+    TupleValue,
+    atom,
+    canonical,
+)
+
+
+def make_reference(key, author_lasts, editor_lasts, year="1990"):
+    def names(lasts):
+        return SetValue(
+            [
+                TupleValue(
+                    "Name",
+                    {
+                        "First_Name": AtomicValue("A.", "First_Name"),
+                        "Last_Name": AtomicValue(last, "Last_Name"),
+                    },
+                )
+                for last in lasts
+            ]
+        )
+
+    return ObjectValue(
+        "Reference",
+        {
+            "Key": AtomicValue(key, "Key"),
+            "Year": AtomicValue(year, "Year"),
+            "Authors": names(author_lasts),
+            "Editors": names(editor_lasts),
+        },
+    )
+
+
+@pytest.fixture()
+def database() -> Database:
+    db = Database()
+    db.insert(make_reference("r1", ["Chang", "Corliss"], ["Griewank"]))
+    db.insert(make_reference("r2", ["Milo"], ["Chang"], year="1994"))
+    db.insert(make_reference("r3", ["Consens"], ["Consens", "Tompa"]))
+    return db
+
+
+def keys(rows):
+    return {canonical(row[0].get("Key")) for row in rows}
+
+
+class TestSelection:
+    def test_existential_semantics(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+            )
+        )
+        assert keys(rows) == {"r1"}
+
+    def test_and_or(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r FROM Reference r WHERE '
+                'r.Authors.Name.Last_Name = "Milo" OR r.Year = "1990"'
+            )
+        )
+        assert keys(rows) == {"r1", "r2", "r3"}
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r FROM Reference r WHERE '
+                'r.Year = "1990" AND r.Authors.Name.Last_Name = "Consens"'
+            )
+        )
+        assert keys(rows) == {"r3"}
+
+    def test_not(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r FROM Reference r WHERE NOT r.Year = "1990"'
+            )
+        )
+        assert keys(rows) == {"r2"}
+
+    def test_not_equal_exists(self, database):
+        evaluator = NaiveEvaluator(database)
+        # <> is existential too: some author whose last name differs.
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name <> "Chang"'
+            )
+        )
+        assert keys(rows) == {"r1", "r2", "r3"}
+
+    def test_empty_result(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query('SELECT r FROM Reference r WHERE r.Key = "nope"')
+        )
+        assert rows == []
+
+
+class TestStarVariables:
+    def test_star_reaches_any_depth(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query('SELECT r FROM Reference r WHERE r.*X.Last_Name = "Chang"')
+        )
+        assert keys(rows) == {"r1", "r2"}
+
+    def test_plain_variable_single_step(self, database):
+        evaluator = NaiveEvaluator(database)
+        # r.X.Name.Last_Name: X ranges over Authors/Editors.
+        rows = evaluator.evaluate(
+            parse_query('SELECT r FROM Reference r WHERE r.X.Name.Last_Name = "Chang"')
+        )
+        assert keys(rows) == {"r1", "r2"}
+
+    def test_variable_consistency_across_conditions(self, database):
+        evaluator = NaiveEvaluator(database)
+        # Same X must be the same attribute in both conditions: some list
+        # containing both Consens and Tompa — only r3's Editors.
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r FROM Reference r WHERE '
+                'r.X.Name.Last_Name = "Consens" AND r.X.Name.Last_Name = "Tompa"'
+            )
+        )
+        assert keys(rows) == {"r3"}
+
+    def test_variable_consistency_rules_out(self, database):
+        evaluator = NaiveEvaluator(database)
+        # Chang and Corliss are both authors only in r1.
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r FROM Reference r WHERE '
+                'r.X.Name.Last_Name = "Chang" AND r.X.Name.Last_Name = "Corliss"'
+            )
+        )
+        assert keys(rows) == {"r1"}
+
+
+class TestJoins:
+    def test_path_comparison(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query(
+                "SELECT r FROM Reference r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name"
+            )
+        )
+        assert keys(rows) == {"r3"}
+
+    def test_tuple_comparison(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query("SELECT r FROM Reference r WHERE r.Editors.Name = r.Authors.Name")
+        )
+        assert keys(rows) == {"r3"}
+
+
+class TestOutputs:
+    def test_projection_collects_all_values(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r.Authors.Name.Last_Name FROM Reference r WHERE r.Key = "r1"'
+            )
+        )
+        assert {canonical(row[0]) for row in rows} == {"Chang", "Corliss"}
+
+    def test_multi_output_cross_product(self, database):
+        evaluator = NaiveEvaluator(database)
+        rows = evaluator.evaluate(
+            parse_query('SELECT r.Key, r.Year FROM Reference r WHERE r.Key = "r2"')
+        )
+        assert [(canonical(a), canonical(b)) for a, b in rows] == [("r2", "1994")]
+
+    def test_variable_output_respects_bindings(self, database):
+        evaluator = NaiveEvaluator(database)
+        # Output the last names reached by the same X that matched Chang.
+        rows = evaluator.evaluate(
+            parse_query(
+                'SELECT r.X.Name.Last_Name FROM Reference r '
+                'WHERE r.X.Name.Last_Name = "Griewank"'
+            )
+        )
+        assert {canonical(row[0]) for row in rows} == {"Griewank"}
+
+
+class TestReport:
+    def test_work_is_tallied(self, database):
+        evaluator = NaiveEvaluator(database)
+        evaluator.evaluate(
+            parse_query('SELECT r FROM Reference r WHERE r.Key = "r1"')
+        )
+        assert evaluator.report.objects_scanned == 3
+        assert evaluator.report.comparisons >= 3
+        assert evaluator.report.rows == 1

@@ -1,0 +1,25 @@
+"""The full-load baseline pipeline."""
+
+from repro.db.loader import load_database
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+
+class TestLoadDatabase:
+    def test_loads_all_references(self):
+        text = generate_bibtex(entries=12, seed=9)
+        loaded = load_database(bibtex_schema(), text)
+        assert len(loaded.database.extent("Reference")) == 12
+
+    def test_report_costs(self):
+        text = generate_bibtex(entries=12, seed=9)
+        loaded = load_database(bibtex_schema(), text)
+        # The baseline parses the whole file and builds every value.
+        assert loaded.report.bytes_parsed >= len(text) - 10
+        assert loaded.report.objects_loaded == 12
+        assert loaded.report.values_built > 12 * 10
+
+    def test_root_and_tree_exposed(self):
+        text = generate_bibtex(entries=3, seed=9)
+        loaded = load_database(bibtex_schema(), text)
+        assert len(list(loaded.root)) == 3
+        assert loaded.tree.symbol == "Ref_Set"

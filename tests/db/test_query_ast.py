@@ -1,0 +1,82 @@
+"""Query AST invariants and helpers."""
+
+import pytest
+
+from repro.db.parser import parse_query
+from repro.db.query import (
+    And,
+    Attr,
+    Comparison,
+    Or,
+    PathExpr,
+    Query,
+    Source,
+    TrueCondition,
+    condition_range_variables,
+    conjoin,
+    split_conjuncts,
+)
+from repro.errors import QueryError
+
+
+class TestQueryConstruction:
+    def test_legacy_single_source_kwargs(self):
+        query = Query(
+            outputs=(PathExpr("r"),), source_class="Reference", var="r"
+        )
+        assert query.sources == (Source("Reference", "r"),)
+        assert query.source_class == "Reference"
+        assert query.var == "r"
+
+    def test_needs_sources(self):
+        with pytest.raises(QueryError):
+            Query(outputs=(PathExpr("r"),))
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(QueryError):
+            Query(outputs=(), source_class="R", var="r")
+
+    def test_comparison_operator_validation(self):
+        with pytest.raises(QueryError):
+            Comparison(path=PathExpr("r", (Attr("A"),)), op="~=", literal="x")
+
+
+class TestConjunctHelpers:
+    def test_split_and_rebuild(self):
+        query = parse_query(
+            'SELECT r FROM R r WHERE r.A = "1" AND r.B = "2" AND r.C = "3"'
+        )
+        conjuncts = split_conjuncts(query.where)
+        assert len(conjuncts) == 3
+        rebuilt = conjoin(conjuncts)
+        assert split_conjuncts(rebuilt) == conjuncts
+
+    def test_or_is_one_conjunct(self):
+        query = parse_query('SELECT r FROM R r WHERE r.A = "1" OR r.B = "2"')
+        assert len(split_conjuncts(query.where)) == 1
+
+    def test_true_condition_splits_to_nothing(self):
+        assert split_conjuncts(TrueCondition()) == []
+        assert isinstance(conjoin([]), TrueCondition)
+
+    def test_condition_range_variables(self):
+        query = parse_query(
+            "SELECT r1 FROM R r1, R r2 WHERE r1.A = r2.B AND r1.C = \"x\""
+        )
+        assert isinstance(query.where, And)
+        assert condition_range_variables(query.where) == {"r1", "r2"}
+        left, right = split_conjuncts(query.where)
+        assert condition_range_variables(right) == {"r1"}
+
+
+class TestRendering:
+    def test_condition_rendering_roundtrip(self):
+        sources = [
+            'SELECT r FROM R r WHERE (r.A = "1" OR r.B = "2") AND NOT r.C = "3"',
+            'SELECT r FROM R r WHERE r.A <> "1"',
+            "SELECT r FROM R r WHERE r.A = r.B",
+            'SELECT r FROM R r WHERE r.K LIKE "Ch*"',
+        ]
+        for source in sources:
+            query = parse_query(source)
+            assert parse_query(query.render()) == query

@@ -1,0 +1,151 @@
+"""The XSQL-subset query parser."""
+
+import pytest
+
+from repro.db.parser import parse_query
+from repro.db.query import (
+    And,
+    Attr,
+    Comparison,
+    Not,
+    Or,
+    PathComparison,
+    PathExpr,
+    Query,
+    SeqVars,
+    StarVar,
+    TrueCondition,
+)
+from repro.errors import QueryError, QuerySyntaxError
+
+
+class TestBasicQueries:
+    def test_paper_query(self):
+        query = parse_query(
+            'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"'
+        )
+        assert query.source_class == "References"
+        assert query.var == "r"
+        assert query.is_identity_select()
+        condition = query.where
+        assert isinstance(condition, Comparison)
+        assert condition.literal == "Chang"
+        assert condition.path.steps == (
+            Attr("Authors"),
+            Attr("Name"),
+            Attr("Last_Name"),
+        )
+
+    def test_no_where(self):
+        query = parse_query("SELECT r FROM References r")
+        assert isinstance(query.where, TrueCondition)
+
+    def test_projection_output(self):
+        query = parse_query(
+            "SELECT r.Authors.Name.Last_Name FROM References r"
+        )
+        assert not query.is_identity_select()
+        assert query.outputs[0].steps[-1] == Attr("Last_Name")
+
+    def test_multiple_outputs(self):
+        query = parse_query("SELECT r.Key, r.Year FROM References r")
+        assert len(query.outputs) == 2
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query("select r from References r where r.Key = \"x\"")
+        assert query.source_class == "References"
+
+
+class TestVariables:
+    def test_star_variable(self):
+        query = parse_query(
+            'SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"'
+        )
+        assert query.where.path.steps == (StarVar("X"), Attr("Last_Name"))
+
+    def test_plain_variables(self):
+        query = parse_query(
+            'SELECT r FROM References r WHERE r.X1.X2.Last_Name = "Chang"'
+        )
+        assert query.where.path.steps == (
+            SeqVars("X1"),
+            SeqVars("X2"),
+            Attr("Last_Name"),
+        )
+
+    def test_attribute_names_are_not_variables(self):
+        query = parse_query('SELECT r FROM References r WHERE r.Year = "1982"')
+        assert query.where.path.steps == (Attr("Year"),)
+
+    def test_variable_names(self):
+        path = PathExpr("r", (StarVar("X"), Attr("A"), SeqVars("Y")))
+        assert path.variable_names() == {"X", "Y"}
+        assert path.has_variables()
+        assert path.attribute_names() == ["A"]
+
+
+class TestConditions:
+    def test_and_or_precedence(self):
+        query = parse_query(
+            'SELECT r FROM R r WHERE r.A = "1" OR r.B = "2" AND r.C = "3"'
+        )
+        assert isinstance(query.where, Or)
+        assert isinstance(query.where.right, And)
+
+    def test_parentheses(self):
+        query = parse_query(
+            'SELECT r FROM R r WHERE (r.A = "1" OR r.B = "2") AND r.C = "3"'
+        )
+        assert isinstance(query.where, And)
+        assert isinstance(query.where.left, Or)
+
+    def test_not(self):
+        query = parse_query('SELECT r FROM R r WHERE NOT r.A = "1"')
+        assert isinstance(query.where, Not)
+
+    def test_path_comparison(self):
+        query = parse_query(
+            "SELECT r FROM R r WHERE r.Editors.Name = r.Authors.Name"
+        )
+        assert isinstance(query.where, PathComparison)
+
+    def test_not_equal(self):
+        query = parse_query('SELECT r FROM R r WHERE r.A <> "1"')
+        assert query.where.op == "<>"
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('SELECT r FROM R r WHERE r.A = "1" extra')
+
+    def test_missing_from(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT r WHERE r.A = \"1\"")
+
+    def test_bad_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('SELECT r FROM R r WHERE r.A ( "1"')
+
+    def test_wrong_range_variable(self):
+        with pytest.raises(QueryError):
+            parse_query('SELECT s FROM R r WHERE r.A = "1"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('SELECT r FROM R r WHERE r.A = "oops')
+
+
+class TestRender:
+    def test_roundtrip(self):
+        source = 'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"'
+        query = parse_query(source)
+        assert parse_query(query.render()) == query
+
+    def test_roundtrip_with_variables_and_join(self):
+        source = (
+            "SELECT r FROM References r "
+            'WHERE r.*X.Last_Name = "Chang" AND r.Editors.Name = r.Authors.Name'
+        )
+        query = parse_query(source)
+        assert parse_query(query.render()) == query

@@ -1,0 +1,108 @@
+"""The value model."""
+
+import pytest
+
+from repro.db.values import (
+    AtomicValue,
+    ListValue,
+    ObjectValue,
+    SetValue,
+    TupleValue,
+    atom,
+    canonical,
+    iter_children,
+)
+from repro.errors import DatabaseError
+
+
+class TestAtomic:
+    def test_str(self):
+        assert str(atom("x")) == "x"
+
+    def test_type_tag_ignored_by_canonical(self):
+        assert canonical(AtomicValue("x", "Key")) == canonical(AtomicValue("x"))
+
+
+class TestTuple:
+    def test_get(self):
+        name = TupleValue("Name", {"Last_Name": atom("Chang")})
+        assert name.get("Last_Name") == atom("Chang")
+        assert name.has("Last_Name")
+        assert not name.has("First_Name")
+
+    def test_get_missing_raises(self):
+        name = TupleValue("Name", {})
+        with pytest.raises(DatabaseError):
+            name.get("Last_Name")
+
+    def test_equality_by_content(self):
+        a = TupleValue("Name", {"x": atom("1")})
+        b = TupleValue("Name", {"x": atom("1")})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_type_name(self):
+        assert TupleValue("A", {}) != TupleValue("B", {})
+
+
+class TestSetAndList:
+    def test_set_equality_ignores_order(self):
+        a = SetValue([atom("1"), atom("2")])
+        b = SetValue([atom("2"), atom("1")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_list_preserves_order(self):
+        values = ListValue([atom("1"), atom("2")])
+        assert [str(v) for v in values] == ["1", "2"]
+        assert len(values) == 2
+
+    def test_set_len_and_iter(self):
+        values = SetValue([atom("1")])
+        assert len(values) == 1
+        assert list(values) == [atom("1")]
+
+
+class TestObject:
+    def test_identity_semantics(self):
+        a = ObjectValue("Ref", {"Key": atom("k")})
+        b = ObjectValue("Ref", {"Key": atom("k")})
+        assert a != b
+        assert a == a
+        assert a.oid != b.oid
+
+    def test_get_missing(self):
+        obj = ObjectValue("Ref", {})
+        with pytest.raises(DatabaseError):
+            obj.get("Key")
+
+
+class TestCanonical:
+    def test_object_content_equality(self):
+        a = ObjectValue("Ref", {"Key": atom("k")})
+        b = ObjectValue("Ref", {"Key": atom("k")})
+        assert canonical(a) == canonical(b)
+
+    def test_nested_structures(self):
+        value = SetValue(
+            [TupleValue("Name", {"Last_Name": atom("Chang")})]
+        )
+        assert canonical(value) == frozenset(
+            {("tuple", "Name", (("Last_Name", "Chang"),))}
+        )
+
+    def test_list_becomes_tuple(self):
+        assert canonical(ListValue([atom("a")])) == ("a",)
+
+
+class TestIterChildren:
+    def test_tuple_children_named(self):
+        value = TupleValue("Name", {"x": atom("1")})
+        assert list(iter_children(value)) == [("x", atom("1"))]
+
+    def test_set_children_unnamed(self):
+        value = SetValue([atom("1")])
+        assert list(iter_children(value)) == [(None, atom("1"))]
+
+    def test_atomic_no_children(self):
+        assert list(iter_children(atom("1"))) == []

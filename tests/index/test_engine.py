@@ -1,0 +1,72 @@
+"""The index-engine facade."""
+
+import pytest
+
+from repro.algebra.region import Region
+from repro.errors import IndexError_, UnknownRegionNameError
+from repro.index.builder import build_engine
+from repro.index.config import IndexConfig
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+TEXT = generate_bibtex(entries=8, seed=4)
+SCHEMA = bibtex_schema()
+TREE = SCHEMA.parse(TEXT)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_engine(TEXT, TREE, root=SCHEMA.grammar.start)
+
+
+class TestEvaluate:
+    def test_string_expression(self, engine):
+        references = engine.evaluate("Reference")
+        assert len(references) == 8
+
+    def test_ast_expression(self, engine):
+        from repro.algebra.ast import including, name
+
+        result = engine.evaluate(including(name("Reference"), name("Authors")))
+        assert len(result) == 8
+
+    def test_unknown_name_raises(self, engine):
+        with pytest.raises(UnknownRegionNameError):
+            engine.evaluate("Bogus")
+
+    def test_run_collects_counters(self, engine):
+        stats = engine.run("Reference > Authors")
+        assert stats.counters.operations["⊃"] == 1
+        assert len(stats.result) == 8
+
+    def test_selection_via_word_index(self, engine):
+        result = engine.evaluate("sigma[Chang](Last_Name)")
+        for region in result:
+            assert engine.region_text(region) == "Chang"
+
+
+class TestWordLookupProtocol:
+    def test_occurrences(self, engine):
+        assert len(engine.occurrences("AUTHOR")) == 8
+
+    def test_token_count(self, engine):
+        assert engine.token_count_between(0, len(TEXT)) > 0
+
+    def test_without_word_index(self):
+        engine = build_engine(
+            TEXT, TREE, IndexConfig.full(word_index=False), root=SCHEMA.grammar.start
+        )
+        with pytest.raises(IndexError_):
+            engine.occurrences("Chang")
+        with pytest.raises(IndexError_):
+            engine.token_count_between(0, 5)
+
+
+class TestAccess:
+    def test_region_text(self, engine):
+        region = next(iter(engine.instance.get("Key")))
+        assert engine.region_text(region) == TEXT[region.start : region.end]
+
+    def test_region_names(self, engine):
+        names = engine.region_names()
+        assert "Reference" in names
+        assert SCHEMA.grammar.start not in names

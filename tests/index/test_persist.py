@@ -1,0 +1,85 @@
+"""Index persistence."""
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.errors import IndexError_
+from repro.index.config import IndexConfig
+from repro.index.persist import load_index, save_index
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY, bibtex_schema, generate_bibtex
+
+
+@pytest.fixture(scope="module")
+def built_engine():
+    return FileQueryEngine(
+        bibtex_schema(), generate_bibtex(entries=15, seed=8)
+    )
+
+
+class TestRoundtrip:
+    def test_save_and_load_index(self, built_engine, tmp_path):
+        save_index(built_engine.index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.text == built_engine.index.text
+        assert set(loaded.instance.names) == set(built_engine.index.instance.names)
+        for name in loaded.instance.names:
+            assert loaded.instance.get(name) == built_engine.index.instance.get(name)
+
+    def test_word_index_rebuilt(self, built_engine, tmp_path):
+        save_index(built_engine.index, tmp_path / "idx")
+        loaded = load_index(tmp_path / "idx")
+        assert loaded.word_index is not None
+        assert (
+            loaded.word_index.posting_count
+            == built_engine.index.word_index.posting_count
+        )
+
+    def test_engine_from_saved_answers_identically(self, built_engine, tmp_path):
+        built_engine.save(str(tmp_path / "idx"))
+        restored = FileQueryEngine.from_saved(bibtex_schema(), str(tmp_path / "idx"))
+        original = built_engine.query(CHANG_AUTHOR_QUERY)
+        reloaded = restored.query(CHANG_AUTHOR_QUERY)
+        assert original.canonical_rows() == reloaded.canonical_rows()
+        assert original.stats.strategy == reloaded.stats.strategy
+
+    def test_partial_config_survives(self, tmp_path):
+        config = IndexConfig.partial({"Reference", "Key"}).with_scoped(
+            "Last_Name", "Authors"
+        )
+        engine = FileQueryEngine(
+            bibtex_schema(), generate_bibtex(entries=5, seed=1), config
+        )
+        engine.save(str(tmp_path / "idx"))
+        restored = FileQueryEngine.from_saved(bibtex_schema(), str(tmp_path / "idx"))
+        assert restored.config.region_names == frozenset({"Reference", "Key"})
+        assert restored.config.scoped[0].name == "Last_Name@Authors"
+        assert "Last_Name@Authors" in restored.index.instance.names
+
+    def test_word_scope_survives(self, tmp_path):
+        config = IndexConfig.full(word_scope="Authors")
+        engine = FileQueryEngine(
+            bibtex_schema(), generate_bibtex(entries=5, seed=1), config
+        )
+        engine.save(str(tmp_path / "idx"))
+        restored = load_index(tmp_path / "idx")
+        assert (
+            restored.word_index.posting_count
+            == engine.index.word_index.posting_count
+        )
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(IndexError_):
+            load_index(tmp_path / "nope")
+
+    def test_version_check(self, built_engine, tmp_path):
+        import json
+
+        save_index(built_engine.index, tmp_path / "idx")
+        config_path = tmp_path / "idx" / "config.json"
+        data = json.loads(config_path.read_text())
+        data["version"] = 99
+        config_path.write_text(json.dumps(data))
+        with pytest.raises(IndexError_):
+            load_index(tmp_path / "idx")

@@ -1,0 +1,121 @@
+"""PAT-style proximity / position / contextual / frequency search."""
+
+import pytest
+
+from repro.algebra.region import Region, RegionSet
+from repro.index import search
+from repro.index.word_index import WordIndex
+
+TEXT = "Taylor series converge; the Taylor polynomial diverges; series end"
+
+
+@pytest.fixture()
+def words() -> WordIndex:
+    return WordIndex(TEXT)
+
+
+class TestFollowedBy:
+    def test_adjacent_words(self, words):
+        spans = search.followed_by(
+            words.occurrences("Taylor"), words.occurrences("series"), max_gap=1
+        )
+        assert len(spans) == 1
+        span = next(iter(spans))
+        assert TEXT[span.start : span.end] == "Taylor series"
+
+    def test_gap_limit(self, words):
+        none = search.followed_by(
+            words.occurrences("Taylor"), words.occurrences("end"), max_gap=5
+        )
+        assert none == RegionSet.empty()
+        far = search.followed_by(
+            words.occurrences("Taylor"), words.occurrences("end"), max_gap=60
+        )
+        assert len(far) >= 1
+
+    def test_order_matters(self, words):
+        spans = search.followed_by(
+            words.occurrences("series"), words.occurrences("Taylor"), max_gap=1
+        )
+        assert spans == RegionSet.empty()
+
+    def test_negative_gap_rejected(self, words):
+        with pytest.raises(ValueError):
+            search.followed_by(RegionSet.empty(), RegionSet.empty(), max_gap=-1)
+
+
+class TestProximity:
+    def test_either_order(self, words):
+        spans = search.proximity(
+            words.occurrences("series"), words.occurrences("Taylor"), max_gap=1
+        )
+        assert len(spans) == 1
+
+    def test_symmetric(self, words):
+        a = search.proximity(
+            words.occurrences("Taylor"), words.occurrences("converge"), max_gap=10
+        )
+        b = search.proximity(
+            words.occurrences("converge"), words.occurrences("Taylor"), max_gap=10
+        )
+        assert a == b
+
+
+class TestWindowAndContext:
+    def test_within_window(self, words):
+        first_half = search.within_window(words.occurrences("Taylor"), 0, 30)
+        assert len(first_half) == 1
+        everything = search.within_window(words.occurrences("Taylor"), 0, len(TEXT))
+        assert len(everything) == 2
+
+    def test_contextual(self, words):
+        contexts = RegionSet.of((0, 23))  # first clause
+        inside = search.contextual(words.occurrences("series"), contexts)
+        assert len(inside) == 1
+
+
+class TestFrequency:
+    def test_frequency_in(self, words):
+        regions = RegionSet.of((0, 23), (24, 55), (56, 67))
+        counts = search.frequency_in(regions, words.occurrences("series"))
+        assert counts == {Region(0, 23): 1, Region(56, 67): 1}
+
+    def test_select_by_frequency(self, words):
+        regions = RegionSet.of((0, len(TEXT)), (0, 23))
+        twice = search.select_by_frequency(
+            regions, words.occurrences("Taylor"), min_count=2
+        )
+        assert twice == RegionSet.of((0, len(TEXT)))
+
+    def test_min_count_validation(self, words):
+        with pytest.raises(ValueError):
+            search.select_by_frequency(RegionSet.empty(), RegionSet.empty(), 0)
+
+
+class TestEngineConveniences:
+    def test_phrase(self, bibtex_engine):
+        spans = bibtex_engine.index.phrase("Taylor", "series", max_gap=2)
+        for span in spans:
+            assert bibtex_engine.index.region_text(span) == "Taylor series"
+        assert spans
+
+    def test_phrase_needs_words(self, bibtex_engine):
+        from repro.errors import IndexError_
+
+        with pytest.raises(IndexError_):
+            bibtex_engine.index.phrase()
+
+    def test_near(self, bibtex_engine):
+        spans = bibtex_engine.index.near("AUTHOR", "TITLE", max_gap=100)
+        assert spans
+
+    def test_regions_with_frequency(self, bibtex_engine):
+        # References mentioning "Taylor" at least twice (title + keywords
+        # or abstract).
+        at_least_once = bibtex_engine.index.regions_with_frequency(
+            "Reference", "Taylor", 1
+        )
+        at_least_twice = bibtex_engine.index.regions_with_frequency(
+            "Reference", "Taylor", 2
+        )
+        assert set(at_least_twice) <= set(at_least_once)

@@ -1,0 +1,73 @@
+"""Property tests for the PAT search operations."""
+
+from hypothesis import given, strategies as st
+
+from repro.algebra.region import Region, RegionSet
+from repro.index import search
+
+spans = st.tuples(st.integers(0, 40), st.integers(1, 6)).map(
+    lambda pair: Region(pair[0], pair[0] + pair[1])
+)
+span_sets = st.lists(spans, max_size=8).map(RegionSet)
+
+
+@given(span_sets, span_sets, st.integers(0, 20))
+def test_followed_by_matches_bruteforce(first, second, max_gap):
+    expected = RegionSet(
+        Region(left.start, right.end)
+        for left in first
+        for right in second
+        if 0 <= right.start - left.end <= max_gap
+    )
+    assert search.followed_by(first, second, max_gap) == expected
+
+
+@given(span_sets, span_sets, st.integers(0, 20))
+def test_proximity_is_symmetric(first, second, max_gap):
+    assert search.proximity(first, second, max_gap) == search.proximity(
+        second, first, max_gap
+    )
+
+
+@given(span_sets, st.integers(0, 40), st.integers(0, 40))
+def test_within_window_matches_bruteforce(occurrences, a, b):
+    start, end = min(a, b), max(a, b)
+    expected = RegionSet(
+        region
+        for region in occurrences
+        if start <= region.start and region.end <= end
+    )
+    assert search.within_window(occurrences, start, end) == expected
+
+
+@given(span_sets, span_sets)
+def test_contextual_matches_bruteforce(occurrences, contexts):
+    expected = RegionSet(
+        occurrence
+        for occurrence in occurrences
+        if any(context.includes(occurrence) for context in contexts)
+    )
+    assert search.contextual(occurrences, contexts) == expected
+
+
+@given(span_sets, span_sets)
+def test_frequency_consistency(regions, occurrences):
+    counts = search.frequency_in(regions, occurrences)
+    for region, count in counts.items():
+        assert count == sum(
+            1 for occurrence in occurrences if region.includes(occurrence)
+        )
+    # select_by_frequency(k) is exactly the regions with count >= k.
+    for min_count in (1, 2):
+        selected = search.select_by_frequency(regions, occurrences, min_count)
+        expected = RegionSet(
+            region for region, count in counts.items() if count >= min_count
+        )
+        assert selected == expected
+
+
+@given(span_sets, span_sets, st.integers(0, 20))
+def test_followed_by_spans_cover_both_words(first, second, max_gap):
+    for span in search.followed_by(first, second, max_gap):
+        assert any(span.start == left.start for left in first)
+        assert any(span.end == right.end for right in second)

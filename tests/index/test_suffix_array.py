@@ -1,0 +1,63 @@
+"""The PAT-style sistring array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.suffix_array import SuffixArray
+
+
+class TestFind:
+    def test_word_prefix_positions(self):
+        text = "Chang wrote; Chapman edited; Chang reviewed"
+        array = SuffixArray(text)
+        hits = array.find("Chang")
+        assert len(hits) == 2
+        for region in hits:
+            assert text[region.start : region.end] == "Chang"
+
+    def test_prefix_matches_longer_words(self):
+        array = SuffixArray("Chang Chapman chart")
+        assert array.count("Cha") == 2  # case-sensitive: not "chart"
+
+    def test_phrase_search_across_words(self):
+        # PAT sistrings extend past word boundaries: a phrase query works.
+        text = "Taylor series; Taylor polynomial"
+        array = SuffixArray(text)
+        assert array.count("Taylor series") == 1
+        assert array.count("Taylor poly") == 1
+        assert array.count("Taylor") == 2
+
+    def test_no_match(self):
+        array = SuffixArray("alpha beta")
+        assert array.count("gamma") == 0
+
+    def test_empty_prefix_rejected(self):
+        array = SuffixArray("alpha")
+        with pytest.raises(IndexError_):
+            array.find("")
+
+    def test_overlong_prefix_rejected(self):
+        array = SuffixArray("alpha", key_length=4)
+        with pytest.raises(IndexError_):
+            array.find("alpha")
+
+    def test_bad_key_length(self):
+        with pytest.raises(IndexError_):
+            SuffixArray("alpha", key_length=0)
+
+    def test_explicit_positions(self):
+        text = "abcabc"
+        array = SuffixArray(text, positions=[0, 3])
+        assert array.count("abc") == 2
+        assert len(array) == 2
+
+
+@given(st.text(alphabet="ab ", min_size=1, max_size=40), st.text(alphabet="ab", min_size=1, max_size=4))
+def test_find_matches_bruteforce(text, prefix):
+    from repro.text.tokenizer import tokenize
+
+    array = SuffixArray(text)
+    starts = [token.start for token in tokenize(text)]
+    expected = {start for start in starts if text.startswith(prefix, start)}
+    assert {region.start for region in array.find(prefix)} == expected

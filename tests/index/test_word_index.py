@@ -1,0 +1,85 @@
+"""The inverted word index."""
+
+from repro.algebra.region import Region, RegionSet
+from repro.index.word_index import WordIndex
+
+TEXT = 'AUTHOR = "G. Corliss and Y. Chang" KEYWORDS = "Taylor series; Chang"'
+
+
+class TestOccurrences:
+    def test_positions(self):
+        index = WordIndex(TEXT)
+        chang = index.occurrences("Chang")
+        assert len(chang) == 2
+        for region in chang:
+            assert TEXT[region.start : region.end] == "Chang"
+
+    def test_missing_word(self):
+        index = WordIndex(TEXT)
+        assert index.occurrences("absent") == RegionSet.empty()
+
+    def test_case_sensitivity_default(self):
+        index = WordIndex(TEXT)
+        assert len(index.occurrences("chang")) == 0
+
+    def test_lowercase_folding(self):
+        index = WordIndex(TEXT, lowercase=True)
+        assert len(index.occurrences("chang")) == 2
+        assert len(index.occurrences("CHANG")) == 2
+
+    def test_frequency_and_contains(self):
+        index = WordIndex(TEXT)
+        assert index.frequency("Chang") == 2
+        assert index.frequency("nope") == 0
+        assert "Chang" in index
+        assert "nope" not in index
+
+
+class TestTokenCounting:
+    def test_token_count_between(self):
+        index = WordIndex("alpha beta gamma")
+        assert index.token_count_between(0, 16) == 3
+        assert index.token_count_between(0, 5) == 1
+        assert index.token_count_between(0, 4) == 0  # "alph" cut short
+        assert index.token_count_between(6, 10) == 1
+
+    def test_exact_selection_support(self):
+        # A Last_Name region is "the word Chang" iff it holds exactly one
+        # token and that token is Chang.
+        index = WordIndex('"Chang" "Chang Corliss"')
+        single = Region(1, 6)
+        double = Region(9, 22)
+        assert index.token_count_between(single.start, single.end) == 1
+        assert index.token_count_between(double.start, double.end) == 2
+
+
+class TestScope:
+    def test_selective_word_indexing(self):
+        # Section 7: index only the words inside chosen regions.
+        scope = RegionSet.of((0, 34))  # the AUTHOR field only
+        index = WordIndex(TEXT, scope=scope)
+        assert index.frequency("Chang") == 1
+        assert index.frequency("Taylor") == 0
+
+    def test_scope_reduces_postings(self):
+        full = WordIndex(TEXT)
+        scoped = WordIndex(TEXT, scope=RegionSet.of((0, 34)))
+        assert scoped.posting_count < full.posting_count
+
+
+class TestVocabulary:
+    def test_sorted_vocabulary(self):
+        index = WordIndex("beta alpha beta")
+        assert index.vocabulary == ("alpha", "beta")
+        assert index.vocabulary_size == 2
+        assert index.posting_count == 3
+
+    def test_prefix_search(self):
+        index = WordIndex("Chang Chapman Corliss chart")
+        assert list(index.words_with_prefix("Cha")) == ["Chang", "Chapman"]
+        occurrences = index.occurrences_with_prefix("Cha")
+        assert len(occurrences) == 2
+
+    def test_prefix_search_no_match(self):
+        index = WordIndex("alpha")
+        assert list(index.words_with_prefix("z")) == []

@@ -1,0 +1,144 @@
+"""Failure injection and edge cases."""
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.errors import ParseError, QueryError, QuerySyntaxError
+from repro.index.config import IndexConfig
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY, bibtex_schema, generate_bibtex
+
+
+class TestMalformedInput:
+    def test_malformed_corpus_raises_parse_error(self):
+        with pytest.raises(ParseError) as excinfo:
+            FileQueryEngine(bibtex_schema(), "@INCOLLECTION{ broken")
+        assert excinfo.value.position >= 0
+
+    def test_truncated_entry(self):
+        good = generate_bibtex(entries=2, seed=1)
+        with pytest.raises(ParseError):
+            FileQueryEngine(bibtex_schema(), good[: len(good) // 2])
+
+    def test_garbage_between_entries(self):
+        good = generate_bibtex(entries=2, seed=1)
+        hacked = good.replace("}\n@INCOLLECTION", "}\n???\n@INCOLLECTION", 1)
+        with pytest.raises(ParseError):
+            FileQueryEngine(bibtex_schema(), hacked)
+
+    def test_query_syntax_error(self, bibtex_engine):
+        with pytest.raises(QuerySyntaxError):
+            bibtex_engine.query("SELEKT r FROM Reference r")
+
+    def test_query_semantic_error(self, bibtex_engine):
+        with pytest.raises(QueryError):
+            bibtex_engine.query('SELECT s FROM Reference r WHERE r.Key = "x"')
+
+
+class TestEmptyAndTiny:
+    def test_empty_corpus(self):
+        engine = FileQueryEngine(bibtex_schema(), "")
+        result = engine.query(CHANG_AUTHOR_QUERY)
+        assert result.rows == []
+        assert engine.baseline_query(CHANG_AUTHOR_QUERY).rows == []
+
+    def test_single_entry(self):
+        engine = FileQueryEngine(bibtex_schema(), generate_bibtex(entries=1, seed=0))
+        assert len(engine.query("SELECT r FROM Reference r").rows) == 1
+
+    def test_whitespace_only(self):
+        engine = FileQueryEngine(bibtex_schema(), "   \n\n  ")
+        assert engine.query("SELECT r FROM Reference r").rows == []
+
+    def test_query_for_class_with_no_extent(self):
+        engine = FileQueryEngine(bibtex_schema(), generate_bibtex(entries=1, seed=0))
+        # A grammar non-terminal that is not a class: DB extent is empty.
+        result = engine.baseline_query("SELECT n FROM Name n")
+        assert result.rows == []
+
+
+class TestUnicodeAndOddContent:
+    def test_unicode_names(self):
+        text = (
+            "@INCOLLECTION{ Key80a,\n"
+            '  AUTHOR = "Å. Çelik and Ö. Müller",\n'
+            '  TITLE = "Überoptimierung",\n'
+            '  BOOKTITLE = "Bücher",\n'
+            '  YEAR = "1980",\n'
+            '  EDITOR = "É. Dvořák",\n'
+            '  PUBLISHER = "Springer",\n'
+            '  ADDRESS = "Zürich",\n'
+            '  PAGES = "1--2",\n'
+            '  REFERRED = "Key80a",\n'
+            '  KEYWORDS = "ümlaut handling",\n'
+            '  ABSTRACT = "ça marche"\n'
+            "}\n"
+        )
+        engine = FileQueryEngine(bibtex_schema(), text)
+        result = engine.query(
+            'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Çelik"'
+        )
+        baseline = engine.baseline_query(
+            'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Çelik"'
+        )
+        assert len(result.rows) == 1
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_single_author_coincident_extents(self):
+        # One author: the Authors region coincides with its Name region —
+        # the coincidence corner the RIG machinery handles.
+        text = generate_bibtex(entries=10, seed=2, authors_per_entry=1)
+        engine = FileQueryEngine(bibtex_schema(), text)
+        query = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+        assert (
+            engine.query(query).canonical_rows()
+            == engine.baseline_query(query).canonical_rows()
+        )
+
+    def test_empty_field_lists(self):
+        # An entry whose Referred list has one key and keywords one phrase
+        # still round-trips (generator minimums); zero-element star regions
+        # are covered by the logs workload (entries without requests).
+        from repro.workloads.logs import generate_log, log_schema
+
+        engine = FileQueryEngine(
+            log_schema(), generate_log(entries=30, seed=1, requests_per_entry=0)
+        )
+        query = 'SELECT e FROM Entry e WHERE e.Requests.Request.Status = "503"'
+        assert (
+            engine.query(query).canonical_rows()
+            == engine.baseline_query(query).canonical_rows()
+        )
+
+
+class TestCandidateReparseFailure:
+    def test_unparseable_candidate_is_dropped(self, monkeypatch):
+        """If a candidate region fails to re-parse (index out of sync with
+        the file), it is excluded rather than crashing the query."""
+        text = generate_bibtex(entries=5, seed=9)
+        config = IndexConfig.partial({"Reference", "Key", "Last_Name"})
+        engine = FileQueryEngine(bibtex_schema(), text, config)
+        # Corrupt the engine's view of the text after indexing.
+        engine.index.text = text.replace("@INCOLLECTION", "@XXCOLLECTION", 1)
+        result = engine.query(CHANG_AUTHOR_QUERY)
+        assert result.stats.objects_filtered_out >= 0  # no exception
+        assert all(
+            row[0].class_name == "Reference" for row in result.rows
+        )
+
+
+class TestLenientEvaluation:
+    def test_expression_with_unindexed_name_strict(self, bibtex_partial_engine):
+        from repro.errors import UnknownRegionNameError
+
+        with pytest.raises(UnknownRegionNameError):
+            bibtex_partial_engine.index.evaluate("Reference > Authors")
+
+    def test_zero_width_regions_behave(self, log_engine):
+        # Entries without requests have zero-width Requests regions; they
+        # are included in their Entry and contain nothing.
+        requests = log_engine.index.instance.get("Requests")
+        entries = log_engine.index.instance.get("Entry")
+        zero_width = [region for region in requests if len(region) == 0]
+        assert zero_width  # the generator produces some
+        for region in zero_width:
+            assert entries.any_including(region)

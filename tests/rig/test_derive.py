@@ -1,0 +1,150 @@
+"""Deriving RIGs from grammars (Sections 4.2 and 6.1)."""
+
+import pytest
+
+from repro.errors import RigError
+from repro.rig.derive import derive_full_rig, derive_partial_rig
+from repro.workloads.bibtex import bibtex_grammar
+from repro.workloads.sgml import sgml_grammar
+
+
+class TestFullRig:
+    def test_bibtex_matches_paper_figure(self):
+        graph = derive_full_rig(bibtex_grammar(), include_root=False)
+        # The fragment shown in Section 3.2:
+        assert graph.has_edge("Reference", "Authors")
+        assert graph.has_edge("Reference", "Editors")
+        assert graph.has_edge("Reference", "Key")
+        assert graph.has_edge("Reference", "Title")
+        assert graph.has_edge("Authors", "Name")
+        assert graph.has_edge("Editors", "Name")
+        assert graph.has_edge("Name", "First_Name")
+        assert graph.has_edge("Name", "Last_Name")
+        # And no inverted or skipping edges:
+        assert not graph.has_edge("Authors", "Reference")
+        assert not graph.has_edge("Reference", "Name")
+        assert not graph.has_edge("Reference", "Last_Name")
+
+    def test_root_excluded_when_requested(self):
+        grammar = bibtex_grammar()
+        with_root = derive_full_rig(grammar, include_root=True)
+        without_root = derive_full_rig(grammar, include_root=False)
+        assert grammar.start in with_root.nodes
+        assert grammar.start not in without_root.nodes
+
+    def test_star_rules_are_coincidence_capable(self):
+        graph = derive_full_rig(bibtex_grammar())
+        # A single Name can span the whole Authors list.
+        assert ("Authors", "Name") in graph.coincident_edges
+        # But a Name never spans a whole Reference (literal braces).
+        assert ("Reference", "Key") not in graph.coincident_edges
+
+    def test_sgml_rig_is_cyclic(self):
+        graph = derive_full_rig(sgml_grammar())
+        assert graph.has_edge("Section", "Subsections")
+        assert graph.has_edge("Subsections", "Section")
+
+
+class TestPartialRig:
+    def test_paper_partial_index(self):
+        # Section 6.1: Ip = {Reference, Key, Last_Name}.
+        graph = derive_partial_rig(
+            bibtex_grammar(), {"Reference", "Key", "Last_Name"}
+        )
+        assert graph.nodes == {"Reference", "Key", "Last_Name"}
+        assert graph.has_edge("Reference", "Key")
+        assert graph.has_edge("Reference", "Last_Name")
+        assert not graph.has_edge("Key", "Last_Name")
+
+    def test_contraction_through_one_level(self):
+        graph = derive_partial_rig(bibtex_grammar(), {"Reference", "Name"})
+        # Reference -> (Authors|Editors) -> Name, interiors unindexed.
+        assert graph.has_edge("Reference", "Name")
+
+    def test_indexed_interior_blocks_contraction(self):
+        graph = derive_partial_rig(
+            bibtex_grammar(), {"Reference", "Authors", "Last_Name"}
+        )
+        # Reference -> Last_Name via Editors/Name (both unindexed) exists...
+        assert graph.has_edge("Reference", "Last_Name")
+        # ...and Authors -> Last_Name via unindexed Name exists too.
+        assert graph.has_edge("Authors", "Last_Name")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(RigError):
+            derive_partial_rig(bibtex_grammar(), {"Nonsense"})
+
+    def test_contraction_over_star_wrapper(self):
+        # Section -> Subsections -> Section contracts to a self-edge, but it
+        # is *not* coincidence-capable: the <sec> literals keep a parent
+        # section's extent strictly larger than any child's.
+        grammar = sgml_grammar()
+        graph = derive_partial_rig(grammar, {"Section", "Document"})
+        assert graph.has_edge("Section", "Section")
+        assert ("Section", "Section") not in graph.coincident_edges
+
+    def test_coincident_contraction_through_unit_chain(self):
+        # A -> B (unit), B -> C*: contracting B away keeps A -> C coincident
+        # (a single C can span the whole A).
+        from repro.schema.grammar import Grammar, NonTerminal, SeqRule, StarRule, TWord
+
+        grammar = Grammar(
+            [
+                SeqRule("A", [NonTerminal("B")]),
+                StarRule("B", NonTerminal("C")),
+                SeqRule("C", [TWord()]),
+            ],
+            start="A",
+        )
+        graph = derive_partial_rig(grammar, {"A", "C"})
+        assert graph.has_edge("A", "C")
+        assert ("A", "C") in graph.coincident_edges
+
+    def test_non_coincident_paths_stay_plain(self):
+        graph = derive_partial_rig(
+            bibtex_grammar(), {"Reference", "Last_Name"}
+        )
+        # Reference -> ... -> Last_Name passes a literal-delimited step.
+        assert ("Reference", "Last_Name") not in graph.coincident_edges
+
+
+class TestDerivedRigIsSatisfied:
+    @pytest.mark.parametrize("entries", [5, 20])
+    def test_bibtex_instances_satisfy_full_rig(self, entries):
+        from repro.index.builder import build_instance
+        from repro.index.config import IndexConfig
+        from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=entries, seed=entries)
+        tree = schema.parse(text)
+        instance = build_instance(tree, IndexConfig.full(), schema.grammar.start)
+        graph = derive_full_rig(schema.grammar, include_root=False)
+        assert graph.violations(instance, limit=3) == []
+
+    def test_sgml_instances_satisfy_full_rig(self):
+        from repro.index.builder import build_instance
+        from repro.index.config import IndexConfig
+        from repro.workloads.sgml import generate_sgml, sgml_schema
+
+        schema = sgml_schema()
+        text = generate_sgml(documents=4, depth=3, seed=2)
+        tree = schema.parse(text)
+        instance = build_instance(tree, IndexConfig.full(), schema.grammar.start)
+        graph = derive_full_rig(schema.grammar, include_root=False)
+        assert graph.violations(instance, limit=3) == []
+
+    def test_partial_instances_satisfy_partial_rig(self):
+        from repro.index.builder import build_instance
+        from repro.index.config import IndexConfig
+        from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=10, seed=3)
+        tree = schema.parse(text)
+        names = {"Reference", "Key", "Last_Name"}
+        instance = build_instance(
+            tree, IndexConfig.partial(names), schema.grammar.start
+        )
+        graph = derive_partial_rig(schema.grammar, names)
+        assert graph.violations(instance, limit=3) == []

@@ -1,0 +1,109 @@
+"""RIG model and Definition 3.1 satisfaction."""
+
+import pytest
+
+from repro.algebra.region import Instance, RegionSet
+from repro.errors import RigError
+from repro.rig.graph import RegionInclusionGraph
+
+
+class TestConstruction:
+    def test_from_adjacency(self):
+        graph = RegionInclusionGraph.from_adjacency({"A": ["B", "C"], "B": ["C"]})
+        assert graph.nodes == {"A", "B", "C"}
+        assert graph.has_edge("A", "B")
+        assert graph.has_edge("B", "C")
+        assert not graph.has_edge("C", "A")
+
+    def test_successors_predecessors(self):
+        graph = RegionInclusionGraph.from_adjacency({"A": ["B", "C"]})
+        assert graph.successors("A") == {"B", "C"}
+        assert graph.predecessors("B") == {"A"}
+        assert graph.successors("C") == frozenset()
+
+    def test_coincident_requires_edge(self):
+        graph = RegionInclusionGraph.from_adjacency({"A": ["B"]})
+        graph.mark_coincident("A", "B")
+        assert ("A", "B") in graph.coincident_edges
+        with pytest.raises(RigError):
+            graph.mark_coincident("B", "A")
+
+    def test_contains(self):
+        graph = RegionInclusionGraph(nodes=["A"])
+        assert "A" in graph
+        assert "B" not in graph
+
+    def test_subgraph(self):
+        graph = RegionInclusionGraph.from_adjacency({"A": ["B"], "B": ["C"]})
+        sub = graph.subgraph(["A", "B"])
+        assert sub.nodes == {"A", "B"}
+        assert sub.has_edge("A", "B")
+        assert not sub.has_node("C")
+
+
+class TestSatisfaction:
+    def test_satisfying_instance(self, paper_rig):
+        instance = Instance(
+            {
+                "Reference": RegionSet.of((0, 100)),
+                "Authors": RegionSet.of((10, 40)),
+                "Name": RegionSet.of((12, 30)),
+                "Last_Name": RegionSet.of((20, 28)),
+            }
+        )
+        assert paper_rig.is_satisfied_by(instance)
+
+    def test_missing_edge_is_violation(self, paper_rig):
+        # A Last_Name directly inside a Reference is not allowed by the
+        # paper's RIG (it must be under a Name).
+        instance = Instance(
+            {
+                "Reference": RegionSet.of((0, 100)),
+                "Last_Name": RegionSet.of((20, 28)),
+            }
+        )
+        assert not paper_rig.is_satisfied_by(instance)
+        violations = paper_rig.violations(instance)
+        assert any("Last_Name" in violation for violation in violations)
+
+    def test_indirect_inclusion_is_fine(self, paper_rig):
+        # Reference contains Last_Name *through* Authors/Name: no direct pair.
+        instance = Instance(
+            {
+                "Reference": RegionSet.of((0, 100)),
+                "Authors": RegionSet.of((10, 40)),
+                "Last_Name": RegionSet.of((20, 28)),
+            }
+        )
+        # Authors between Reference and Last_Name; but Authors -> Last_Name
+        # has no edge either, so still a violation.
+        assert not paper_rig.is_satisfied_by(instance)
+
+    def test_unknown_name_is_violation(self, paper_rig):
+        instance = Instance({"Mystery": RegionSet.of((0, 5), (0, 5))})
+        assert paper_rig.is_satisfied_by(instance)  # single name, no pairs
+        instance = Instance(
+            {"Mystery": RegionSet.of((0, 5)), "Reference": RegionSet.of((0, 5))}
+        )
+        assert not paper_rig.is_satisfied_by(instance)
+
+    def test_equal_extents_need_coincidence(self):
+        graph = RegionInclusionGraph.from_adjacency({"Authors": ["Name"]})
+        instance = Instance(
+            {"Authors": RegionSet.of((0, 10)), "Name": RegionSet.of((0, 10))}
+        )
+        assert not graph.is_satisfied_by(instance)
+        graph.mark_coincident("Authors", "Name")
+        assert graph.is_satisfied_by(instance)
+
+    def test_violation_limit(self, paper_rig):
+        instance = Instance(
+            {
+                "Reference": RegionSet.of((0, 10), (20, 30), (40, 50)),
+                "Last_Name": RegionSet.of((2, 4), (22, 24), (42, 44)),
+            }
+        )
+        assert len(paper_rig.violations(instance, limit=2)) == 2
+
+    def test_empty_instance_satisfies(self, paper_rig):
+        assert paper_rig.is_satisfied_by(Instance())

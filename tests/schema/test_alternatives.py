@@ -1,0 +1,130 @@
+"""Grammars with alternative rules (disjunctive non-terminals).
+
+Footnote 5 of the paper: "When considering general context-free grammars,
+disjunctive types will naturally arise from non terminals defined
+disjunctively."  A mixed file with two entry formats exercises the whole
+pipeline over a choice grammar.
+"""
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.db.values import canonical
+from repro.rig.derive import derive_full_rig
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    SeqRule,
+    StarRule,
+    TUntil,
+    TWord,
+)
+from repro.schema.structuring import StructuringSchema
+
+MIXED_TEXT = (
+    '@BOOK{ key1, AUTHOR = "Chang" }\n'
+    '@MISC{ key2, NOTE = "lost manuscript" }\n'
+    '@BOOK{ key3, AUTHOR = "Corliss" }\n'
+    '@MISC{ key4, NOTE = "Chang archive" }\n'
+)
+
+
+def mixed_grammar() -> Grammar:
+    return Grammar(
+        [
+            StarRule("Entries", NonTerminal("Entry")),
+            SeqRule(
+                "Entry",
+                [
+                    Literal("@BOOK{"),
+                    NonTerminal("Key"),
+                    Literal(","),
+                    Literal("AUTHOR"), Literal("="), Literal('"'),
+                    NonTerminal("Author"),
+                    Literal('"'),
+                    Literal("}"),
+                ],
+            ),
+            SeqRule(
+                "Entry",
+                [
+                    Literal("@MISC{"),
+                    NonTerminal("Key"),
+                    Literal(","),
+                    Literal("NOTE"), Literal("="), Literal('"'),
+                    NonTerminal("Note"),
+                    Literal('"'),
+                    Literal("}"),
+                ],
+            ),
+            SeqRule("Key", [TWord()]),
+            SeqRule("Author", [TWord()]),
+            SeqRule("Note", [TUntil('"')]),
+        ],
+        start="Entries",
+    )
+
+
+@pytest.fixture(scope="module")
+def schema() -> StructuringSchema:
+    return StructuringSchema(mixed_grammar(), classes={"Entry"}, name="Mixed")
+
+
+@pytest.fixture(scope="module")
+def engine(schema) -> FileQueryEngine:
+    return FileQueryEngine(schema, MIXED_TEXT)
+
+
+class TestParsing:
+    def test_both_alternatives_parse(self, schema):
+        image = schema.database_image(MIXED_TEXT)
+        entries = list(image.root)
+        assert len(entries) == 4
+        with_author = [entry for entry in entries if entry.has("Author")]
+        with_note = [entry for entry in entries if entry.has("Note")]
+        assert len(with_author) == 2
+        assert len(with_note) == 2
+
+    def test_disjunctive_attributes(self, schema):
+        image = schema.database_image(MIXED_TEXT)
+        for entry in image.root:
+            assert entry.has("Key")
+            assert entry.has("Author") != entry.has("Note")
+
+
+class TestRig:
+    def test_edges_from_both_alternatives(self, schema):
+        rig = derive_full_rig(schema.grammar, include_root=False)
+        assert rig.has_edge("Entry", "Key")
+        assert rig.has_edge("Entry", "Author")
+        assert rig.has_edge("Entry", "Note")
+
+
+class TestQuerying:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            'SELECT e FROM Entry e WHERE e.Author = "Chang"',
+            'SELECT e FROM Entry e WHERE e.Note = "lost manuscript"',
+            'SELECT e FROM Entry e WHERE e.*X.Key = "key2"',
+            'SELECT e.Key FROM Entry e WHERE e.Note = "Chang archive"',
+            "SELECT e FROM Entry e WHERE NOT e.Author = \"Chang\"",
+        ],
+    )
+    def test_matches_baseline(self, engine, query):
+        result = engine.query(query)
+        baseline = engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_author_chang_does_not_match_note_chang(self, engine):
+        result = engine.query('SELECT e.Key FROM Entry e WHERE e.Author = "Chang"')
+        assert {str(canonical(row[0])) for row in result.rows} == {"key1"}
+
+    def test_word_in_both_contexts(self, engine):
+        # "Chang" appears as an author and inside a note: the region index
+        # keeps the contexts apart.
+        note_result = engine.query(
+            'SELECT e.Key FROM Entry e WHERE e.Note LIKE "Chang*"'
+        )
+        assert {str(canonical(row[0])) for row in note_result.rows} == {"key4"}

@@ -1,0 +1,37 @@
+"""The anchored trie used by the full-scan pipeline."""
+
+from repro.schema.pushdown import AnchoredTrie, PathTrie
+
+
+class TestAnchoredTrie:
+    def test_keeps_everything_above_the_anchor(self):
+        trie = AnchoredTrie(anchor="Reference", inner=PathTrie.from_paths([["Key"]]))
+        assert trie.wants("Anything")
+        # Descending through non-anchor structure stays anchored.
+        assert isinstance(trie.child("Wrapper"), AnchoredTrie)
+
+    def test_applies_inner_at_anchor(self):
+        inner = PathTrie.from_paths([["Key"]])
+        trie = AnchoredTrie(anchor="Reference", inner=inner)
+        below = trie.child("Reference")
+        assert below is inner
+        assert below.wants("Key")
+        assert not below.wants("Abstract")
+
+    def test_integration_with_instantiation(self):
+        from repro.schema.pushdown import InstantiationStats
+        from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+        schema = bibtex_schema()
+        tree = schema.parse(generate_bibtex(entries=4, seed=0))
+        trie = AnchoredTrie(
+            anchor="Reference", inner=PathTrie.from_paths([["Key"]])
+        )
+        stats = InstantiationStats()
+        root = schema.instantiate(tree, needed=trie, stats=stats)
+        entries = list(root)
+        assert len(entries) == 4
+        for entry in entries:
+            assert entry.has("Key")
+            assert not entry.has("Abstract")
+        assert stats.values_skipped > 0

@@ -1,0 +1,124 @@
+"""Grammar formalism."""
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    SeqRule,
+    StarRule,
+    TNumber,
+    TQuoted,
+    TUntil,
+    TWord,
+    is_capturing,
+)
+
+
+def tiny_grammar() -> Grammar:
+    return Grammar(
+        [
+            StarRule("S", NonTerminal("A")),
+            SeqRule("A", [Literal("["), NonTerminal("B"), Literal("]")]),
+            SeqRule("B", [TWord()]),
+        ],
+        start="S",
+    )
+
+
+class TestValidation:
+    def test_valid_grammar(self):
+        grammar = tiny_grammar()
+        assert set(grammar.nonterminals) == {"S", "A", "B"}
+
+    def test_missing_start(self):
+        with pytest.raises(GrammarError):
+            Grammar([SeqRule("A", [TWord()])], start="Z")
+
+    def test_undefined_reference(self):
+        with pytest.raises(GrammarError):
+            Grammar([SeqRule("A", [NonTerminal("Ghost")])], start="A")
+
+    def test_footnote_4_duplicate_nonterminal(self):
+        with pytest.raises(GrammarError) as excinfo:
+            Grammar(
+                [
+                    SeqRule("A", [NonTerminal("B"), NonTerminal("B")]),
+                    SeqRule("B", [TWord()]),
+                ],
+                start="A",
+            )
+        assert "footnote 4" in str(excinfo.value)
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar([SeqRule("A", [])], start="A")
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(GrammarError):
+            Literal("")
+
+
+class TestAccessors:
+    def test_rules_for(self):
+        grammar = tiny_grammar()
+        assert len(grammar.rules_for("A")) == 1
+        with pytest.raises(GrammarError):
+            grammar.rules_for("Ghost")
+
+    def test_contains(self):
+        grammar = tiny_grammar()
+        assert "A" in grammar
+        assert "Ghost" not in grammar
+
+    def test_iter_edges(self):
+        grammar = tiny_grammar()
+        assert set(grammar.iter_edges()) == {("S", "A"), ("A", "B")}
+
+    def test_is_set_valued(self):
+        grammar = tiny_grammar()
+        assert grammar.is_set_valued("S")
+        assert not grammar.is_set_valued("A")
+
+    def test_alternatives_share_lhs(self):
+        grammar = Grammar(
+            [
+                SeqRule("A", [Literal("x"), NonTerminal("B")]),
+                SeqRule("A", [Literal("y"), NonTerminal("B")]),
+                SeqRule("B", [TWord()]),
+            ],
+            start="A",
+        )
+        assert len(grammar.rules_for("A")) == 2
+
+
+class TestCoincidence:
+    def test_star_rule_is_coincidence_capable(self):
+        grammar = tiny_grammar()
+        assert ("S", "A") in set(grammar.coincidence_capable_edges())
+
+    def test_literal_delimited_rule_is_not(self):
+        grammar = tiny_grammar()
+        assert ("A", "B") not in set(grammar.coincidence_capable_edges())
+
+    def test_unit_rule_is_coincidence_capable(self):
+        grammar = Grammar(
+            [SeqRule("A", [NonTerminal("B")]), SeqRule("B", [TWord()])],
+            start="A",
+        )
+        assert ("A", "B") in set(grammar.coincidence_capable_edges())
+
+
+class TestSymbols:
+    def test_is_capturing(self):
+        assert not is_capturing(Literal("x"))
+        assert is_capturing(TWord())
+        assert is_capturing(TQuoted())
+        assert is_capturing(TNumber())
+        assert is_capturing(NonTerminal("A"))
+
+    def test_tuntil_stops(self):
+        assert TUntil('"').stops == ('"',)
+        assert TUntil((";", '"')).stops == (";", '"')

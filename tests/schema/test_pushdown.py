@@ -1,0 +1,73 @@
+"""Query push-down into instantiation ([ACM93])."""
+
+from repro.db.values import ObjectValue
+from repro.schema.pushdown import InstantiationStats, PathTrie
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+
+class TestPathTrie:
+    def test_from_paths(self):
+        trie = PathTrie.from_paths([["Authors", "Name"], ["Key"]])
+        assert trie.wants("Authors")
+        assert trie.wants("Key")
+        assert not trie.wants("Abstract")
+        below = trie.child("Authors")
+        assert below is not None and below.wants("Name")
+
+    def test_path_end_marks_subtree_needed(self):
+        trie = PathTrie.from_paths([["Authors"]])
+        below = trie.child("Authors")
+        assert below is not None and below.all_below
+
+    def test_none_step_marks_everything(self):
+        trie = PathTrie.from_paths([["Authors", None]])
+        below = trie.child("Authors")
+        assert below is not None and below.all_below
+        assert below.child("anything") is not None
+
+    def test_everything(self):
+        trie = PathTrie.everything()
+        assert trie.wants("whatever")
+        assert trie.child("x").wants("y")
+
+    def test_empty_path_means_whole_value(self):
+        trie = PathTrie.from_paths([[]])
+        assert trie.all_below
+
+    def test_is_empty(self):
+        assert PathTrie().is_empty
+        assert not PathTrie.everything().is_empty
+
+
+class TestSelectiveInstantiation:
+    def test_pruned_instantiation_builds_fewer_values(self):
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=10, seed=1)
+        tree = schema.parse(text)
+        full_stats = InstantiationStats()
+        schema.instantiate(tree, stats=full_stats)
+        pruned_stats = InstantiationStats()
+        trie = PathTrie.from_paths([["Key"]])
+        schema.instantiate(tree, needed=trie, stats=pruned_stats)
+        assert pruned_stats.values_built < full_stats.values_built / 3
+        assert pruned_stats.values_skipped > 0
+
+    def test_pruned_object_keeps_needed_attribute(self):
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=3, seed=1)
+        tree = schema.parse(text)
+        trie = PathTrie.from_paths([["Key"]])
+        root = schema.instantiate(tree, needed=trie)
+        for reference in root:
+            assert isinstance(reference, ObjectValue)
+            assert reference.has("Key")
+            assert not reference.has("Abstract")
+
+    def test_full_instantiation_by_default(self):
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=2, seed=1)
+        tree = schema.parse(text)
+        root = schema.instantiate(tree)
+        for reference in root:
+            assert reference.has("Abstract")
+            assert reference.has("Authors")

@@ -1,0 +1,177 @@
+"""Structuring schemas: instantiation, transparency, type descriptions."""
+
+import pytest
+
+from repro.db.values import (
+    AtomicValue,
+    ObjectValue,
+    SetValue,
+    TupleValue,
+    canonical,
+)
+from repro.errors import GrammarError
+from repro.schema.grammar import (
+    Grammar,
+    Literal,
+    NonTerminal,
+    SeqRule,
+    StarRule,
+    TWord,
+)
+from repro.schema.structuring import StructuringSchema
+from repro.schema.types import (
+    AtomicTypeDesc,
+    ClassTypeDesc,
+    SetTypeDesc,
+    TupleTypeDesc,
+)
+from repro.workloads.bibtex import bibtex_schema
+
+
+def pair_grammar() -> Grammar:
+    return Grammar(
+        [
+            StarRule("Pairs", NonTerminal("Pair")),
+            SeqRule(
+                "Pair",
+                [Literal("("), NonTerminal("K"), Literal(":"), NonTerminal("V"), Literal(")")],
+            ),
+            SeqRule("K", [TWord()]),
+            SeqRule("V", [TWord()]),
+        ],
+        start="Pairs",
+    )
+
+
+class TestInstantiation:
+    def test_natural_values(self):
+        schema = StructuringSchema(pair_grammar(), classes={"Pair"})
+        image = schema.database_image("(a:1) (b:2)")
+        assert isinstance(image.root, SetValue)
+        pair = sorted(image.root, key=lambda v: str(canonical(v)))[0]
+        assert isinstance(pair, ObjectValue)
+        assert pair.class_name == "Pair"
+        assert pair.get("K") == AtomicValue("a", type_name="K")
+
+    def test_tuple_when_not_a_class(self):
+        schema = StructuringSchema(pair_grammar())
+        image = schema.database_image("(a:1)")
+        pair = list(image.root)[0]
+        assert isinstance(pair, TupleValue)
+        assert pair.type_name == "Pair"
+
+    def test_atomic_passthrough_is_tagged(self):
+        schema = StructuringSchema(pair_grammar())
+        image = schema.database_image("(a:1)")
+        pair = list(image.root)[0]
+        assert pair.get("K").type_name == "K"
+
+    def test_unknown_annotation_rejected(self):
+        with pytest.raises(GrammarError):
+            StructuringSchema(pair_grammar(), classes={"Ghost"})
+
+    def test_list_valued(self):
+        schema = StructuringSchema(pair_grammar(), list_valued={"Pairs"})
+        image = schema.database_image("(a:1) (b:2)")
+        from repro.db.values import ListValue
+
+        assert isinstance(image.root, ListValue)
+
+    def test_custom_action(self):
+        def concat(node, child_values):
+            return AtomicValue("+".join(str(v) for _, v in child_values), "Pair")
+
+        schema = StructuringSchema(pair_grammar(), actions={"Pair": concat})
+        image = schema.database_image("(a:1)")
+        assert list(image.root)[0] == AtomicValue("a+1", "Pair")
+
+
+class TestTransparency:
+    def test_unit_rule_over_nonterminal_is_transparent(self):
+        grammar = Grammar(
+            [
+                SeqRule("Wrapper", [NonTerminal("Inner")]),
+                SeqRule("Inner", [NonTerminal("K"), NonTerminal("V")]),
+                SeqRule("K", [TWord()]),
+                SeqRule("V", [TWord()]),
+            ],
+            start="Wrapper",
+        )
+        schema = StructuringSchema(grammar)
+        assert schema.is_transparent("Wrapper")
+        assert not schema.is_transparent("Inner")
+        assert not schema.is_transparent("K")  # terminal-backed, tagged
+
+    def test_classes_are_never_transparent(self):
+        grammar = Grammar(
+            [
+                SeqRule("Wrapper", [NonTerminal("Inner")]),
+                SeqRule("Inner", [TWord()]),
+            ],
+            start="Wrapper",
+        )
+        schema = StructuringSchema(grammar, classes={"Wrapper"})
+        assert not schema.is_transparent("Wrapper")
+
+    def test_bibtex_transparent_set(self):
+        schema = bibtex_schema()
+        assert schema.transparent_nonterminals() == frozenset()
+
+
+class TestTypeDescriptions:
+    def test_bibtex_types_match_paper(self):
+        schema = bibtex_schema()
+        types = schema.describe_types()
+        assert isinstance(types["Reference"], ClassTypeDesc)
+        assert isinstance(types["Authors"], SetTypeDesc)
+        assert types["Authors"].element == "Name"
+        assert isinstance(types["Name"], TupleTypeDesc)
+        assert set(types["Name"].fields) == {"First_Name", "Last_Name"}
+        assert isinstance(types["Key"], AtomicTypeDesc)
+        assert isinstance(types["Year"], AtomicTypeDesc)
+
+    def test_describe_renders_classes_and_types(self):
+        schema = bibtex_schema()
+        description = schema.describe()
+        assert "Class Reference" in description
+        assert "Type (Authors) = set(Name)" in description
+
+    def test_recursive_types_terminate(self):
+        from repro.workloads.sgml import sgml_schema
+
+        types = sgml_schema().describe_types()
+        assert "Section" in types
+
+
+class TestPaperExample:
+    def test_paper_figure_1_entry_parses(self):
+        schema = bibtex_schema()
+        text = (
+            "@INCOLLECTION{ Corl82a,\n"
+            '  AUTHOR = "G. Corliss and Y. Chang",\n'
+            '  TITLE = "Solving Ordinary Differential Equations Using Taylor Series",\n'
+            '  BOOKTITLE = "Automatic Differentiation Algorithms",\n'
+            '  YEAR = "1982",\n'
+            '  EDITOR = "A. Griewank and G. Corliss",\n'
+            '  PUBLISHER = "SIAM",\n'
+            '  ADDRESS = "Philadelphia",\n'
+            '  PAGES = "114--144",\n'
+            '  REFERRED = "Aber88a; Corl88a; Gupt85a",\n'
+            '  KEYWORDS = "point algorithm; Taylor series; radius of convergence",\n'
+            '  ABSTRACT = "A Fortran pre-processor uses automatic differentiation"\n'
+            "}\n"
+        )
+        image = schema.database_image(text)
+        reference = list(image.root)[0]
+        assert canonical(reference.get("Key")) == "Corl82a"
+        assert canonical(reference.get("Year")) == "1982"
+        author_lasts = {
+            canonical(name.get("Last_Name")) for name in reference.get("Authors")
+        }
+        assert author_lasts == {"Corliss", "Chang"}
+        editor_lasts = {
+            canonical(name.get("Last_Name")) for name in reference.get("Editors")
+        }
+        assert editor_lasts == {"Griewank", "Corliss"}
+        keywords = {canonical(keyword) for keyword in reference.get("Keywords")}
+        assert keywords == {"point algorithm", "Taylor series", "radius of convergence"}

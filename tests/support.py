@@ -1,0 +1,157 @@
+"""Shared test helpers: random RIG-respecting instances, random inclusion
+chains, and brute-force reference implementations.
+
+The instance generator builds a synthetic *text* together with its region
+instance by top-down expansion along RIG edges: every parent/child placement
+follows an edge, siblings are separated by padding, and children sit
+strictly inside their parents — so the produced instance always satisfies
+the RIG (Definition 3.1) with distinct extents everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.region import Instance, Region, RegionSet
+from repro.index.word_index import WordIndex
+from repro.rig.graph import RegionInclusionGraph
+
+VOCABULARY = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+def random_rig(rng: random.Random, size: int = 5, cyclic: bool = False) -> RegionInclusionGraph:
+    """A random connected-ish RIG over ``R0..R{size-1}``.
+
+    Edges mostly go "downwards" (lower index to higher), so the graph is a
+    DAG unless ``cyclic`` adds a back edge.
+    """
+    names = [f"R{i}" for i in range(size)]
+    graph = RegionInclusionGraph(nodes=names)
+    for i in range(size - 1):
+        # A spine so every node is reachable.
+        graph.add_edge(names[i], names[i + 1])
+    for _ in range(rng.randint(0, size)):
+        a, b = rng.randrange(size), rng.randrange(size)
+        if a < b:
+            graph.add_edge(names[a], names[b])
+    if cyclic and size >= 3:
+        graph.add_edge(names[rng.randint(1, size - 1)], names[rng.randint(0, 1)])
+    return graph
+
+
+def instance_from_rig(
+    graph: RegionInclusionGraph,
+    rng: random.Random,
+    top_regions: int = 4,
+    max_depth: int = 4,
+    max_children: int = 3,
+) -> tuple[str, Instance]:
+    """Build ``(text, instance)`` satisfying ``graph`` by top-down expansion."""
+    spans: dict[str, list[Region]] = {name: [] for name in graph.nodes}
+    parts: list[str] = []
+    cursor = 0
+
+    def emit(piece: str) -> None:
+        nonlocal cursor
+        parts.append(piece)
+        cursor += len(piece)
+
+    def place(node: str, depth: int) -> None:
+        nonlocal cursor
+        start = cursor
+        successors = sorted(graph.successors(node))
+        children = (
+            rng.randint(0, max_children) if depth < max_depth and successors else 0
+        )
+        if children == 0:
+            emit(rng.choice(VOCABULARY))
+        else:
+            emit("(")
+            for index in range(children):
+                if index:
+                    emit(" ")
+                place(rng.choice(successors), depth + 1)
+            emit(")")
+        spans[node].append(Region(start, cursor))
+
+    roots = sorted(graph.nodes)
+    for index in range(top_regions):
+        if index:
+            emit(" | ")
+        place(rng.choice(roots), 0)
+    text = "".join(parts)
+    instance = Instance({name: RegionSet(regions) for name, regions in spans.items()})
+    return text, instance
+
+
+def random_regionset(rng: random.Random, count: int = 8, span: int = 40) -> RegionSet:
+    """Arbitrary (possibly overlapping) regions for algebra unit tests."""
+    regions = []
+    for _ in range(count):
+        start = rng.randrange(span)
+        end = start + rng.randrange(span - start + 1)
+        regions.append(Region(start, end))
+    return RegionSet(regions)
+
+
+def random_chain_expression(
+    graph: RegionInclusionGraph,
+    rng: random.Random,
+    max_length: int = 4,
+    with_select: bool = True,
+):
+    """A random inclusion chain whose names follow RIG reachability (so it
+    is usually non-trivial), with random ``>``/``>d`` operators."""
+    from repro.algebra.ast import Inclusion, Name, Select
+
+    names = sorted(graph.nodes)
+    current = rng.choice(names)
+    chain = [current]
+    for _ in range(rng.randint(1, max_length - 1)):
+        reachable = sorted(graph.successors(current))
+        if not reachable:
+            break
+        current = rng.choice(reachable)
+        chain.append(current)
+    if len(chain) < 2:
+        chain.append(rng.choice(names))
+    tail = Name(chain[-1])
+    if with_select and rng.random() < 0.6:
+        tail = Select(child=tail, word=rng.choice(VOCABULARY), mode="exact")
+    expression = tail
+    for name in reversed(chain[:-1]):
+        op = ">" if rng.random() < 0.5 else ">d"
+        expression = Inclusion(op=op, left=Name(name), right=expression)
+    return expression
+
+
+def word_lookup_for(text: str) -> WordIndex:
+    return WordIndex(text)
+
+
+def brute_force_including(left: RegionSet, right: RegionSet) -> RegionSet:
+    return RegionSet(
+        l for l in left if any(l.includes(r) for r in right)
+    )
+
+
+def brute_force_included(left: RegionSet, right: RegionSet) -> RegionSet:
+    return RegionSet(
+        l for l in left if any(r.includes(l) for r in right)
+    )
+
+
+def brute_force_innermost(regions: RegionSet) -> RegionSet:
+    return RegionSet(
+        r
+        for r in regions
+        if not any(other != r and r.includes(other) for other in regions)
+    )
+
+
+def brute_force_outermost(regions: RegionSet) -> RegionSet:
+    return RegionSet(
+        r
+        for r in regions
+        if not any(other != r and other.includes(r) for other in regions)
+    )

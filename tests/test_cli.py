@@ -1,0 +1,135 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.bibtex import generate_bibtex
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "refs.bib"
+    path.write_text(generate_bibtex(entries=12, seed=4))
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_writes_corpus(self, capsys):
+        assert main(["generate", "--workload", "bibtex", "--entries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("@INCOLLECTION{") == 3
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--workload", "nope"])
+
+
+class TestQuery:
+    def test_query_prints_rows(self, corpus_file, capsys):
+        code = main(
+            [
+                "query",
+                "--workload",
+                "bibtex",
+                "--file",
+                corpus_file,
+                "SELECT r.Key FROM Reference r",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 12
+        assert "12 row(s)" in captured.err
+
+    def test_query_renders_objects(self, corpus_file, capsys):
+        main(
+            [
+                "query",
+                "--workload",
+                "bibtex",
+                "--file",
+                corpus_file,
+                'SELECT r FROM Reference r WHERE r.Year = "0000"',
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "0 row(s)" in captured.err
+
+    def test_partial_option(self, corpus_file, capsys):
+        main(
+            [
+                "query",
+                "--workload",
+                "bibtex",
+                "--file",
+                corpus_file,
+                "--partial",
+                "Reference,Key,Last_Name",
+                'SELECT r.Key FROM Reference r WHERE r.*X.Last_Name = "Chang"',
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "row(s)" in captured.err
+
+    def test_requires_file_or_index(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--workload", "bibtex", "SELECT r FROM Reference r"])
+
+
+class TestExplain:
+    def test_explain_shows_plan(self, corpus_file, capsys):
+        main(
+            [
+                "explain",
+                "--workload",
+                "bibtex",
+                "--file",
+                corpus_file,
+                'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"',
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "strategy:" in out
+        assert "optimized:" in out
+
+
+class TestIndexAndStats:
+    def test_index_then_query(self, corpus_file, tmp_path, capsys):
+        index_dir = str(tmp_path / "idx")
+        assert (
+            main(
+                [
+                    "index",
+                    "--workload",
+                    "bibtex",
+                    "--file",
+                    corpus_file,
+                    "--out",
+                    index_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--workload",
+                    "bibtex",
+                    "--index",
+                    index_dir,
+                    "SELECT r.Key FROM Reference r",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 12
+
+    def test_stats(self, corpus_file, capsys):
+        assert (
+            main(["stats", "--workload", "bibtex", "--file", corpus_file]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "region entries" in out

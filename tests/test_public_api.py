@@ -1,0 +1,61 @@
+"""The top-level public API surface."""
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_workflow(self):
+        from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+        engine = repro.FileQueryEngine(
+            bibtex_schema(), generate_bibtex(entries=5, seed=0)
+        )
+        result = engine.query("SELECT r FROM Reference r")
+        assert isinstance(result, repro.QueryResult)
+        assert len(result) == 5
+
+    def test_expression_api(self):
+        expression = repro.parse_expression("A > sigma[w](B)")
+        graph = repro.RegionInclusionGraph.from_adjacency({"A": ["B"]})
+        assert repro.optimize(expression, graph) == expression
+        assert not repro.is_trivially_empty(expression, graph)
+
+    def test_errors_hierarchy(self):
+        from repro import errors
+
+        subclasses = [
+            errors.RegionError,
+            errors.AlgebraError,
+            errors.UnknownRegionNameError,
+            errors.RigError,
+            errors.GrammarError,
+            errors.ParseError,
+            errors.QueryError,
+            errors.QuerySyntaxError,
+            errors.TranslationError,
+            errors.PlanningError,
+            errors.DatabaseError,
+            errors.IndexError_,
+            errors.IndexConfigError,
+        ]
+        for subclass in subclasses:
+            assert issubclass(subclass, errors.ReproError)
+
+    def test_error_details(self):
+        from repro import errors
+
+        name_error = errors.UnknownRegionNameError("X", ("A", "B"))
+        assert "X" in str(name_error)
+        assert "A" in str(name_error)
+        parse_error = errors.ParseError("bad", position=7, symbol="Entry")
+        assert parse_error.position == 7
+        assert "Entry" in str(parse_error)
+        syntax_error = errors.QuerySyntaxError("oops", position=3)
+        assert syntax_error.position == 3

@@ -1,0 +1,84 @@
+"""The benchmark report generator."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import report  # noqa: E402  (benchmarks/report.py)
+
+
+def _benchmark(fullname: str, name: str, median: float, extra=None) -> dict:
+    return {
+        "fullname": fullname,
+        "name": name,
+        "stats": {"median": median},
+        "extra_info": extra or {},
+    }
+
+
+@pytest.fixture()
+def sample_json(tmp_path):
+    data = {
+        "benchmarks": [
+            _benchmark(
+                "benchmarks/bench_e1_optimizer.py::bench_optimized_expression[100]",
+                "bench_optimized_expression[100]",
+                0.0002,
+                {"size": 100},
+            ),
+            _benchmark(
+                "benchmarks/bench_e1_optimizer.py::bench_unoptimized_expression[100]",
+                "bench_unoptimized_expression[100]",
+                0.0005,
+                {"size": 100},
+            ),
+            _benchmark(
+                "benchmarks/bench_e3_direct_inclusion.py::bench_simple_inclusion",
+                "bench_simple_inclusion",
+                0.001,
+            ),
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestLoadResults:
+    def test_groups_by_experiment(self, sample_json):
+        grouped = report.load_results(sample_json)
+        assert set(grouped) == {"E1:optimizer", "E3:direct_inclusion"}
+        assert len(grouped["E1:optimizer"]) == 2
+
+
+class TestPrintReport:
+    def test_prints_tables_and_ratio(self, sample_json, capsys):
+        grouped = report.load_results(sample_json)
+        report.print_report(grouped)
+        out = capsys.readouterr().out
+        assert "E1:optimizer" in out
+        assert "bench_optimized_expression[100]" in out
+        assert "2.5x" in out  # 0.0005 / 0.0002
+
+    def test_formats_units(self):
+        assert "µs" in report._format_seconds(5e-5)
+        assert "ms" in report._format_seconds(5e-3)
+        assert "s " in report._format_seconds(5.0)
+
+
+class TestMain:
+    def test_main_happy_path(self, sample_json, capsys):
+        assert report.main(["report.py", sample_json]) == 0
+        assert "E1:optimizer" in capsys.readouterr().out
+
+    def test_main_usage(self, capsys):
+        assert report.main(["report.py"]) == 2
+
+    def test_main_empty(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"benchmarks": []}))
+        assert report.main(["report.py", str(path)]) == 1

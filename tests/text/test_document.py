@@ -1,0 +1,73 @@
+"""Documents and corpora."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.text.document import Corpus, Document
+
+
+class TestDocument:
+    def test_length(self):
+        assert len(Document("a", "hello")) == 5
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("contents")
+        document = Document.from_path(path)
+        assert document.text == "contents"
+        assert document.name.endswith("f.txt")
+
+
+class TestCorpus:
+    def test_empty(self):
+        corpus = Corpus()
+        assert len(corpus) == 0
+        assert corpus.text == ""
+        assert corpus.documents == ()
+
+    def test_single_document(self):
+        corpus = Corpus([Document("a", "hello")])
+        assert corpus.text == "hello"
+        assert corpus.document_span(0) == (0, 5)
+
+    def test_documents_separated_by_newline(self):
+        corpus = Corpus.from_texts(["one", "two", "three"])
+        assert corpus.text == "one\ntwo\nthree"
+        assert corpus.document_span(0) == (0, 3)
+        assert corpus.document_span(1) == (4, 7)
+        assert corpus.document_span(2) == (8, 13)
+
+    def test_locate(self):
+        corpus = Corpus.from_texts(["one", "two"])
+        assert corpus.locate(0) == (0, 0)
+        assert corpus.locate(2) == (0, 2)
+        assert corpus.locate(4) == (1, 0)
+        assert corpus.locate(6) == (1, 2)
+
+    def test_locate_separator_attributed_to_previous(self):
+        corpus = Corpus.from_texts(["one", "two"])
+        assert corpus.locate(3) == (0, 3)
+
+    def test_locate_out_of_range(self):
+        corpus = Corpus.from_texts(["one"])
+        with pytest.raises(RegionError):
+            corpus.locate(99)
+        with pytest.raises(RegionError):
+            corpus.locate(-1)
+
+    def test_add_returns_start(self):
+        corpus = Corpus()
+        assert corpus.add(Document("a", "xx")) == 0
+        assert corpus.add(Document("b", "yy")) == 3
+
+    def test_iteration(self):
+        corpus = Corpus.from_texts(["a", "b"])
+        assert [d.text for d in corpus] == ["a", "b"]
+
+    def test_from_paths(self, tmp_path):
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        first.write_text("AAA")
+        second.write_text("BBB")
+        corpus = Corpus.from_paths([first, second])
+        assert corpus.text == "AAA\nBBB"

@@ -1,0 +1,60 @@
+"""Tokenization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.tokenizer import Token, tokenize, tokenize_words
+
+
+class TestToken:
+    def test_span_must_match_text(self):
+        with pytest.raises(ValueError):
+            Token(text="abc", start=0, end=2)
+
+    def test_valid(self):
+        token = Token(text="abc", start=5, end=8)
+        assert token.start == 5
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize_words("hello world") == ["hello", "world"]
+
+    def test_spans_address_original_text(self):
+        text = "  foo  bar"
+        tokens = list(tokenize(text))
+        assert [(t.start, t.end) for t in tokens] == [(2, 5), (7, 10)]
+        for token in tokens:
+            assert text[token.start : token.end] == token.text
+
+    def test_hyphen_and_underscore_are_word_chars(self):
+        assert tokenize_words("Last_Name well-known") == ["Last_Name", "well-known"]
+
+    def test_punctuation_splits(self):
+        assert tokenize_words('AUTHOR = "G. Corliss"') == ["AUTHOR", "G", "Corliss"]
+
+    def test_lowercase_option(self):
+        tokens = list(tokenize("Chang", lowercase=True))
+        assert tokens[0].text == "chang"
+        assert (tokens[0].start, tokens[0].end) == (0, 5)
+
+    def test_custom_word_chars(self):
+        assert tokenize_words("10:15:03", extra_word_chars=":") == ["10:15:03"]
+        assert tokenize_words("10:15:03", extra_word_chars="") == ["10", "15", "03"]
+
+    def test_empty_text(self):
+        assert tokenize_words("") == []
+
+    def test_numbers_are_words(self):
+        assert tokenize_words("pages 114--144") == ["pages", "114--144"]
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=80))
+    def test_tokens_never_overlap_and_are_in_order(self, text):
+        tokens = list(tokenize(text))
+        for before, after in zip(tokens, tokens[1:]):
+            assert before.end <= after.start
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=80))
+    def test_token_spans_reproduce_text(self, text):
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text

@@ -1,0 +1,79 @@
+"""The BibTeX workload."""
+
+from repro.db.values import canonical
+from repro.workloads.bibtex import (
+    BibtexGenerator,
+    bibtex_grammar,
+    bibtex_schema,
+    generate_bibtex,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_bibtex(entries=5, seed=1) == generate_bibtex(entries=5, seed=1)
+        assert generate_bibtex(entries=5, seed=1) != generate_bibtex(entries=5, seed=2)
+
+    def test_entry_count(self):
+        text = generate_bibtex(entries=7, seed=0)
+        assert text.count("@INCOLLECTION{") == 7
+
+    def test_parses_cleanly(self):
+        schema = bibtex_schema()
+        for seed in range(5):
+            text = generate_bibtex(entries=10, seed=seed)
+            image = schema.database_image(text)
+            assert len(list(image.root)) == 10
+
+    def test_editor_overlap_knob(self):
+        overlapping = BibtexGenerator(entries=60, seed=1, editor_overlap=1.0).generate()
+        disjoint = BibtexGenerator(entries=60, seed=1, editor_overlap=0.0).generate()
+        # With a disjoint editor pool, editor names are upper-cased variants.
+        assert "CHANG" not in overlapping
+        assert any(name in disjoint for name in ("CHANG", "MILO", "TOMPA", "GONNET"))
+
+    def test_self_edited_rate(self):
+        schema = bibtex_schema()
+        text = BibtexGenerator(entries=40, seed=2, self_edited_rate=1.0).generate()
+        image = schema.database_image(text)
+        self_edited = 0
+        for reference in image.root:
+            authors = {canonical(n) for n in reference.get("Authors")}
+            editors = {canonical(n) for n in reference.get("Editors")}
+            if authors & editors:
+                self_edited += 1
+        assert self_edited == 40
+
+    def test_size_scales_linearly(self):
+        small = len(generate_bibtex(entries=10, seed=0))
+        large = len(generate_bibtex(entries=100, seed=0))
+        assert 8 < large / small < 12
+
+
+class TestGrammar:
+    def test_grammar_nonterminals(self):
+        grammar = bibtex_grammar()
+        expected = {
+            "Ref_Set", "Reference", "Key", "Authors", "Editors", "Name",
+            "First_Name", "Last_Name", "Title", "Booktitle", "Year",
+            "Publisher", "Address", "Pages", "Referred", "RefKey",
+            "Keywords", "Keyword", "Abstract",
+        }
+        assert set(grammar.nonterminals) == expected
+
+    def test_nested_name_structure(self):
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=1, seed=0)
+        image = schema.database_image(text)
+        reference = list(image.root)[0]
+        for name in reference.get("Authors"):
+            assert name.has("First_Name")
+            assert name.has("Last_Name")
+
+    def test_keywords_are_tagged_atoms(self):
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=1, seed=0)
+        image = schema.database_image(text)
+        reference = list(image.root)[0]
+        for keyword in reference.get("Keywords"):
+            assert keyword.type_name == "Keyword"

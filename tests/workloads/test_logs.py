@@ -1,0 +1,67 @@
+"""The structured-log workload."""
+
+from repro.db.values import canonical
+from repro.workloads.logs import LogGenerator, generate_log, log_schema
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_log(entries=5, seed=1) == generate_log(entries=5, seed=1)
+
+    def test_entry_count_parses(self):
+        schema = log_schema()
+        text = generate_log(entries=25, seed=0)
+        image = schema.database_image(text)
+        assert len(list(image.root)) == 25
+
+    def test_error_rate_knob(self):
+        high = LogGenerator(entries=200, seed=1, error_rate=0.9).generate()
+        low = LogGenerator(entries=200, seed=1, error_rate=0.0).generate()
+        assert high.count(" ERROR ") > 100
+        assert low.count(" ERROR ") == 0
+
+    def test_entry_structure(self):
+        schema = log_schema()
+        text = generate_log(entries=5, seed=0, requests_per_entry=2)
+        image = schema.database_image(text)
+        entry = list(image.root)[0]
+        assert entry.class_name == "Entry"
+        assert entry.has("Timestamp")
+        assert entry.has("Level")
+        assert entry.has("Requests")
+        timestamp = entry.get("Timestamp")
+        assert timestamp.has("Date")
+        assert timestamp.has("Time")
+
+    def test_requests_nested(self):
+        schema = log_schema()
+        text = generate_log(entries=50, seed=0, requests_per_entry=2)
+        image = schema.database_image(text)
+        some_requests = False
+        for entry in image.root:
+            for request in entry.get("Requests"):
+                some_requests = True
+                assert request.has("Method")
+                assert request.has("Status")
+        assert some_requests
+
+    def test_query_on_engine(self, log_engine):
+        result = log_engine.query('SELECT e FROM Entry e WHERE e.Level = "ERROR"')
+        baseline = log_engine.baseline_query(
+            'SELECT e FROM Entry e WHERE e.Level = "ERROR"'
+        )
+        assert result.canonical_rows() == baseline.canonical_rows()
+        assert result.rows
+
+    def test_nested_request_query(self, log_engine):
+        query = (
+            'SELECT e FROM Entry e WHERE e.Requests.Request.Status = "503"'
+        )
+        result = log_engine.query(query)
+        baseline = log_engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+        for row in result.rows:
+            statuses = {
+                canonical(r.get("Status")) for r in row[0].get("Requests")
+            }
+            assert "503" in statuses

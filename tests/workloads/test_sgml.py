@@ -1,0 +1,56 @@
+"""The SGML workload (self-nested sections)."""
+
+from repro.core.pathexpr import max_nesting_depth
+from repro.workloads.sgml import SgmlGenerator, generate_sgml, sgml_schema
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_sgml(documents=3, seed=1) == generate_sgml(documents=3, seed=1)
+
+    def test_document_count(self):
+        schema = sgml_schema()
+        text = generate_sgml(documents=4, seed=0)
+        image = schema.database_image(text)
+        assert len(list(image.root)) == 4
+
+    def test_nesting_depth_knob(self):
+        schema = sgml_schema()
+        shallow_text = SgmlGenerator(documents=6, depth=1, seed=3).generate()
+        deep_text = SgmlGenerator(documents=6, depth=4, seed=3).generate()
+        shallow_tree = schema.parse(shallow_text)
+        deep_tree = schema.parse(deep_text)
+
+        def section_depth(tree):
+            from repro.algebra.region import Region, RegionSet
+
+            spans = RegionSet(
+                Region(s, e)
+                for symbol, s, e in tree.nonterminal_spans()
+                if symbol == "Section"
+            )
+            return max_nesting_depth(spans)
+
+        assert section_depth(shallow_text and shallow_tree) == 0
+        assert section_depth(deep_tree) >= 2
+
+    def test_document_structure(self):
+        schema = sgml_schema()
+        text = generate_sgml(documents=2, seed=0)
+        image = schema.database_image(text)
+        document = list(image.root)[0]
+        assert document.class_name == "Document"
+        assert document.has("TitleText")  # Title is transparent
+        assert document.has("Sections")
+
+    def test_query_on_engine(self, sgml_engine):
+        query = 'SELECT d FROM Document d WHERE d.*X.ParaText = "region index query"'
+        result = sgml_engine.query(query)
+        baseline = sgml_engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_star_title_query_matches_baseline(self, sgml_engine):
+        query = 'SELECT d FROM Document d WHERE d.*X.TitleText = "Compaction"'
+        result = sgml_engine.query(query)
+        baseline = sgml_engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()

@@ -1,0 +1,130 @@
+"""The source-code workload (programs, disjunctive statements)."""
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.db.values import canonical
+from repro.index.config import IndexConfig
+from repro.rig.derive import derive_full_rig
+from repro.workloads.source import (
+    CALLERS_OF_ALLOC,
+    SELF_CALLERS,
+    TOP_LEVEL_CALLS,
+    SourceGenerator,
+    generate_source,
+    source_grammar,
+    source_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def engine() -> FileQueryEngine:
+    return FileQueryEngine(source_schema(), generate_source(functions=25, seed=1))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_source(functions=5, seed=1) == generate_source(
+            functions=5, seed=1
+        )
+
+    def test_function_count(self):
+        text = generate_source(functions=9, seed=0)
+        assert text.count("def ") == 9
+
+    def test_parses_cleanly(self):
+        schema = source_schema()
+        for seed in range(4):
+            image = schema.database_image(generate_source(functions=8, seed=seed))
+            assert len(list(image.root)) == 8
+
+    def test_depth_knob(self):
+        flat = SourceGenerator(functions=20, depth=0, seed=2).generate()
+        nested = SourceGenerator(functions=20, depth=3, seed=2).generate()
+        assert "if" not in flat
+        assert "if" in nested
+
+
+class TestStructure:
+    def test_disjunctive_stmt_is_transparent(self):
+        schema = source_schema()
+        assert "Stmt" in schema.transparent_nonterminals()
+
+    def test_rig_is_cyclic_through_if(self):
+        rig = derive_full_rig(source_grammar(), include_root=False)
+        # The grammar's edges: Body -> Stmt -> If -> Body — a cycle.
+        assert rig.has_edge("Body", "Stmt")
+        assert rig.has_edge("Stmt", "If")
+        assert rig.has_edge("If", "Body")
+        from repro.rig.paths import reach_plus
+
+        assert "Body" in reach_plus(rig, "Body")
+
+    def test_statement_values_have_their_own_types(self, engine):
+        database = engine.load_baseline_database()
+        function = database.extent("Function")[0]
+        body = function.get("Body")
+        type_names = {
+            value.class_name for value in body
+        }
+        assert type_names <= {"Call", "Assign", "If"}
+
+    def test_call_objects_loaded_as_extent(self, engine):
+        database = engine.load_baseline_database()
+        assert database.extent("Call")
+        assert database.extent("Assign")
+
+
+class TestQueries:
+    @pytest.mark.parametrize(
+        "query", [CALLERS_OF_ALLOC, TOP_LEVEL_CALLS, SELF_CALLERS]
+    )
+    def test_matches_baseline(self, engine, query):
+        result = engine.query(query)
+        baseline = engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_star_query_finds_nested_calls(self, engine):
+        any_depth = engine.query(CALLERS_OF_ALLOC)
+        top_level = engine.query(
+            'SELECT f FROM Function f WHERE f.Body.Call.Callee = "alloc"'
+        )
+        assert set(top_level.canonical_rows()) <= set(any_depth.canonical_rows())
+
+    def test_concrete_path_through_disjunctive_wrapper(self, engine):
+        # Body.Call navigates through the transparent Stmt.
+        result = engine.query(TOP_LEVEL_CALLS)
+        for row in result.rows:
+            assert str(canonical(row[0]))
+
+    def test_nested_if_path(self, engine):
+        query = (
+            "SELECT f.FuncName FROM Function f "
+            'WHERE f.Body.If.Body.Call.Callee = "alloc"'
+        )
+        result = engine.query(query)
+        baseline = engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_condition_query(self, engine):
+        query = 'SELECT f FROM Function f WHERE f.*X.Cond = "has_lock"'
+        result = engine.query(query)
+        baseline = engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
+
+    def test_partial_index_matches(self):
+        config = IndexConfig.partial({"Function", "Callee"})
+        engine = FileQueryEngine(
+            source_schema(), generate_source(functions=15, seed=3), config
+        )
+        result = engine.query(CALLERS_OF_ALLOC)
+        baseline = engine.baseline_query(CALLERS_OF_ALLOC)
+        assert result.canonical_rows() == baseline.canonical_rows()
+        assert result.plan.exact  # star gap: any path acceptable
+
+    def test_call_extent_queries(self, engine):
+        # Call is itself a class: query it directly.
+        query = 'SELECT c FROM Call c WHERE c.Callee = "alloc"'
+        result = engine.query(query)
+        baseline = engine.baseline_query(query)
+        assert result.canonical_rows() == baseline.canonical_rows()
