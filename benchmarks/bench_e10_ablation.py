@@ -23,8 +23,13 @@ CITATION_JOIN = (
 
 @pytest.fixture(scope="module")
 def unoptimized_engine(bibtex_texts):
+    from repro.cache import CacheConfig
+
     return FileQueryEngine(
-        bibtex_schema(), bibtex_texts[400], optimize_expressions=False
+        bibtex_schema(),
+        bibtex_texts[400],
+        optimize_expressions=False,
+        cache_config=CacheConfig.disabled(),
     )
 
 

@@ -1,0 +1,110 @@
+"""E11 — the region-expression / candidate-parse cache (Sections 5.2, 6).
+
+Section 5.2's optimization goal is to "find common subexpressions in the
+region expressions and evaluate them once"; Section 6's is to avoid touching
+file bytes.  The engine-wide cache extends both across queries: on an
+immutable indexed corpus, repeated or overlapping queries reuse evaluated
+region sets and parsed candidates instead of recomputing them.
+
+Cold engines are built with ``CacheConfig.disabled()`` (every request pays
+full price, the E1–E10 configuration); warm engines enable the default
+``CacheConfig()`` and are pre-warmed with one pass of the workload before
+measurement.  Rows are byte-identical either way — only the work changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.engine import FileQueryEngine
+from repro.index.config import IndexConfig
+from repro.workloads.bibtex import CHANG_AUTHOR_QUERY, bibtex_schema
+
+# A realistic interactive session: the same handful of queries, re-issued.
+REPLAY_WORKLOAD = [
+    CHANG_AUTHOR_QUERY,
+    'SELECT r FROM Reference r WHERE r.Year = "1982"',
+    CHANG_AUTHOR_QUERY,
+    'SELECT r.Authors.Name.Last_Name FROM Reference r WHERE r.Year = "1982"',
+    CHANG_AUTHOR_QUERY,
+]
+
+PARTIAL = IndexConfig.partial({"Reference", "Key", "Last_Name"})
+
+
+@pytest.fixture(scope="module")
+def cold_engine(bibtex_texts) -> FileQueryEngine:
+    return FileQueryEngine(
+        bibtex_schema(), bibtex_texts[400], PARTIAL, cache_config=CacheConfig.disabled()
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_engine(bibtex_texts) -> FileQueryEngine:
+    engine = FileQueryEngine(
+        bibtex_schema(), bibtex_texts[400], PARTIAL, cache_config=CacheConfig()
+    )
+    for query in REPLAY_WORKLOAD:
+        engine.query(query)
+    return engine
+
+
+def bench_repeated_query_cold(benchmark, cold_engine):
+    """Candidate-parsing query, caches off: every run re-parses candidates."""
+    result = benchmark(lambda: cold_engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        cache="disabled",
+        strategy=result.stats.strategy,
+        rows=len(result.rows),
+        bytes_parsed=result.stats.bytes_parsed,
+    )
+
+
+def bench_repeated_query_warm(benchmark, warm_engine):
+    """Same query, caches on and warmed: candidate parses come from the memo."""
+    result = benchmark(lambda: warm_engine.query(CHANG_AUTHOR_QUERY))
+    benchmark.extra_info.update(
+        cache="enabled",
+        strategy=result.stats.strategy,
+        rows=len(result.rows),
+        bytes_parsed=result.stats.bytes_parsed,
+        bytes_parse_avoided=result.stats.bytes_parse_avoided,
+        cache_hits=result.stats.cache_hits,
+    )
+
+
+def bench_session_replay_cold(benchmark, cold_engine):
+    """A five-query session, caches off."""
+    results = benchmark(lambda: [cold_engine.query(q) for q in REPLAY_WORKLOAD])
+    benchmark.extra_info.update(
+        cache="disabled",
+        queries=len(REPLAY_WORKLOAD),
+        bytes_parsed=sum(r.stats.bytes_parsed for r in results),
+    )
+
+
+def bench_session_replay_warm(benchmark, warm_engine):
+    """The same session against a warmed cache: zero bytes re-parsed."""
+    results = benchmark(lambda: [warm_engine.query(q) for q in REPLAY_WORKLOAD])
+    benchmark.extra_info.update(
+        cache="enabled",
+        queries=len(REPLAY_WORKLOAD),
+        bytes_parsed=sum(r.stats.bytes_parsed for r in results),
+        bytes_parse_avoided=sum(r.stats.bytes_parse_avoided for r in results),
+        cache_stats=warm_engine.cache_description(),
+    )
+
+
+def bench_cache_equivalence_check(benchmark, cold_engine, warm_engine):
+    """Not a speed contest: measures the warm engine while asserting its rows
+    equal the cold engine's for the whole replay workload."""
+    cold_rows = [cold_engine.query(q).canonical_rows() for q in REPLAY_WORKLOAD]
+
+    def replay_and_check():
+        rows = [warm_engine.query(q).canonical_rows() for q in REPLAY_WORKLOAD]
+        assert rows == cold_rows
+        return rows
+
+    benchmark(replay_and_check)
+    benchmark.extra_info.update(cache="enabled", identical_rows=True)

@@ -68,7 +68,11 @@ def bench_scoped_indexing(benchmark, bibtex_texts, size):
     config = IndexConfig.partial({"Reference", "Key"}).with_scoped(
         "Last_Name", "Authors"
     )
-    engine = FileQueryEngine(bibtex_schema(), bibtex_texts[size], config)
+    from repro.cache import CacheConfig
+
+    engine = FileQueryEngine(
+        bibtex_schema(), bibtex_texts[size], config, cache_config=CacheConfig.disabled()
+    )
     result = benchmark(lambda: engine.query(CHANG_AUTHOR_QUERY))
     benchmark.extra_info.update(
         size=size,

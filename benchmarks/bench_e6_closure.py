@@ -64,8 +64,12 @@ def bench_call_graph_closure(benchmark):
     from repro.core.engine import FileQueryEngine
     from repro.workloads.source import CALLERS_OF_ALLOC, generate_source, source_schema
 
+    from repro.cache import CacheConfig
+
     engine = FileQueryEngine(
-        source_schema(), generate_source(functions=150, depth=3, seed=31)
+        source_schema(),
+        generate_source(functions=150, depth=3, seed=31),
+        cache_config=CacheConfig.disabled(),
     )
     result = benchmark(lambda: engine.query(CALLERS_OF_ALLOC))
     benchmark.extra_info.update(rows=len(result.rows))

@@ -24,8 +24,13 @@ WORKLOAD = [
 @pytest.fixture(scope="module")
 def advisor_engine(bibtex_texts):
     schema = bibtex_schema()
+    from repro.cache import CacheConfig
+
     report = IndexAdvisor(schema).recommend(WORKLOAD)
-    return FileQueryEngine(schema, bibtex_texts[400], report.config), report
+    engine = FileQueryEngine(
+        schema, bibtex_texts[400], report.config, cache_config=CacheConfig.disabled()
+    )
+    return engine, report
 
 
 def bench_advisor_config_query(benchmark, advisor_engine):

@@ -30,6 +30,8 @@ from repro.algebra.ast import (
 )
 from repro.algebra.counters import OperationCounters
 from repro.algebra.region import Instance, RegionSet
+from repro.cache.keys import canonical_key
+from repro.cache.region_cache import RegionCache
 from repro.errors import AlgebraError, UnknownRegionNameError
 
 
@@ -86,6 +88,12 @@ class Evaluator:
         When true (default), referencing a region name absent from the
         instance raises :class:`UnknownRegionNameError`; when false it
         evaluates to the empty set (partial-index evaluation uses this).
+    region_cache:
+        Optional *shared* result cache keyed by canonical structural keys
+        (:func:`repro.cache.keys.canonical_key`).  Unlike the per-evaluator
+        memo it outlives this evaluator, so sub-chains shared by different
+        queries on one engine are evaluated once per engine.  Sound only
+        while the instance is immutable, which the index engine guarantees.
     """
 
     def __init__(
@@ -95,6 +103,7 @@ class Evaluator:
         counters: OperationCounters | None = None,
         strict_names: bool = True,
         memoize: bool = True,
+        region_cache: RegionCache | None = None,
     ) -> None:
         self._instance = instance
         self._words: WordLookup = word_lookup if word_lookup is not None else EmptyWordLookup()
@@ -102,6 +111,7 @@ class Evaluator:
         self._strict_names = strict_names
         self._memoize = memoize
         self._memo: dict[RegionExpr, RegionSet] = {}
+        self._region_cache = region_cache
 
     @property
     def instance(self) -> Instance:
@@ -119,9 +129,21 @@ class Evaluator:
             cached = self._memo.get(expression)
             if cached is not None:
                 return cached
+        cache_key = None
+        if self._region_cache is not None and not isinstance(expression, Name):
+            # Strictness changes failure behaviour for unknown names, so it
+            # partitions the shared cache.
+            cache_key = (self._strict_names, canonical_key(expression))
+            shared = self._region_cache.get(cache_key)
+            if shared is not None:
+                if self._memoize:
+                    self._memo[expression] = shared
+                return shared
         result = self._evaluate_node(expression)
         if self._memoize and not isinstance(expression, Name):
             self._memo[expression] = result
+        if cache_key is not None:
+            self._region_cache.put(cache_key, result)
         return result
 
     def _evaluate_node(self, expression: RegionExpr) -> RegionSet:

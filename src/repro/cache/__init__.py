@@ -1,0 +1,36 @@
+"""Engine-wide caching of region-expression evaluation and candidate parsing.
+
+The paper's premise is that queries on files should avoid re-touching file
+text: queries compile to region-algebra expressions over a PAT-style index,
+and only the candidate regions are parsed (Section 6).  On one *immutable*
+indexed corpus, consecutive queries frequently share subexpressions (the
+translation of Section 5.1 emits highly regular inclusion chains) and
+re-visit the same candidate regions.  This package memoizes both layers
+per engine:
+
+- :class:`RegionCache` — an LRU cache of region-expression results keyed by
+  a canonical structural key (:func:`canonical_key`), so syntactically
+  different but equivalent plans (commuted ``∪``/``∩`` operands) hit;
+- :class:`CandidateParseMemo` — a memo of candidate-region parses keyed by
+  ``(source class, region, push-down-trie fingerprint)``, so repeated or
+  overlapping queries skip re-parsing file bytes;
+- :class:`CacheConfig` — per-engine knobs, with ``CacheConfig.disabled()``
+  as the escape hatch (results are identical with caching on or off);
+- :class:`CacheStats` — the engine-wide hit/miss/bytes-avoided tally
+  surfaced through ``ExecutionStats`` and the CLI.
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.keys import canonical_key
+from repro.cache.parse_memo import CandidateParseMemo, ParseOutcome
+from repro.cache.region_cache import RegionCache
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "CandidateParseMemo",
+    "ParseOutcome",
+    "RegionCache",
+    "canonical_key",
+]

@@ -1,0 +1,73 @@
+"""Canonical structural keys for region expressions.
+
+Two region expressions that denote the same computation should share one
+cache entry.  ``∪`` and ``∩`` are associative, commutative and idempotent
+on region sets, so the key flattens same-kind chains, sorts the operand
+keys and drops duplicates: ``(A ∪ B) ∪ C`` and ``C ∪ (B ∪ A)`` key
+identically.  Difference, inclusion and selection keep their operand order
+(they are not commutative).
+
+Keys are nested tuples of strings — hashable, comparable, and independent
+of object identity, so they survive re-translation of the same query text.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    Inclusion,
+    Innermost,
+    Name,
+    Outermost,
+    RegionExpr,
+    Select,
+    SetOp,
+)
+from repro.errors import AlgebraError
+
+_COMMUTATIVE = ("union", "intersect")
+
+
+def canonical_key(expression: RegionExpr) -> tuple:
+    """A canonical, hashable key for ``expression``'s denotation."""
+    if isinstance(expression, Name):
+        return ("name", expression.region_name)
+    if isinstance(expression, Select):
+        return ("select", expression.mode, expression.word, canonical_key(expression.child))
+    if isinstance(expression, Inclusion):
+        return (
+            "incl",
+            expression.op,
+            canonical_key(expression.left),
+            canonical_key(expression.right),
+        )
+    if isinstance(expression, SetOp):
+        if expression.kind in _COMMUTATIVE:
+            operands = sorted(
+                {
+                    canonical_key(operand)
+                    for operand in _commutative_operands(expression, expression.kind)
+                }
+            )
+            if len(operands) == 1:
+                # x ∪ x and x ∩ x both denote x.
+                return operands[0]
+            return (expression.kind, tuple(operands))
+        return (
+            "difference",
+            canonical_key(expression.left),
+            canonical_key(expression.right),
+        )
+    if isinstance(expression, Innermost):
+        return ("innermost", canonical_key(expression.child))
+    if isinstance(expression, Outermost):
+        return ("outermost", canonical_key(expression.child))
+    raise AlgebraError(f"cannot key expression node {expression!r}")
+
+
+def _commutative_operands(expression: RegionExpr, kind: str):
+    """Yield the leaves of a same-kind ``∪``/``∩`` chain (associativity)."""
+    if isinstance(expression, SetOp) and expression.kind == kind:
+        yield from _commutative_operands(expression.left, kind)
+        yield from _commutative_operands(expression.right, kind)
+    else:
+        yield expression

@@ -1,0 +1,70 @@
+"""The candidate-parse memo.
+
+Section 6's second phase re-parses each candidate region as the source
+non-terminal and instantiates it restricted to the query's push-down trie.
+On an immutable corpus the outcome is fully determined by
+``(source class, region, trie fingerprint)`` — so repeated or overlapping
+queries can skip the file bytes entirely.  Failures memoize too: a region
+that does not re-parse as the source class never will.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.cache.stats import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.values import ObjectValue
+
+
+@dataclass(frozen=True)
+class ParseOutcome:
+    """What parsing one candidate region produced, and what it cost.
+
+    ``value`` is the instantiated object, or ``None`` when the region failed
+    to parse (or did not instantiate to an object).  The recorded costs are
+    credited to ``bytes_parse_avoided`` / hit accounting on reuse.
+    """
+
+    value: "ObjectValue | None"
+    bytes_cost: int
+    values_built: int
+
+
+class CandidateParseMemo:
+    """LRU memo: ``(source_class, region, trie_fingerprint)`` → outcome."""
+
+    def __init__(self, max_entries: int = 4096, stats: CacheStats | None = None) -> None:
+        self._max_entries = max_entries
+        self._entries: OrderedDict[Hashable, ParseOutcome] = OrderedDict()
+        self.stats = stats if stats is not None else CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(source_class: str, region: Any, trie_fingerprint: Hashable) -> Hashable:
+        return (source_class, region, trie_fingerprint)
+
+    def get(self, key: Hashable) -> ParseOutcome | None:
+        outcome = self._entries.get(key)
+        if outcome is None:
+            self.stats.parse_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.parse_hits += 1
+        self.stats.bytes_parse_avoided += outcome.bytes_cost
+        return outcome
+
+    def put(self, key: Hashable, outcome: ParseOutcome) -> None:
+        self._entries[key] = outcome
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.parse_evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

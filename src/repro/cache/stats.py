@@ -1,0 +1,51 @@
+"""The engine-wide cache tally.
+
+One :class:`CacheStats` object is shared by every cache an engine holds;
+each cache increments its own counters.  ``PlanExecutor`` snapshots the
+tally around a query to attribute per-query deltas to that query's
+``ExecutionStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Hits, misses, and the file bytes caching saved from re-parsing."""
+
+    expression_hits: int = 0
+    expression_misses: int = 0
+    expression_evictions: int = 0
+    parse_hits: int = 0
+    parse_misses: int = 0
+    parse_evictions: int = 0
+    bytes_parse_avoided: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+
+    def snapshot(self) -> tuple[int, ...]:
+        """An immutable copy of the counters (for per-query deltas)."""
+        return (
+            self.expression_hits,
+            self.expression_misses,
+            self.parse_hits,
+            self.parse_misses,
+            self.bytes_parse_avoided,
+        )
+
+    @property
+    def total_hits(self) -> int:
+        return self.expression_hits + self.parse_hits + self.plan_hits
+
+    def summary(self) -> str:
+        lines = [
+            f"expression cache:  {self.expression_hits} hits / "
+            f"{self.expression_misses} misses ({self.expression_evictions} evicted)",
+            f"parse memo:        {self.parse_hits} hits / "
+            f"{self.parse_misses} misses ({self.parse_evictions} evicted)",
+            f"plan cache:        {self.plan_hits} hits / {self.plan_misses} misses",
+            f"bytes not reparsed: {self.bytes_parse_avoided}",
+        ]
+        return "\n".join(lines)

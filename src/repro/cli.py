@@ -26,8 +26,10 @@ import argparse
 import sys
 from typing import Callable
 
+from repro.cache import CacheConfig
 from repro.core.engine import FileQueryEngine
 from repro.db.values import AtomicValue, ObjectValue, canonical
+from repro.errors import ReproError
 from repro.index.config import IndexConfig
 
 WORKLOADS: dict[str, tuple[Callable, Callable]] = {}
@@ -57,8 +59,11 @@ def _schema_for(name: str):
 
 def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
     schema = _schema_for(args.workload)
+    cache_config = (
+        CacheConfig.disabled() if getattr(args, "no_cache", False) else CacheConfig()
+    )
     if getattr(args, "index", None):
-        return FileQueryEngine.from_saved(schema, args.index)
+        return FileQueryEngine.from_saved(schema, args.index, cache_config=cache_config)
     if not args.file:
         raise SystemExit("either --file or --index is required")
     with open(args.file, "r", encoding="utf-8") as handle:
@@ -66,7 +71,7 @@ def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
     config = IndexConfig.full()
     if getattr(args, "partial", None):
         config = IndexConfig.partial(set(args.partial.split(",")))
-    return FileQueryEngine(schema, text, config)
+    return FileQueryEngine(schema, text, config, cache_config=cache_config)
 
 
 def _render_value(value) -> str:
@@ -96,9 +101,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     result = engine.query(args.query)
     for row in result.rows:
         print(" | ".join(_render_value(value) for value in row))
+    stats = result.stats
+    cache_note = ""
+    if stats.cache_hits or stats.cache_misses:
+        cache_note = (
+            f", cache {stats.cache_hits} hit(s)"
+            f" ({stats.bytes_parse_avoided} bytes not reparsed)"
+        )
     print(
-        f"-- {len(result.rows)} row(s), strategy {result.stats.strategy}, "
-        f"{result.stats.bytes_parsed} bytes parsed",
+        f"-- {len(result.rows)} row(s), strategy {stats.strategy}, "
+        f"{stats.bytes_parsed} bytes parsed{cache_note}",
         file=sys.stderr,
     )
     return 0
@@ -121,6 +133,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
     print(engine.statistics().summary())
+    print(f"cache:                  {engine.cache_config.describe()}")
+    print(engine.cache_stats.summary())
     return 0
 
 
@@ -139,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--partial",
             help="comma-separated non-terminals for a partial region index",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            dest="no_cache",
+            help="disable the engine's evaluation/parse caches",
         )
         if with_query:
             sub.add_argument("query", help="XSQL-subset query text")
@@ -177,6 +197,9 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

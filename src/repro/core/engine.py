@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.algebra.counters import OperationCounters
 from repro.algebra.region import RegionSet
+from repro.cache import CacheConfig, CacheStats
 from repro.core.partial import Execution, ExecutionStats, PlanExecutor
 from repro.core.planner import Plan, Planner
 from repro.core.translate import Translator
@@ -35,6 +36,7 @@ from repro.db.model import Database
 from repro.db.parser import parse_query
 from repro.db.query import Query
 from repro.db.values import Value, canonical
+from repro.errors import IndexError_
 from repro.index.builder import build_engine
 from repro.index.config import IndexConfig
 from repro.index.engine import IndexEngine
@@ -74,11 +76,14 @@ class FileQueryEngine:
         corpus: Corpus | str,
         config: IndexConfig | None = None,
         optimize_expressions: bool = True,
+        cache_config: CacheConfig | None = None,
     ) -> None:
         self.schema = schema
         self.corpus: Corpus | None = corpus if isinstance(corpus, Corpus) else None
         self.text = corpus.text if isinstance(corpus, Corpus) else corpus
         self.config = config if config is not None else IndexConfig.full()
+        self.cache_config = cache_config if cache_config is not None else CacheConfig()
+        self.cache_stats = CacheStats()
         build_counters = OperationCounters()
         tree = schema.parse(self.text, counters=build_counters)
         self.index_build_bytes = build_counters.bytes_scanned
@@ -89,19 +94,49 @@ class FileQueryEngine:
             root=schema.grammar.start,
             known_names=schema.grammar.nonterminals,
         )
+        self._wire_caches_and_pipeline(optimize_expressions)
+
+    def _wire_caches_and_pipeline(self, optimize_expressions: bool) -> None:
+        """Attach the per-engine caches and build translator/planner/executor.
+
+        The corpus is immutable once indexed, so every cache layer (region
+        expressions, candidate parses, plans) is sound for the engine's
+        lifetime; ``CacheConfig.disabled()`` turns them all off.
+        """
+        self.index.configure_cache(self.cache_config, stats=self.cache_stats)
         self.translator = Translator(
-            schema, self.config, has_word_index=self.index.word_index is not None
+            self.schema, self.config, has_word_index=self.index.word_index is not None
         )
-        self.planner = Planner(self.translator, optimize_expressions=optimize_expressions)
-        self._executor = PlanExecutor(schema, self.index, self.translator)
+        self.planner = Planner(
+            self.translator,
+            optimize_expressions=optimize_expressions,
+            plan_cache_size=(
+                self.cache_config.plan_cache_size
+                if self.cache_config.caches_plans
+                else 0
+            ),
+            cache_stats=self.cache_stats,
+        )
+        self._executor = PlanExecutor(
+            self.schema,
+            self.index,
+            self.translator,
+            cache_config=self.cache_config,
+            cache_stats=self.cache_stats,
+        )
 
     # -- persistence ------------------------------------------------------------------
 
     def save(self, directory: str) -> None:
-        """Persist the built indexes (see :mod:`repro.index.persist`)."""
-        from repro.index.persist import save_index
+        """Persist the built indexes (see :mod:`repro.index.persist`).
 
-        save_index(self.index, directory)
+        The structuring schema's fingerprint is stored alongside, so a later
+        ``from_saved`` under a different schema fails loudly instead of
+        silently answering wrongly.
+        """
+        from repro.index.persist import save_index, schema_fingerprint
+
+        save_index(self.index, directory, schema_fingerprint=schema_fingerprint(self.schema))
 
     @classmethod
     def from_saved(
@@ -109,25 +144,41 @@ class FileQueryEngine:
         schema: StructuringSchema,
         directory: str,
         optimize_expressions: bool = True,
+        cache_config: CacheConfig | None = None,
     ) -> "FileQueryEngine":
-        """Load a persisted engine, skipping the corpus re-parse."""
-        from repro.index.persist import load_index
+        """Load a persisted engine, skipping the corpus re-parse.
 
+        Raises :class:`~repro.errors.IndexError_` when the saved index was
+        built with a different structuring schema (region names would bind
+        to the wrong grammar and yield wrong answers).  Indexes saved before
+        fingerprints existed load without the check.
+        """
+        from repro.index.persist import (
+            load_index,
+            load_schema_fingerprint,
+            schema_fingerprint,
+        )
+
+        saved_fingerprint = load_schema_fingerprint(directory)
+        expected_fingerprint = schema_fingerprint(schema)
+        if saved_fingerprint is not None and saved_fingerprint != expected_fingerprint:
+            raise IndexError_(
+                f"saved index at {directory!r} was built with a different "
+                f"structuring schema (saved {saved_fingerprint}, "
+                f"loading under {expected_fingerprint}); rebuild the index "
+                "with this schema instead"
+            )
         index = load_index(directory)
         engine = cls.__new__(cls)
         engine.schema = schema
         engine.corpus = None
         engine.text = index.text
         engine.config = index.config
+        engine.cache_config = cache_config if cache_config is not None else CacheConfig()
+        engine.cache_stats = CacheStats()
         engine.index_build_bytes = 0
         engine.index = index
-        engine.translator = Translator(
-            schema, index.config, has_word_index=index.word_index is not None
-        )
-        engine.planner = Planner(
-            engine.translator, optimize_expressions=optimize_expressions
-        )
-        engine._executor = PlanExecutor(schema, index, engine.translator)
+        engine._wire_caches_and_pipeline(optimize_expressions)
         return engine
 
     # -- querying -----------------------------------------------------------------
@@ -148,20 +199,26 @@ class FileQueryEngine:
         )
 
     def explain(self, query: Query | str) -> str:
-        """A human-readable account of the plan for a query."""
+        """A human-readable account of the plan for a query, including the
+        engine's cache state."""
         from repro.core.explain import explain_plan
 
-        return explain_plan(self.plan(query))
+        return explain_plan(self.plan(query), cache=self.cache_description())
 
     # -- the baseline ----------------------------------------------------------------
 
     def baseline_query(self, query: Query | str) -> QueryResult:
         """Run the query through the standard-database pipeline (parse the
-        whole corpus, load, evaluate) regardless of index support."""
+        whole corpus, load, evaluate) regardless of index support.
+
+        The baseline deliberately bypasses the engine's caches: it exists to
+        measure the cost of *not* having the index layer, so it must pay the
+        real parsing cost every time.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         plan = Plan(strategy="full-scan", query=query, notes=["forced baseline"])
-        execution = self._executor.execute(plan)
+        execution = self._executor.execute(plan, use_cache=False)
         return QueryResult(
             rows=execution.rows,
             regions=execution.regions,
@@ -199,6 +256,18 @@ class FileQueryEngine:
 
     def statistics(self) -> IndexStatistics:
         return self.index.statistics()
+
+    def cache_description(self) -> str:
+        """One line: cache configuration plus lifetime hit/miss totals."""
+        described = self.cache_config.describe()
+        stats = self.cache_stats
+        activity = (
+            f"expr {stats.expression_hits}h/{stats.expression_misses}m, "
+            f"parse {stats.parse_hits}h/{stats.parse_misses}m, "
+            f"plan {stats.plan_hits}h/{stats.plan_misses}m, "
+            f"{stats.bytes_parse_avoided} bytes not reparsed"
+        )
+        return f"{described}; {activity}"
 
     @property
     def indexed_names(self) -> frozenset[str]:

@@ -6,8 +6,12 @@ from repro.core.cost import static_cost
 from repro.core.planner import Plan
 
 
-def explain_plan(plan: Plan) -> str:
-    """Render a plan the way EXPLAIN would."""
+def explain_plan(plan: Plan, cache: str | None = None) -> str:
+    """Render a plan the way EXPLAIN would.
+
+    ``cache`` is an optional one-line description of the engine's cache
+    state (configuration + lifetime hits), appended when provided.
+    """
     lines = [f"query:     {plan.query.render()}", f"strategy:  {plan.strategy}"]
     if plan.raw_expression is not None:
         lines.append(f"translated: {plan.raw_expression}")
@@ -30,4 +34,6 @@ def explain_plan(plan: Plan) -> str:
         lines.append("join:      index-located attribute contents compared")
     for note in plan.notes:
         lines.append(f"note:      {note}")
+    if cache is not None:
+        lines.append(f"cache:     {cache}")
     return "\n".join(lines)

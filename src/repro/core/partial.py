@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.algebra.counters import OperationCounters
 from repro.algebra.region import Region, RegionSet
+from repro.cache import CacheConfig, CacheStats, CandidateParseMemo, ParseOutcome
 from repro.core.planner import Plan
 from repro.core.translate import Translator
 from repro.db.evaluator import NaiveEvaluator
@@ -26,6 +27,7 @@ from repro.db.query import PathComparison, Query, TrueCondition
 from repro.db.values import ObjectValue, Value
 from repro.errors import ParseError, PlanningError
 from repro.index.engine import IndexEngine
+from repro.schema.parser import ParseNode
 from repro.schema.pushdown import AnchoredTrie, InstantiationStats, PathTrie
 from repro.schema.structuring import StructuringSchema
 
@@ -43,6 +45,22 @@ class ExecutionStats:
     rows: int = 0
     algebra: OperationCounters = field(default_factory=OperationCounters)
     join_bytes_compared: int = 0
+    #: Engine-cache activity attributed to this query (zero when the engine
+    #: runs uncached): region-expression cache and candidate-parse memo
+    #: hits/misses, and the file bytes a memo hit saved from re-parsing.
+    cache_expression_hits: int = 0
+    cache_expression_misses: int = 0
+    cache_parse_hits: int = 0
+    cache_parse_misses: int = 0
+    bytes_parse_avoided: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache_expression_hits + self.cache_parse_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache_expression_misses + self.cache_parse_misses
 
     def summary(self) -> str:
         lines = [
@@ -57,6 +75,13 @@ class ExecutionStats:
         ]
         if self.join_bytes_compared:
             lines.append(f"join bytes:        {self.join_bytes_compared}")
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"cache:             expr {self.cache_expression_hits}h/"
+                f"{self.cache_expression_misses}m, parse {self.cache_parse_hits}h/"
+                f"{self.cache_parse_misses}m, {self.bytes_parse_avoided} bytes "
+                "not reparsed"
+            )
         return "\n".join(lines)
 
 
@@ -77,37 +102,68 @@ class PlanExecutor:
         schema: StructuringSchema,
         index_engine: IndexEngine,
         translator: Translator,
+        cache_config: CacheConfig | None = None,
+        cache_stats: CacheStats | None = None,
     ) -> None:
         self._schema = schema
         self._engine = index_engine
         self._translator = translator
+        self._cache_config = cache_config if cache_config is not None else CacheConfig.disabled()
+        self._cache_stats = cache_stats if cache_stats is not None else CacheStats()
+        self._parse_memo: CandidateParseMemo | None = (
+            CandidateParseMemo(
+                max_entries=self._cache_config.parse_memo_size, stats=self._cache_stats
+            )
+            if self._cache_config.caches_parses
+            else None
+        )
+        #: The parse tree (and its byte cost) of the last planner-chosen
+        #: full scan; the corpus is immutable, so one tree serves them all.
+        self._full_scan_tree: tuple[ParseNode, int] | None = None
 
     # -- dispatch -----------------------------------------------------------------
 
-    def execute(self, plan: Plan) -> Execution:
+    def execute(self, plan: Plan, use_cache: bool = True) -> Execution:
+        """Execute ``plan``.  ``use_cache=False`` bypasses the parse memo
+        and full-scan tree cache (the forced-baseline pipeline uses this so
+        baseline measurements always pay the real parsing cost)."""
+        expr_hits = self._cache_stats.expression_hits
+        expr_misses = self._cache_stats.expression_misses
+        execution = self._dispatch(plan, use_cache)
+        execution.stats.cache_expression_hits += (
+            self._cache_stats.expression_hits - expr_hits
+        )
+        execution.stats.cache_expression_misses += (
+            self._cache_stats.expression_misses - expr_misses
+        )
+        return execution
+
+    def _dispatch(self, plan: Plan, use_cache: bool) -> Execution:
         if plan.strategy == "empty":
             stats = ExecutionStats(strategy="empty")
             return Execution(rows=[], regions=RegionSet.empty(), stats=stats)
         if plan.strategy == "full-scan":
-            return self._execute_full_scan(plan)
+            return self._execute_full_scan(plan, use_cache)
         if plan.strategy == "index-join":
-            return self._execute_join(plan)
+            return self._execute_join(plan, use_cache)
         if plan.strategy == "index-multi":
-            return self._execute_multi(plan)
+            return self._execute_multi(plan, use_cache)
         if plan.strategy in ("index-exact", "index-candidates"):
-            return self._execute_index(plan)
+            return self._execute_index(plan, use_cache)
         raise PlanningError(f"unknown strategy {plan.strategy!r}")
 
     # -- index strategies ------------------------------------------------------------
 
-    def _execute_index(self, plan: Plan) -> Execution:
+    def _execute_index(self, plan: Plan, use_cache: bool = True) -> Execution:
         stats = ExecutionStats(strategy=plan.strategy)
         assert plan.optimized_expression is not None
         evaluation = self._engine.run(plan.optimized_expression)
         stats.algebra = evaluation.counters
         candidates = evaluation.result
         stats.candidate_regions = len(candidates)
-        return self._parse_filter_output(plan, candidates, stats, exact=plan.exact)
+        return self._parse_filter_output(
+            plan, candidates, stats, exact=plan.exact, use_cache=use_cache
+        )
 
     def _parse_filter_output(
         self,
@@ -115,11 +171,14 @@ class PlanExecutor:
         candidates: RegionSet,
         stats: ExecutionStats,
         exact: bool,
+        use_cache: bool = True,
     ) -> Execution:
         """Parse candidate regions, filter if needed, and produce rows."""
         query = plan.query
         trie = self._translator.needed_paths(query)
-        parsed = self._parse_candidates(query.source_class, candidates, trie, stats)
+        parsed = self._parse_candidates(
+            query.source_class, candidates, trie, stats, use_cache=use_cache
+        )
         database = Database()
         region_of: dict[int, Region] = {}
         kept_objects: list[ObjectValue] = []
@@ -156,13 +215,37 @@ class PlanExecutor:
         candidates: RegionSet,
         trie: PathTrie,
         stats: ExecutionStats,
+        use_cache: bool = True,
     ) -> list[tuple[Region, ObjectValue]]:
         """Re-parse each candidate region as the source non-terminal and
-        instantiate it (restricted to the push-down trie)."""
+        instantiate it (restricted to the push-down trie).
+
+        Parses are memoized per ``(source class, region, trie fingerprint)``
+        when the engine caches: repeated or overlapping queries skip the
+        file bytes entirely (the corpus is immutable, so an outcome can
+        never go stale).  Failed parses memoize too.
+        """
+        memo = self._parse_memo if use_cache else None
+        trie_fingerprint = trie.fingerprint() if memo is not None else None
         parsed: list[tuple[Region, ObjectValue]] = []
         counters = OperationCounters()
         instantiation = InstantiationStats()
         for region in candidates:
+            memo_key = None
+            if memo is not None:
+                memo_key = CandidateParseMemo.key(source_class, region, trie_fingerprint)
+                outcome = memo.get(memo_key)
+                if outcome is not None:
+                    stats.cache_parse_hits += 1
+                    stats.bytes_parse_avoided += outcome.bytes_cost
+                    if outcome.value is not None:
+                        parsed.append((region, outcome.value))
+                    else:
+                        stats.objects_filtered_out += 1
+                    continue
+                stats.cache_parse_misses += 1
+            bytes_before = counters.bytes_scanned
+            values_before = instantiation.values_built
             try:
                 node = self._schema.parse(
                     self._engine.text,
@@ -174,19 +257,38 @@ class PlanExecutor:
             except ParseError:
                 # A candidate that fails to re-parse cannot be an answer.
                 stats.objects_filtered_out += 1
+                if memo_key is not None:
+                    memo.put(
+                        memo_key,
+                        ParseOutcome(
+                            value=None,
+                            bytes_cost=counters.bytes_scanned - bytes_before,
+                            values_built=0,
+                        ),
+                    )
                 continue
             value = self._schema.instantiate(node, needed=trie, stats=instantiation)
-            if isinstance(value, ObjectValue):
-                parsed.append((region, value))
+            obj = value if isinstance(value, ObjectValue) else None
+            if obj is not None:
+                parsed.append((region, obj))
             else:
                 stats.objects_filtered_out += 1
+            if memo_key is not None:
+                memo.put(
+                    memo_key,
+                    ParseOutcome(
+                        value=obj,
+                        bytes_cost=counters.bytes_scanned - bytes_before,
+                        values_built=instantiation.values_built - values_before,
+                    ),
+                )
         stats.bytes_parsed += counters.bytes_scanned
         stats.values_built += instantiation.values_built
         return parsed
 
     # -- multi-variable queries (Section 5.2's join discussion) ----------------------------
 
-    def _execute_multi(self, plan: Plan) -> Execution:
+    def _execute_multi(self, plan: Plan, use_cache: bool = True) -> Execution:
         """Narrow each range variable's extent through the index, parse only
         the surviving candidates, then run the database join loops."""
         stats = ExecutionStats(strategy="index-multi")
@@ -204,7 +306,9 @@ class PlanExecutor:
                 candidates = evaluation.result
             stats.candidate_regions += len(candidates)
             trie = self._translator.needed_paths(query, var=source.var)
-            parsed = self._parse_candidates(source.class_name, candidates, trie, stats)
+            parsed = self._parse_candidates(
+                source.class_name, candidates, trie, stats, use_cache=use_cache
+            )
             objects = []
             for region, obj in parsed:
                 database.insert(obj)
@@ -226,7 +330,7 @@ class PlanExecutor:
 
     # -- the index-assisted join (Section 5.2) --------------------------------------------
 
-    def _execute_join(self, plan: Plan) -> Execution:
+    def _execute_join(self, plan: Plan, use_cache: bool = True) -> Execution:
         stats = ExecutionStats(strategy="index-join")
         query = plan.query
         join = plan.join_condition
@@ -242,7 +346,9 @@ class PlanExecutor:
             stats.algebra.merge(evaluation.counters)
             stats.candidate_regions = len(evaluation.result)
             stats.strategy = "index-join(fallback)"
-            return self._parse_filter_output(plan, evaluation.result, stats, exact=False)
+            return self._parse_filter_output(
+                plan, evaluation.result, stats, exact=False, use_cache=use_cache
+            )
         left_regions, left_exact = left
         right_regions, right_exact = right
         sources = self._engine.instance.get(source)
@@ -257,7 +363,9 @@ class PlanExecutor:
         candidates = RegionSet(qualifying)
         stats.candidate_regions = len(candidates)
         exact = left_exact and right_exact
-        return self._parse_filter_output(plan, candidates, stats, exact=exact)
+        return self._parse_filter_output(
+            plan, candidates, stats, exact=exact, use_cache=use_cache
+        )
 
     def _endpoint_regions(
         self, source: str, join: PathComparison, side: str, stats: ExecutionStats
@@ -293,12 +401,10 @@ class PlanExecutor:
 
     # -- the baseline ----------------------------------------------------------------------
 
-    def _execute_full_scan(self, plan: Plan) -> Execution:
+    def _execute_full_scan(self, plan: Plan, use_cache: bool = True) -> Execution:
         stats = ExecutionStats(strategy="full-scan")
         query = plan.query
-        counters = OperationCounters()
-        tree = self._schema.parse(self._engine.text, counters=counters)
-        stats.bytes_parsed = counters.bytes_scanned
+        tree = self._full_scan_parse(stats, use_cache)
         instantiation = InstantiationStats()
         if query.is_single_source():
             # The query trie is rooted at the source class; instantiation
@@ -310,7 +416,10 @@ class PlanExecutor:
             # Multi-variable scans build the full image (each class would
             # need its own anchor; correctness over cleverness here).
             trie = PathTrie.everything()
-        root = self._schema.instantiate(tree, needed=trie, stats=instantiation)
+        spans_by_oid: dict[int, tuple[int, int]] = {}
+        root = self._schema.instantiate(
+            tree, needed=trie, stats=instantiation, spans=spans_by_oid
+        )
         stats.values_built = instantiation.values_built
         database = Database()
         database.load_value(root)
@@ -319,25 +428,46 @@ class PlanExecutor:
         stats.rows = len(rows)
         stats.candidate_regions = len(database.extent(query.source_class))
         # Map qualifying objects back to their parse regions for parity with
-        # the index strategies.
+        # the index strategies.  Each object's span was recorded when it was
+        # instantiated — no assumption that the parse-tree walk order matches
+        # the extent's insertion order.
         regions: list[Region] = []
         if query.is_identity_select():
             qualifying = {
                 row[0].oid for row in rows if isinstance(row[0], ObjectValue)
             }
-            spans = [
-                (node.start, node.end)
-                for node in tree.walk()
-                if node.symbol == query.source_class
-            ]
-            objects = database.extent(query.source_class)
-            for (start, end), obj in zip(spans, objects):
-                if obj.oid in qualifying:
-                    regions.append(Region(start, end))
+            for oid in qualifying:
+                span = spans_by_oid.get(oid)
+                if span is not None:
+                    regions.append(Region(span[0], span[1]))
             stats.objects_filtered_out = stats.candidate_regions - len(qualifying)
         result_regions = RegionSet(regions)
         stats.result_regions = len(result_regions)
         return Execution(rows=rows, regions=result_regions, stats=stats)
+
+    def _full_scan_parse(self, stats: ExecutionStats, use_cache: bool) -> ParseNode:
+        """Parse the whole corpus, reusing the cached tree when allowed.
+
+        The corpus never changes after indexing, so one tree serves every
+        planner-chosen full scan.  The forced baseline (``use_cache=False``)
+        always re-parses — its measurements must reflect real work.
+        """
+        cache_tree = use_cache and self._cache_config.caches_full_scan_tree
+        if cache_tree and self._full_scan_tree is not None:
+            tree, byte_cost = self._full_scan_tree
+            stats.cache_parse_hits += 1
+            stats.bytes_parse_avoided += byte_cost
+            self._cache_stats.parse_hits += 1
+            self._cache_stats.bytes_parse_avoided += byte_cost
+            return tree
+        counters = OperationCounters()
+        tree = self._schema.parse(self._engine.text, counters=counters)
+        stats.bytes_parsed = counters.bytes_scanned
+        if cache_tree:
+            stats.cache_parse_misses += 1
+            self._cache_stats.parse_misses += 1
+            self._full_scan_tree = (tree, counters.bytes_scanned)
+        return tree
 
 
 def _outputs_need_where(query: Query) -> bool:

@@ -20,9 +20,11 @@ Strategies, in order of preference:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.algebra.ast import RegionExpr
+from repro.cache import CacheStats
 from repro.core.optimizer import OptimizationTrace, optimize
 from repro.core.translate import TranslatedCondition, Translator
 from repro.core.triviality import is_trivially_empty
@@ -64,10 +66,22 @@ class Planner:
     equivalence), only costs change.
     """
 
-    def __init__(self, translator: Translator, optimize_expressions: bool = True) -> None:
+    def __init__(
+        self,
+        translator: Translator,
+        optimize_expressions: bool = True,
+        plan_cache_size: int = 0,
+        cache_stats: CacheStats | None = None,
+    ) -> None:
         self._translator = translator
         self._rig = translator.effective_rig()
         self._optimize = optimize_expressions
+        #: LRU of plans for *textual* queries (keyed by the raw query text).
+        #: Plans are read-only to the executor, so one plan object can serve
+        #: every repetition of the same query.  Size 0 disables the cache.
+        self._plan_cache_size = plan_cache_size
+        self._plan_cache: OrderedDict[str, Plan] = OrderedDict()
+        self._cache_stats = cache_stats if cache_stats is not None else CacheStats()
 
     @property
     def translator(self) -> Translator:
@@ -78,8 +92,25 @@ class Planner:
         return self._rig
 
     def plan(self, query: Query | str) -> Plan:
+        cache_key: str | None = None
         if isinstance(query, str):
+            if self._plan_cache_size > 0:
+                cached = self._plan_cache.get(query)
+                if cached is not None:
+                    self._plan_cache.move_to_end(query)
+                    self._cache_stats.plan_hits += 1
+                    return cached
+                self._cache_stats.plan_misses += 1
+                cache_key = query
             query = parse_query(query)
+        plan = self._plan_parsed(query)
+        if cache_key is not None:
+            self._plan_cache[cache_key] = plan
+            while len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    def _plan_parsed(self, query: Query) -> Plan:
         if not query.is_single_source():
             return self._plan_multi(query)
         translated = self._translator.translate_query(query)

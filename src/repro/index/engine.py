@@ -13,6 +13,7 @@ from repro.algebra.ast import RegionExpr, parse_expression
 from repro.algebra.counters import OperationCounters
 from repro.algebra.evaluator import EvalStats, Evaluator
 from repro.algebra.region import Instance, Region, RegionSet
+from repro.cache import CacheConfig, CacheStats, RegionCache
 from repro.errors import IndexError_
 from repro.index.config import IndexConfig
 from repro.index.stats import IndexStatistics
@@ -37,6 +38,27 @@ class IndexEngine:
         self.suffix_array = suffix_array
         self.config = config if config is not None else IndexConfig.full()
         self.counters = OperationCounters()
+        # Expression-result caching is opt-in at this level (the low-level
+        # engine is also a measurement instrument); FileQueryEngine turns it
+        # on by default via configure_cache().
+        self.cache_config: CacheConfig = CacheConfig.disabled()
+        self.region_cache: RegionCache | None = None
+
+    def configure_cache(
+        self, cache_config: CacheConfig, stats: CacheStats | None = None
+    ) -> None:
+        """Attach (or detach) the shared region-expression result cache.
+
+        Safe at any time: the instance is immutable, so a fresh cache is
+        simply empty.  Passing ``CacheConfig.disabled()`` removes caching.
+        """
+        self.cache_config = cache_config
+        if cache_config.caches_expressions:
+            self.region_cache = RegionCache(
+                max_entries=cache_config.expression_cache_size, stats=stats
+            )
+        else:
+            self.region_cache = None
 
     # -- WordLookup protocol --------------------------------------------------------
 
@@ -63,6 +85,7 @@ class IndexEngine:
             word_lookup=self if self.word_index is not None else None,
             counters=self.counters,
             strict_names=strict_names,
+            region_cache=self.region_cache,
         )
 
     def evaluate(self, expression: RegionExpr | str) -> RegionSet:

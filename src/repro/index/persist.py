@@ -14,9 +14,11 @@ Layout of a saved engine directory::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.algebra.region import Instance, Region, RegionSet
 from repro.errors import IndexError_
@@ -25,10 +27,48 @@ from repro.index.engine import IndexEngine
 from repro.index.suffix_array import SuffixArray
 from repro.index.word_index import WordIndex
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schema.structuring import StructuringSchema
+
 _FORMAT_VERSION = 1
 
 
-def save_index(engine: IndexEngine, directory: str | os.PathLike[str]) -> None:
+def schema_fingerprint(schema: "StructuringSchema") -> str:
+    """A stable fingerprint of the structuring schema an index was built
+    with: the grammar start symbol plus a hash of the non-terminal set.
+
+    A saved index is a function of (corpus text, schema, index config);
+    loading it under a *different* schema would silently produce wrong
+    answers — region names would bind to the wrong grammar.  The
+    fingerprint travels with the saved index so ``from_saved`` can refuse.
+    """
+    payload = json.dumps(
+        {
+            "start": schema.grammar.start,
+            "nonterminals": sorted(schema.grammar.nonterminals),
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return f"{schema.grammar.start}:{digest}"
+
+
+def load_schema_fingerprint(directory: str | os.PathLike[str]) -> str | None:
+    """The fingerprint stored with a saved index (``None`` for indexes
+    saved before fingerprints existed, or saved without a schema)."""
+    path = Path(directory) / "config.json"
+    try:
+        config_data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise IndexError_(f"not a saved index directory: {Path(directory)}") from None
+    return config_data.get("schema_fingerprint")
+
+
+def save_index(
+    engine: IndexEngine,
+    directory: str | os.PathLike[str],
+    schema_fingerprint: str | None = None,
+) -> None:
     """Persist an engine's text and region indexes to ``directory``."""
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
@@ -53,6 +93,8 @@ def save_index(engine: IndexEngine, directory: str | os.PathLike[str]) -> None:
         "lowercase_words": config.lowercase_words,
         "suffix_array": config.suffix_array,
     }
+    if schema_fingerprint is not None:
+        config_data["schema_fingerprint"] = schema_fingerprint
     (path / "config.json").write_text(json.dumps(config_data, indent=2), encoding="utf-8")
 
 

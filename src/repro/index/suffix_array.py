@@ -69,9 +69,7 @@ class SuffixArray:
                 high = mid
         return low
 
-    def find(self, prefix: str) -> RegionSet:
-        """All positions where ``prefix`` begins a sistring, as
-        ``len(prefix)``-wide regions."""
+    def _validate(self, prefix: str) -> None:
         if not prefix:
             raise IndexError_("empty search prefix")
         if len(prefix) > self._key_length:
@@ -79,16 +77,22 @@ class SuffixArray:
                 f"prefix of length {len(prefix)} exceeds the index key length "
                 f"{self._key_length}"
             )
+
+    def find(self, prefix: str) -> RegionSet:
+        """All positions where ``prefix`` begins a sistring, as
+        ``len(prefix)``-wide regions — O(log n + occurrences) via the two
+        binary searches."""
+        self._validate(prefix)
         low = self._lower_bound(prefix)
-        high = low
-        while high < len(self._array) and self._text[
-            self._array[high] : self._array[high] + len(prefix)
-        ] == prefix:
-            high += 1
+        high = self._upper_bound(prefix)
         return RegionSet(
             Region(position, position + len(prefix)) for position in self._array[low:high]
         )
 
     def count(self, prefix: str) -> int:
-        """How many sistrings begin with ``prefix`` (PAT frequency search)."""
-        return len(self.find(prefix))
+        """How many sistrings begin with ``prefix`` (PAT frequency search).
+
+        O(log n): the two binary searches alone, no region materialisation.
+        """
+        self._validate(prefix)
+        return self._upper_bound(prefix) - self._lower_bound(prefix)

@@ -65,6 +65,24 @@ class PathTrie:
     def is_empty(self) -> bool:
         return not self.all_below and not self.children
 
+    def fingerprint(self) -> tuple:
+        """A canonical hashable key for the set of paths this trie keeps.
+
+        Two queries touching the same attribute paths fingerprint equally,
+        so candidate parses can be shared between them (the parse memo keys
+        on this).  A fully-needed subtree normalises to ``(True,)`` — its
+        children are irrelevant, ``child()`` ignores them.
+        """
+        if self.all_below:
+            return (True,)
+        return (
+            False,
+            tuple(
+                (attribute, child.fingerprint())
+                for attribute, child in sorted(self.children.items())
+            ),
+        )
+
 
 _EVERYTHING = PathTrie(all_below=True)
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.algebra.counters import OperationCounters
-from repro.db.values import Value
+from repro.db.values import ObjectValue, Value
 from repro.errors import GrammarError
 from repro.schema.actions import (
     CustomAction,
@@ -124,17 +124,26 @@ class StructuringSchema:
         node: ParseNode,
         needed: PathTrie | None = None,
         stats: InstantiationStats | None = None,
+        spans: dict[int, tuple[int, int]] | None = None,
     ) -> Value:
         """Build the database value of ``node``.
 
         ``needed`` restricts construction to the attribute paths a query
-        touches ([ACM93] push-down); ``None`` builds everything.
+        touches ([ACM93] push-down); ``None`` builds everything.  When
+        ``spans`` is given, every object's source span is recorded into it
+        (``oid -> (start, end)``) as the object is built — callers that map
+        answers back to file regions use this instead of assuming any
+        correspondence between traversal orders.
         """
         trie = needed if needed is not None else PathTrie.everything()
-        return self._instantiate(node, trie, stats)
+        return self._instantiate(node, trie, stats, spans)
 
     def _instantiate(
-        self, node: ParseNode, needed: PathTrie, stats: InstantiationStats | None
+        self,
+        node: ParseNode,
+        needed: PathTrie,
+        stats: InstantiationStats | None,
+        spans: dict[int, tuple[int, int]] | None = None,
     ) -> Value:
         if stats is not None:
             stats.nodes_visited += 1
@@ -160,8 +169,19 @@ class StructuringSchema:
                         stats.values_skipped += 1
                     continue
                 child_needed = branch
-            child_values.append((step_name, self._instantiate(child, child_needed, stats)))
+            child_values.append(
+                (step_name, self._instantiate(child, child_needed, stats, spans))
+            )
         value = self._apply_action(node, child_values)
+        if (
+            spans is not None
+            and isinstance(value, ObjectValue)
+            and value.class_name == node.symbol
+        ):
+            # Record at the node that *created* the object (passthrough
+            # wrappers return a child's object under a different symbol and
+            # must not widen its span).
+            spans[value.oid] = (node.start, node.end)
         if stats is not None:
             stats.values_built += 1
         return value

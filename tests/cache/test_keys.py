@@ -1,0 +1,71 @@
+"""Canonical structural keys for region expressions."""
+
+from repro.algebra.ast import (
+    difference,
+    including,
+    intersect,
+    name,
+    parse_expression,
+    select,
+    union,
+)
+from repro.cache.keys import canonical_key
+
+
+class TestCommutativeNormalisation:
+    def test_union_operand_order_is_irrelevant(self):
+        assert canonical_key(union("A", "B")) == canonical_key(union("B", "A"))
+
+    def test_intersection_operand_order_is_irrelevant(self):
+        assert canonical_key(intersect("A", "B")) == canonical_key(intersect("B", "A"))
+
+    def test_associative_chains_flatten(self):
+        left_grouped = union(union("A", "B"), "C")
+        right_grouped = union("A", union("B", "C"))
+        rotated = union("C", union("B", "A"))
+        assert canonical_key(left_grouped) == canonical_key(right_grouped)
+        assert canonical_key(left_grouped) == canonical_key(rotated)
+
+    def test_idempotent_duplicates_collapse(self):
+        assert canonical_key(union("A", "A")) == canonical_key(name("A"))
+        assert canonical_key(intersect("A", "A")) == canonical_key(name("A"))
+
+    def test_union_and_intersection_do_not_collide(self):
+        assert canonical_key(union("A", "B")) != canonical_key(intersect("A", "B"))
+
+    def test_parsed_and_built_expressions_agree(self):
+        parsed = parse_expression("(A | B) | C")
+        built = union("C", union("A", "B"))
+        assert canonical_key(parsed) == canonical_key(built)
+
+
+class TestNonCommutativeOperators:
+    def test_difference_keeps_operand_order(self):
+        assert canonical_key(difference("A", "B")) != canonical_key(difference("B", "A"))
+
+    def test_inclusion_keeps_operand_order(self):
+        assert canonical_key(including("A", "B")) != canonical_key(including("B", "A"))
+
+    def test_inclusion_operators_are_distinct(self):
+        forward = parse_expression("A > B")
+        direct = parse_expression("A >d B")
+        assert canonical_key(forward) != canonical_key(direct)
+
+    def test_selection_mode_and_word_distinguish(self):
+        exact = select("A", "x", mode="exact")
+        contains = select("A", "x", mode="contains")
+        other_word = select("A", "y", mode="exact")
+        keys = {canonical_key(exact), canonical_key(contains), canonical_key(other_word)}
+        assert len(keys) == 3
+
+    def test_keys_are_hashable_and_stable(self):
+        expression = parse_expression(
+            "Reference > Authors > sigma[Chang](Last_Name) | Reference > Editors > Name"
+        )
+        assert canonical_key(expression) == canonical_key(expression)
+        assert hash(canonical_key(expression)) == hash(canonical_key(expression))
+
+    def test_nested_commutative_under_inclusion_normalises(self):
+        left = parse_expression("Reference > (A | B)")
+        right = parse_expression("Reference > (B | A)")
+        assert canonical_key(left) == canonical_key(right)

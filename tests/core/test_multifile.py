@@ -62,3 +62,40 @@ class TestMultiFileQuerying:
         spans = [engine.corpus.document_span(i) for i in range(3)]
         for region in engine.index.instance.get("Reference"):
             assert any(start <= region.start and region.end <= end for start, end in spans)
+
+
+class TestFullScanSpans:
+    """Regression: full-scan results must carry each object's *own* span.
+
+    The executor used to pair ``database.extent()`` objects with
+    ``tree.walk()`` spans positionally; on a multi-document corpus the two
+    orders need not agree, silently attaching the wrong file region to a
+    result row.  Spans are now recorded per object during instantiation.
+    """
+
+    def test_full_scan_locations_match_index_strategy(self, engine):
+        query = "SELECT r FROM Reference r"
+        indexed = engine.query(query)
+        scanned = engine.baseline_query(query)
+        assert scanned.stats.strategy == "full-scan"
+        assert sorted(engine.locate_results(scanned)) == sorted(
+            engine.locate_results(indexed)
+        )
+
+    def test_each_row_maps_to_its_own_region(self, engine):
+        scanned = engine.baseline_query("SELECT r FROM Reference r")
+        text = engine.index.text
+        assert len(scanned.regions) == len(scanned.rows)
+        for row, region in zip(scanned.rows, scanned.regions):
+            snippet = text[region.start : region.end]
+            key = row[0].attributes["Key"].text
+            assert key in snippet, (key, snippet[:60])
+
+    def test_filtered_full_scan_rows_stay_aligned(self, engine):
+        scanned = engine.baseline_query(CHANG_AUTHOR_QUERY)
+        assert scanned.stats.strategy == "full-scan"
+        text = engine.index.text
+        for row, region in zip(scanned.rows, scanned.regions):
+            snippet = text[region.start : region.end]
+            assert row[0].attributes["Key"].text in snippet
+            assert "Chang" in snippet

@@ -5,8 +5,14 @@ import pytest
 from repro.core.engine import FileQueryEngine
 from repro.errors import IndexError_
 from repro.index.config import IndexConfig
-from repro.index.persist import load_index, save_index
+from repro.index.persist import (
+    load_index,
+    load_schema_fingerprint,
+    save_index,
+    schema_fingerprint,
+)
 from repro.workloads.bibtex import CHANG_AUTHOR_QUERY, bibtex_schema, generate_bibtex
+from repro.workloads.logs import log_schema
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +72,34 @@ class TestRoundtrip:
             restored.word_index.posting_count
             == engine.index.word_index.posting_count
         )
+
+
+class TestSchemaFingerprint:
+    def test_fingerprint_round_trips(self, built_engine, tmp_path):
+        built_engine.save(str(tmp_path / "idx"))
+        saved = load_schema_fingerprint(tmp_path / "idx")
+        assert saved == schema_fingerprint(bibtex_schema())
+        restored = FileQueryEngine.from_saved(bibtex_schema(), str(tmp_path / "idx"))
+        assert restored.query(CHANG_AUTHOR_QUERY).canonical_rows() == (
+            built_engine.query(CHANG_AUTHOR_QUERY).canonical_rows()
+        )
+
+    def test_mismatched_schema_rejected(self, built_engine, tmp_path):
+        built_engine.save(str(tmp_path / "idx"))
+        with pytest.raises(IndexError_, match="different structuring schema"):
+            FileQueryEngine.from_saved(log_schema(), str(tmp_path / "idx"))
+
+    def test_legacy_save_without_fingerprint_loads(self, built_engine, tmp_path):
+        # Directories written before fingerprints existed carry no key:
+        # they load without a check rather than failing.
+        save_index(built_engine.index, tmp_path / "idx")
+        assert load_schema_fingerprint(tmp_path / "idx") is None
+        restored = FileQueryEngine.from_saved(log_schema(), str(tmp_path / "idx"))
+        assert restored.index.text == built_engine.index.text
+
+    def test_fingerprint_is_stable_and_schema_sensitive(self):
+        assert schema_fingerprint(bibtex_schema()) == schema_fingerprint(bibtex_schema())
+        assert schema_fingerprint(bibtex_schema()) != schema_fingerprint(log_schema())
 
 
 class TestErrors:

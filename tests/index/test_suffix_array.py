@@ -61,3 +61,35 @@ def test_find_matches_bruteforce(text, prefix):
     starts = [token.start for token in tokenize(text)]
     expected = {start for start in starts if text.startswith(prefix, start)}
     assert {region.start for region in array.find(prefix)} == expected
+
+
+class TestBinarySearchAgreesWithBruteForce:
+    """Seeded-random agreement: two-binary-search find/count vs. a linear scan.
+
+    Guards the O(log n + occurrences) rewrite of :meth:`SuffixArray.find`:
+    on arbitrary texts the sliced ``_array[low:high]`` window must contain
+    exactly the word starts a brute-force prefix check selects.
+    """
+
+    def _random_text(self, rng, words=200):
+        vocabulary = ["ab", "abc", "abd", "ba", "bab", "a", "b", "cab", "abcd"]
+        return " ".join(rng.choice(vocabulary) for _ in range(words))
+
+    def test_find_and_count_match_linear_scan(self):
+        import random
+
+        from repro.text.tokenizer import tokenize
+
+        rng = random.Random(42)
+        prefixes = ["a", "b", "c", "ab", "ba", "abc", "abd", "bab", "cab", "abcd", "zz"]
+        for _ in range(20):
+            text = self._random_text(rng)
+            array = SuffixArray(text)
+            starts = [token.start for token in tokenize(text)]
+            for prefix in prefixes:
+                expected = sorted(s for s in starts if text.startswith(prefix, s))
+                hits = array.find(prefix)
+                assert sorted(r.start for r in hits) == expected, (text[:60], prefix)
+                assert array.count(prefix) == len(expected), (text[:60], prefix)
+                for region in hits:
+                    assert region.end - region.start == len(prefix)
