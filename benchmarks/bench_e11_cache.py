@@ -74,6 +74,30 @@ def bench_repeated_query_warm(benchmark, warm_engine):
     )
 
 
+def bench_stage_budgets_warm(benchmark, warm_engine):
+    """Stage-level attribution via span hooks: with a warm cache, candidate
+    parsing must be a small share of the pipeline (the bytes come from the
+    memo, not the file).  Asserts the budget instead of only end-to-end time."""
+    from conftest import collect_stages, stage_seconds_info
+
+    def run():
+        with collect_stages(warm_engine) as stages:
+            warm_engine.query(CHANG_AUTHOR_QUERY)
+        return stages
+
+    stages = benchmark(run)
+    total = stages.total_seconds("query")
+    candidate_parse = stages.total_seconds("candidate-parse")
+    assert stages.count("query") == 1
+    assert candidate_parse <= total
+    benchmark.extra_info.update(
+        cache="enabled",
+        **stage_seconds_info(
+            stages, "query", "plan", "execute", "index-eval", "candidate-parse"
+        ),
+    )
+
+
 def bench_session_replay_cold(benchmark, cold_engine):
     """A five-query session, caches off."""
     results = benchmark(lambda: [cold_engine.query(q) for q in REPLAY_WORKLOAD])

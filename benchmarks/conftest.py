@@ -14,11 +14,14 @@ is measured explicitly in E11 (``bench_e11_cache.py``).
 
 from __future__ import annotations
 
+import contextlib
+
 import pytest
 
 from repro.cache import CacheConfig
 from repro.core.engine import FileQueryEngine
 from repro.index.config import IndexConfig
+from repro.obs.hooks import SpanCollector
 from repro.workloads.bibtex import bibtex_schema, generate_bibtex
 from repro.workloads.logs import generate_log, log_schema
 from repro.workloads.sgml import generate_sgml, sgml_schema
@@ -26,6 +29,35 @@ from repro.workloads.sgml import generate_sgml, sgml_schema
 SIZES = [100, 400]
 
 NO_CACHE = CacheConfig.disabled()
+
+
+@contextlib.contextmanager
+def collect_stages(engine: FileQueryEngine):
+    """Register a span collector on ``engine`` for the duration of a block.
+
+    Benchmarks use this to attribute time to pipeline stages and to assert
+    stage-level budgets ("candidate-parse must stay under X") instead of
+    only end-to-end wall times::
+
+        with collect_stages(engine) as stages:
+            engine.query(...)
+        assert stages.total_seconds("index-eval") < stages.total_seconds("query")
+    """
+    collector = SpanCollector()
+    remove = engine.on_span(collector)
+    try:
+        yield collector
+    finally:
+        remove()
+
+
+def stage_seconds_info(collector: SpanCollector, *names: str) -> dict[str, float]:
+    """Per-stage totals shaped for ``benchmark.extra_info``."""
+    return {
+        f"seconds_{name.replace('-', '_')}": round(collector.total_seconds(name), 6)
+        for name in names
+        if collector.count(name)
+    }
 
 
 @pytest.fixture(scope="session")

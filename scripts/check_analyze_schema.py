@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate ``python -m repro analyze --json`` output against the checked-in
+schema, with no third-party dependencies.
+
+Usage::
+
+    python -m repro analyze ... --json | python scripts/check_analyze_schema.py
+    python scripts/check_analyze_schema.py analyze-output.json
+
+Implements the subset of JSON Schema the schema file uses: ``type`` (string
+or list of strings), ``properties``, ``required``, ``items``, ``enum``, and
+``$ref`` into ``#/definitions``.  CI runs this as a smoke check so the
+``--json`` contract cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "analyze.schema.json"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is a subclass of int in Python: exclude it from the numeric types.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only fragment refs)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema: dict, root: dict | None = None, path: str = "$") -> list[str]:
+    """Return a list of violation messages (empty = valid)."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        return validate(value, _resolve_ref(schema["$ref"], root), root, path)
+
+    errors: list[str] = []
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            return [f"{path}: expected {' | '.join(types)}, got {type(value).__name__}"]
+        if value is None and "null" in types:
+            return []
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                errors.extend(validate(value[key], subschema, root, f"{path}.{key}"))
+    elif isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], root, f"{path}[{index}]"))
+
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        text = Path(argv[1]).read_text(encoding="utf-8")
+    else:
+        text = sys.stdin.read()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"invalid JSON: {error}", file=sys.stderr)
+        return 2
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    errors = validate(document, schema)
+    if errors:
+        for message in errors:
+            print(f"schema violation: {message}", file=sys.stderr)
+        return 1
+    print("analyze --json output conforms to schemas/analyze.schema.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -34,7 +34,9 @@ from repro.algebra import (
     parse_expression,
 )
 from repro.core import (
+    ExecutionStats,
     FileQueryEngine,
+    Plan,
     QueryResult,
     IndexAdvisor,
     optimize,
@@ -42,12 +44,37 @@ from repro.core import (
     explain_plan,
 )
 from repro.db import parse_query
+from repro.errors import (
+    AlgebraError,
+    DatabaseError,
+    GrammarError,
+    IndexConfigError,
+    ParseError,
+    PlanningError,
+    QueryError,
+    QuerySyntaxError,
+    RegionError,
+    RegionIndexError,
+    ReproError,
+    RigError,
+    TranslationError,
+    UnknownRegionNameError,
+)
 from repro.index import IndexConfig, ScopedRegionSpec
+from repro.obs import (
+    Analysis,
+    HookRegistry,
+    QueryStats,
+    Span,
+    SpanCollector,
+    Trace,
+    Tracer,
+)
 from repro.rig import RegionInclusionGraph, derive_full_rig, derive_partial_rig
 from repro.schema import Grammar, StructuringSchema
 from repro.text import Corpus, Document
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Region",
@@ -56,6 +83,8 @@ __all__ = [
     "parse_expression",
     "FileQueryEngine",
     "QueryResult",
+    "Plan",
+    "ExecutionStats",
     "IndexAdvisor",
     "optimize",
     "is_trivially_empty",
@@ -70,5 +99,41 @@ __all__ = [
     "StructuringSchema",
     "Corpus",
     "Document",
+    # observability
+    "Analysis",
+    "HookRegistry",
+    "QueryStats",
+    "Span",
+    "SpanCollector",
+    "Trace",
+    "Tracer",
+    # error hierarchy
+    "ReproError",
+    "RegionError",
+    "AlgebraError",
+    "UnknownRegionNameError",
+    "RigError",
+    "GrammarError",
+    "ParseError",
+    "QueryError",
+    "QuerySyntaxError",
+    "TranslationError",
+    "PlanningError",
+    "DatabaseError",
+    "RegionIndexError",
+    "IndexConfigError",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.IndexError_ is deprecated; use repro.RegionIndexError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RegionIndexError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,6 +12,7 @@ index package (the index engine implements it; tests can pass a stub).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Protocol
 
 from repro.algebra import ops
@@ -70,6 +71,24 @@ class EvalStats:
 
     result: RegionSet
     counters: OperationCounters = field(default_factory=OperationCounters)
+    #: Wall-clock seconds of the evaluation (filled by callers that time it,
+    #: e.g. :meth:`repro.index.engine.IndexEngine.run`).
+    elapsed: float = 0.0
+
+
+@dataclass
+class NodeRecord:
+    """Measured actuals for one expression node (EXPLAIN ANALYZE data).
+
+    ``elapsed`` is inclusive — it covers the node's children too, mirroring
+    how databases report per-node actual time.  ``cached`` marks results
+    that came from the per-evaluator memo or the shared region cache
+    rather than being computed.
+    """
+
+    elapsed: float
+    regions: int
+    cached: bool = False
 
 
 class Evaluator:
@@ -94,6 +113,10 @@ class Evaluator:
         memo it outlives this evaluator, so sub-chains shared by different
         queries on one engine are evaluated once per engine.  Sound only
         while the instance is immutable, which the index engine guarantees.
+    node_log:
+        Optional dict filled with a :class:`NodeRecord` per distinct
+        expression node — inclusive wall-time and regions produced — for
+        EXPLAIN ANALYZE output.  ``None`` (the default) skips all timing.
     """
 
     def __init__(
@@ -104,6 +127,7 @@ class Evaluator:
         strict_names: bool = True,
         memoize: bool = True,
         region_cache: RegionCache | None = None,
+        node_log: dict[RegionExpr, NodeRecord] | None = None,
     ) -> None:
         self._instance = instance
         self._words: WordLookup = word_lookup if word_lookup is not None else EmptyWordLookup()
@@ -112,6 +136,7 @@ class Evaluator:
         self._memoize = memoize
         self._memo: dict[RegionExpr, RegionSet] = {}
         self._region_cache = region_cache
+        self._node_log = node_log
 
     @property
     def instance(self) -> Instance:
@@ -125,9 +150,17 @@ class Evaluator:
         expressions and evaluate them once") — expression nodes are
         immutable, so structural equality keys the memo.
         """
+        log = self._node_log
+        started = perf_counter() if log is not None else 0.0
         if self._memoize:
             cached = self._memo.get(expression)
             if cached is not None:
+                if log is not None and expression not in log:
+                    log[expression] = NodeRecord(
+                        elapsed=perf_counter() - started,
+                        regions=len(cached),
+                        cached=True,
+                    )
                 return cached
         cache_key = None
         if self._region_cache is not None and not isinstance(expression, Name):
@@ -138,12 +171,22 @@ class Evaluator:
             if shared is not None:
                 if self._memoize:
                     self._memo[expression] = shared
+                if log is not None and expression not in log:
+                    log[expression] = NodeRecord(
+                        elapsed=perf_counter() - started,
+                        regions=len(shared),
+                        cached=True,
+                    )
                 return shared
         result = self._evaluate_node(expression)
         if self._memoize and not isinstance(expression, Name):
             self._memo[expression] = result
         if cache_key is not None:
             self._region_cache.put(cache_key, result)
+        if log is not None and expression not in log:
+            log[expression] = NodeRecord(
+                elapsed=perf_counter() - started, regions=len(result)
+            )
         return result
 
     def _evaluate_node(self, expression: RegionExpr) -> RegionSet:
@@ -162,12 +205,18 @@ class Evaluator:
         raise AlgebraError(f"cannot evaluate expression node {expression!r}")
 
     def run(self, expression: RegionExpr) -> EvalStats:
-        """Evaluate with a private tally, returning result and counters."""
+        """Evaluate with a private tally, returning result, counters, and
+        wall time."""
         saved = self.counters
         self.counters = OperationCounters()
+        started = perf_counter()
         try:
             result = self.evaluate(expression)
-            return EvalStats(result=result, counters=self.counters)
+            return EvalStats(
+                result=result,
+                counters=self.counters,
+                elapsed=perf_counter() - started,
+            )
         finally:
             self.counters = saved
 

@@ -39,6 +39,20 @@ class CacheStats:
     def total_hits(self) -> int:
         return self.expression_hits + self.parse_hits + self.plan_hits
 
+    def to_dict(self) -> dict:
+        """A JSON-ready view of the lifetime tallies."""
+        return {
+            "expression_hits": self.expression_hits,
+            "expression_misses": self.expression_misses,
+            "expression_evictions": self.expression_evictions,
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "parse_evictions": self.parse_evictions,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "bytes_parse_avoided": self.bytes_parse_avoided,
+        }
+
     def summary(self) -> str:
         lines = [
             f"expression cache:  {self.expression_hits} hits / "

@@ -12,17 +12,26 @@ Examples::
     # Show the plan (translation + Section 3.2 rewrites)
     python -m repro explain --workload bibtex --file refs.bib 'SELECT ...'
 
+    # EXPLAIN ANALYZE: estimated costs next to measured per-stage actuals
+    python -m repro analyze --workload bibtex --file refs.bib 'SELECT ...'
+    python -m repro analyze --workload bibtex --file refs.bib --json 'SELECT ...'
+
     # Build and persist indexes, then query without re-parsing
     python -m repro index --workload bibtex --file refs.bib --out ./idx
     python -m repro query --workload bibtex --index ./idx 'SELECT ...'
 
     # Index statistics
     python -m repro stats --workload bibtex --file refs.bib
+
+``query``, ``stats``, and ``analyze`` accept ``--json`` for
+machine-readable output (the ``analyze`` shape is validated in CI against
+``schemas/analyze.schema.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -99,6 +108,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
     result = engine.query(args.query)
+    if getattr(args, "json", False):
+        payload = {
+            "rows": [
+                [_render_value(value) for value in row] for row in result.rows
+            ],
+            "stats": result.stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     for row in result.rows:
         print(" | ".join(_render_value(value) for value in row))
     stats = result.stats
@@ -122,6 +140,16 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    analysis = engine.analyze(args.query)
+    if getattr(args, "json", False):
+        print(json.dumps(analysis.to_dict(), indent=2))
+    else:
+        print(analysis.render())
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
     engine.save(args.out)
@@ -132,6 +160,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
+    if getattr(args, "json", False):
+        payload = {
+            "index": engine.statistics().to_dict(),
+            "cache_config": engine.cache_config.describe(),
+            "cache": engine.cache_stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(engine.statistics().summary())
     print(f"cache:                  {engine.cache_config.describe()}")
     print(engine.cache_stats.summary())
@@ -169,13 +205,30 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(handler=_cmd_generate)
 
+    def add_json(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON instead of text",
+        )
+
     query = commands.add_parser("query", help="run a query")
     add_common(query, with_query=True)
+    add_json(query)
     query.set_defaults(handler=_cmd_query)
 
     explain = commands.add_parser("explain", help="show a query's plan")
     add_common(explain, with_query=True)
     explain.set_defaults(handler=_cmd_explain)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run a query and show estimated vs measured costs "
+        "(EXPLAIN ANALYZE)",
+    )
+    add_common(analyze, with_query=True)
+    add_json(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
 
     index = commands.add_parser("index", help="build and persist indexes")
     add_common(index, with_query=False)
@@ -184,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = commands.add_parser("stats", help="index statistics")
     add_common(stats, with_query=False)
+    add_json(stats)
     stats.set_defaults(handler=_cmd_stats)
 
     return parser

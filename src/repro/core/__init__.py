@@ -20,8 +20,10 @@ expressions and the file query engine built on it.
 from repro.core.chains import ChainView, Link, extract_chain, chain_to_expression
 from repro.core.triviality import is_trivially_empty, trivial_subexpressions
 from repro.core.optimizer import optimize, OptimizationTrace
-from repro.core.cost import static_cost
+from repro.core.cost import node_weight, static_cost
 from repro.core.translate import Translator, TranslatedCondition
+from repro.core.planner import Plan, Planner
+from repro.core.partial import ExecutionStats
 from repro.core.engine import FileQueryEngine, QueryResult
 from repro.core.advisor import IndexAdvisor, AdvisorReport
 from repro.core.explain import explain_plan
@@ -35,9 +37,13 @@ __all__ = [
     "trivial_subexpressions",
     "optimize",
     "OptimizationTrace",
+    "node_weight",
     "static_cost",
     "Translator",
     "TranslatedCondition",
+    "Plan",
+    "Planner",
+    "ExecutionStats",
     "FileQueryEngine",
     "QueryResult",
     "IndexAdvisor",

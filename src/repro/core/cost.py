@@ -33,21 +33,23 @@ WEIGHTS = {
 }
 
 
+def node_weight(node: RegionExpr) -> int:
+    """The weight of one operator node (children excluded)."""
+    if isinstance(node, Name):
+        return WEIGHTS["name"]
+    if isinstance(node, Select):
+        return WEIGHTS["select"]
+    if isinstance(node, SetOp):
+        return WEIGHTS["set_op"]
+    if isinstance(node, (Innermost, Outermost)):
+        return WEIGHTS["extremal"]
+    if isinstance(node, Inclusion):
+        if node.op in (DIRECTLY_INCLUDING, DIRECTLY_INCLUDED):
+            return WEIGHTS["direct_inclusion"]
+        return WEIGHTS["simple_inclusion"]
+    return 0
+
+
 def static_cost(expression: RegionExpr) -> int:
     """The summed operator weight of an expression."""
-    total = 0
-    for node in expression.walk():
-        if isinstance(node, Name):
-            total += WEIGHTS["name"]
-        elif isinstance(node, Select):
-            total += WEIGHTS["select"]
-        elif isinstance(node, SetOp):
-            total += WEIGHTS["set_op"]
-        elif isinstance(node, (Innermost, Outermost)):
-            total += WEIGHTS["extremal"]
-        elif isinstance(node, Inclusion):
-            if node.op in (DIRECTLY_INCLUDING, DIRECTLY_INCLUDED):
-                total += WEIGHTS["direct_inclusion"]
-            else:
-                total += WEIGHTS["simple_inclusion"]
-    return total
+    return sum(node_weight(node) for node in expression.walk())

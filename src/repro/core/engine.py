@@ -36,23 +36,29 @@ from repro.db.model import Database
 from repro.db.parser import parse_query
 from repro.db.query import Query
 from repro.db.values import Value, canonical
-from repro.errors import IndexError_
+from repro.errors import RegionIndexError
 from repro.index.builder import build_engine
 from repro.index.config import IndexConfig
 from repro.index.engine import IndexEngine
 from repro.index.stats import IndexStatistics
+from repro.obs.analyze import Analysis, build_node_table
+from repro.obs.hooks import HookRegistry
+from repro.obs.stats import QueryStats
+from repro.obs.trace import SpanHook, Trace, Tracer
 from repro.schema.structuring import StructuringSchema
 from repro.text.document import Corpus
 
 
 @dataclass
 class QueryResult:
-    """Rows, their source regions, the plan, and the execution costs."""
+    """Rows, their source regions, the plan, the consolidated statistics
+    facade (:class:`~repro.obs.stats.QueryStats`), and the pipeline trace."""
 
     rows: list[tuple[Value, ...]]
     regions: RegionSet
     plan: Plan
-    stats: ExecutionStats
+    stats: QueryStats
+    trace: Trace | None = None
 
     @property
     def values(self) -> list[Value]:
@@ -77,6 +83,7 @@ class FileQueryEngine:
         config: IndexConfig | None = None,
         optimize_expressions: bool = True,
         cache_config: CacheConfig | None = None,
+        tracing: bool = True,
     ) -> None:
         self.schema = schema
         self.corpus: Corpus | None = corpus if isinstance(corpus, Corpus) else None
@@ -84,6 +91,8 @@ class FileQueryEngine:
         self.config = config if config is not None else IndexConfig.full()
         self.cache_config = cache_config if cache_config is not None else CacheConfig()
         self.cache_stats = CacheStats()
+        self.tracing = tracing
+        self._span_hooks = HookRegistry()
         build_counters = OperationCounters()
         tree = schema.parse(self.text, counters=build_counters)
         self.index_build_bytes = build_counters.bytes_scanned
@@ -145,10 +154,11 @@ class FileQueryEngine:
         directory: str,
         optimize_expressions: bool = True,
         cache_config: CacheConfig | None = None,
+        tracing: bool = True,
     ) -> "FileQueryEngine":
         """Load a persisted engine, skipping the corpus re-parse.
 
-        Raises :class:`~repro.errors.IndexError_` when the saved index was
+        Raises :class:`~repro.errors.RegionIndexError` when the saved index was
         built with a different structuring schema (region names would bind
         to the wrong grammar and yield wrong answers).  Indexes saved before
         fingerprints existed load without the check.
@@ -162,7 +172,7 @@ class FileQueryEngine:
         saved_fingerprint = load_schema_fingerprint(directory)
         expected_fingerprint = schema_fingerprint(schema)
         if saved_fingerprint is not None and saved_fingerprint != expected_fingerprint:
-            raise IndexError_(
+            raise RegionIndexError(
                 f"saved index at {directory!r} was built with a different "
                 f"structuring schema (saved {saved_fingerprint}, "
                 f"loading under {expected_fingerprint}); rebuild the index "
@@ -176,10 +186,45 @@ class FileQueryEngine:
         engine.config = index.config
         engine.cache_config = cache_config if cache_config is not None else CacheConfig()
         engine.cache_stats = CacheStats()
+        engine.tracing = tracing
+        engine._span_hooks = HookRegistry()
         engine.index_build_bytes = 0
         engine.index = index
         engine._wire_caches_and_pipeline(optimize_expressions)
         return engine
+
+    # -- observability ------------------------------------------------------------
+
+    def on_span(self, hook: SpanHook):
+        """Register an opt-in span hook, fired whenever a pipeline span
+        closes during this engine's traced queries.  Returns a
+        zero-argument callable that unregisters the hook.
+
+        Hooks let harnesses assert *stage-level* budgets (e.g. "index-eval
+        under 2 ms") instead of only end-to-end times; with no hooks
+        registered, tracing cost is unchanged.
+        """
+        return self._span_hooks.register(hook)
+
+    def _tracer(self) -> Tracer | None:
+        return Tracer("query", hooks=self._span_hooks) if self.tracing else None
+
+    @staticmethod
+    def _package_result(
+        plan: Plan, execution: Execution, tracer: Tracer | None
+    ) -> QueryResult:
+        trace = tracer.finish() if tracer is not None else None
+        if trace is not None:
+            trace.root.annotate(
+                strategy=execution.stats.strategy, rows=execution.stats.rows
+            )
+        return QueryResult(
+            rows=execution.rows,
+            regions=execution.regions,
+            plan=plan,
+            stats=QueryStats(execution.stats, trace=trace),
+            trace=trace,
+        )
 
     # -- querying -----------------------------------------------------------------
 
@@ -188,22 +233,59 @@ class FileQueryEngine:
         return self.planner.plan(query)
 
     def query(self, query: Query | str) -> QueryResult:
-        """Plan and execute a query."""
-        plan = self.planner.plan(query)
-        execution: Execution = self._executor.execute(plan)
-        return QueryResult(
-            rows=execution.rows,
-            regions=execution.regions,
-            plan=plan,
-            stats=execution.stats,
-        )
+        """Plan and execute a query.
 
-    def explain(self, query: Query | str) -> str:
+        When tracing is enabled (the default) the result carries a
+        hierarchical :class:`~repro.obs.trace.Trace` of the pipeline —
+        parse → translate → optimize → plan → index evaluation → candidate
+        parsing → database instantiation — as ``result.trace`` (also
+        reachable as ``result.stats.trace``).
+        """
+        tracer = self._tracer()
+        if tracer is None:
+            plan = self.planner.plan(query)
+            execution: Execution = self._executor.execute(plan)
+            return self._package_result(plan, execution, None)
+        plan = self.planner.plan(query, tracer=tracer)
+        execution = self._executor.execute(plan, tracer=tracer)
+        return self._package_result(plan, execution, tracer)
+
+    def explain(self, query: QueryResult | Query | str) -> str:
         """A human-readable account of the plan for a query, including the
-        engine's cache state."""
+        engine's cache state.
+
+        Accepts a :class:`QueryResult` directly (its plan is reused — no
+        ``engine.explain(result.plan.query)`` round-trip) as well as query
+        text or a parsed :class:`Query`.
+        """
         from repro.core.explain import explain_plan
 
-        return explain_plan(self.plan(query), cache=self.cache_description())
+        plan = query.plan if isinstance(query, QueryResult) else self.plan(query)
+        return explain_plan(plan, cache=self.cache_description())
+
+    def analyze(self, query: QueryResult | Query | str) -> Analysis:
+        """EXPLAIN ANALYZE: execute the query (or reuse an already-executed
+        :class:`QueryResult`) and return an :class:`~repro.obs.analyze.Analysis`
+        pairing the static cost-model estimates with measured actuals —
+        per-stage wall-time/bytes from the trace plus per-plan-node timing
+        and region counts from an instrumented evaluation.
+        """
+        result = query if isinstance(query, QueryResult) else self.query(query)
+        plan = result.plan
+        nodes = []
+        if plan.optimized_expression is not None:
+            # Re-run the expression with per-node instrumentation, bypassing
+            # the shared result cache so every node's cost is measured.
+            node_log = {}
+            self.index.run(plan.optimized_expression, node_log=node_log, use_cache=False)
+            nodes = build_node_table(plan.optimized_expression, node_log)
+        return Analysis(
+            plan=plan,
+            stats=result.stats,
+            nodes=nodes,
+            trace=result.trace,
+            cache=self.cache_description(),
+        )
 
     # -- the baseline ----------------------------------------------------------------
 
@@ -218,13 +300,12 @@ class FileQueryEngine:
         if isinstance(query, str):
             query = parse_query(query)
         plan = Plan(strategy="full-scan", query=query, notes=["forced baseline"])
-        execution = self._executor.execute(plan, use_cache=False)
-        return QueryResult(
-            rows=execution.rows,
-            regions=execution.regions,
-            plan=plan,
-            stats=execution.stats,
-        )
+        tracer = self._tracer()
+        if tracer is None:
+            execution = self._executor.execute(plan, use_cache=False)
+            return self._package_result(plan, execution, None)
+        execution = self._executor.execute(plan, use_cache=False, tracer=tracer)
+        return self._package_result(plan, execution, tracer)
 
     def load_baseline_database(self) -> Database:
         """Parse the whole corpus once and load its full database image —

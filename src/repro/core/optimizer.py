@@ -46,6 +46,7 @@ from repro.algebra.ast import (
     SetOp,
 )
 from repro.core.chains import ChainView, chain_to_expression, extract_chain
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.rig.graph import RegionInclusionGraph
 from repro.rig.paths import (
     coincident_related,
@@ -80,38 +81,40 @@ def optimize(
     expression: RegionExpr,
     graph: RegionInclusionGraph,
     trace: OptimizationTrace | None = None,
+    tracer: "Tracer | NullTracer" = NULL_TRACER,
 ) -> RegionExpr:
     """Compute the most efficient version of ``expression`` w.r.t. ``graph``.
 
     Non-chain structure (set operations, selections over chains, ι/ω) is
     preserved; every maximal inclusion chain inside it is optimized.
+    ``tracer`` (optional) records one span per rewrite-rule step.
     """
     if isinstance(expression, Name):
         return expression
     if isinstance(expression, Select):
         # A selection over a bare name is part of a chain link; anything
         # else is optimized recursively.
-        optimized_child = optimize(expression.child, graph, trace)
+        optimized_child = optimize(expression.child, graph, trace, tracer)
         return Select(child=optimized_child, word=expression.word, mode=expression.mode)
     if isinstance(expression, Innermost):
-        return Innermost(optimize(expression.child, graph, trace))
+        return Innermost(optimize(expression.child, graph, trace, tracer))
     if isinstance(expression, Outermost):
-        return Outermost(optimize(expression.child, graph, trace))
+        return Outermost(optimize(expression.child, graph, trace, tracer))
     if isinstance(expression, SetOp):
         return SetOp(
             expression.kind,
-            optimize(expression.left, graph, trace),
-            optimize(expression.right, graph, trace),
+            optimize(expression.left, graph, trace, tracer),
+            optimize(expression.right, graph, trace, tracer),
         )
     if isinstance(expression, Inclusion):
         chain = extract_chain(expression)
         if chain is None:
             return Inclusion(
                 expression.op,
-                optimize(expression.left, graph, trace),
-                optimize(expression.right, graph, trace),
+                optimize(expression.left, graph, trace, tracer),
+                optimize(expression.right, graph, trace, tracer),
             )
-        return chain_to_expression(_optimize_chain(chain, graph, trace))
+        return chain_to_expression(_optimize_chain(chain, graph, trace, tracer))
     return expression
 
 
@@ -119,10 +122,21 @@ def optimize(
 
 
 def _optimize_chain(
-    chain: ChainView, graph: RegionInclusionGraph, trace: OptimizationTrace | None
+    chain: ChainView,
+    graph: RegionInclusionGraph,
+    trace: OptimizationTrace | None,
+    tracer: "Tracer | NullTracer" = NULL_TRACER,
 ) -> ChainView:
-    chain = _step_relax_direct(chain, graph, trace)
-    chain = _step_shorten(chain, graph, trace)
+    with tracer.span("rule:relax-direct") as span:
+        before = len(trace.direct_to_simple) if trace is not None else 0
+        chain = _step_relax_direct(chain, graph, trace)
+        if trace is not None:
+            span.annotate(rewrites=len(trace.direct_to_simple) - before)
+    with tracer.span("rule:shorten") as span:
+        before = len(trace.shortened) if trace is not None else 0
+        chain = _step_shorten(chain, graph, trace)
+        if trace is not None:
+            span.annotate(rewrites=len(trace.shortened) - before)
     return chain
 
 

@@ -27,6 +27,7 @@ from repro.db.query import PathComparison, Query, TrueCondition
 from repro.db.values import ObjectValue, Value
 from repro.errors import ParseError, PlanningError
 from repro.index.engine import IndexEngine
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.schema.parser import ParseNode
 from repro.schema.pushdown import AnchoredTrie, InstantiationStats, PathTrie
 from repro.schema.structuring import StructuringSchema
@@ -123,46 +124,91 @@ class PlanExecutor:
 
     # -- dispatch -----------------------------------------------------------------
 
-    def execute(self, plan: Plan, use_cache: bool = True) -> Execution:
+    def execute(
+        self,
+        plan: Plan,
+        use_cache: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ) -> Execution:
         """Execute ``plan``.  ``use_cache=False`` bypasses the parse memo
         and full-scan tree cache (the forced-baseline pipeline uses this so
         baseline measurements always pay the real parsing cost)."""
         expr_hits = self._cache_stats.expression_hits
         expr_misses = self._cache_stats.expression_misses
-        execution = self._dispatch(plan, use_cache)
-        execution.stats.cache_expression_hits += (
-            self._cache_stats.expression_hits - expr_hits
-        )
-        execution.stats.cache_expression_misses += (
-            self._cache_stats.expression_misses - expr_misses
-        )
+        with tracer.span("execute") as span:
+            execution = self._dispatch(plan, use_cache, tracer)
+            stats = execution.stats
+            stats.cache_expression_hits += (
+                self._cache_stats.expression_hits - expr_hits
+            )
+            stats.cache_expression_misses += (
+                self._cache_stats.expression_misses - expr_misses
+            )
+            span.annotate(
+                strategy=stats.strategy,
+                rows=stats.rows,
+                candidate_regions=stats.candidate_regions,
+                bytes_parsed=stats.bytes_parsed,
+                cache_hits=stats.cache_hits,
+                cache_misses=stats.cache_misses,
+            )
         return execution
 
-    def _dispatch(self, plan: Plan, use_cache: bool) -> Execution:
+    def _dispatch(
+        self, plan: Plan, use_cache: bool, tracer: "Tracer | NullTracer" = NULL_TRACER
+    ) -> Execution:
         if plan.strategy == "empty":
             stats = ExecutionStats(strategy="empty")
             return Execution(rows=[], regions=RegionSet.empty(), stats=stats)
         if plan.strategy == "full-scan":
-            return self._execute_full_scan(plan, use_cache)
+            return self._execute_full_scan(plan, use_cache, tracer)
         if plan.strategy == "index-join":
-            return self._execute_join(plan, use_cache)
+            return self._execute_join(plan, use_cache, tracer)
         if plan.strategy == "index-multi":
-            return self._execute_multi(plan, use_cache)
+            return self._execute_multi(plan, use_cache, tracer)
         if plan.strategy in ("index-exact", "index-candidates"):
-            return self._execute_index(plan, use_cache)
+            return self._execute_index(plan, use_cache, tracer)
         raise PlanningError(f"unknown strategy {plan.strategy!r}")
+
+    def _run_indexed(
+        self,
+        expression,
+        tracer: "Tracer | NullTracer",
+        label: str = "index-eval",
+        **span_metrics,
+    ):
+        """Evaluate a region expression under an ``index-eval`` span with
+        per-algebra-operator child spans synthesized from the counters."""
+        with tracer.span(label, **span_metrics) as span:
+            evaluation = self._engine.run(expression)
+            counters = evaluation.counters
+            span.annotate(
+                regions=len(evaluation.result),
+                operations=counters.total_operations,
+                comparisons=counters.comparisons,
+                regions_out=counters.regions_out,
+            )
+            for symbol, count in sorted(counters.operations.items()):
+                span.add_child(f"op:{symbol}", applications=count)
+        return evaluation
 
     # -- index strategies ------------------------------------------------------------
 
-    def _execute_index(self, plan: Plan, use_cache: bool = True) -> Execution:
+    def _execute_index(
+        self,
+        plan: Plan,
+        use_cache: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ) -> Execution:
         stats = ExecutionStats(strategy=plan.strategy)
         assert plan.optimized_expression is not None
-        evaluation = self._engine.run(plan.optimized_expression)
+        evaluation = self._run_indexed(plan.optimized_expression, tracer)
         stats.algebra = evaluation.counters
         candidates = evaluation.result
         stats.candidate_regions = len(candidates)
         return self._parse_filter_output(
-            plan, candidates, stats, exact=plan.exact, use_cache=use_cache
+            plan, candidates, stats, exact=plan.exact, use_cache=use_cache,
+            tracer=tracer,
         )
 
     def _parse_filter_output(
@@ -172,24 +218,31 @@ class PlanExecutor:
         stats: ExecutionStats,
         exact: bool,
         use_cache: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ) -> Execution:
         """Parse candidate regions, filter if needed, and produce rows."""
         query = plan.query
         trie = self._translator.needed_paths(query)
         parsed = self._parse_candidates(
-            query.source_class, candidates, trie, stats, use_cache=use_cache
+            query.source_class, candidates, trie, stats, use_cache=use_cache,
+            tracer=tracer,
         )
         database = Database()
         region_of: dict[int, Region] = {}
         kept_objects: list[ObjectValue] = []
         checker = NaiveEvaluator(Database())  # only used for object_satisfies
-        for region, obj in parsed:
-            if not exact and not checker.object_satisfies(query, obj):
-                stats.objects_filtered_out += 1
-                continue
-            kept_objects.append(obj)
-            region_of[obj.oid] = region
-            database.insert(obj)
+        with tracer.span("db-instantiate") as span:
+            for region, obj in parsed:
+                if not exact and not checker.object_satisfies(query, obj):
+                    stats.objects_filtered_out += 1
+                    continue
+                kept_objects.append(obj)
+                region_of[obj.oid] = region
+                database.insert(obj)
+            span.annotate(
+                objects=len(kept_objects),
+                filtered_out=stats.objects_filtered_out,
+            )
         final_query = query if not exact else Query(
             outputs=query.outputs,
             source_class=query.source_class,
@@ -197,7 +250,9 @@ class PlanExecutor:
             where=query.where if _outputs_need_where(query) else TrueCondition(),
         )
         evaluator = NaiveEvaluator(database)
-        rows = evaluator.evaluate(final_query)
+        with tracer.span("db-evaluate") as span:
+            rows = evaluator.evaluate(final_query)
+            span.annotate(rows=len(rows))
         stats.rows = len(rows)
         result_regions = RegionSet(region_of[obj.oid] for obj in kept_objects)
         if query.is_identity_select():
@@ -216,6 +271,7 @@ class PlanExecutor:
         trie: PathTrie,
         stats: ExecutionStats,
         use_cache: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ) -> list[tuple[Region, ObjectValue]]:
         """Re-parse each candidate region as the source non-terminal and
         instantiate it (restricted to the push-down trie).
@@ -225,11 +281,28 @@ class PlanExecutor:
         file bytes entirely (the corpus is immutable, so an outcome can
         never go stale).  Failed parses memoize too.
         """
+        with tracer.span("candidate-parse", source=source_class) as parse_span:
+            parsed = self._parse_candidate_regions(
+                source_class, candidates, trie, stats, use_cache, parse_span
+            )
+        return parsed
+
+    def _parse_candidate_regions(
+        self,
+        source_class: str,
+        candidates: RegionSet,
+        trie: PathTrie,
+        stats: ExecutionStats,
+        use_cache: bool,
+        parse_span,
+    ) -> list[tuple[Region, ObjectValue]]:
         memo = self._parse_memo if use_cache else None
         trie_fingerprint = trie.fingerprint() if memo is not None else None
         parsed: list[tuple[Region, ObjectValue]] = []
         counters = OperationCounters()
         instantiation = InstantiationStats()
+        cache_hits_before = stats.cache_parse_hits
+        cache_misses_before = stats.cache_parse_misses
         for region in candidates:
             memo_key = None
             if memo is not None:
@@ -284,11 +357,24 @@ class PlanExecutor:
                 )
         stats.bytes_parsed += counters.bytes_scanned
         stats.values_built += instantiation.values_built
+        parse_span.annotate(
+            candidates=len(candidates),
+            parsed=len(parsed),
+            bytes_parsed=counters.bytes_scanned,
+            values_built=instantiation.values_built,
+            cache_hits=stats.cache_parse_hits - cache_hits_before,
+            cache_misses=stats.cache_parse_misses - cache_misses_before,
+        )
         return parsed
 
     # -- multi-variable queries (Section 5.2's join discussion) ----------------------------
 
-    def _execute_multi(self, plan: Plan, use_cache: bool = True) -> Execution:
+    def _execute_multi(
+        self,
+        plan: Plan,
+        use_cache: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ) -> Execution:
         """Narrow each range variable's extent through the index, parse only
         the surviving candidates, then run the database join loops."""
         stats = ExecutionStats(strategy="index-multi")
@@ -301,22 +387,29 @@ class PlanExecutor:
             if expression is None:
                 candidates = self._engine.instance.get(source.class_name)
             else:
-                evaluation = self._engine.run(expression)
+                evaluation = self._run_indexed(
+                    expression, tracer, variable=source.var
+                )
                 stats.algebra.merge(evaluation.counters)
                 candidates = evaluation.result
             stats.candidate_regions += len(candidates)
             trie = self._translator.needed_paths(query, var=source.var)
             parsed = self._parse_candidates(
-                source.class_name, candidates, trie, stats, use_cache=use_cache
+                source.class_name, candidates, trie, stats, use_cache=use_cache,
+                tracer=tracer,
             )
             objects = []
-            for region, obj in parsed:
-                database.insert(obj)
-                region_of[obj.oid] = region
-                objects.append(obj)
+            with tracer.span("db-instantiate", variable=source.var) as span:
+                for region, obj in parsed:
+                    database.insert(obj)
+                    region_of[obj.oid] = region
+                    objects.append(obj)
+                span.annotate(objects=len(objects))
             extents_by_var[source.var] = tuple(objects)
         evaluator = NaiveEvaluator(database, extents_by_var=extents_by_var)
-        rows = evaluator.evaluate(query)
+        with tracer.span("db-evaluate") as span:
+            rows = evaluator.evaluate(query)
+            span.annotate(rows=len(rows))
         stats.rows = len(rows)
         result_regions = RegionSet.empty()
         if query.is_identity_select():
@@ -330,45 +423,63 @@ class PlanExecutor:
 
     # -- the index-assisted join (Section 5.2) --------------------------------------------
 
-    def _execute_join(self, plan: Plan, use_cache: bool = True) -> Execution:
+    def _execute_join(
+        self,
+        plan: Plan,
+        use_cache: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ) -> Execution:
         stats = ExecutionStats(strategy="index-join")
         query = plan.query
         join = plan.join_condition
         assert join is not None
         source = query.source_class
-        left = self._endpoint_regions(source, join, side="left", stats=stats)
-        right = self._endpoint_regions(source, join, side="right", stats=stats)
+        left = self._endpoint_regions(source, join, side="left", stats=stats, tracer=tracer)
+        right = self._endpoint_regions(source, join, side="right", stats=stats, tracer=tracer)
         if left is None or right is None:
             # The endpoints cannot be located exactly through the index;
             # fall back to candidate filtering over the structural narrowing.
             assert plan.optimized_expression is not None
-            evaluation = self._engine.run(plan.optimized_expression)
+            evaluation = self._run_indexed(plan.optimized_expression, tracer)
             stats.algebra.merge(evaluation.counters)
             stats.candidate_regions = len(evaluation.result)
             stats.strategy = "index-join(fallback)"
             return self._parse_filter_output(
-                plan, evaluation.result, stats, exact=False, use_cache=use_cache
+                plan, evaluation.result, stats, exact=False, use_cache=use_cache,
+                tracer=tracer,
             )
         left_regions, left_exact = left
         right_regions, right_exact = right
         sources = self._engine.instance.get(source)
-        left_texts = self._texts_by_source(sources, left_regions, stats)
-        right_texts = self._texts_by_source(sources, right_regions, stats)
-        qualifying = [
-            region
-            for region in sources
-            if left_texts.get(region) and right_texts.get(region)
-            and left_texts[region] & right_texts[region]
-        ]
+        with tracer.span("join-compare") as span:
+            left_texts = self._texts_by_source(sources, left_regions, stats)
+            right_texts = self._texts_by_source(sources, right_regions, stats)
+            qualifying = [
+                region
+                for region in sources
+                if left_texts.get(region) and right_texts.get(region)
+                and left_texts[region] & right_texts[region]
+            ]
+            span.annotate(
+                sources=len(sources),
+                qualifying=len(qualifying),
+                bytes_compared=stats.join_bytes_compared,
+            )
         candidates = RegionSet(qualifying)
         stats.candidate_regions = len(candidates)
         exact = left_exact and right_exact
         return self._parse_filter_output(
-            plan, candidates, stats, exact=exact, use_cache=use_cache
+            plan, candidates, stats, exact=exact, use_cache=use_cache,
+            tracer=tracer,
         )
 
     def _endpoint_regions(
-        self, source: str, join: PathComparison, side: str, stats: ExecutionStats
+        self,
+        source: str,
+        join: PathComparison,
+        side: str,
+        stats: ExecutionStats,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ) -> tuple[RegionSet, bool] | None:
         """Locate the regions of one join side's endpoint attribute.
 
@@ -382,7 +493,7 @@ class PlanExecutor:
         if endpoint is None:
             return None
         expression, exact = endpoint
-        evaluation = self._engine.run(expression)
+        evaluation = self._run_indexed(expression, tracer, side=side)
         stats.algebra.merge(evaluation.counters)
         return evaluation.result, exact
 
@@ -401,10 +512,20 @@ class PlanExecutor:
 
     # -- the baseline ----------------------------------------------------------------------
 
-    def _execute_full_scan(self, plan: Plan, use_cache: bool = True) -> Execution:
+    def _execute_full_scan(
+        self,
+        plan: Plan,
+        use_cache: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+    ) -> Execution:
         stats = ExecutionStats(strategy="full-scan")
         query = plan.query
-        tree = self._full_scan_parse(stats, use_cache)
+        with tracer.span("full-scan-parse") as span:
+            tree = self._full_scan_parse(stats, use_cache)
+            span.annotate(
+                bytes_parsed=stats.bytes_parsed,
+                bytes_parse_avoided=stats.bytes_parse_avoided,
+            )
         instantiation = InstantiationStats()
         if query.is_single_source():
             # The query trie is rooted at the source class; instantiation
@@ -417,14 +538,18 @@ class PlanExecutor:
             # need its own anchor; correctness over cleverness here).
             trie = PathTrie.everything()
         spans_by_oid: dict[int, tuple[int, int]] = {}
-        root = self._schema.instantiate(
-            tree, needed=trie, stats=instantiation, spans=spans_by_oid
-        )
-        stats.values_built = instantiation.values_built
-        database = Database()
-        database.load_value(root)
+        with tracer.span("db-instantiate") as span:
+            root = self._schema.instantiate(
+                tree, needed=trie, stats=instantiation, spans=spans_by_oid
+            )
+            stats.values_built = instantiation.values_built
+            database = Database()
+            database.load_value(root)
+            span.annotate(values_built=stats.values_built)
         evaluator = NaiveEvaluator(database)
-        rows = evaluator.evaluate(query)
+        with tracer.span("db-evaluate") as span:
+            rows = evaluator.evaluate(query)
+            span.annotate(rows=len(rows))
         stats.rows = len(rows)
         stats.candidate_regions = len(database.extent(query.source_class))
         # Map qualifying objects back to their parse regions for parity with

@@ -29,6 +29,7 @@ from repro.core.optimizer import OptimizationTrace, optimize
 from repro.core.translate import TranslatedCondition, Translator
 from repro.core.triviality import is_trivially_empty
 from repro.db.parser import parse_query
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.db.query import (
     PathComparison,
     Query,
@@ -91,7 +92,15 @@ class Planner:
     def rig(self) -> RegionInclusionGraph:
         return self._rig
 
-    def plan(self, query: Query | str) -> Plan:
+    def plan(
+        self, query: Query | str, tracer: "Tracer | NullTracer" = NULL_TRACER
+    ) -> Plan:
+        with tracer.span("plan") as plan_span:
+            plan = self._plan_traced(query, tracer, plan_span)
+            plan_span.annotate(strategy=plan.strategy)
+        return plan
+
+    def _plan_traced(self, query: Query | str, tracer, plan_span) -> Plan:
         cache_key: str | None = None
         if isinstance(query, str):
             if self._plan_cache_size > 0:
@@ -99,21 +108,28 @@ class Planner:
                 if cached is not None:
                     self._plan_cache.move_to_end(query)
                     self._cache_stats.plan_hits += 1
+                    plan_span.annotate(plan_cache="hit")
                     return cached
                 self._cache_stats.plan_misses += 1
+                plan_span.annotate(plan_cache="miss")
                 cache_key = query
-            query = parse_query(query)
-        plan = self._plan_parsed(query)
+            with tracer.span("parse-query"):
+                query = parse_query(query)
+        plan = self._plan_parsed(query, tracer)
         if cache_key is not None:
             self._plan_cache[cache_key] = plan
             while len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
         return plan
 
-    def _plan_parsed(self, query: Query) -> Plan:
+    def _plan_parsed(
+        self, query: Query, tracer: "Tracer | NullTracer" = NULL_TRACER
+    ) -> Plan:
         if not query.is_single_source():
-            return self._plan_multi(query)
-        translated = self._translator.translate_query(query)
+            return self._plan_multi(query, tracer)
+        with tracer.span("translate") as span:
+            translated = self._translator.translate_query(query)
+            span.annotate(exact=translated.exact, never=translated.never)
         if translated.never:
             return Plan(
                 strategy="empty",
@@ -130,11 +146,12 @@ class Planner:
                 notes=translated.notes + ["no index support: scanning the corpus"],
             )
         trace = OptimizationTrace()
-        optimized = (
-            optimize(translated.expression, self._rig, trace)
-            if self._optimize
-            else translated.expression
-        )
+        if self._optimize:
+            with tracer.span("optimize") as span:
+                optimized = optimize(translated.expression, self._rig, trace, tracer)
+                span.annotate(rewrites=trace.rewrite_count)
+        else:
+            optimized = translated.expression
         if is_trivially_empty(optimized, self._rig):
             return Plan(
                 strategy="empty",
@@ -172,7 +189,9 @@ class Planner:
             notes=list(translated.notes),
         )
 
-    def _plan_multi(self, query: Query) -> Plan:
+    def _plan_multi(
+        self, query: Query, tracer: "Tracer | NullTracer" = NULL_TRACER
+    ) -> Plan:
         """Plan a multi-variable query (Section 5.2's join discussion).
 
         Each variable's single-variable conjuncts translate to a structural
@@ -198,9 +217,10 @@ class Planner:
             if not own:
                 per_variable[source.var] = None
                 continue
-            translated = self._translator.translate_condition_for(
-                conjoin(own), source.class_name
-            )
+            with tracer.span("translate", variable=source.var):
+                translated = self._translator.translate_condition_for(
+                    conjoin(own), source.class_name
+                )
             if translated.never:
                 return Plan(
                     strategy="empty",
@@ -213,11 +233,14 @@ class Planner:
                 notes.extend(translated.notes)
                 continue
             trace = OptimizationTrace()
-            optimized = (
-                optimize(translated.expression, self._rig, trace)
-                if self._optimize
-                else translated.expression
-            )
+            if self._optimize:
+                with tracer.span("optimize", variable=source.var) as span:
+                    optimized = optimize(
+                        translated.expression, self._rig, trace, tracer
+                    )
+                    span.annotate(rewrites=trace.rewrite_count)
+            else:
+                optimized = translated.expression
             if is_trivially_empty(optimized, self._rig):
                 return Plan(
                     strategy="empty",

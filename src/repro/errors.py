@@ -76,10 +76,28 @@ class DatabaseError(ReproError):
     """Errors in the object database substrate."""
 
 
-class IndexError_(ReproError):
-    """Errors in the indexing engine (named with an underscore to avoid
-    shadowing the builtin :class:`IndexError`)."""
+class RegionIndexError(ReproError):
+    """Errors in the indexing engine.
+
+    Historically spelled ``IndexError_`` (with a trailing underscore to
+    avoid shadowing the builtin :class:`IndexError`); that name still
+    resolves to this class but emits a :class:`DeprecationWarning`.
+    """
 
 
-class IndexConfigError(IndexError_):
+class IndexConfigError(RegionIndexError):
     """Invalid index configuration (unknown non-terminal, bad scope, ...)."""
+
+
+def __getattr__(name: str):
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; use "
+            "repro.errors.RegionIndexError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RegionIndexError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

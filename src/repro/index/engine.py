@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from repro.algebra.ast import RegionExpr, parse_expression
 from repro.algebra.counters import OperationCounters
-from repro.algebra.evaluator import EvalStats, Evaluator
+from repro.algebra.evaluator import EvalStats, Evaluator, NodeRecord
 from repro.algebra.region import Instance, Region, RegionSet
 from repro.cache import CacheConfig, CacheStats, RegionCache
-from repro.errors import IndexError_
+from repro.errors import RegionIndexError
 from repro.index.config import IndexConfig
 from repro.index.stats import IndexStatistics
 from repro.index.suffix_array import SuffixArray
@@ -64,28 +64,34 @@ class IndexEngine:
 
     def occurrences(self, word: str) -> RegionSet:
         if self.word_index is None:
-            raise IndexError_("this engine was built without a word index")
+            raise RegionIndexError("this engine was built without a word index")
         return self.word_index.occurrences(word)
 
     def occurrences_with_prefix(self, prefix: str) -> RegionSet:
         if self.word_index is None:
-            raise IndexError_("this engine was built without a word index")
+            raise RegionIndexError("this engine was built without a word index")
         return self.word_index.occurrences_with_prefix(prefix)
 
     def token_count_between(self, start: int, end: int) -> int:
         if self.word_index is None:
-            raise IndexError_("this engine was built without a word index")
+            raise RegionIndexError("this engine was built without a word index")
         return self.word_index.token_count_between(start, end)
 
     # -- evaluation -------------------------------------------------------------------
 
-    def evaluator(self, strict_names: bool = True) -> Evaluator:
+    def evaluator(
+        self,
+        strict_names: bool = True,
+        node_log: dict[RegionExpr, NodeRecord] | None = None,
+        use_cache: bool = True,
+    ) -> Evaluator:
         return Evaluator(
             self.instance,
             word_lookup=self if self.word_index is not None else None,
             counters=self.counters,
             strict_names=strict_names,
-            region_cache=self.region_cache,
+            region_cache=self.region_cache if use_cache else None,
+            node_log=node_log,
         )
 
     def evaluate(self, expression: RegionExpr | str) -> RegionSet:
@@ -94,11 +100,19 @@ class IndexEngine:
             expression = parse_expression(expression)
         return self.evaluator().evaluate(expression)
 
-    def run(self, expression: RegionExpr | str) -> EvalStats:
-        """Evaluate with a private counter tally (for measurements)."""
+    def run(
+        self,
+        expression: RegionExpr | str,
+        node_log: dict[RegionExpr, NodeRecord] | None = None,
+        use_cache: bool = True,
+    ) -> EvalStats:
+        """Evaluate with a private counter tally and wall time (for
+        measurements).  ``node_log`` additionally collects per-node actuals
+        (EXPLAIN ANALYZE); ``use_cache=False`` bypasses the shared result
+        cache so every node's cost is actually measured."""
         if isinstance(expression, str):
             expression = parse_expression(expression)
-        return self.evaluator().run(expression)
+        return self.evaluator(node_log=node_log, use_cache=use_cache).run(expression)
 
     # -- PAT search conveniences -----------------------------------------------------
 
@@ -108,10 +122,12 @@ class IndexEngine:
         from repro.index import search
 
         if not words:
-            raise IndexError_("phrase needs at least one word")
+            raise RegionIndexError("phrase needs at least one word")
         spans = self.occurrences(words[0])
         for word in words[1:]:
-            spans = search.followed_by(spans, self.occurrences(word), max_gap=max_gap)
+            spans = search.followed_by(
+                spans, self.occurrences(word), max_gap=max_gap, counters=self.counters
+            )
         return spans
 
     def near(self, first: str, second: str, max_gap: int = 80) -> RegionSet:
@@ -119,7 +135,10 @@ class IndexEngine:
         from repro.index import search
 
         return search.proximity(
-            self.occurrences(first), self.occurrences(second), max_gap=max_gap
+            self.occurrences(first),
+            self.occurrences(second),
+            max_gap=max_gap,
+            counters=self.counters,
         )
 
     def regions_with_frequency(
@@ -130,7 +149,10 @@ class IndexEngine:
         from repro.index import search
 
         return search.select_by_frequency(
-            self.instance.get(region_name), self.occurrences(word), min_count
+            self.instance.get(region_name),
+            self.occurrences(word),
+            min_count,
+            counters=self.counters,
         )
 
     # -- text access --------------------------------------------------------------------

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.algebra.region import Instance, Region, RegionSet
-from repro.errors import IndexError_
+from repro.errors import RegionIndexError
 from repro.index.config import IndexConfig, ScopedRegionSpec
 from repro.index.engine import IndexEngine
 from repro.index.suffix_array import SuffixArray
@@ -60,7 +60,7 @@ def load_schema_fingerprint(directory: str | os.PathLike[str]) -> str | None:
     try:
         config_data = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
-        raise IndexError_(f"not a saved index directory: {Path(directory)}") from None
+        raise RegionIndexError(f"not a saved index directory: {Path(directory)}") from None
     return config_data.get("schema_fingerprint")
 
 
@@ -106,9 +106,9 @@ def load_index(directory: str | os.PathLike[str]) -> IndexEngine:
         regions_data = json.loads((path / "regions.json").read_text(encoding="utf-8"))
         config_data = json.loads((path / "config.json").read_text(encoding="utf-8"))
     except FileNotFoundError as error:
-        raise IndexError_(f"not a saved index directory: {path} ({error})") from None
+        raise RegionIndexError(f"not a saved index directory: {path} ({error})") from None
     if config_data.get("version") != _FORMAT_VERSION:
-        raise IndexError_(
+        raise RegionIndexError(
             f"unsupported saved-index version {config_data.get('version')!r}"
         )
     config = IndexConfig(

@@ -13,14 +13,25 @@ operations over match-point region sets:
 - :func:`contextual` — match points inside given regions (PAT's "within");
 - :func:`frequency_in` / :func:`select_by_frequency` — frequency search:
   per-region occurrence counts, and selecting regions by a minimum count.
+
+All operations accept an optional :class:`OperationCounters` and report
+their work to it (operator symbol ``"pat:<name>"``), so PAT searches show
+up in the same tallies — and therefore the same trace spans — as the
+algebra operators.
 """
 
 from __future__ import annotations
 
+from repro.algebra.counters import OperationCounters
 from repro.algebra.region import Region, RegionSet
 
 
-def followed_by(first: RegionSet, second: RegionSet, max_gap: int = 80) -> RegionSet:
+def followed_by(
+    first: RegionSet,
+    second: RegionSet,
+    max_gap: int = 80,
+    counters: OperationCounters | None = None,
+) -> RegionSet:
     """Ordered proximity: spans from a ``first`` occurrence to the nearest
     following ``second`` occurrence within ``max_gap`` characters.
 
@@ -30,62 +41,110 @@ def followed_by(first: RegionSet, second: RegionSet, max_gap: int = 80) -> Regio
     if max_gap < 0:
         raise ValueError("max_gap must be non-negative")
     spans: list[Region] = []
+    probes = 0
     for left in first:
         index = second.first_index_with_start_at_least(left.end)
         while index < len(second):
+            probes += 1
             right = second.region_at(index)
             if right.start - left.end > max_gap:
                 break
             spans.append(Region(left.start, right.end))
             index += 1
+    if counters is not None:
+        counters.record("pat:followed_by", comparisons=probes, produced=len(spans))
     return RegionSet(spans)
 
 
-def proximity(first: RegionSet, second: RegionSet, max_gap: int = 80) -> RegionSet:
+def proximity(
+    first: RegionSet,
+    second: RegionSet,
+    max_gap: int = 80,
+    counters: OperationCounters | None = None,
+) -> RegionSet:
     """Unordered proximity: spans where the two occurrences appear within
     ``max_gap`` of each other, in either order."""
-    return RegionSet(
-        set(followed_by(first, second, max_gap))
-        | set(followed_by(second, first, max_gap))
+    result = RegionSet(
+        set(followed_by(first, second, max_gap, counters=counters))
+        | set(followed_by(second, first, max_gap, counters=counters))
     )
+    if counters is not None:
+        counters.record("pat:proximity", produced=len(result))
+    return result
 
 
-def within_window(occurrences: RegionSet, start: int, end: int) -> RegionSet:
+def within_window(
+    occurrences: RegionSet,
+    start: int,
+    end: int,
+    counters: OperationCounters | None = None,
+) -> RegionSet:
     """Position search: the occurrences lying inside ``[start, end)``."""
     window = Region(start, end)
-    return RegionSet(occurrences.iter_included_in(window))
+    result = RegionSet(occurrences.iter_included_in(window))
+    if counters is not None:
+        counters.record(
+            "pat:within_window", comparisons=len(occurrences), produced=len(result)
+        )
+    return result
 
 
-def contextual(occurrences: RegionSet, contexts: RegionSet) -> RegionSet:
+def contextual(
+    occurrences: RegionSet,
+    contexts: RegionSet,
+    counters: OperationCounters | None = None,
+) -> RegionSet:
     """PAT's ``within``: occurrences inside some context region."""
-    return RegionSet(
+    result = RegionSet(
         occurrence for occurrence in occurrences if contexts.any_including(occurrence)
     )
+    if counters is not None:
+        counters.record(
+            "pat:contextual", comparisons=len(occurrences), produced=len(result)
+        )
+    return result
 
 
-def frequency_in(regions: RegionSet, occurrences: RegionSet) -> dict[Region, int]:
+def frequency_in(
+    regions: RegionSet,
+    occurrences: RegionSet,
+    counters: OperationCounters | None = None,
+) -> dict[Region, int]:
     """Frequency search: occurrence count per region (regions with zero
     occurrences are omitted)."""
     counts: dict[Region, int] = {}
+    probes = 0
     for region in regions:
         count = sum(1 for _ in occurrences.iter_included_in(region))
+        probes += count
         if count:
             counts[region] = count
+    if counters is not None:
+        counters.record("pat:frequency_in", comparisons=probes, produced=len(counts))
     return counts
 
 
 def select_by_frequency(
-    regions: RegionSet, occurrences: RegionSet, min_count: int = 1
+    regions: RegionSet,
+    occurrences: RegionSet,
+    min_count: int = 1,
+    counters: OperationCounters | None = None,
 ) -> RegionSet:
     """The regions containing at least ``min_count`` occurrences."""
     if min_count < 1:
         raise ValueError("min_count must be at least 1")
     kept: list[Region] = []
+    probes = 0
     for region in regions:
         count = 0
         for _ in occurrences.iter_included_in(region):
             count += 1
+            probes += 1
             if count >= min_count:
                 kept.append(region)
                 break
+    if counters is not None:
+        counters.record(
+            "pat:select_by_frequency", comparisons=probes, produced=len(kept)
+        )
     return RegionSet(kept)

@@ -61,6 +61,19 @@ class IndexStatistics:
             return 0.0
         return self.estimated_bytes / self.text_bytes
 
+    def to_dict(self) -> dict:
+        """A JSON-ready view (used by the CLI's ``--json`` stats output)."""
+        return {
+            "text_bytes": self.text_bytes,
+            "region_entries": dict(self.region_entries),
+            "total_region_entries": self.total_region_entries,
+            "word_postings": self.word_postings,
+            "vocabulary_size": self.vocabulary_size,
+            "sistring_count": self.sistring_count,
+            "estimated_bytes": self.estimated_bytes,
+            "index_to_text_ratio": self.index_to_text_ratio,
+        }
+
     def summary(self) -> str:
         lines = [
             f"text bytes:        {self.text_bytes}",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.algebra.region import Region, RegionSet
-from repro.errors import IndexError_
+from repro.errors import RegionIndexError
 from repro.text.tokenizer import tokenize
 
 
@@ -29,7 +29,7 @@ class SuffixArray:
         key_length: int = 64,
     ) -> None:
         if key_length <= 0:
-            raise IndexError_("key_length must be positive")
+            raise RegionIndexError("key_length must be positive")
         self._text = text
         self._key_length = key_length
         if positions is None:
@@ -71,9 +71,9 @@ class SuffixArray:
 
     def _validate(self, prefix: str) -> None:
         if not prefix:
-            raise IndexError_("empty search prefix")
+            raise RegionIndexError("empty search prefix")
         if len(prefix) > self._key_length:
-            raise IndexError_(
+            raise RegionIndexError(
                 f"prefix of length {len(prefix)} exceeds the index key length "
                 f"{self._key_length}"
             )

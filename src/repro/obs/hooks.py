@@ -1,0 +1,82 @@
+"""Span-hook registry: opt-in callbacks fired when pipeline spans close.
+
+Benchmarks register hooks to assert *stage-level* budgets ("index-eval must
+stay under 2 ms at this corpus size") instead of only end-to-end times::
+
+    collector = SpanCollector()
+    remove = engine.on_span(collector)
+    engine.query(...)
+    remove()
+    assert collector.total_seconds("candidate-parse") < 0.002
+
+Hooks are deliberately engine-scoped, not global: two engines (e.g. a
+cached and an uncached one in the same benchmark) must not observe each
+other's spans.  When no hooks are registered the tracer carries an empty
+tuple and the per-span cost is an empty loop.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.obs.trace import Span, SpanHook
+
+
+class HookRegistry:
+    """An ordered set of span hooks with O(1) deregistration handles."""
+
+    __slots__ = ("_hooks", "_next_id")
+
+    def __init__(self) -> None:
+        self._hooks: dict[int, SpanHook] = {}
+        self._next_id = 0
+
+    def register(self, hook: SpanHook) -> "callable":
+        """Add ``hook``; returns a zero-argument callable that removes it."""
+        handle = self._next_id
+        self._next_id += 1
+        self._hooks[handle] = hook
+
+        def remove() -> None:
+            self._hooks.pop(handle, None)
+
+        return remove
+
+    def clear(self) -> None:
+        self._hooks.clear()
+
+    def __len__(self) -> int:
+        return len(self._hooks)
+
+    def __iter__(self) -> Iterator[SpanHook]:
+        return iter(tuple(self._hooks.values()))
+
+    def __bool__(self) -> bool:
+        return bool(self._hooks)
+
+
+class SpanCollector:
+    """A ready-made hook that accumulates closed spans by name.
+
+    Callable (register it directly); exposes per-stage totals for budget
+    assertions.
+    """
+
+    def __init__(self) -> None:
+        self.spans_by_name: dict[str, list[Span]] = defaultdict(list)
+
+    def __call__(self, span: Span) -> None:
+        self.spans_by_name[span.name].append(span)
+
+    def count(self, name: str) -> int:
+        return len(self.spans_by_name.get(name, ()))
+
+    def total_seconds(self, name: str) -> float:
+        return sum(span.duration for span in self.spans_by_name.get(name, ()))
+
+    def names(self) -> list[str]:
+        return sorted(self.spans_by_name)
+
+    def reset(self) -> None:
+        self.spans_by_name.clear()

@@ -1,0 +1,111 @@
+"""The unified per-query statistics facade.
+
+Before this module the engine exposed three overlapping stats objects —
+``ExecutionStats`` (per-query costs), ``OperationCounters`` (algebra work),
+``CacheStats`` (engine-lifetime cache tallies) — each with its own shape.
+:class:`QueryStats` consolidates the per-query view behind one object with
+a documented, stable :meth:`QueryStats.to_dict` used by the CLI's
+``--json`` output and the benchmark harness.
+
+Every attribute of the wrapped :class:`~repro.core.partial.ExecutionStats`
+remains reachable directly (``result.stats.strategy``,
+``result.stats.bytes_parsed``, ...), so existing callers keep working.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports obs)
+    from repro.core.partial import ExecutionStats
+
+
+class QueryStats:
+    """One query's costs: execution stats + algebra counters + per-query
+    cache activity + the pipeline trace.
+
+    Attributes
+    ----------
+    execution:
+        The underlying :class:`ExecutionStats` (also reachable by attribute
+        delegation: ``stats.strategy`` ≡ ``stats.execution.strategy``).
+    trace:
+        The hierarchical pipeline :class:`Trace`, or ``None`` when the
+        engine ran with tracing disabled.
+    """
+
+    __slots__ = ("execution", "trace")
+
+    def __init__(self, execution: "ExecutionStats", trace: Trace | None = None) -> None:
+        self.execution = execution
+        self.trace = trace
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called when normal lookup fails: delegate to the execution
+        # stats so the facade is a drop-in for the old `.stats` object.
+        return getattr(self.execution, name)
+
+    @property
+    def algebra(self):
+        """The algebra operation counters (one of the three legacy views)."""
+        return self.execution.algebra
+
+    @property
+    def cache(self) -> dict[str, int]:
+        """Per-query cache activity (hits/misses attributed to this query)."""
+        execution = self.execution
+        return {
+            "expression_hits": execution.cache_expression_hits,
+            "expression_misses": execution.cache_expression_misses,
+            "parse_hits": execution.cache_parse_hits,
+            "parse_misses": execution.cache_parse_misses,
+            "bytes_parse_avoided": execution.bytes_parse_avoided,
+        }
+
+    @property
+    def duration_seconds(self) -> float:
+        """End-to-end wall time, from the trace (0.0 when untraced)."""
+        return self.trace.duration if self.trace is not None else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable JSON shape.  Documented keys (do not remove or rename;
+        additions are allowed):
+
+        - ``strategy``, ``rows``, ``candidate_regions``, ``result_regions``
+        - ``bytes_parsed``, ``values_built``, ``objects_filtered_out``,
+          ``join_bytes_compared``
+        - ``algebra``: the flat operation-counter snapshot
+          (``op:<symbol>`` keys plus ``comparisons``, ``regions_out``,
+          ``bytes_scanned``)
+        - ``cache``: per-query hit/miss/bytes-avoided dict
+        - ``duration_s``: end-to-end seconds (0.0 when untraced)
+        - ``trace``: the span tree (``None`` when untraced)
+        """
+        execution = self.execution
+        return {
+            "strategy": execution.strategy,
+            "rows": execution.rows,
+            "candidate_regions": execution.candidate_regions,
+            "result_regions": execution.result_regions,
+            "bytes_parsed": execution.bytes_parsed,
+            "values_built": execution.values_built,
+            "objects_filtered_out": execution.objects_filtered_out,
+            "join_bytes_compared": execution.join_bytes_compared,
+            "algebra": execution.algebra.snapshot(),
+            "cache": self.cache,
+            "duration_s": self.duration_seconds,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+        }
+
+    def summary(self) -> str:
+        """The human-readable multi-line summary (execution stats plus the
+        traced wall time when available)."""
+        text = self.execution.summary()
+        if self.trace is not None:
+            text += f"\nwall time:         {self.trace.duration * 1e3:.3f} ms"
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryStats({self.execution.strategy!r}, rows={self.execution.rows})"

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algebra.region import Region
-from repro.errors import IndexError_, UnknownRegionNameError
+from repro.errors import RegionIndexError, UnknownRegionNameError
 from repro.index.builder import build_engine
 from repro.index.config import IndexConfig
 from repro.workloads.bibtex import bibtex_schema, generate_bibtex
@@ -55,9 +55,9 @@ class TestWordLookupProtocol:
         engine = build_engine(
             TEXT, TREE, IndexConfig.full(word_index=False), root=SCHEMA.grammar.start
         )
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             engine.occurrences("Chang")
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             engine.token_count_between(0, 5)
 
 

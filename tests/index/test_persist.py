@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.engine import FileQueryEngine
-from repro.errors import IndexError_
+from repro.errors import RegionIndexError
 from repro.index.config import IndexConfig
 from repro.index.persist import (
     load_index,
@@ -86,7 +86,7 @@ class TestSchemaFingerprint:
 
     def test_mismatched_schema_rejected(self, built_engine, tmp_path):
         built_engine.save(str(tmp_path / "idx"))
-        with pytest.raises(IndexError_, match="different structuring schema"):
+        with pytest.raises(RegionIndexError, match="different structuring schema"):
             FileQueryEngine.from_saved(log_schema(), str(tmp_path / "idx"))
 
     def test_legacy_save_without_fingerprint_loads(self, built_engine, tmp_path):
@@ -104,7 +104,7 @@ class TestSchemaFingerprint:
 
 class TestErrors:
     def test_missing_directory(self, tmp_path):
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             load_index(tmp_path / "nope")
 
     def test_version_check(self, built_engine, tmp_path):
@@ -115,5 +115,5 @@ class TestErrors:
         data = json.loads(config_path.read_text())
         data["version"] = 99
         config_path.write_text(json.dumps(data))
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             load_index(tmp_path / "idx")

@@ -100,9 +100,9 @@ class TestEngineConveniences:
         assert spans
 
     def test_phrase_needs_words(self, bibtex_engine):
-        from repro.errors import IndexError_
+        from repro.errors import RegionIndexError
 
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             bibtex_engine.index.phrase()
 
     def test_near(self, bibtex_engine):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import IndexError_
+from repro.errors import RegionIndexError
 from repro.index.suffix_array import SuffixArray
 
 
@@ -34,16 +34,16 @@ class TestFind:
 
     def test_empty_prefix_rejected(self):
         array = SuffixArray("alpha")
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             array.find("")
 
     def test_overlong_prefix_rejected(self):
         array = SuffixArray("alpha", key_length=4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             array.find("alpha")
 
     def test_bad_key_length(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(RegionIndexError):
             SuffixArray("alpha", key_length=0)
 
     def test_explicit_positions(self):

@@ -1,0 +1,92 @@
+"""Span hooks: the registry, the collector, and engine integration."""
+
+from __future__ import annotations
+
+from repro.core.engine import FileQueryEngine
+from repro.obs.hooks import HookRegistry, SpanCollector
+from repro.obs.trace import Span, Tracer
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+SELECT = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+
+class TestHookRegistry:
+    def test_register_and_remove(self):
+        registry = HookRegistry()
+        seen: list[str] = []
+        remove = registry.register(lambda span: seen.append(span.name))
+        assert len(registry) == 1 and bool(registry)
+        for hook in registry:
+            hook(Span("x"))
+        assert seen == ["x"]
+        remove()
+        assert len(registry) == 0 and not registry
+        remove()  # idempotent
+
+    def test_hooks_fire_in_registration_order(self):
+        registry = HookRegistry()
+        order: list[int] = []
+        registry.register(lambda span: order.append(1))
+        registry.register(lambda span: order.append(2))
+        for hook in registry:
+            hook(Span("x"))
+        assert order == [1, 2]
+
+    def test_clear(self):
+        registry = HookRegistry()
+        registry.register(lambda span: None)
+        registry.register(lambda span: None)
+        registry.clear()
+        assert not registry
+
+
+class TestSpanCollector:
+    def test_collects_by_name(self):
+        collector = SpanCollector()
+        tracer = Tracer("query", hooks=(collector,))
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("a"):
+            pass
+        tracer.finish()
+        assert collector.count("a") == 2
+        assert collector.count("b") == 1
+        assert collector.count("missing") == 0
+        assert collector.total_seconds("a") >= 0.0
+        assert collector.names() == ["a", "b", "query"]
+        collector.reset()
+        assert collector.names() == []
+
+
+class TestEngineHooks:
+    def test_on_span_observes_query_pipeline(self):
+        engine = FileQueryEngine(bibtex_schema(), generate_bibtex(entries=8, seed=5))
+        collector = SpanCollector()
+        remove = engine.on_span(collector)
+        engine.query(SELECT)
+        remove()
+        assert collector.count("query") == 1
+        assert collector.count("plan") == 1
+        assert collector.count("execute") == 1
+        # After deregistration the collector stops accumulating.
+        engine.query("SELECT r.Key FROM Reference r")
+        assert collector.count("query") == 1
+
+    def test_hooks_are_engine_scoped(self):
+        text = generate_bibtex(entries=6, seed=6)
+        first = FileQueryEngine(bibtex_schema(), text)
+        second = FileQueryEngine(bibtex_schema(), text)
+        collector = SpanCollector()
+        first.on_span(collector)
+        second.query("SELECT r.Key FROM Reference r")
+        assert collector.count("query") == 0
+
+    def test_no_hooks_when_tracing_disabled(self):
+        engine = FileQueryEngine(
+            bibtex_schema(), generate_bibtex(entries=6, seed=6), tracing=False
+        )
+        collector = SpanCollector()
+        engine.on_span(collector)
+        engine.query("SELECT r.Key FROM Reference r")
+        assert collector.names() == []

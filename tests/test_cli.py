@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -75,6 +77,25 @@ class TestQuery:
         with pytest.raises(SystemExit):
             main(["query", "--workload", "bibtex", "SELECT r FROM Reference r"])
 
+    def test_query_json(self, corpus_file, capsys):
+        code = main(
+            [
+                "query",
+                "--workload",
+                "bibtex",
+                "--file",
+                corpus_file,
+                "--json",
+                "SELECT r.Key FROM Reference r",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 12
+        assert payload["stats"]["rows"] == 12
+        assert payload["stats"]["strategy"]
+        assert payload["stats"]["trace"]["name"] == "query"
+
 
 class TestExplain:
     def test_explain_shows_plan(self, corpus_file, capsys):
@@ -91,6 +112,40 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "strategy:" in out
         assert "optimized:" in out
+
+
+class TestAnalyze:
+    QUERY = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+    def test_analyze_text(self, corpus_file, capsys):
+        code = main(
+            ["analyze", "--workload", "bibtex", "--file", corpus_file, self.QUERY]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert "plan nodes (estimated cost | measured):" in out
+        assert "pipeline stages (measured):" in out
+
+    def test_analyze_json(self, corpus_file, capsys):
+        code = main(
+            [
+                "analyze",
+                "--workload",
+                "bibtex",
+                "--file",
+                corpus_file,
+                "--json",
+                self.QUERY,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"]
+        assert payload["strategy"]
+        assert payload["nodes"]
+        assert payload["stages"]["name"] == "query"
+        assert "stats" in payload
 
 
 class TestIndexAndStats:
@@ -133,3 +188,15 @@ class TestIndexAndStats:
         )
         out = capsys.readouterr().out
         assert "region entries" in out
+
+    def test_stats_json(self, corpus_file, capsys):
+        assert (
+            main(
+                ["stats", "--workload", "bibtex", "--file", corpus_file, "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["index"]["total_region_entries"] > 0
+        assert "cache" in payload
+        assert "cache_config" in payload

@@ -1,11 +1,15 @@
 """The top-level public API surface."""
 
+import warnings
+
+import pytest
+
 import repro
 
 
 class TestExports:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -42,11 +46,71 @@ class TestExports:
             errors.TranslationError,
             errors.PlanningError,
             errors.DatabaseError,
-            errors.IndexError_,
+            errors.RegionIndexError,
             errors.IndexConfigError,
         ]
         for subclass in subclasses:
             assert issubclass(subclass, errors.ReproError)
+
+    def test_errors_reexported_at_top_level(self):
+        for name in (
+            "ReproError",
+            "RegionError",
+            "AlgebraError",
+            "UnknownRegionNameError",
+            "RigError",
+            "GrammarError",
+            "ParseError",
+            "QueryError",
+            "QuerySyntaxError",
+            "TranslationError",
+            "PlanningError",
+            "DatabaseError",
+            "RegionIndexError",
+            "IndexConfigError",
+        ):
+            assert name in repro.__all__, name
+            from repro import errors
+
+            assert getattr(repro, name) is getattr(errors, name), name
+
+    def test_result_types_reexported(self):
+        from repro.core.engine import QueryResult
+        from repro.core.partial import ExecutionStats
+        from repro.core.planner import Plan
+        from repro.obs.trace import Trace
+
+        assert repro.QueryResult is QueryResult
+        assert repro.Plan is Plan
+        assert repro.ExecutionStats is ExecutionStats
+        assert repro.Trace is Trace
+
+    def test_observability_exports(self):
+        from repro import obs
+
+        assert repro.Analysis is obs.Analysis
+        assert repro.QueryStats is obs.QueryStats
+        assert repro.Span is obs.Span
+        assert repro.Tracer is obs.Tracer
+        assert repro.HookRegistry is obs.HookRegistry
+        assert repro.SpanCollector is obs.SpanCollector
+
+    def test_index_error_alias_warns_and_resolves(self):
+        from repro import errors
+
+        with pytest.warns(DeprecationWarning, match="RegionIndexError"):
+            alias = errors.IndexError_
+        assert alias is errors.RegionIndexError
+        with pytest.warns(DeprecationWarning, match="RegionIndexError"):
+            top_level_alias = repro.IndexError_
+        assert top_level_alias is errors.RegionIndexError
+
+    def test_new_spelling_does_not_warn(self):
+        from repro import errors
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert errors.RegionIndexError is repro.RegionIndexError
 
     def test_error_details(self):
         from repro import errors
