@@ -46,9 +46,14 @@ from repro.core import (
 from repro.db import parse_query
 from repro.errors import (
     AlgebraError,
+    BudgetExceededError,
+    CandidateParseError,
     DatabaseError,
     GrammarError,
     IndexConfigError,
+    IndexCorruptError,
+    IndexNotFoundError,
+    IndexStaleError,
     ParseError,
     PlanningError,
     QueryError,
@@ -70,11 +75,12 @@ from repro.obs import (
     Trace,
     Tracer,
 )
+from repro.resilience import DegradationPolicy, QueryWarning, ResourceBudget
 from repro.rig import RegionInclusionGraph, derive_full_rig, derive_partial_rig
 from repro.schema import Grammar, StructuringSchema
 from repro.text import Corpus, Document
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Region",
@@ -107,6 +113,10 @@ __all__ = [
     "SpanCollector",
     "Trace",
     "Tracer",
+    # resilience
+    "DegradationPolicy",
+    "QueryWarning",
+    "ResourceBudget",
     # error hierarchy
     "ReproError",
     "RegionError",
@@ -115,6 +125,7 @@ __all__ = [
     "RigError",
     "GrammarError",
     "ParseError",
+    "CandidateParseError",
     "QueryError",
     "QuerySyntaxError",
     "TranslationError",
@@ -122,6 +133,10 @@ __all__ = [
     "DatabaseError",
     "RegionIndexError",
     "IndexConfigError",
+    "IndexNotFoundError",
+    "IndexCorruptError",
+    "IndexStaleError",
+    "BudgetExceededError",
     "__version__",
 ]
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.algebra import ops
 from repro.algebra.ast import (
@@ -34,6 +34,9 @@ from repro.algebra.region import Instance, RegionSet
 from repro.cache.keys import canonical_key
 from repro.cache.region_cache import RegionCache
 from repro.errors import AlgebraError, UnknownRegionNameError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.budget import BudgetMeter
 
 
 class WordLookup(Protocol):
@@ -117,6 +120,14 @@ class Evaluator:
         Optional dict filled with a :class:`NodeRecord` per distinct
         expression node — inclusive wall-time and regions produced — for
         EXPLAIN ANALYZE output.  ``None`` (the default) skips all timing.
+    budget:
+        Optional :class:`~repro.resilience.budget.BudgetMeter`.  Every
+        *computed* node result (memo and shared-cache hits are free — they
+        touch no new regions) charges its region count, and the meter's
+        wall-clock deadline is checked at the same points, so a runaway
+        operator loop aborts with
+        :class:`~repro.errors.BudgetExceededError` mid-expression instead
+        of after the fact.
     """
 
     def __init__(
@@ -128,6 +139,7 @@ class Evaluator:
         memoize: bool = True,
         region_cache: RegionCache | None = None,
         node_log: dict[RegionExpr, NodeRecord] | None = None,
+        budget: "BudgetMeter | None" = None,
     ) -> None:
         self._instance = instance
         self._words: WordLookup = word_lookup if word_lookup is not None else EmptyWordLookup()
@@ -137,6 +149,7 @@ class Evaluator:
         self._memo: dict[RegionExpr, RegionSet] = {}
         self._region_cache = region_cache
         self._node_log = node_log
+        self._budget = budget
 
     @property
     def instance(self) -> Instance:
@@ -179,6 +192,8 @@ class Evaluator:
                     )
                 return shared
         result = self._evaluate_node(expression)
+        if self._budget is not None:
+            self._budget.charge_regions(len(result))
         if self._memoize and not isinstance(expression, Name):
             self._memo[expression] = result
         if cache_key is not None:

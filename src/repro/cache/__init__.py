@@ -22,7 +22,7 @@ per engine:
 
 from repro.cache.config import CacheConfig
 from repro.cache.keys import canonical_key
-from repro.cache.parse_memo import CandidateParseMemo, ParseOutcome
+from repro.cache.parse_memo import CandidateParseMemo, ParseFailure, ParseOutcome
 from repro.cache.region_cache import RegionCache
 from repro.cache.stats import CacheStats
 
@@ -30,6 +30,7 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "CandidateParseMemo",
+    "ParseFailure",
     "ParseOutcome",
     "RegionCache",
     "canonical_key",

@@ -10,6 +10,7 @@ that does not re-parse as the source class never will.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable
@@ -18,6 +19,26 @@ from repro.cache.stats import CacheStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.values import ObjectValue
+    from repro.errors import ParseError
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """Why a candidate region failed to parse — enough to re-surface the
+    :class:`~repro.errors.ParseError` (message, position, symbol intact)
+    on a memo hit without re-reading the file."""
+
+    message: str
+    position: int
+    symbol: str | None
+
+    @classmethod
+    def of(cls, error: "ParseError") -> "ParseFailure":
+        return cls(
+            message=getattr(error, "detail", None) or str(error),
+            position=getattr(error, "position", 0),
+            symbol=getattr(error, "symbol", None),
+        )
 
 
 @dataclass(frozen=True)
@@ -25,46 +46,58 @@ class ParseOutcome:
     """What parsing one candidate region produced, and what it cost.
 
     ``value`` is the instantiated object, or ``None`` when the region failed
-    to parse (or did not instantiate to an object).  The recorded costs are
-    credited to ``bytes_parse_avoided`` / hit accounting on reuse.
+    to parse (or did not instantiate to an object); ``parse_error`` records
+    the failure when parsing (not instantiation) was the reason.  The
+    recorded costs are credited to ``bytes_parse_avoided`` / hit accounting
+    on reuse.
     """
 
     value: "ObjectValue | None"
     bytes_cost: int
     values_built: int
+    parse_error: ParseFailure | None = None
 
 
 class CandidateParseMemo:
-    """LRU memo: ``(source_class, region, trie_fingerprint)`` → outcome."""
+    """LRU memo: ``(source_class, region, trie_fingerprint)`` → outcome.
+
+    Thread-safe: concurrent queries on one engine share this memo, so all
+    access is under a lock (the stored outcomes are immutable).
+    """
 
     def __init__(self, max_entries: int = 4096, stats: CacheStats | None = None) -> None:
         self._max_entries = max_entries
         self._entries: OrderedDict[Hashable, ParseOutcome] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = stats if stats is not None else CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def key(source_class: str, region: Any, trie_fingerprint: Hashable) -> Hashable:
         return (source_class, region, trie_fingerprint)
 
     def get(self, key: Hashable) -> ParseOutcome | None:
-        outcome = self._entries.get(key)
-        if outcome is None:
-            self.stats.parse_misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.parse_hits += 1
-        self.stats.bytes_parse_avoided += outcome.bytes_cost
-        return outcome
+        with self._lock:
+            outcome = self._entries.get(key)
+            if outcome is None:
+                self.stats.parse_misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.parse_hits += 1
+            self.stats.bytes_parse_avoided += outcome.bytes_cost
+            return outcome
 
     def put(self, key: Hashable, outcome: ParseOutcome) -> None:
-        self._entries[key] = outcome
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.parse_evictions += 1
+        with self._lock:
+            self._entries[key] = outcome
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.parse_evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

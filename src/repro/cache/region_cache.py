@@ -8,6 +8,7 @@ engine's region instance never changes after the corpus is indexed.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
@@ -18,35 +19,45 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class RegionCache:
-    """Maps canonical expression keys to evaluated region sets (LRU)."""
+    """Maps canonical expression keys to evaluated region sets (LRU).
+
+    Thread-safe: concurrent queries on one engine share this cache, so all
+    access is under a lock (the stored region sets are immutable).
+    """
 
     def __init__(self, max_entries: int = 256, stats: CacheStats | None = None) -> None:
         self._max_entries = max_entries
         self._entries: OrderedDict[Hashable, "RegionSet"] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = stats if stats is not None else CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> "RegionSet | None":
         """The cached result for ``key``, or ``None`` (tallied either way)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.expression_misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.expression_hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.expression_misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.expression_hits += 1
+            return entry
 
     def put(self, key: Hashable, result: "RegionSet") -> None:
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.expression_evictions += 1
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.expression_evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -20,6 +20,15 @@ Examples::
     python -m repro index --workload bibtex --file refs.bib --out ./idx
     python -m repro query --workload bibtex --index ./idx 'SELECT ...'
 
+    # Fault tolerance: degrade past a corrupt/stale saved index via full
+    # scans (warnings on stderr), or fail fast with typed errors
+    python -m repro query --workload bibtex --index ./idx --degrade 'SELECT ...'
+    python -m repro query --workload bibtex --index ./idx --strict 'SELECT ...'
+
+    # Guarded evaluation: abort (or degrade) past a resource budget
+    python -m repro query --workload bibtex --file refs.bib \
+        --budget-ms 50 --budget-regions 10000 'SELECT ...'
+
     # Index statistics
     python -m repro stats --workload bibtex --file refs.bib
 
@@ -40,6 +49,7 @@ from repro.core.engine import FileQueryEngine
 from repro.db.values import AtomicValue, ObjectValue, canonical
 from repro.errors import ReproError
 from repro.index.config import IndexConfig
+from repro.resilience import DegradationPolicy, ResourceBudget
 
 WORKLOADS: dict[str, tuple[Callable, Callable]] = {}
 
@@ -66,13 +76,43 @@ def _schema_for(name: str):
         )
 
 
+def _policy_from_args(args: argparse.Namespace) -> DegradationPolicy | None:
+    if getattr(args, "strict", False):
+        return DegradationPolicy.strict()
+    if getattr(args, "degrade", False):
+        return DegradationPolicy.degrade()
+    return None  # the engine default
+
+
+def _budget_from_args(args: argparse.Namespace) -> ResourceBudget | None:
+    ms = getattr(args, "budget_ms", None)
+    regions = getattr(args, "budget_regions", None)
+    parsed_bytes = getattr(args, "budget_bytes", None)
+    if ms is None and regions is None and parsed_bytes is None:
+        return None
+    return ResourceBudget(
+        deadline_s=ms / 1e3 if ms is not None else None,
+        max_regions=regions,
+        max_bytes_parsed=parsed_bytes,
+    )
+
+
 def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
     schema = _schema_for(args.workload)
     cache_config = (
         CacheConfig.disabled() if getattr(args, "no_cache", False) else CacheConfig()
     )
+    policy = _policy_from_args(args)
     if getattr(args, "index", None):
-        return FileQueryEngine.from_saved(schema, args.index, cache_config=cache_config)
+        # --file alongside --index names the current source: it enables the
+        # staleness check and gives recovery a fresh text to fall back on.
+        return FileQueryEngine.from_saved(
+            schema,
+            args.index,
+            cache_config=cache_config,
+            policy=policy,
+            source_path=args.file or None,
+        )
     if not args.file:
         raise SystemExit("either --file or --index is required")
     with open(args.file, "r", encoding="utf-8") as handle:
@@ -80,7 +120,9 @@ def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
     config = IndexConfig.full()
     if getattr(args, "partial", None):
         config = IndexConfig.partial(set(args.partial.split(",")))
-    return FileQueryEngine(schema, text, config, cache_config=cache_config)
+    return FileQueryEngine(
+        schema, text, config, cache_config=cache_config, policy=policy
+    )
 
 
 def _render_value(value) -> str:
@@ -105,20 +147,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_warnings(result) -> None:
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
-    result = engine.query(args.query)
+    result = engine.query(args.query, budget=_budget_from_args(args))
     if getattr(args, "json", False):
         payload = {
             "rows": [
                 [_render_value(value) for value in row] for row in result.rows
             ],
+            "warnings": [warning.to_dict() for warning in result.warnings],
             "stats": result.stats.to_dict(),
         }
         print(json.dumps(payload, indent=2))
+        _print_warnings(result)
         return 0
     for row in result.rows:
         print(" | ".join(_render_value(value) for value in row))
+    _print_warnings(result)
     stats = result.stats
     cache_note = ""
     if stats.cache_hits or stats.cache_misses:
@@ -152,7 +202,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_index(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
-    engine.save(args.out)
+    engine.save(args.out, source_path=args.file or None)
     print(f"saved index to {args.out}", file=sys.stderr)
     print(engine.statistics().summary())
     return 0
@@ -196,6 +246,19 @@ def build_parser() -> argparse.ArgumentParser:
             dest="no_cache",
             help="disable the engine's evaluation/parse caches",
         )
+        mode = sub.add_mutually_exclusive_group()
+        mode.add_argument(
+            "--strict",
+            action="store_true",
+            help="fail fast: typed errors on corrupt/stale indexes, "
+            "malformed regions, and blown budgets (no fallbacks)",
+        )
+        mode.add_argument(
+            "--degrade",
+            action="store_true",
+            help="keep answering: full-scan past corrupt/stale indexes and "
+            "blown budgets, skip malformed regions (warnings on stderr)",
+        )
         if with_query:
             sub.add_argument("query", help="XSQL-subset query text")
 
@@ -215,6 +278,24 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="run a query")
     add_common(query, with_query=True)
     add_json(query)
+    query.add_argument(
+        "--budget-ms",
+        type=float,
+        dest="budget_ms",
+        help="wall-clock budget for the execution, in milliseconds",
+    )
+    query.add_argument(
+        "--budget-regions",
+        type=int,
+        dest="budget_regions",
+        help="cap on regions materialized by the algebra evaluator",
+    )
+    query.add_argument(
+        "--budget-bytes",
+        type=int,
+        dest="budget_bytes",
+        help="cap on file bytes (re-)parsed during execution",
+    )
     query.set_defaults(handler=_cmd_query)
 
     explain = commands.add_parser("explain", help="show a query's plan")

@@ -24,10 +24,12 @@ Example
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.algebra.counters import OperationCounters
-from repro.algebra.region import RegionSet
+from repro.algebra.region import Instance, RegionSet
 from repro.cache import CacheConfig, CacheStats
 from repro.core.partial import Execution, ExecutionStats, PlanExecutor
 from repro.core.planner import Plan, Planner
@@ -36,7 +38,13 @@ from repro.db.model import Database
 from repro.db.parser import parse_query
 from repro.db.query import Query
 from repro.db.values import Value, canonical
-from repro.errors import RegionIndexError
+from repro.errors import (
+    BudgetExceededError,
+    IndexCorruptError,
+    IndexNotFoundError,
+    IndexStaleError,
+    RegionIndexError,
+)
 from repro.index.builder import build_engine
 from repro.index.config import IndexConfig
 from repro.index.engine import IndexEngine
@@ -45,6 +53,17 @@ from repro.obs.analyze import Analysis, build_node_table
 from repro.obs.hooks import HookRegistry
 from repro.obs.stats import QueryStats
 from repro.obs.trace import SpanHook, Trace, Tracer
+from repro.resilience.budget import ResourceBudget
+from repro.resilience.policy import FULL_SCAN, RAISE, REBUILD, DegradationPolicy
+from repro.resilience.warnings import (
+    BUDGET_DEGRADED,
+    DEGRADED_FULL_SCAN,
+    INDEX_CORRUPT,
+    INDEX_MISSING,
+    INDEX_REBUILT,
+    INDEX_STALE,
+    QueryWarning,
+)
 from repro.schema.structuring import StructuringSchema
 from repro.text.document import Corpus
 
@@ -59,6 +78,13 @@ class QueryResult:
     plan: Plan
     stats: QueryStats
     trace: Trace | None = None
+
+    @property
+    def warnings(self) -> list[QueryWarning]:
+        """Structured non-fatal incidents: degradation decisions taken while
+        loading the engine or executing this query, malformed regions
+        skipped under a tolerant policy."""
+        return self.stats.execution.warnings
 
     @property
     def values(self) -> list[Value]:
@@ -84,6 +110,8 @@ class FileQueryEngine:
         optimize_expressions: bool = True,
         cache_config: CacheConfig | None = None,
         tracing: bool = True,
+        policy: DegradationPolicy | None = None,
+        budget: ResourceBudget | None = None,
     ) -> None:
         self.schema = schema
         self.corpus: Corpus | None = corpus if isinstance(corpus, Corpus) else None
@@ -92,7 +120,11 @@ class FileQueryEngine:
         self.cache_config = cache_config if cache_config is not None else CacheConfig()
         self.cache_stats = CacheStats()
         self.tracing = tracing
+        self.policy = policy if policy is not None else DegradationPolicy()
+        self.budget = budget
         self._span_hooks = HookRegistry()
+        self._load_warnings: list[QueryWarning] = []
+        self._load_degradation: dict | None = None
         build_counters = OperationCounters()
         tree = schema.parse(self.text, counters=build_counters)
         self.index_build_bytes = build_counters.bytes_scanned
@@ -136,16 +168,23 @@ class FileQueryEngine:
 
     # -- persistence ------------------------------------------------------------------
 
-    def save(self, directory: str) -> None:
+    def save(self, directory: str, source_path: str | os.PathLike[str] | None = None) -> None:
         """Persist the built indexes (see :mod:`repro.index.persist`).
 
         The structuring schema's fingerprint is stored alongside, so a later
         ``from_saved`` under a different schema fails loudly instead of
-        silently answering wrongly.
+        silently answering wrongly.  ``source_path`` (optional) records the
+        original file's identity next to the corpus content hash, enabling
+        staleness detection at load time.
         """
         from repro.index.persist import save_index, schema_fingerprint
 
-        save_index(self.index, directory, schema_fingerprint=schema_fingerprint(self.schema))
+        save_index(
+            self.index,
+            directory,
+            schema_fingerprint=schema_fingerprint(self.schema),
+            source_path=source_path,
+        )
 
     @classmethod
     def from_saved(
@@ -155,30 +194,111 @@ class FileQueryEngine:
         optimize_expressions: bool = True,
         cache_config: CacheConfig | None = None,
         tracing: bool = True,
+        policy: DegradationPolicy | None = None,
+        budget: ResourceBudget | None = None,
+        source_text: str | None = None,
+        source_path: str | os.PathLike[str] | None = None,
     ) -> "FileQueryEngine":
         """Load a persisted engine, skipping the corpus re-parse.
 
-        Raises :class:`~repro.errors.RegionIndexError` when the saved index was
-        built with a different structuring schema (region names would bind
-        to the wrong grammar and yield wrong answers).  Indexes saved before
-        fingerprints existed load without the check.
+        Integrity and staleness failures are typed
+        (:class:`~repro.errors.IndexNotFoundError` /
+        :class:`~repro.errors.IndexCorruptError` /
+        :class:`~repro.errors.IndexStaleError`) and handled per the
+        :class:`~repro.resilience.DegradationPolicy`: raise, serve every
+        query through the cached full-scan pipeline, or rebuild the index
+        from the best surviving text.  ``source_text``/``source_path``
+        provide the *current* source for staleness checks and recovery.
+
+        Always raises :class:`~repro.errors.RegionIndexError` when the saved
+        index was built with a different structuring schema (region names
+        would bind to the wrong grammar and yield wrong answers) — no
+        policy degrades past that.  Indexes saved before fingerprints
+        existed load without the check.
         """
         from repro.index.persist import (
             load_index,
             load_schema_fingerprint,
             schema_fingerprint,
+            stale_reason,
         )
 
-        saved_fingerprint = load_schema_fingerprint(directory)
-        expected_fingerprint = schema_fingerprint(schema)
-        if saved_fingerprint is not None and saved_fingerprint != expected_fingerprint:
-            raise RegionIndexError(
-                f"saved index at {directory!r} was built with a different "
-                f"structuring schema (saved {saved_fingerprint}, "
-                f"loading under {expected_fingerprint}); rebuild the index "
-                "with this schema instead"
+        policy = policy if policy is not None else DegradationPolicy()
+
+        def recover(error: RegionIndexError, action: str, code: str) -> "FileQueryEngine":
+            if action == RAISE:
+                raise error
+            fresh_only = code == INDEX_STALE  # a stale index's saved corpus is wrong
+            text = cls._recover_text(
+                directory, error, source_text, source_path, fresh_only=fresh_only
             )
-        index = load_index(directory)
+            if text is None:
+                raise error
+            if action == REBUILD:
+                engine = cls(
+                    schema,
+                    text,
+                    optimize_expressions=optimize_expressions,
+                    cache_config=cache_config,
+                    tracing=tracing,
+                    policy=policy,
+                    budget=budget,
+                )
+                engine._load_warnings.append(QueryWarning(code, str(error)))
+                engine._load_warnings.append(
+                    QueryWarning(
+                        INDEX_REBUILT,
+                        f"index rebuilt from source text after {code}",
+                        detail={"path": str(directory)},
+                    )
+                )
+                return engine
+            engine = cls._degraded_engine(
+                schema,
+                text,
+                optimize_expressions=optimize_expressions,
+                cache_config=cache_config,
+                tracing=tracing,
+                policy=policy,
+                budget=budget,
+            )
+            engine._load_warnings.append(QueryWarning(code, str(error)))
+            engine._load_warnings.append(
+                QueryWarning(
+                    DEGRADED_FULL_SCAN,
+                    "index unusable: serving queries via the cached "
+                    "full-scan pipeline",
+                    detail={"path": str(directory), "cause": code},
+                )
+            )
+            engine._load_degradation = {"reason": str(error), "code": code}
+            return engine
+
+        try:
+            saved_fingerprint = load_schema_fingerprint(directory)
+            expected_fingerprint = schema_fingerprint(schema)
+            if (
+                saved_fingerprint is not None
+                and saved_fingerprint != expected_fingerprint
+            ):
+                raise RegionIndexError(
+                    f"saved index at {directory!r} was built with a different "
+                    f"structuring schema (saved {saved_fingerprint}, "
+                    f"loading under {expected_fingerprint}); rebuild the index "
+                    "with this schema instead"
+                )
+            reason = stale_reason(
+                directory, source_text=source_text, source_path=source_path
+            )
+            if reason is not None:
+                raise IndexStaleError(str(directory), reason)
+            index = load_index(directory)
+        except IndexNotFoundError as error:
+            return recover(error, policy.on_missing, INDEX_MISSING)
+        except IndexStaleError as error:
+            return recover(error, policy.on_stale, INDEX_STALE)
+        except IndexCorruptError as error:
+            return recover(error, policy.on_corrupt, INDEX_CORRUPT)
         engine = cls.__new__(cls)
         engine.schema = schema
         engine.corpus = None
@@ -187,9 +307,80 @@ class FileQueryEngine:
         engine.cache_config = cache_config if cache_config is not None else CacheConfig()
         engine.cache_stats = CacheStats()
         engine.tracing = tracing
+        engine.policy = policy
+        engine.budget = budget
         engine._span_hooks = HookRegistry()
+        engine._load_warnings = []
+        engine._load_degradation = None
         engine.index_build_bytes = 0
         engine.index = index
+        engine._wire_caches_and_pipeline(optimize_expressions)
+        return engine
+
+    @staticmethod
+    def _recover_text(
+        directory: str,
+        error: RegionIndexError,
+        source_text: str | None,
+        source_path: str | os.PathLike[str] | None,
+        fresh_only: bool = False,
+    ) -> str | None:
+        """The best surviving corpus text for degradation/rebuild, or
+        ``None`` when nothing trustworthy remains.  Prefers the *current*
+        source; falls back to the saved ``corpus.txt`` unless the failure
+        implicates it (or the index is stale, in which case the saved text
+        is exactly what must not be served)."""
+        if source_text is not None:
+            return source_text
+        if source_path is not None:
+            try:
+                return Path(source_path).read_text(encoding="utf-8")
+            except OSError:
+                pass
+        if fresh_only or getattr(error, "part", None) == "corpus.txt":
+            return None
+        try:
+            return (Path(directory) / "corpus.txt").read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    @classmethod
+    def _degraded_engine(
+        cls,
+        schema: StructuringSchema,
+        text: str,
+        optimize_expressions: bool,
+        cache_config: CacheConfig | None,
+        tracing: bool,
+        policy: DegradationPolicy,
+        budget: ResourceBudget | None,
+    ) -> "FileQueryEngine":
+        """An engine with *no* index support: the translator finds no
+        indexed names, so the planner routes every query to the full-scan
+        strategy — whose parse tree is cached after the first query (the
+        "cached full-scan pipeline").  Answers are identical to an indexed
+        engine's; only costs differ."""
+        engine = cls.__new__(cls)
+        engine.schema = schema
+        engine.corpus = None
+        engine.text = text
+        engine.config = IndexConfig.partial((), word_index=False)
+        engine.cache_config = cache_config if cache_config is not None else CacheConfig()
+        engine.cache_stats = CacheStats()
+        engine.tracing = tracing
+        engine.policy = policy
+        engine.budget = budget
+        engine._span_hooks = HookRegistry()
+        engine._load_warnings = []
+        engine._load_degradation = None
+        engine.index_build_bytes = 0
+        engine.index = IndexEngine(
+            text=text,
+            instance=Instance({}),
+            word_index=None,
+            suffix_array=None,
+            config=engine.config,
+        )
         engine._wire_caches_and_pipeline(optimize_expressions)
         return engine
 
@@ -209,15 +400,21 @@ class FileQueryEngine:
     def _tracer(self) -> Tracer | None:
         return Tracer("query", hooks=self._span_hooks) if self.tracing else None
 
-    @staticmethod
     def _package_result(
-        plan: Plan, execution: Execution, tracer: Tracer | None
+        self, plan: Plan, execution: Execution, tracer: Tracer | None
     ) -> QueryResult:
+        if self._load_warnings:
+            # Load-time degradation decisions surface on every query result.
+            execution.stats.warnings = (
+                list(self._load_warnings) + execution.stats.warnings
+            )
         trace = tracer.finish() if tracer is not None else None
         if trace is not None:
             trace.root.annotate(
                 strategy=execution.stats.strategy, rows=execution.stats.rows
             )
+            if self._load_degradation is not None:
+                trace.root.add_child("degraded", **self._load_degradation)
         return QueryResult(
             rows=execution.rows,
             regions=execution.regions,
@@ -232,7 +429,9 @@ class FileQueryEngine:
         """Plan a query without executing it."""
         return self.planner.plan(query)
 
-    def query(self, query: Query | str) -> QueryResult:
+    def query(
+        self, query: Query | str, budget: ResourceBudget | None = None
+    ) -> QueryResult:
         """Plan and execute a query.
 
         When tracing is enabled (the default) the result carries a
@@ -240,15 +439,82 @@ class FileQueryEngine:
         parse → translate → optimize → plan → index evaluation → candidate
         parsing → database instantiation — as ``result.trace`` (also
         reachable as ``result.stats.trace``).
+
+        ``budget`` (or the engine-wide default) guards the execution; on a
+        breach the engine either raises
+        :class:`~repro.errors.BudgetExceededError` — carrying the partial
+        statistics and trace — or, under an ``on_budget="full-scan"``
+        policy, retries once through the unguarded full-scan pipeline under
+        a ``degraded`` span.
         """
+        budget = budget if budget is not None else self.budget
+        meter = (
+            budget.meter() if budget is not None and not budget.unlimited else None
+        )
+        skip_malformed = self.policy.skip_malformed
         tracer = self._tracer()
         if tracer is None:
             plan = self.planner.plan(query)
-            execution: Execution = self._executor.execute(plan)
-            return self._package_result(plan, execution, None)
-        plan = self.planner.plan(query, tracer=tracer)
-        execution = self._executor.execute(plan, tracer=tracer)
+        else:
+            plan = self.planner.plan(query, tracer=tracer)
+        try:
+            if tracer is None:
+                execution: Execution = self._executor.execute(
+                    plan, meter=meter, skip_malformed=skip_malformed
+                )
+            else:
+                execution = self._executor.execute(
+                    plan, tracer=tracer, meter=meter, skip_malformed=skip_malformed
+                )
+        except BudgetExceededError as error:
+            if self.policy.on_budget != FULL_SCAN:
+                error.trace = tracer.finish() if tracer is not None else None
+                raise
+            plan, execution = self._budget_fallback(
+                plan, error, tracer, skip_malformed
+            )
         return self._package_result(plan, execution, tracer)
+
+    def _budget_fallback(
+        self,
+        plan: Plan,
+        error: BudgetExceededError,
+        tracer: Tracer | None,
+        skip_malformed: bool,
+    ) -> tuple[Plan, Execution]:
+        """Retry a budget-blown query once through the full-scan pipeline —
+        predictable cost (one corpus parse, cached across queries), no
+        meter — and record the decision as a warning + ``degraded`` span."""
+        fallback = Plan(
+            strategy="full-scan",
+            query=plan.query,
+            notes=list(plan.notes) + [f"budget degraded: {error}"],
+        )
+        if tracer is None:
+            execution = self._executor.execute(
+                fallback, skip_malformed=skip_malformed
+            )
+        else:
+            with tracer.span(
+                "degraded", reason=str(error), code=BUDGET_DEGRADED
+            ):
+                execution = self._executor.execute(
+                    fallback, tracer=tracer, skip_malformed=skip_malformed
+                )
+        execution.stats.warnings.insert(
+            0,
+            QueryWarning(
+                BUDGET_DEGRADED,
+                f"budget exceeded ({error.resource}); retried via full scan",
+                detail={
+                    "resource": error.resource,
+                    "limit": error.limit,
+                    "spent": error.spent,
+                    "partial": dict(error.partial),
+                },
+            ),
+        )
+        return fallback, execution
 
     def explain(self, query: QueryResult | Query | str) -> str:
         """A human-readable account of the plan for a query, including the

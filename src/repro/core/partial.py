@@ -13,24 +13,36 @@ built.  Benchmarks read these next to wall-clock numbers.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.algebra.counters import OperationCounters
 from repro.algebra.region import Region, RegionSet
-from repro.cache import CacheConfig, CacheStats, CandidateParseMemo, ParseOutcome
+from repro.cache import (
+    CacheConfig,
+    CacheStats,
+    CandidateParseMemo,
+    ParseFailure,
+    ParseOutcome,
+)
 from repro.core.planner import Plan
 from repro.core.translate import Translator
 from repro.db.evaluator import NaiveEvaluator
 from repro.db.model import Database
 from repro.db.query import PathComparison, Query, TrueCondition
 from repro.db.values import ObjectValue, Value
-from repro.errors import ParseError, PlanningError
+from repro.errors import CandidateParseError, ParseError, PlanningError
 from repro.index.engine import IndexEngine
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.resilience.warnings import QueryWarning, malformed_region_warning
 from repro.schema.parser import ParseNode
 from repro.schema.pushdown import AnchoredTrie, InstantiationStats, PathTrie
 from repro.schema.structuring import StructuringSchema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.budget import BudgetMeter
 
 
 @dataclass
@@ -54,6 +66,12 @@ class ExecutionStats:
     cache_parse_hits: int = 0
     cache_parse_misses: int = 0
     bytes_parse_avoided: int = 0
+    #: Structured non-fatal incidents (skipped malformed regions, index
+    #: degradation decisions) — :class:`~repro.resilience.QueryWarning`s.
+    warnings: list[QueryWarning] = field(default_factory=list)
+    #: Candidate regions that failed to re-parse (a subset of
+    #: ``objects_filtered_out`` — corruption/staleness signal, not filtering).
+    malformed_regions: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -76,6 +94,8 @@ class ExecutionStats:
         ]
         if self.join_bytes_compared:
             lines.append(f"join bytes:        {self.join_bytes_compared}")
+        if self.warnings:
+            lines.append(f"warnings:          {len(self.warnings)}")
         if self.cache_hits or self.cache_misses:
             lines.append(
                 f"cache:             expr {self.cache_expression_hits}h/"
@@ -120,7 +140,10 @@ class PlanExecutor:
         )
         #: The parse tree (and its byte cost) of the last planner-chosen
         #: full scan; the corpus is immutable, so one tree serves them all.
+        #: Guarded by a lock: concurrent queries on one engine must not
+        #: observe a half-assigned memo.
         self._full_scan_tree: tuple[ParseNode, int] | None = None
+        self._full_scan_lock = threading.Lock()
 
     # -- dispatch -----------------------------------------------------------------
 
@@ -129,14 +152,24 @@ class PlanExecutor:
         plan: Plan,
         use_cache: bool = True,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> Execution:
         """Execute ``plan``.  ``use_cache=False`` bypasses the parse memo
         and full-scan tree cache (the forced-baseline pipeline uses this so
-        baseline measurements always pay the real parsing cost)."""
+        baseline measurements always pay the real parsing cost).
+
+        ``meter`` enforces a :class:`~repro.resilience.ResourceBudget`
+        inside the operator and candidate-parsing loops
+        (:class:`~repro.errors.BudgetExceededError` on breach).
+        ``skip_malformed=False`` aborts on a candidate region that fails to
+        re-parse (:class:`~repro.errors.CandidateParseError`) instead of
+        skipping it with a structured warning.
+        """
         expr_hits = self._cache_stats.expression_hits
         expr_misses = self._cache_stats.expression_misses
         with tracer.span("execute") as span:
-            execution = self._dispatch(plan, use_cache, tracer)
+            execution = self._dispatch(plan, use_cache, tracer, meter, skip_malformed)
             stats = execution.stats
             stats.cache_expression_hits += (
                 self._cache_stats.expression_hits - expr_hits
@@ -155,19 +188,24 @@ class PlanExecutor:
         return execution
 
     def _dispatch(
-        self, plan: Plan, use_cache: bool, tracer: "Tracer | NullTracer" = NULL_TRACER
+        self,
+        plan: Plan,
+        use_cache: bool,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> Execution:
         if plan.strategy == "empty":
             stats = ExecutionStats(strategy="empty")
             return Execution(rows=[], regions=RegionSet.empty(), stats=stats)
         if plan.strategy == "full-scan":
-            return self._execute_full_scan(plan, use_cache, tracer)
+            return self._execute_full_scan(plan, use_cache, tracer, meter)
         if plan.strategy == "index-join":
-            return self._execute_join(plan, use_cache, tracer)
+            return self._execute_join(plan, use_cache, tracer, meter, skip_malformed)
         if plan.strategy == "index-multi":
-            return self._execute_multi(plan, use_cache, tracer)
+            return self._execute_multi(plan, use_cache, tracer, meter, skip_malformed)
         if plan.strategy in ("index-exact", "index-candidates"):
-            return self._execute_index(plan, use_cache, tracer)
+            return self._execute_index(plan, use_cache, tracer, meter, skip_malformed)
         raise PlanningError(f"unknown strategy {plan.strategy!r}")
 
     def _run_indexed(
@@ -175,12 +213,13 @@ class PlanExecutor:
         expression,
         tracer: "Tracer | NullTracer",
         label: str = "index-eval",
+        meter: "BudgetMeter | None" = None,
         **span_metrics,
     ):
         """Evaluate a region expression under an ``index-eval`` span with
         per-algebra-operator child spans synthesized from the counters."""
         with tracer.span(label, **span_metrics) as span:
-            evaluation = self._engine.run(expression)
+            evaluation = self._engine.run(expression, budget=meter)
             counters = evaluation.counters
             span.annotate(
                 regions=len(evaluation.result),
@@ -199,16 +238,18 @@ class PlanExecutor:
         plan: Plan,
         use_cache: bool = True,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> Execution:
         stats = ExecutionStats(strategy=plan.strategy)
         assert plan.optimized_expression is not None
-        evaluation = self._run_indexed(plan.optimized_expression, tracer)
+        evaluation = self._run_indexed(plan.optimized_expression, tracer, meter=meter)
         stats.algebra = evaluation.counters
         candidates = evaluation.result
         stats.candidate_regions = len(candidates)
         return self._parse_filter_output(
             plan, candidates, stats, exact=plan.exact, use_cache=use_cache,
-            tracer=tracer,
+            tracer=tracer, meter=meter, skip_malformed=skip_malformed,
         )
 
     def _parse_filter_output(
@@ -219,13 +260,15 @@ class PlanExecutor:
         exact: bool,
         use_cache: bool = True,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> Execution:
         """Parse candidate regions, filter if needed, and produce rows."""
         query = plan.query
         trie = self._translator.needed_paths(query)
         parsed = self._parse_candidates(
             query.source_class, candidates, trie, stats, use_cache=use_cache,
-            tracer=tracer,
+            tracer=tracer, meter=meter, skip_malformed=skip_malformed,
         )
         database = Database()
         region_of: dict[int, Region] = {}
@@ -272,6 +315,8 @@ class PlanExecutor:
         stats: ExecutionStats,
         use_cache: bool = True,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> list[tuple[Region, ObjectValue]]:
         """Re-parse each candidate region as the source non-terminal and
         instantiate it (restricted to the push-down trie).
@@ -283,9 +328,26 @@ class PlanExecutor:
         """
         with tracer.span("candidate-parse", source=source_class) as parse_span:
             parsed = self._parse_candidate_regions(
-                source_class, candidates, trie, stats, use_cache, parse_span
+                source_class, candidates, trie, stats, use_cache, parse_span,
+                meter, skip_malformed,
             )
         return parsed
+
+    def _reject_candidate(
+        self,
+        error: ParseError,
+        region: Region,
+        stats: ExecutionStats,
+        skip_malformed: bool,
+    ) -> None:
+        """Account one candidate region that failed to re-parse: skip it
+        with a structured warning, or abort the query under a strict
+        policy — re-raising with ``position``/``symbol`` preserved."""
+        if not skip_malformed:
+            raise CandidateParseError.wrap(error, (region.start, region.end)) from error
+        stats.objects_filtered_out += 1
+        stats.malformed_regions += 1
+        stats.warnings.append(malformed_region_warning(error, region))
 
     def _parse_candidate_regions(
         self,
@@ -295,6 +357,8 @@ class PlanExecutor:
         stats: ExecutionStats,
         use_cache: bool,
         parse_span,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> list[tuple[Region, ObjectValue]]:
         memo = self._parse_memo if use_cache else None
         trie_fingerprint = trie.fingerprint() if memo is not None else None
@@ -304,6 +368,8 @@ class PlanExecutor:
         cache_hits_before = stats.cache_parse_hits
         cache_misses_before = stats.cache_parse_misses
         for region in candidates:
+            if meter is not None:
+                meter.check_deadline()
             memo_key = None
             if memo is not None:
                 memo_key = CandidateParseMemo.key(source_class, region, trie_fingerprint)
@@ -313,6 +379,17 @@ class PlanExecutor:
                     stats.bytes_parse_avoided += outcome.bytes_cost
                     if outcome.value is not None:
                         parsed.append((region, outcome.value))
+                    elif outcome.parse_error is not None:
+                        self._reject_candidate(
+                            ParseError(
+                                outcome.parse_error.message,
+                                position=outcome.parse_error.position,
+                                symbol=outcome.parse_error.symbol,
+                            ),
+                            region,
+                            stats,
+                            skip_malformed,
+                        )
                     else:
                         stats.objects_filtered_out += 1
                     continue
@@ -327,9 +404,8 @@ class PlanExecutor:
                     end=region.end,
                     counters=counters,
                 )
-            except ParseError:
+            except ParseError as error:
                 # A candidate that fails to re-parse cannot be an answer.
-                stats.objects_filtered_out += 1
                 if memo_key is not None:
                     memo.put(
                         memo_key,
@@ -337,9 +413,13 @@ class PlanExecutor:
                             value=None,
                             bytes_cost=counters.bytes_scanned - bytes_before,
                             values_built=0,
+                            parse_error=ParseFailure.of(error),
                         ),
                     )
+                self._reject_candidate(error, region, stats, skip_malformed)
                 continue
+            if meter is not None:
+                meter.charge_bytes(counters.bytes_scanned - bytes_before)
             value = self._schema.instantiate(node, needed=trie, stats=instantiation)
             obj = value if isinstance(value, ObjectValue) else None
             if obj is not None:
@@ -374,6 +454,8 @@ class PlanExecutor:
         plan: Plan,
         use_cache: bool = True,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> Execution:
         """Narrow each range variable's extent through the index, parse only
         the surviving candidates, then run the database join loops."""
@@ -386,9 +468,11 @@ class PlanExecutor:
             expression = plan.per_variable.get(source.var)
             if expression is None:
                 candidates = self._engine.instance.get(source.class_name)
+                if meter is not None:
+                    meter.charge_regions(len(candidates))
             else:
                 evaluation = self._run_indexed(
-                    expression, tracer, variable=source.var
+                    expression, tracer, variable=source.var, meter=meter
                 )
                 stats.algebra.merge(evaluation.counters)
                 candidates = evaluation.result
@@ -396,7 +480,7 @@ class PlanExecutor:
             trie = self._translator.needed_paths(query, var=source.var)
             parsed = self._parse_candidates(
                 source.class_name, candidates, trie, stats, use_cache=use_cache,
-                tracer=tracer,
+                tracer=tracer, meter=meter, skip_malformed=skip_malformed,
             )
             objects = []
             with tracer.span("db-instantiate", variable=source.var) as span:
@@ -428,25 +512,31 @@ class PlanExecutor:
         plan: Plan,
         use_cache: bool = True,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
+        skip_malformed: bool = True,
     ) -> Execution:
         stats = ExecutionStats(strategy="index-join")
         query = plan.query
         join = plan.join_condition
         assert join is not None
         source = query.source_class
-        left = self._endpoint_regions(source, join, side="left", stats=stats, tracer=tracer)
-        right = self._endpoint_regions(source, join, side="right", stats=stats, tracer=tracer)
+        left = self._endpoint_regions(
+            source, join, side="left", stats=stats, tracer=tracer, meter=meter
+        )
+        right = self._endpoint_regions(
+            source, join, side="right", stats=stats, tracer=tracer, meter=meter
+        )
         if left is None or right is None:
             # The endpoints cannot be located exactly through the index;
             # fall back to candidate filtering over the structural narrowing.
             assert plan.optimized_expression is not None
-            evaluation = self._run_indexed(plan.optimized_expression, tracer)
+            evaluation = self._run_indexed(plan.optimized_expression, tracer, meter=meter)
             stats.algebra.merge(evaluation.counters)
             stats.candidate_regions = len(evaluation.result)
             stats.strategy = "index-join(fallback)"
             return self._parse_filter_output(
                 plan, evaluation.result, stats, exact=False, use_cache=use_cache,
-                tracer=tracer,
+                tracer=tracer, meter=meter, skip_malformed=skip_malformed,
             )
         left_regions, left_exact = left
         right_regions, right_exact = right
@@ -470,7 +560,7 @@ class PlanExecutor:
         exact = left_exact and right_exact
         return self._parse_filter_output(
             plan, candidates, stats, exact=exact, use_cache=use_cache,
-            tracer=tracer,
+            tracer=tracer, meter=meter, skip_malformed=skip_malformed,
         )
 
     def _endpoint_regions(
@@ -480,6 +570,7 @@ class PlanExecutor:
         side: str,
         stats: ExecutionStats,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
     ) -> tuple[RegionSet, bool] | None:
         """Locate the regions of one join side's endpoint attribute.
 
@@ -493,7 +584,7 @@ class PlanExecutor:
         if endpoint is None:
             return None
         expression, exact = endpoint
-        evaluation = self._run_indexed(expression, tracer, side=side)
+        evaluation = self._run_indexed(expression, tracer, side=side, meter=meter)
         stats.algebra.merge(evaluation.counters)
         return evaluation.result, exact
 
@@ -517,15 +608,18 @@ class PlanExecutor:
         plan: Plan,
         use_cache: bool = True,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        meter: "BudgetMeter | None" = None,
     ) -> Execution:
         stats = ExecutionStats(strategy="full-scan")
         query = plan.query
         with tracer.span("full-scan-parse") as span:
-            tree = self._full_scan_parse(stats, use_cache)
+            tree = self._full_scan_parse(stats, use_cache, meter)
             span.annotate(
                 bytes_parsed=stats.bytes_parsed,
                 bytes_parse_avoided=stats.bytes_parse_avoided,
             )
+        if meter is not None:
+            meter.check_deadline()
         instantiation = InstantiationStats()
         if query.is_single_source():
             # The query trie is rooted at the source class; instantiation
@@ -570,29 +664,39 @@ class PlanExecutor:
         stats.result_regions = len(result_regions)
         return Execution(rows=rows, regions=result_regions, stats=stats)
 
-    def _full_scan_parse(self, stats: ExecutionStats, use_cache: bool) -> ParseNode:
+    def _full_scan_parse(
+        self,
+        stats: ExecutionStats,
+        use_cache: bool,
+        meter: "BudgetMeter | None" = None,
+    ) -> ParseNode:
         """Parse the whole corpus, reusing the cached tree when allowed.
 
         The corpus never changes after indexing, so one tree serves every
         planner-chosen full scan.  The forced baseline (``use_cache=False``)
         always re-parses — its measurements must reflect real work.
+        Concurrent queries serialize on the memo lock so the expensive parse
+        happens once and a half-assigned tuple is never observed.
         """
         cache_tree = use_cache and self._cache_config.caches_full_scan_tree
-        if cache_tree and self._full_scan_tree is not None:
-            tree, byte_cost = self._full_scan_tree
-            stats.cache_parse_hits += 1
-            stats.bytes_parse_avoided += byte_cost
-            self._cache_stats.parse_hits += 1
-            self._cache_stats.bytes_parse_avoided += byte_cost
+        with self._full_scan_lock:
+            if cache_tree and self._full_scan_tree is not None:
+                tree, byte_cost = self._full_scan_tree
+                stats.cache_parse_hits += 1
+                stats.bytes_parse_avoided += byte_cost
+                self._cache_stats.parse_hits += 1
+                self._cache_stats.bytes_parse_avoided += byte_cost
+                return tree
+            counters = OperationCounters()
+            tree = self._schema.parse(self._engine.text, counters=counters)
+            stats.bytes_parsed = counters.bytes_scanned
+            if meter is not None:
+                meter.charge_bytes(counters.bytes_scanned)
+            if cache_tree:
+                stats.cache_parse_misses += 1
+                self._cache_stats.parse_misses += 1
+                self._full_scan_tree = (tree, counters.bytes_scanned)
             return tree
-        counters = OperationCounters()
-        tree = self._schema.parse(self._engine.text, counters=counters)
-        stats.bytes_parsed = counters.bytes_scanned
-        if cache_tree:
-            stats.cache_parse_misses += 1
-            self._cache_stats.parse_misses += 1
-            self._full_scan_tree = (tree, counters.bytes_scanned)
-        return tree
 
 
 def _outputs_need_where(query: Query) -> bool:

@@ -20,6 +20,7 @@ Strategies, in order of preference:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -80,8 +81,10 @@ class Planner:
         #: LRU of plans for *textual* queries (keyed by the raw query text).
         #: Plans are read-only to the executor, so one plan object can serve
         #: every repetition of the same query.  Size 0 disables the cache.
+        #: Guarded by a lock: concurrent queries on one engine share it.
         self._plan_cache_size = plan_cache_size
         self._plan_cache: OrderedDict[str, Plan] = OrderedDict()
+        self._plan_cache_lock = threading.Lock()
         self._cache_stats = cache_stats if cache_stats is not None else CacheStats()
 
     @property
@@ -104,22 +107,26 @@ class Planner:
         cache_key: str | None = None
         if isinstance(query, str):
             if self._plan_cache_size > 0:
-                cached = self._plan_cache.get(query)
+                with self._plan_cache_lock:
+                    cached = self._plan_cache.get(query)
+                    if cached is not None:
+                        self._plan_cache.move_to_end(query)
+                        self._cache_stats.plan_hits += 1
+                    else:
+                        self._cache_stats.plan_misses += 1
+                        cache_key = query
                 if cached is not None:
-                    self._plan_cache.move_to_end(query)
-                    self._cache_stats.plan_hits += 1
                     plan_span.annotate(plan_cache="hit")
                     return cached
-                self._cache_stats.plan_misses += 1
                 plan_span.annotate(plan_cache="miss")
-                cache_key = query
             with tracer.span("parse-query"):
                 query = parse_query(query)
         plan = self._plan_parsed(query, tracer)
         if cache_key is not None:
-            self._plan_cache[cache_key] = plan
-            while len(self._plan_cache) > self._plan_cache_size:
-                self._plan_cache.popitem(last=False)
+            with self._plan_cache_lock:
+                self._plan_cache[cache_key] = plan
+                while len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
         return plan
 
     def _plan_parsed(

@@ -46,10 +46,45 @@ class ParseError(ReproError):
     def __init__(self, message: str, position: int = 0, symbol: str | None = None) -> None:
         self.position = position
         self.symbol = symbol
+        #: The bare message, without the position/symbol prefix — kept so
+        #: wrappers and memos can re-surface the error without re-prefixing.
+        self.detail = message
         prefix = f"parse error at offset {position}"
         if symbol is not None:
             prefix += f" (while parsing <{symbol}>)"
         super().__init__(f"{prefix}: {message}")
+
+
+class CandidateParseError(ParseError):
+    """A candidate region failed to re-parse under a strict (non-skipping)
+    degradation policy.
+
+    Wraps the underlying :class:`ParseError` without stringifying it:
+    ``position`` and ``symbol`` are preserved from the original error, and
+    ``region`` records the candidate ``(start, end)`` span that failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int = 0,
+        symbol: str | None = None,
+        region: tuple[int, int] | None = None,
+    ) -> None:
+        self.region = region
+        super().__init__(message, position=position, symbol=symbol)
+
+    @classmethod
+    def wrap(cls, error: "ParseError", region: tuple[int, int]) -> "CandidateParseError":
+        """Lift a raw :class:`ParseError` raised while re-parsing one
+        candidate region, keeping its ``position``/``symbol`` attributes."""
+        detail = getattr(error, "detail", None) or str(error)
+        return cls(
+            f"candidate region {region} rejected: {detail}",
+            position=error.position,
+            symbol=error.symbol,
+            region=region,
+        )
 
 
 class QueryError(ReproError):
@@ -87,6 +122,85 @@ class RegionIndexError(ReproError):
 
 class IndexConfigError(RegionIndexError):
     """Invalid index configuration (unknown non-terminal, bad scope, ...)."""
+
+
+class IndexNotFoundError(RegionIndexError):
+    """No saved index exists at the attempted path."""
+
+    def __init__(self, path: str, detail: str = "") -> None:
+        self.path = str(path)
+        message = f"no saved index at {self.path!r}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class IndexCorruptError(RegionIndexError):
+    """A saved index failed integrity verification (checksum mismatch,
+    truncated/unparseable file, unsupported format version, ...)."""
+
+    def __init__(self, path: str, reason: str, part: str | None = None) -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.part = part
+        where = f"{self.path!r}" if part is None else f"{self.path!r} ({part})"
+        super().__init__(f"saved index at {where} is corrupt: {reason}")
+
+
+class IndexStaleError(RegionIndexError):
+    """A saved index no longer matches its source file (the file changed
+    after the index was built)."""
+
+    def __init__(
+        self,
+        path: str,
+        reason: str,
+        saved_fingerprint: str | None = None,
+        current_fingerprint: str | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.saved_fingerprint = saved_fingerprint
+        self.current_fingerprint = current_fingerprint
+        super().__init__(f"saved index at {self.path!r} is stale: {reason}")
+
+
+class BudgetExceededError(ReproError):
+    """Query execution exceeded its :class:`~repro.resilience.ResourceBudget`.
+
+    Attributes
+    ----------
+    resource:
+        Which limit tripped: ``"wall_clock"``, ``"regions"``, or ``"bytes"``.
+    limit / spent:
+        The configured limit and the amount consumed when the guard fired.
+    partial:
+        A dict snapshot of the work done so far (regions materialized,
+        bytes parsed, elapsed seconds) — the partial execution statistics.
+    trace:
+        The partial pipeline :class:`~repro.obs.trace.Trace` up to the
+        abort, when tracing was enabled (``None`` otherwise).
+    """
+
+    def __init__(
+        self,
+        resource: str,
+        limit: float,
+        spent: float,
+        partial: dict | None = None,
+    ) -> None:
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        self.partial = partial if partial is not None else {}
+        self.trace = None
+        unit = {"wall_clock": "s", "regions": " regions", "bytes": " bytes"}.get(
+            resource, ""
+        )
+        super().__init__(
+            f"query budget exceeded: {resource} limit {limit}{unit} "
+            f"(spent {spent}{unit})"
+        )
 
 
 def __getattr__(name: str):

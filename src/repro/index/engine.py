@@ -9,6 +9,8 @@ times.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.algebra.ast import RegionExpr, parse_expression
 from repro.algebra.counters import OperationCounters
 from repro.algebra.evaluator import EvalStats, Evaluator, NodeRecord
@@ -19,6 +21,9 @@ from repro.index.config import IndexConfig
 from repro.index.stats import IndexStatistics
 from repro.index.suffix_array import SuffixArray
 from repro.index.word_index import WordIndex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.budget import BudgetMeter
 
 
 class IndexEngine:
@@ -84,6 +89,7 @@ class IndexEngine:
         strict_names: bool = True,
         node_log: dict[RegionExpr, NodeRecord] | None = None,
         use_cache: bool = True,
+        budget: "BudgetMeter | None" = None,
     ) -> Evaluator:
         return Evaluator(
             self.instance,
@@ -92,6 +98,7 @@ class IndexEngine:
             strict_names=strict_names,
             region_cache=self.region_cache if use_cache else None,
             node_log=node_log,
+            budget=budget,
         )
 
     def evaluate(self, expression: RegionExpr | str) -> RegionSet:
@@ -105,14 +112,18 @@ class IndexEngine:
         expression: RegionExpr | str,
         node_log: dict[RegionExpr, NodeRecord] | None = None,
         use_cache: bool = True,
+        budget: "BudgetMeter | None" = None,
     ) -> EvalStats:
         """Evaluate with a private counter tally and wall time (for
         measurements).  ``node_log`` additionally collects per-node actuals
         (EXPLAIN ANALYZE); ``use_cache=False`` bypasses the shared result
-        cache so every node's cost is actually measured."""
+        cache so every node's cost is actually measured; ``budget`` guards
+        the operator loops (see :class:`~repro.algebra.evaluator.Evaluator`)."""
         if isinstance(expression, str):
             expression = parse_expression(expression)
-        return self.evaluator(node_log=node_log, use_cache=use_cache).run(expression)
+        return self.evaluator(
+            node_log=node_log, use_cache=use_cache, budget=budget
+        ).run(expression)
 
     # -- PAT search conveniences -----------------------------------------------------
 

@@ -10,6 +10,22 @@ Layout of a saved engine directory::
     corpus.txt     the indexed text
     regions.json   {"region name": [[start, end], ...], ...}
     config.json    the IndexConfig that built the engine
+    manifest.json  format version, per-file CRC32 checksums, the corpus
+                   content hash, and (when known) the source file's
+                   path/mtime/size fingerprint
+
+Integrity and staleness are distinguished by typed errors:
+
+- :class:`~repro.errors.IndexNotFoundError` — the directory is not a saved
+  index at all;
+- :class:`~repro.errors.IndexCorruptError` — a file fails its recorded
+  checksum, is truncated/unparseable, or the format version is unknown;
+- :class:`~repro.errors.IndexStaleError` — the index is intact but the
+  source file changed after it was built (raised by callers via
+  :func:`stale_reason`).
+
+Indexes saved before manifests existed (format version 1) load without
+checksum verification.
 """
 
 from __future__ import annotations
@@ -17,11 +33,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.algebra.region import Instance, Region, RegionSet
-from repro.errors import RegionIndexError
+from repro.errors import (
+    IndexConfigError,
+    IndexCorruptError,
+    IndexNotFoundError,
+    RegionError,
+)
 from repro.index.config import IndexConfig, ScopedRegionSpec
 from repro.index.engine import IndexEngine
 from repro.index.suffix_array import SuffixArray
@@ -30,7 +52,11 @@ from repro.index.word_index import WordIndex
 if TYPE_CHECKING:  # pragma: no cover
     from repro.schema.structuring import StructuringSchema
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: The files covered by manifest checksums.
+_CHECKSUMMED = ("corpus.txt", "regions.json", "config.json")
 
 
 def schema_fingerprint(schema: "StructuringSchema") -> str:
@@ -53,6 +79,16 @@ def schema_fingerprint(schema: "StructuringSchema") -> str:
     return f"{schema.grammar.start}:{digest}"
 
 
+def corpus_fingerprint(text: str) -> str:
+    """Content hash of a corpus text — the staleness comparand recorded at
+    build time and recomputed against the current source at load time."""
+    return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+def _crc32(data: bytes) -> str:
+    return f"crc32:{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
 def load_schema_fingerprint(directory: str | os.PathLike[str]) -> str | None:
     """The fingerprint stored with a saved index (``None`` for indexes
     saved before fingerprints existed, or saved without a schema)."""
@@ -60,16 +96,49 @@ def load_schema_fingerprint(directory: str | os.PathLike[str]) -> str | None:
     try:
         config_data = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
-        raise RegionIndexError(f"not a saved index directory: {Path(directory)}") from None
+        raise IndexNotFoundError(str(Path(directory)), "missing config.json") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise IndexCorruptError(
+            str(Path(directory)), f"config.json unreadable: {error}", part="config.json"
+        ) from None
     return config_data.get("schema_fingerprint")
+
+
+def load_manifest(directory: str | os.PathLike[str]) -> dict | None:
+    """The saved manifest, or ``None`` for pre-manifest (v1) indexes.
+
+    Raises :class:`IndexCorruptError` when a manifest exists but cannot be
+    parsed — a half-written or damaged manifest must not demote integrity
+    checking to "legacy index, skip verification".
+    """
+    path = Path(directory) / "manifest.json"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise IndexCorruptError(
+            str(Path(directory)), f"manifest unreadable: {error}", part="manifest.json"
+        ) from None
+    if not isinstance(data, dict):
+        raise IndexCorruptError(
+            str(Path(directory)), "manifest is not an object", part="manifest.json"
+        )
+    return data
 
 
 def save_index(
     engine: IndexEngine,
     directory: str | os.PathLike[str],
     schema_fingerprint: str | None = None,
+    source_path: str | os.PathLike[str] | None = None,
 ) -> None:
-    """Persist an engine's text and region indexes to ``directory``."""
+    """Persist an engine's text and region indexes to ``directory``.
+
+    ``source_path`` (optional) records the original file's mtime/size next
+    to the corpus content hash, enabling cheap staleness checks at load
+    time.
+    """
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     (path / "corpus.txt").write_text(engine.text, encoding="utf-8")
@@ -97,43 +166,169 @@ def save_index(
         config_data["schema_fingerprint"] = schema_fingerprint
     (path / "config.json").write_text(json.dumps(config_data, indent=2), encoding="utf-8")
 
+    source: dict | None = None
+    if source_path is not None:
+        source = {"path": str(source_path)}
+        try:
+            stat = os.stat(source_path)
+            source["mtime"] = stat.st_mtime
+            source["size"] = stat.st_size
+        except OSError:
+            pass  # fingerprint still works via the content hash
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "corpus_fingerprint": corpus_fingerprint(engine.text),
+        "checksums": {
+            name: _crc32((path / name).read_bytes()) for name in _CHECKSUMMED
+        },
+        "source": source,
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2), encoding="utf-8")
 
-def load_index(directory: str | os.PathLike[str]) -> IndexEngine:
-    """Load a persisted engine; rebuilds word/suffix indexes from the text."""
+
+def verify_index(directory: str | os.PathLike[str]) -> dict | None:
+    """Check a saved index's integrity without loading it.
+
+    Returns the manifest (``None`` for legacy v1 directories, which have
+    no checksums to verify).  Raises :class:`IndexNotFoundError` when the
+    directory is not a saved index and :class:`IndexCorruptError` on any
+    checksum mismatch or missing checksummed file.
+    """
     path = Path(directory)
+    if not (path / "config.json").exists():
+        raise IndexNotFoundError(str(path), "missing config.json")
+    manifest = load_manifest(path)
+    if manifest is None:
+        return None
+    checksums = manifest.get("checksums")
+    if not isinstance(checksums, dict):
+        raise IndexCorruptError(
+            str(path), "manifest has no checksums", part="manifest.json"
+        )
+    for name, expected in checksums.items():
+        try:
+            actual = _crc32((path / name).read_bytes())
+        except FileNotFoundError:
+            raise IndexCorruptError(
+                str(path), f"checksummed file {name} is missing", part=name
+            ) from None
+        if actual != expected:
+            raise IndexCorruptError(
+                str(path),
+                f"checksum mismatch for {name} (expected {expected}, got {actual})",
+                part=name,
+            )
+    return manifest
+
+
+def stale_reason(
+    directory: str | os.PathLike[str],
+    source_text: str | None = None,
+    source_path: str | os.PathLike[str] | None = None,
+) -> str | None:
+    """Why the saved index is stale against the current source, or ``None``
+    when it is fresh (or staleness cannot be assessed).
+
+    Decisive check: the corpus content hash recorded at build time vs. the
+    hash of the current source text.  When only a path is given, the file
+    is read; its stored mtime/size (if recorded) are reported in the
+    reason for diagnostics.
+    """
+    path = Path(directory)
+    if source_text is None and source_path is None:
+        return None
+    if source_text is None:
+        try:
+            source_text = Path(source_path).read_text(encoding="utf-8")
+        except OSError as error:
+            return f"source file {source_path!s} unreadable: {error}"
+    current = corpus_fingerprint(source_text)
+    manifest = load_manifest(path)
+    if manifest is not None and isinstance(manifest.get("corpus_fingerprint"), str):
+        saved = manifest["corpus_fingerprint"]
+    else:
+        # Legacy index: fall back to hashing the saved corpus text itself.
+        try:
+            saved = corpus_fingerprint((path / "corpus.txt").read_text(encoding="utf-8"))
+        except OSError:
+            return None  # no basis for comparison
+    if saved == current:
+        return None
+    reason = (
+        f"source content changed since the index was built "
+        f"(saved {saved}, current {current})"
+    )
+    if manifest is not None and isinstance(manifest.get("source"), dict):
+        recorded = manifest["source"]
+        if "mtime" in recorded:
+            reason += f"; indexed source mtime {recorded['mtime']}"
+    return reason
+
+
+def load_index(
+    directory: str | os.PathLike[str], verify_checksums: bool = True
+) -> IndexEngine:
+    """Load a persisted engine; rebuilds word/suffix indexes from the text.
+
+    Raises :class:`IndexNotFoundError` when ``directory`` is not a saved
+    index, and :class:`IndexCorruptError` when it is one but fails
+    integrity verification (checksums, structure, format version).
+    """
+    path = Path(directory)
+    if verify_checksums:
+        verify_index(path)
     try:
         text = (path / "corpus.txt").read_text(encoding="utf-8")
-        regions_data = json.loads((path / "regions.json").read_text(encoding="utf-8"))
-        config_data = json.loads((path / "config.json").read_text(encoding="utf-8"))
+        regions_raw = (path / "regions.json").read_text(encoding="utf-8")
+        config_raw = (path / "config.json").read_text(encoding="utf-8")
     except FileNotFoundError as error:
-        raise RegionIndexError(f"not a saved index directory: {path} ({error})") from None
-    if config_data.get("version") != _FORMAT_VERSION:
-        raise RegionIndexError(
-            f"unsupported saved-index version {config_data.get('version')!r}"
+        missing = Path(getattr(error, "filename", "") or "").name
+        if missing == "config.json" or not (path / "config.json").exists():
+            raise IndexNotFoundError(str(path), str(error)) from None
+        raise IndexCorruptError(
+            str(path), f"missing file: {error}", part=missing or None
+        ) from None
+    try:
+        regions_data = json.loads(regions_raw)
+        config_data = json.loads(config_raw)
+    except json.JSONDecodeError as error:
+        raise IndexCorruptError(str(path), f"unparseable JSON: {error}") from None
+    version = config_data.get("version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise IndexCorruptError(
+            str(path),
+            f"unsupported saved-index version {version!r} "
+            f"(supported: {_SUPPORTED_VERSIONS})",
+            part="config.json",
         )
-    config = IndexConfig(
-        region_names=(
-            frozenset(config_data["region_names"])
-            if config_data["region_names"] is not None
-            else None
-        ),
-        scoped=tuple(
-            ScopedRegionSpec(
-                source=item["source"], scope=item["scope"], name=item["name"]
-            )
-            for item in config_data["scoped"]
-        ),
-        word_index=config_data["word_index"],
-        word_scope=config_data["word_scope"],
-        lowercase_words=config_data["lowercase_words"],
-        suffix_array=config_data["suffix_array"],
-    )
-    instance = Instance(
-        {
-            name: RegionSet(Region(start, end) for start, end in spans)
-            for name, spans in regions_data.items()
-        }
-    )
+    try:
+        config = IndexConfig(
+            region_names=(
+                frozenset(config_data["region_names"])
+                if config_data["region_names"] is not None
+                else None
+            ),
+            scoped=tuple(
+                ScopedRegionSpec(
+                    source=item["source"], scope=item["scope"], name=item["name"]
+                )
+                for item in config_data["scoped"]
+            ),
+            word_index=config_data["word_index"],
+            word_scope=config_data["word_scope"],
+            lowercase_words=config_data["lowercase_words"],
+            suffix_array=config_data["suffix_array"],
+        )
+        instance = Instance(
+            {
+                name: RegionSet(Region(start, end) for start, end in spans)
+                for name, spans in regions_data.items()
+            }
+        )
+    except (KeyError, TypeError, ValueError, RegionError, IndexConfigError) as error:
+        raise IndexCorruptError(
+            str(path), f"malformed saved-index structure: {error!r}"
+        ) from None
     word_index = None
     if config.word_index:
         scope = instance.get(config.word_scope) if config.word_scope else None

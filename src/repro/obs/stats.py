@@ -80,6 +80,9 @@ class QueryStats:
           (``op:<symbol>`` keys plus ``comparisons``, ``regions_out``,
           ``bytes_scanned``)
         - ``cache``: per-query hit/miss/bytes-avoided dict
+        - ``warnings``: structured non-fatal incidents, each a
+          ``{code, message, detail}`` dict (degradations, skipped
+          malformed regions)
         - ``duration_s``: end-to-end seconds (0.0 when untraced)
         - ``trace``: the span tree (``None`` when untraced)
         """
@@ -95,6 +98,7 @@ class QueryStats:
             "join_bytes_compared": execution.join_bytes_compared,
             "algebra": execution.algebra.snapshot(),
             "cache": self.cache,
+            "warnings": [warning.to_dict() for warning in execution.warnings],
             "duration_s": self.duration_seconds,
             "trace": self.trace.to_dict() if self.trace is not None else None,
         }

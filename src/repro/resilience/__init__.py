@@ -1,0 +1,65 @@
+"""Fault-tolerant query execution.
+
+The paper's premise is that queries on files must survive contact with
+messy reality: indexes go corrupt or stale on disk, single regions go
+malformed, and evaluation cost is hard to bound statically.  This package
+is the fault-tolerance layer threaded through the engine:
+
+- :mod:`repro.resilience.budget` — guarded evaluation:
+  :class:`ResourceBudget` / :class:`BudgetMeter` enforce wall-clock
+  deadlines and caps on regions materialized / bytes parsed inside the
+  evaluator and executor loops, raising
+  :class:`~repro.errors.BudgetExceededError` with partial progress;
+- :mod:`repro.resilience.policy` — :class:`DegradationPolicy` decides,
+  per failure class (corrupt / stale / missing index, blown budget,
+  malformed region), between typed errors and graceful fallback to the
+  cached full-scan pipeline or an index rebuild;
+- :mod:`repro.resilience.warnings` — :class:`QueryWarning`, the
+  structured record of every degradation decision, surfaced on
+  ``QueryResult.warnings`` and as ``degraded`` spans in the trace;
+- :mod:`repro.resilience.faults` — deterministic fault injection
+  (index corruption, truncation, mid-parse failures, slow operators)
+  so every degradation path is exercised in CI.
+
+See ``docs/robustness.md`` for the full semantics.
+"""
+
+from repro.resilience.budget import BudgetMeter, ResourceBudget
+from repro.resilience.faults import (
+    FlakySchema,
+    SlowInstance,
+    corrupt_index_file,
+    truncate_file,
+)
+from repro.resilience.policy import DegradationPolicy
+from repro.resilience.warnings import (
+    BUDGET_DEGRADED,
+    DEGRADED_FULL_SCAN,
+    INDEX_CORRUPT,
+    INDEX_MISSING,
+    INDEX_REBUILT,
+    INDEX_STALE,
+    MALFORMED_REGION,
+    QueryWarning,
+    malformed_region_warning,
+)
+
+__all__ = [
+    "ResourceBudget",
+    "BudgetMeter",
+    "DegradationPolicy",
+    "QueryWarning",
+    "malformed_region_warning",
+    "FlakySchema",
+    "SlowInstance",
+    "corrupt_index_file",
+    "truncate_file",
+    # warning codes
+    "INDEX_MISSING",
+    "INDEX_CORRUPT",
+    "INDEX_STALE",
+    "INDEX_REBUILT",
+    "DEGRADED_FULL_SCAN",
+    "BUDGET_DEGRADED",
+    "MALFORMED_REGION",
+]

@@ -1,0 +1,134 @@
+"""Guarded evaluation: resource budgets for query execution.
+
+Document-spanner complexity results (and the P-completeness of inverted
+index traversal) make it hard to bound a region-expression evaluation
+statically — a plan that looks cheap can materialize huge intermediate
+region sets or re-parse large swaths of the file.  A
+:class:`ResourceBudget` turns those open-ended costs into enforced runtime
+limits: a wall-clock deadline, a cap on regions materialized by the
+algebra evaluator, and a cap on file bytes re-parsed during candidate
+filtering.
+
+The budget itself is an immutable declaration; each guarded query run
+creates a :class:`BudgetMeter` that tracks consumption and raises
+:class:`~repro.errors.BudgetExceededError` (carrying a partial-progress
+snapshot) the moment a limit is crossed.  Checks sit inside the operator
+loops of :mod:`repro.algebra.evaluator` and :mod:`repro.core.partial`, so
+a runaway query is stopped between operators / candidate regions, not
+only at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.errors import BudgetExceededError
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Limits for one query execution; ``None`` disables that limit.
+
+    Attributes
+    ----------
+    deadline_s:
+        Wall-clock seconds the execution may take, measured from the
+        moment the meter starts (plan execution start).
+    max_regions:
+        Total regions the algebra evaluator may materialize across all
+        expression nodes (cache and memo hits are free — they do no work).
+    max_bytes_parsed:
+        Total file bytes the executor may (re-)parse: candidate regions
+        plus full scans.
+    """
+
+    deadline_s: float | None = None
+    max_regions: int | None = None
+    max_bytes_parsed: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("deadline_s", "max_regions", "max_bytes_parsed"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"budget {name} must be non-negative, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.deadline_s is None
+            and self.max_regions is None
+            and self.max_bytes_parsed is None
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.deadline_s is not None:
+            parts.append(f"deadline {self.deadline_s * 1e3:.0f}ms")
+        if self.max_regions is not None:
+            parts.append(f"max {self.max_regions} regions")
+        if self.max_bytes_parsed is not None:
+            parts.append(f"max {self.max_bytes_parsed} bytes parsed")
+        return ", ".join(parts) if parts else "unlimited"
+
+    def meter(self) -> "BudgetMeter":
+        """Start a meter for one execution (the clock starts now)."""
+        return BudgetMeter(self)
+
+
+class BudgetMeter:
+    """Tracks one execution's consumption against a :class:`ResourceBudget`.
+
+    Not thread-safe: one meter serves one query execution, like a tracer.
+    """
+
+    __slots__ = ("budget", "started_at", "regions", "bytes_parsed")
+
+    def __init__(self, budget: ResourceBudget) -> None:
+        self.budget = budget
+        self.started_at = perf_counter()
+        self.regions = 0
+        self.bytes_parsed = 0
+
+    @property
+    def elapsed_s(self) -> float:
+        return perf_counter() - self.started_at
+
+    def snapshot(self) -> dict:
+        """Partial-progress statistics, embedded in the raised error."""
+        return {
+            "elapsed_s": self.elapsed_s,
+            "regions_materialized": self.regions,
+            "bytes_parsed": self.bytes_parsed,
+            "budget": self.budget.describe(),
+        }
+
+    def _exceeded(self, resource: str, limit: float, spent: float) -> BudgetExceededError:
+        return BudgetExceededError(
+            resource=resource, limit=limit, spent=spent, partial=self.snapshot()
+        )
+
+    def check_deadline(self) -> None:
+        deadline = self.budget.deadline_s
+        if deadline is not None:
+            elapsed = self.elapsed_s
+            if elapsed > deadline:
+                raise self._exceeded("wall_clock", deadline, round(elapsed, 6))
+
+    def charge_regions(self, count: int) -> None:
+        """Account ``count`` freshly materialized regions (also checks the
+        deadline — this is the per-operator guard point)."""
+        self.regions += count
+        limit = self.budget.max_regions
+        if limit is not None and self.regions > limit:
+            raise self._exceeded("regions", limit, self.regions)
+        self.check_deadline()
+
+    def charge_bytes(self, count: int) -> None:
+        """Account ``count`` file bytes parsed (also checks the deadline —
+        this is the per-candidate guard point)."""
+        self.bytes_parsed += count
+        limit = self.budget.max_bytes_parsed
+        if limit is not None and self.bytes_parsed > limit:
+            raise self._exceeded("bytes", limit, self.bytes_parsed)
+        self.check_deadline()

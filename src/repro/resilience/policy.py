@@ -1,0 +1,117 @@
+"""Degradation policies: what the engine does when things go wrong.
+
+A :class:`DegradationPolicy` decides, per failure class, whether the
+engine raises a typed error or degrades gracefully:
+
+- a **corrupt** saved index (checksum mismatch, truncated file) can be
+  rebuilt from the surviving corpus text, or bypassed entirely by running
+  every query through the cached full-scan pipeline;
+- a **stale** saved index (the source file changed after indexing) can be
+  rebuilt from the fresh source, or bypassed with full scans over the
+  fresh text — never answered from the stale index, which would be wrong;
+- a **missing** saved index can be rebuilt from a provided source;
+- a query that blows its :class:`~repro.resilience.ResourceBudget` can be
+  retried once through the (predictable-cost, unguarded) full-scan
+  pipeline instead of raising.
+
+Every degradation is recorded on ``QueryResult.warnings`` and as a
+``degraded`` span in the query trace, so "it worked" and "it worked by
+falling back" stay distinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+RAISE = "raise"
+FULL_SCAN = "full-scan"
+REBUILD = "rebuild"
+
+_INDEX_ACTIONS = (RAISE, FULL_SCAN, REBUILD)
+_BUDGET_ACTIONS = (RAISE, FULL_SCAN)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Per-failure-class degradation decisions.
+
+    Attributes
+    ----------
+    on_corrupt / on_stale / on_missing:
+        ``"raise"`` | ``"full-scan"`` | ``"rebuild"``.  ``"rebuild"``
+        re-parses the best available text (fresh source if provided, else
+        the saved corpus) and builds a full index; ``"full-scan"`` skips
+        index construction and serves every query through the cached
+        full-scan pipeline.  Either way needs *some* intact text: a
+        corrupt corpus with no source still raises.
+    on_budget:
+        ``"raise"`` | ``"full-scan"``.  What to do when a query exceeds
+        its resource budget mid-flight.
+    skip_malformed:
+        Tolerant candidate parsing: when true, a candidate region that
+        fails to re-parse is skipped and recorded as a structured
+        ``malformed-region`` warning; when false it aborts the query with
+        :class:`~repro.errors.CandidateParseError` (position/symbol of the
+        underlying parse failure preserved).
+    """
+
+    on_corrupt: str = FULL_SCAN
+    on_stale: str = FULL_SCAN
+    on_missing: str = RAISE
+    on_budget: str = RAISE
+    skip_malformed: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("on_corrupt", "on_stale", "on_missing"):
+            if getattr(self, name) not in _INDEX_ACTIONS:
+                raise ValueError(
+                    f"policy {name} must be one of {_INDEX_ACTIONS}, "
+                    f"got {getattr(self, name)!r}"
+                )
+        if self.on_budget not in _BUDGET_ACTIONS:
+            raise ValueError(
+                f"policy on_budget must be one of {_BUDGET_ACTIONS}, "
+                f"got {self.on_budget!r}"
+            )
+
+    @classmethod
+    def strict(cls) -> "DegradationPolicy":
+        """Fail fast on everything: typed errors, no silent fallbacks."""
+        return cls(
+            on_corrupt=RAISE,
+            on_stale=RAISE,
+            on_missing=RAISE,
+            on_budget=RAISE,
+            skip_malformed=False,
+        )
+
+    @classmethod
+    def degrade(cls) -> "DegradationPolicy":
+        """Keep answering whenever an intact text exists: full-scan past
+        corrupt/stale indexes and blown budgets, skip malformed regions."""
+        return cls(
+            on_corrupt=FULL_SCAN,
+            on_stale=FULL_SCAN,
+            on_missing=REBUILD,
+            on_budget=FULL_SCAN,
+            skip_malformed=True,
+        )
+
+    @classmethod
+    def rebuild(cls) -> "DegradationPolicy":
+        """Auto-rebuild the index from the best available text instead of
+        running degraded (pays one parse, keeps queries indexed)."""
+        return cls(
+            on_corrupt=REBUILD,
+            on_stale=REBUILD,
+            on_missing=REBUILD,
+            on_budget=FULL_SCAN,
+            skip_malformed=True,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"corrupt={self.on_corrupt}, stale={self.on_stale}, "
+            f"missing={self.on_missing}, budget={self.on_budget}, "
+            f"skip_malformed={self.skip_malformed}"
+        )

@@ -1,0 +1,44 @@
+"""Fixtures for the fault-injection suite: a healthy corpus, its saved
+index (with source fingerprint), and the reference answer rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+
+@pytest.fixture(scope="module")
+def corpus_schema():
+    return bibtex_schema()
+
+
+@pytest.fixture(scope="module")
+def corpus_text() -> str:
+    return generate_bibtex(entries=25, seed=11)
+
+
+@pytest.fixture(scope="module")
+def query_text() -> str:
+    return 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+
+@pytest.fixture(scope="module")
+def healthy_rows(corpus_schema, corpus_text, query_text):
+    """The reference answer from an intact, fully indexed engine."""
+    engine = FileQueryEngine(corpus_schema, corpus_text)
+    result = engine.query(query_text)
+    assert result.rows, "fixture query must match something"
+    return result.canonical_rows()
+
+
+@pytest.fixture
+def saved_index(tmp_path, corpus_schema, corpus_text):
+    """A freshly saved index directory, with the source file next to it."""
+    source = tmp_path / "refs.bib"
+    source.write_text(corpus_text, encoding="utf-8")
+    directory = tmp_path / "idx"
+    engine = FileQueryEngine(corpus_schema, corpus_text)
+    engine.save(str(directory), source_path=source)
+    return directory

@@ -1,0 +1,122 @@
+"""Guarded evaluation: resource budgets abort runaway executions with
+typed errors carrying partial progress, or degrade to the predictable-cost
+full-scan pipeline under an ``on_budget="full-scan"`` policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.errors import BudgetExceededError
+from repro.resilience import (
+    BUDGET_DEGRADED,
+    DegradationPolicy,
+    ResourceBudget,
+)
+
+
+class TestResourceBudget:
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(deadline_s=-1.0)
+        with pytest.raises(ValueError):
+            ResourceBudget(max_regions=-5)
+
+    def test_unlimited_and_describe(self):
+        assert ResourceBudget().unlimited
+        budget = ResourceBudget(deadline_s=0.05, max_regions=10)
+        assert not budget.unlimited
+        assert "deadline 50ms" in budget.describe()
+        assert "max 10 regions" in budget.describe()
+        assert ResourceBudget().describe() == "unlimited"
+
+    def test_meter_charges_and_raises(self):
+        meter = ResourceBudget(max_regions=10).meter()
+        meter.charge_regions(10)  # exactly at the limit: fine
+        with pytest.raises(BudgetExceededError) as excinfo:
+            meter.charge_regions(1)
+        error = excinfo.value
+        assert error.resource == "regions"
+        assert error.limit == 10 and error.spent == 11
+        assert error.partial["regions_materialized"] == 11
+        assert set(error.partial) >= {"elapsed_s", "bytes_parsed", "budget"}
+
+    def test_meter_bytes_limit(self):
+        meter = ResourceBudget(max_bytes_parsed=100).meter()
+        meter.charge_bytes(100)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            meter.charge_bytes(1)
+        assert excinfo.value.resource == "bytes"
+
+    def test_zero_deadline_trips_immediately(self):
+        meter = ResourceBudget(deadline_s=0.0).meter()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            meter.check_deadline()
+        assert excinfo.value.resource == "wall_clock"
+
+
+class TestEngineBudgets:
+    def test_regions_budget_raises_with_partial_stats_and_trace(
+        self, corpus_schema, corpus_text, query_text
+    ):
+        engine = FileQueryEngine(corpus_schema, corpus_text)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine.query(query_text, budget=ResourceBudget(max_regions=1))
+        error = excinfo.value
+        assert error.resource == "regions"
+        assert error.partial["regions_materialized"] > 1
+        assert error.trace is not None  # the partial pipeline trace
+        assert error.trace.find("index-eval") is not None
+
+    def test_bytes_budget_guards_candidate_parsing(
+        self, corpus_schema, corpus_text, query_text
+    ):
+        engine = FileQueryEngine(corpus_schema, corpus_text)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine.query(query_text, budget=ResourceBudget(max_bytes_parsed=1))
+        assert excinfo.value.resource == "bytes"
+
+    def test_deadline_budget(self, corpus_schema, corpus_text, query_text):
+        engine = FileQueryEngine(corpus_schema, corpus_text)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine.query(query_text, budget=ResourceBudget(deadline_s=0.0))
+        assert excinfo.value.resource == "wall_clock"
+
+    def test_cache_hits_are_free(self, corpus_schema, corpus_text, query_text):
+        # The budget meters *work*: a warm engine answering entirely from its
+        # caches does no fresh evaluation or parsing, so nothing is charged.
+        engine = FileQueryEngine(corpus_schema, corpus_text)
+        engine.query(query_text)  # warm every cache
+        result = engine.query(
+            query_text, budget=ResourceBudget(max_regions=1, max_bytes_parsed=1)
+        )
+        assert result.rows  # served from cache, under budget
+
+    def test_engine_wide_default_budget(self, corpus_schema, corpus_text, query_text):
+        engine = FileQueryEngine(
+            corpus_schema, corpus_text, budget=ResourceBudget(max_regions=1)
+        )
+        with pytest.raises(BudgetExceededError):
+            engine.query(query_text)
+
+    def test_budget_degradation_retries_via_full_scan(
+        self, corpus_schema, corpus_text, query_text, healthy_rows
+    ):
+        engine = FileQueryEngine(
+            corpus_schema, corpus_text, policy=DegradationPolicy.degrade()
+        )
+        result = engine.query(query_text, budget=ResourceBudget(max_regions=1))
+        assert result.canonical_rows() == healthy_rows
+        assert result.stats.strategy == "full-scan"
+        warning = next(w for w in result.warnings if w.code == BUDGET_DEGRADED)
+        assert warning.detail["resource"] == "regions"
+        assert "partial" in warning.detail
+        assert result.trace is not None
+        degraded = result.trace.find("degraded")
+        assert degraded is not None and degraded.metrics["code"] == BUDGET_DEGRADED
+
+    def test_unlimited_budget_is_a_no_op(self, corpus_schema, corpus_text, query_text):
+        engine = FileQueryEngine(corpus_schema, corpus_text)
+        baseline = engine.query(query_text)
+        budgeted = engine.query(query_text, budget=ResourceBudget())
+        assert budgeted.canonical_rows() == baseline.canonical_rows()

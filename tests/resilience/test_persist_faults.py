@@ -1,0 +1,171 @@
+"""Corrupted saved indexes: typed errors under a strict policy, graceful
+full-scan degradation (byte-identical answers + warnings + a ``degraded``
+trace span) otherwise — the PR's headline acceptance criterion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.errors import IndexCorruptError, IndexNotFoundError
+from repro.index.persist import load_index, verify_index
+from repro.resilience import (
+    DEGRADED_FULL_SCAN,
+    INDEX_CORRUPT,
+    INDEX_MISSING,
+    INDEX_REBUILT,
+    DegradationPolicy,
+    corrupt_index_file,
+)
+
+#: Every (part, mode) fault and the strict-policy error it must raise
+#: (``None`` = the index still loads: a deleted manifest demotes the
+#: directory to a legacy v1 index, which has no checksums to fail).
+FAULT_MATRIX = [
+    ("corpus", "garbage", IndexCorruptError),
+    ("corpus", "truncate", IndexCorruptError),
+    ("corpus", "delete", IndexCorruptError),
+    ("regions", "garbage", IndexCorruptError),
+    ("regions", "truncate", IndexCorruptError),
+    ("regions", "delete", IndexCorruptError),
+    ("config", "garbage", IndexCorruptError),
+    ("config", "truncate", IndexCorruptError),
+    ("config", "delete", IndexNotFoundError),
+    ("manifest", "garbage", IndexCorruptError),
+    ("manifest", "truncate", IndexCorruptError),
+    ("manifest", "delete", None),
+]
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("part,mode,expected", FAULT_MATRIX)
+    def test_strict_policy_raises_typed_errors(
+        self, saved_index, corpus_schema, part, mode, expected
+    ):
+        corrupt_index_file(saved_index, part=part, mode=mode)
+        if expected is None:
+            engine = FileQueryEngine.from_saved(
+                corpus_schema, str(saved_index), policy=DegradationPolicy.strict()
+            )
+            assert engine.indexed_names  # legacy load, still indexed
+            return
+        with pytest.raises(expected) as excinfo:
+            FileQueryEngine.from_saved(
+                corpus_schema, str(saved_index), policy=DegradationPolicy.strict()
+            )
+        assert excinfo.value.path == str(saved_index)
+
+    @pytest.mark.parametrize("part,mode,expected", FAULT_MATRIX)
+    def test_verify_index_matches_load_behaviour(self, saved_index, part, mode, expected):
+        corrupt_index_file(saved_index, part=part, mode=mode)
+        if expected is None:
+            assert verify_index(saved_index) is None  # legacy: nothing to verify
+            load_index(saved_index)
+        else:
+            with pytest.raises(expected):
+                load_index(saved_index)
+
+
+class TestGracefulDegradation:
+    @pytest.mark.parametrize("part", ["regions", "config", "manifest"])
+    def test_degraded_rows_identical_to_healthy(
+        self, saved_index, corpus_schema, query_text, healthy_rows, part
+    ):
+        corrupt_index_file(saved_index, part=part, mode="garbage")
+        engine = FileQueryEngine.from_saved(
+            corpus_schema, str(saved_index), policy=DegradationPolicy.degrade()
+        )
+        result = engine.query(query_text)
+        assert result.canonical_rows() == healthy_rows
+        assert result.stats.strategy == "full-scan"
+        codes = [warning.code for warning in result.warnings]
+        assert INDEX_CORRUPT in codes
+        assert DEGRADED_FULL_SCAN in codes
+        assert result.trace is not None
+        degraded = result.trace.find("degraded")
+        assert degraded is not None
+        assert degraded.metrics["code"] == INDEX_CORRUPT
+
+    def test_degraded_full_scan_is_cached(
+        self, saved_index, corpus_schema, query_text
+    ):
+        corrupt_index_file(saved_index, part="regions", mode="garbage")
+        engine = FileQueryEngine.from_saved(
+            corpus_schema, str(saved_index), policy=DegradationPolicy.degrade()
+        )
+        first = engine.query(query_text)
+        second = engine.query(query_text)
+        assert first.stats.cache_parse_misses == 1  # paid the corpus parse once
+        assert second.stats.cache_parse_hits == 1
+        assert second.stats.bytes_parsed == 0
+
+    def test_corrupt_corpus_with_no_source_still_raises(
+        self, saved_index, corpus_schema
+    ):
+        # Nothing trustworthy survives: the saved text itself is damaged and
+        # no fresh source was provided — degrading would answer wrongly.
+        corrupt_index_file(saved_index, part="corpus", mode="garbage")
+        with pytest.raises(IndexCorruptError):
+            FileQueryEngine.from_saved(
+                corpus_schema, str(saved_index), policy=DegradationPolicy.degrade()
+            )
+
+    def test_corrupt_corpus_recovers_from_fresh_source(
+        self, saved_index, corpus_schema, corpus_text, query_text, healthy_rows
+    ):
+        corrupt_index_file(saved_index, part="corpus", mode="garbage")
+        engine = FileQueryEngine.from_saved(
+            corpus_schema,
+            str(saved_index),
+            policy=DegradationPolicy.degrade(),
+            source_text=corpus_text,
+        )
+        assert engine.query(query_text).canonical_rows() == healthy_rows
+
+    def test_rebuild_policy_restores_indexed_execution(
+        self, saved_index, corpus_schema, query_text, healthy_rows
+    ):
+        corrupt_index_file(saved_index, part="regions", mode="truncate")
+        engine = FileQueryEngine.from_saved(
+            corpus_schema, str(saved_index), policy=DegradationPolicy.rebuild()
+        )
+        result = engine.query(query_text)
+        assert result.canonical_rows() == healthy_rows
+        assert result.stats.strategy == "index-exact"  # indexed again
+        codes = [warning.code for warning in result.warnings]
+        assert INDEX_CORRUPT in codes
+        assert INDEX_REBUILT in codes
+
+
+class TestMissingIndex:
+    def test_missing_directory_raises_typed_error(self, tmp_path, corpus_schema):
+        missing = tmp_path / "nowhere"
+        with pytest.raises(IndexNotFoundError) as excinfo:
+            FileQueryEngine.from_saved(corpus_schema, str(missing))
+        assert excinfo.value.path == str(missing)
+
+    def test_missing_index_rebuilds_from_source(
+        self, tmp_path, corpus_schema, corpus_text, query_text, healthy_rows
+    ):
+        missing = tmp_path / "nowhere"
+        engine = FileQueryEngine.from_saved(
+            corpus_schema,
+            str(missing),
+            policy=DegradationPolicy.degrade(),  # on_missing="rebuild"
+            source_text=corpus_text,
+        )
+        result = engine.query(query_text)
+        assert result.canonical_rows() == healthy_rows
+        assert result.stats.strategy == "index-exact"
+        codes = [warning.code for warning in result.warnings]
+        assert INDEX_MISSING in codes and INDEX_REBUILT in codes
+
+    def test_missing_index_without_source_raises_even_degraded(
+        self, tmp_path, corpus_schema
+    ):
+        with pytest.raises(IndexNotFoundError):
+            FileQueryEngine.from_saved(
+                corpus_schema,
+                str(tmp_path / "nowhere"),
+                policy=DegradationPolicy.degrade(),
+            )

@@ -1,0 +1,108 @@
+"""Staleness detection: a saved index whose source file changed after the
+build must never silently answer from the stale index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.errors import IndexStaleError
+from repro.index.persist import stale_reason
+from repro.resilience import (
+    DEGRADED_FULL_SCAN,
+    INDEX_REBUILT,
+    INDEX_STALE,
+    DegradationPolicy,
+)
+from repro.workloads.bibtex import generate_bibtex
+
+
+@pytest.fixture(scope="module")
+def fresh_text() -> str:
+    return generate_bibtex(entries=26, seed=12)
+
+
+class TestStaleDetection:
+    def test_unchanged_source_is_fresh(self, saved_index, corpus_text):
+        assert stale_reason(saved_index, source_text=corpus_text) is None
+
+    def test_changed_source_reports_fingerprints(self, saved_index, fresh_text):
+        reason = stale_reason(saved_index, source_text=fresh_text)
+        assert reason is not None and "sha256:" in reason
+
+    def test_no_source_means_no_verdict(self, saved_index):
+        # Without the current source there is no basis for comparison.
+        assert stale_reason(saved_index) is None
+
+    def test_stale_raises_typed_error(self, saved_index, corpus_schema, fresh_text):
+        with pytest.raises(IndexStaleError) as excinfo:
+            FileQueryEngine.from_saved(
+                corpus_schema,
+                str(saved_index),
+                policy=DegradationPolicy.strict(),
+                source_text=fresh_text,
+            )
+        assert excinfo.value.path == str(saved_index)
+
+    def test_stale_detected_via_source_path(
+        self, saved_index, corpus_schema, fresh_text, tmp_path
+    ):
+        (tmp_path / "refs.bib").write_text(fresh_text, encoding="utf-8")
+        with pytest.raises(IndexStaleError):
+            FileQueryEngine.from_saved(
+                corpus_schema,
+                str(saved_index),
+                policy=DegradationPolicy.strict(),
+                source_path=tmp_path / "refs.bib",
+            )
+
+
+class TestStaleDegradation:
+    def test_degrade_serves_the_fresh_text(
+        self, saved_index, corpus_schema, fresh_text, query_text
+    ):
+        engine = FileQueryEngine.from_saved(
+            corpus_schema,
+            str(saved_index),
+            policy=DegradationPolicy.degrade(),
+            source_text=fresh_text,
+        )
+        # The degraded engine answers over the *current* source, never the
+        # stale saved corpus.
+        assert engine.text == fresh_text
+        reference = FileQueryEngine(corpus_schema, fresh_text).query(query_text)
+        result = engine.query(query_text)
+        assert result.canonical_rows() == reference.canonical_rows()
+        assert result.stats.strategy == "full-scan"
+        codes = [warning.code for warning in result.warnings]
+        assert INDEX_STALE in codes and DEGRADED_FULL_SCAN in codes
+        assert result.trace is not None and result.trace.find("degraded") is not None
+
+    def test_rebuild_reindexes_the_fresh_text(
+        self, saved_index, corpus_schema, fresh_text, query_text
+    ):
+        engine = FileQueryEngine.from_saved(
+            corpus_schema,
+            str(saved_index),
+            policy=DegradationPolicy.rebuild(),
+            source_text=fresh_text,
+        )
+        assert engine.text == fresh_text
+        result = engine.query(query_text)
+        assert result.stats.strategy == "index-exact"
+        reference = FileQueryEngine(corpus_schema, fresh_text).query(query_text)
+        assert result.canonical_rows() == reference.canonical_rows()
+        assert INDEX_REBUILT in [warning.code for warning in result.warnings]
+
+    def test_fresh_source_loads_without_warnings(
+        self, saved_index, corpus_schema, corpus_text, query_text
+    ):
+        engine = FileQueryEngine.from_saved(
+            corpus_schema,
+            str(saved_index),
+            policy=DegradationPolicy.strict(),
+            source_text=corpus_text,
+        )
+        result = engine.query(query_text)
+        assert result.warnings == []
+        assert result.stats.strategy == "index-exact"
