@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""CI shard-failure matrix.
+
+Drives the sharded engine through the failure scenarios the robustness
+docs promise — 1-of-N corrupt, 1-of-N stale, transient-fault retry, and
+a breaker trip — and asserts the partial-result/row-identity contracts
+hold.  Dependency-free (stdlib + repro only); exits non-zero with a
+readable message on the first violated invariant.
+
+Usage::
+
+    PYTHONPATH=src python scripts/shard_fault_matrix.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.engine import FileQueryEngine
+from repro.errors import ShardFailedError
+from repro.resilience import (
+    BreakerConfig,
+    DegradationPolicy,
+    RetryPolicy,
+    TransientIOFault,
+)
+from repro.shard import ShardedEngine, split_corpus
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+N_SHARDS = 8
+QUERY = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {message}")
+
+
+def build(root: Path, schema, text) -> Path:
+    directory = root / "sidx"
+    ShardedEngine.split(schema, text, N_SHARDS).save(directory)
+    return directory
+
+
+def scenario_corrupt(root: Path, schema, text) -> None:
+    print("scenario: 1-of-N corrupt shard")
+    directory = build(root / "corrupt", schema, text)
+    healthy = ShardedEngine.from_saved(schema, directory).query(QUERY)
+    victim_name = sorted(healthy.shard_results)[2]
+    victim_dir = sorted((directory / "shards").iterdir())[2]
+    (victim_dir / "corpus.txt").write_text("garbage", encoding="utf-8")
+
+    partial = ShardedEngine.from_saved(schema, directory).query(QUERY)
+    codes = [warning.code for warning in partial.warnings]
+    check("shard-failed" in codes, "corrupt shard reported as shard-failed")
+    check("partial-result" in codes, "merged result flagged partial-result")
+    check(
+        partial.canonical_rows()
+        == set().union(
+            *(r.canonical_rows() for n, r in healthy.shard_results.items()
+              if n != victim_name)
+        ),
+        "healthy shards' rows byte-identical to their pre-corruption answers",
+    )
+    check(
+        partial.stats.to_dict()["shards"][2]["status"] == "failed",
+        "stats.to_dict()['shards'] records the failure",
+    )
+
+    try:
+        ShardedEngine.from_saved(schema, directory, fail_fast=True).query(QUERY)
+        check(False, "--fail-fast raises ShardFailedError")
+    except ShardFailedError as error:
+        check(error.shard == victim_name, "ShardFailedError names the shard")
+
+
+def scenario_stale(root: Path, schema, text) -> None:
+    print("scenario: 1-of-N stale shard")
+    directory = root / "stale" / "sidx"
+    sources = []
+    parts = split_corpus(schema, text, N_SHARDS)
+    (root / "stale").mkdir(parents=True, exist_ok=True)
+    for number, part in enumerate(parts):
+        path = root / "stale" / f"part{number}.bib"
+        path.write_text(part, encoding="utf-8")
+        sources.append(path)
+    ShardedEngine.from_paths(schema, sources).save(directory)
+
+    # Rewrite one source after its index was built -> that shard is stale.
+    sources[4].write_text(generate_bibtex(entries=3, seed=99), encoding="utf-8")
+
+    strict = ShardedEngine.from_saved(
+        schema, directory, policy=DegradationPolicy.strict()
+    )
+    result = strict.query(QUERY)
+    codes = [warning.code for warning in result.warnings]
+    check("shard-failed" in codes, "strict policy fails the stale shard")
+    check("partial-result" in codes, "stale shard yields a partial result")
+    record = result.stats.to_dict()["shards"][4]
+    check(record["status"] == "failed", "per-shard record shows the failure")
+    check("stale" in (record["error"] or ""), "failure reason mentions staleness")
+
+    tolerant = ShardedEngine.from_saved(schema, directory)
+    degraded = tolerant.query(QUERY)
+    check(
+        degraded.stats.healthy_shards == N_SHARDS,
+        "default policy keeps the stale shard answering (degraded)",
+    )
+    check(
+        any(w.code == "index-stale" for w in degraded.warnings),
+        "degraded stale shard surfaces an index-stale warning",
+    )
+
+
+def scenario_retry(schema, text, reference) -> None:
+    print("scenario: transient fault retried")
+    fault = TransientIOFault(k=2, shard="shard3")
+    engine = ShardedEngine.split(
+        schema, text, N_SHARDS,
+        fault_injector=fault,
+        retry=RetryPolicy(max_attempts=3),
+        retry_sleep=lambda seconds: None,
+    )
+    result = engine.query(QUERY)
+    check(
+        result.canonical_rows() == reference,
+        "rows identical to the uninjected run",
+    )
+    check(
+        [w.code for w in result.warnings] == ["shard-retried"],
+        "shard-retried recorded (and nothing else)",
+    )
+    check(fault.failures == 2, "injector failed exactly twice")
+
+
+def scenario_breaker(schema, text) -> None:
+    print("scenario: breaker trips after repeated failures")
+    fault = TransientIOFault(k=10**9, shard="shard0")
+    engine = ShardedEngine.split(
+        schema, text, 4,
+        fault_injector=fault,
+        retry=RetryPolicy(max_attempts=2),
+        breaker_config=BreakerConfig(failure_threshold=2, reset_timeout_s=3600),
+        retry_sleep=lambda seconds: None,
+    )
+    engine.query(QUERY)
+    engine.query(QUERY)
+    check(
+        engine.breaker_snapshot("shard0")["state"] == "open",
+        "breaker open after repeated failures",
+    )
+    attempts_before = fault.calls
+    third = engine.query(QUERY)
+    check(
+        "shard-skipped-open-breaker" in [w.code for w in third.warnings],
+        "open breaker skips the shard",
+    )
+    check(fault.calls == attempts_before, "skipped shard is not touched")
+
+
+def main() -> int:
+    schema = bibtex_schema()
+    text = generate_bibtex(entries=40, seed=11)
+    reference = FileQueryEngine(schema, text).query(QUERY).canonical_rows()
+    if not reference:
+        print("FAIL: fixture query matched nothing", file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        scenario_corrupt(root, schema, text)
+        scenario_stale(root, schema, text)
+    scenario_retry(schema, text, reference)
+    scenario_breaker(schema, text)
+    print("shard fault matrix: all scenarios pass")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,11 @@ Package layout
 - :mod:`repro.index` — the text indexing engine (PAT stand-in);
 - :mod:`repro.db` — the object-database baseline;
 - :mod:`repro.text` — documents, corpora, tokenization;
-- :mod:`repro.workloads` — BibTeX / logs / SGML grammars and generators.
+- :mod:`repro.workloads` — BibTeX / logs / SGML grammars and generators;
+- :mod:`repro.resilience` — degradation policies, budgets, retry/backoff,
+  circuit breakers, fault injectors;
+- :mod:`repro.shard` — sharded corpora: scatter-gather queries over one
+  fault-isolated engine + index per corpus file.
 """
 
 from repro.algebra import (
@@ -75,12 +79,27 @@ from repro.obs import (
     Trace,
     Tracer,
 )
-from repro.resilience import DegradationPolicy, QueryWarning, ResourceBudget
+from repro.errors import ShardError, ShardFailedError
+from repro.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    DegradationPolicy,
+    QueryWarning,
+    ResourceBudget,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.rig import RegionInclusionGraph, derive_full_rig, derive_partial_rig
 from repro.schema import Grammar, StructuringSchema
+from repro.shard import (
+    ShardedEngine,
+    ShardedQueryResult,
+    ShardedStats,
+    split_corpus,
+)
 from repro.text import Corpus, Document
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Region",
@@ -114,9 +133,18 @@ __all__ = [
     "Trace",
     "Tracer",
     # resilience
+    "BreakerConfig",
+    "CircuitBreaker",
     "DegradationPolicy",
     "QueryWarning",
     "ResourceBudget",
+    "RetryPolicy",
+    "call_with_retry",
+    # sharded execution
+    "ShardedEngine",
+    "ShardedQueryResult",
+    "ShardedStats",
+    "split_corpus",
     # error hierarchy
     "ReproError",
     "RegionError",
@@ -137,6 +165,8 @@ __all__ = [
     "IndexCorruptError",
     "IndexStaleError",
     "BudgetExceededError",
+    "ShardError",
+    "ShardFailedError",
     "__version__",
 ]
 

@@ -32,9 +32,18 @@ Examples::
     # Index statistics
     python -m repro stats --workload bibtex --file refs.bib
 
-``query``, ``stats``, and ``analyze`` accept ``--json`` for
-machine-readable output (the ``analyze`` shape is validated in CI against
-``schemas/analyze.schema.json``).
+    # Sharded corpora: one isolated index per file (or per byte-balanced
+    # chunk of one file), scatter-gather queries with partial results
+    python -m repro shard build --workload bibtex --out ./sidx --files a.bib b.bib
+    python -m repro shard build --workload bibtex --out ./sidx \
+        --file refs.bib --shards 8
+    python -m repro shard query --workload bibtex --index ./sidx 'SELECT ...'
+    python -m repro shard query --workload bibtex --index ./sidx \
+        --fail-fast --max-parallel 4 'SELECT ...'
+
+``query``, ``stats``, ``analyze``, and ``shard query`` accept ``--json``
+for machine-readable output (the ``analyze`` shape is validated in CI
+against ``schemas/analyze.schema.json``).
 """
 
 from __future__ import annotations
@@ -208,6 +217,92 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharded_engine_from_args(args: argparse.Namespace):
+    from repro.shard import ShardedEngine
+
+    schema = _schema_for(args.workload)
+    cache_config = (
+        CacheConfig.disabled() if getattr(args, "no_cache", False) else CacheConfig()
+    )
+    options = {
+        "cache_config": cache_config,
+        "policy": _policy_from_args(args),
+        "fail_fast": getattr(args, "fail_fast", False),
+    }
+    if getattr(args, "max_parallel", None):
+        options["max_parallel"] = args.max_parallel
+    return ShardedEngine.from_saved(schema, args.index, **options)
+
+
+def _cmd_shard_build(args: argparse.Namespace) -> int:
+    from repro.shard import ShardedEngine
+
+    schema = _schema_for(args.workload)
+    config = IndexConfig.full()
+    if getattr(args, "partial", None):
+        config = IndexConfig.partial(set(args.partial.split(",")))
+    if args.files:
+        engine = ShardedEngine.from_paths(schema, args.files, config=config)
+    elif args.file:
+        if not args.shards or args.shards < 1:
+            raise SystemExit("--file needs --shards N (how many chunks to cut)")
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        engine = ShardedEngine.split(schema, text, args.shards, config=config)
+    else:
+        raise SystemExit("either --files F [F ...] or --file F --shards N is required")
+    engine.save(args.out)
+    print(
+        f"saved sharded index ({len(engine.shard_names)} shard(s)) to {args.out}",
+        file=sys.stderr,
+    )
+    for name in engine.shard_names:
+        print(f"  {name}", file=sys.stderr)
+    return 0
+
+
+def _cmd_shard_query(args: argparse.Namespace) -> int:
+    engine = _sharded_engine_from_args(args)
+    result = engine.query(args.query, budget=_budget_from_args(args))
+    if getattr(args, "json", False):
+        payload = {
+            "rows": [
+                [_render_value(value) for value in row] for row in result.rows
+            ],
+            "warnings": [warning.to_dict() for warning in result.warnings],
+            "stats": result.stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        _print_warnings(result)
+        return 0
+    for row in result.rows:
+        print(" | ".join(_render_value(value) for value in row))
+    _print_warnings(result)
+    stats = result.stats
+    print(
+        f"-- {len(result.rows)} row(s) from {stats.healthy_shards}/"
+        f"{len(stats.shards)} shard(s), {stats.retries} retry(ies)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_shard_explain(args: argparse.Namespace) -> int:
+    engine = _sharded_engine_from_args(args)
+    print(engine.explain(args.query))
+    return 0
+
+
+def _cmd_shard_analyze(args: argparse.Namespace) -> int:
+    engine = _sharded_engine_from_args(args)
+    analysis = engine.analyze(args.query)
+    if getattr(args, "json", False):
+        print(json.dumps(analysis.to_dict(), indent=2))
+    else:
+        print(analysis.render())
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
     if getattr(args, "json", False):
@@ -320,6 +415,114 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(stats, with_query=False)
     add_json(stats)
     stats.set_defaults(handler=_cmd_stats)
+
+    shard = commands.add_parser(
+        "shard",
+        help="sharded corpora: one fault-isolated index per file, "
+        "scatter-gather queries with partial results",
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+
+    build = shard_commands.add_parser(
+        "build", help="build and persist one index per shard"
+    )
+    build.add_argument("--workload", required=True, help="bibtex | logs | sgml")
+    build.add_argument(
+        "--files", nargs="+", help="corpus files, one shard per file"
+    )
+    build.add_argument(
+        "--file", help="single corpus file to cut into --shards chunks"
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        help="with --file: number of byte-balanced chunks to cut "
+        "(at record boundaries)",
+    )
+    build.add_argument(
+        "--partial",
+        help="comma-separated non-terminals for partial region indexes",
+    )
+    build.add_argument("--out", required=True, help="output directory")
+    build.set_defaults(handler=_cmd_shard_build)
+
+    def add_shard_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workload", required=True, help="bibtex | logs | sgml")
+        sub.add_argument(
+            "--index", required=True, help="directory of a saved sharded index"
+        )
+        sub.add_argument(
+            "--fail-fast",
+            action="store_true",
+            dest="fail_fast",
+            help="raise a typed ShardFailedError on the first unhealthy "
+            "shard instead of returning a partial result",
+        )
+        sub.add_argument(
+            "--max-parallel",
+            type=int,
+            dest="max_parallel",
+            help="cap on concurrently evaluating shards (default 8)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            dest="no_cache",
+            help="disable the per-shard evaluation/parse caches",
+        )
+        mode = sub.add_mutually_exclusive_group()
+        mode.add_argument(
+            "--strict",
+            action="store_true",
+            help="typed errors on corrupt/stale shard indexes (a damaged "
+            "shard fails instead of degrading to a full scan)",
+        )
+        mode.add_argument(
+            "--degrade",
+            action="store_true",
+            help="keep answering: degraded shards serve full scans, "
+            "warnings on stderr",
+        )
+        sub.add_argument("query", help="XSQL-subset query text")
+
+    shard_query = shard_commands.add_parser(
+        "query", help="scatter-gather a query over all shards"
+    )
+    add_shard_common(shard_query)
+    add_json(shard_query)
+    shard_query.add_argument(
+        "--budget-ms",
+        type=float,
+        dest="budget_ms",
+        help="per-shard wall-clock budget, in milliseconds",
+    )
+    shard_query.add_argument(
+        "--budget-regions",
+        type=int,
+        dest="budget_regions",
+        help="per-shard cap on regions materialized",
+    )
+    shard_query.add_argument(
+        "--budget-bytes",
+        type=int,
+        dest="budget_bytes",
+        help="per-shard cap on file bytes (re-)parsed",
+    )
+    shard_query.set_defaults(handler=_cmd_shard_query)
+
+    shard_explain = shard_commands.add_parser(
+        "explain", help="show the shared per-shard plan and shard roster"
+    )
+    add_shard_common(shard_explain)
+    shard_explain.set_defaults(handler=_cmd_shard_explain)
+
+    shard_analyze = shard_commands.add_parser(
+        "analyze",
+        help="EXPLAIN ANALYZE across shards (per-shard stats included)",
+    )
+    add_shard_common(shard_analyze)
+    add_json(shard_analyze)
+    shard_analyze.set_defaults(handler=_cmd_shard_analyze)
 
     return parser
 

@@ -384,6 +384,13 @@ class FileQueryEngine:
         engine._wire_caches_and_pipeline(optimize_expressions)
         return engine
 
+    @property
+    def degraded(self) -> bool:
+        """True when load-time degradation left this engine serving every
+        query through the no-index full-scan fallback (its planner must
+        plan locally — plans from an indexed engine do not apply)."""
+        return self._load_degradation is not None
+
     # -- observability ------------------------------------------------------------
 
     def on_span(self, hook: SpanHook):
@@ -447,16 +454,36 @@ class FileQueryEngine:
         policy, retries once through the unguarded full-scan pipeline under
         a ``degraded`` span.
         """
-        budget = budget if budget is not None else self.budget
-        meter = (
-            budget.meter() if budget is not None and not budget.unlimited else None
-        )
-        skip_malformed = self.policy.skip_malformed
         tracer = self._tracer()
         if tracer is None:
             plan = self.planner.plan(query)
         else:
             plan = self.planner.plan(query, tracer=tracer)
+        return self._run_plan(plan, budget, tracer)
+
+    def execute_plan(
+        self, plan: Plan, budget: ResourceBudget | None = None
+    ) -> QueryResult:
+        """Execute an already-built plan against this engine's corpus.
+
+        Sharded execution plans a query once and reuses the plan on every
+        shard (:class:`~repro.shard.ShardedEngine`): translation and
+        optimization depend only on the structuring schema and index
+        configuration, which all shards share, so re-planning per shard
+        would be pure waste.  The plan must come from an engine with the
+        same schema and index configuration — region names in its
+        expressions bind against this engine's instance.
+        """
+        return self._run_plan(plan, budget, self._tracer())
+
+    def _run_plan(
+        self, plan: Plan, budget: ResourceBudget | None, tracer: Tracer | None
+    ) -> QueryResult:
+        budget = budget if budget is not None else self.budget
+        meter = (
+            budget.meter() if budget is not None and not budget.unlimited else None
+        )
+        skip_malformed = self.policy.skip_malformed
         try:
             if tracer is None:
                 execution: Execution = self._executor.execute(

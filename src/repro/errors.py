@@ -165,6 +165,47 @@ class IndexStaleError(RegionIndexError):
         super().__init__(f"saved index at {self.path!r} is stale: {reason}")
 
 
+class ShardError(ReproError):
+    """Errors in sharded-corpus execution (see :mod:`repro.shard`)."""
+
+
+class ShardFailedError(ShardError):
+    """A shard could not be queried and the execution ran in fail-fast
+    (strict) mode — or *no* shard produced rows, leaving nothing to answer
+    with.
+
+    Attributes
+    ----------
+    shard:
+        The failing shard's name.
+    attempts:
+        How many attempts (1 + retries) were made before giving up.
+        ``0`` when the shard was never attempted (circuit breaker open).
+    reason:
+        Human-readable account of the final failure.
+    cause:
+        The underlying exception, when one exists (also chained as
+        ``__cause__`` where the raise site allows).
+    """
+
+    def __init__(
+        self,
+        shard: str,
+        reason: str,
+        attempts: int = 1,
+        cause: BaseException | None = None,
+    ) -> None:
+        self.shard = shard
+        self.reason = reason
+        self.attempts = attempts
+        self.cause = cause
+        if attempts == 0:
+            message = f"shard {shard!r} skipped: {reason}"
+        else:
+            message = f"shard {shard!r} failed after {attempts} attempt(s): {reason}"
+        super().__init__(message)
+
+
 class BudgetExceededError(ReproError):
     """Query execution exceeded its :class:`~repro.resilience.ResourceBudget`.
 

@@ -26,6 +26,10 @@ Integrity and staleness are distinguished by typed errors:
 
 Indexes saved before manifests existed (format version 1) load without
 checksum verification.
+
+Saves are crash-safe: :func:`save_index` writes into a temporary sibling
+directory and renames it into place only once every file (manifest
+included) is on disk, so an interrupted save cannot leave a torn index.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -138,9 +143,60 @@ def save_index(
     ``source_path`` (optional) records the original file's mtime/size next
     to the corpus content hash, enabling cheap staleness checks at load
     time.
+
+    The save is crash-safe: every file is written into a temporary sibling
+    directory which is renamed into place only once complete.  A process
+    killed mid-save therefore never leaves a half-written index at
+    ``directory`` — the previous index (if any) survives intact instead of
+    failing at checksum-verify time on the next load.  When replacing an
+    existing index the swap is two renames (retire the old directory,
+    promote the new one); a crash exactly between them leaves the old
+    index complete under a ``.<name>.retired-*`` sibling rather than a
+    torn mixture of the two.
     """
-    path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
+    target = Path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = target.parent / f".{target.name}.saving-{os.getpid()}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        _write_index_files(engine, staging, schema_fingerprint, source_path)
+        _swap_into_place(staging, target)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+
+
+def _swap_into_place(staging: Path, target: Path) -> None:
+    """Promote a fully written ``staging`` directory to ``target``.
+
+    A fresh target is a single atomic rename.  Replacing an existing index
+    retires the old directory first; if promoting the new one then fails,
+    the old index is restored before the error propagates.
+    """
+    if not target.exists():
+        os.rename(staging, target)
+        return
+    retired = target.parent / f".{target.name}.retired-{os.getpid()}"
+    if retired.exists():
+        shutil.rmtree(retired)
+    os.rename(target, retired)
+    try:
+        os.rename(staging, target)
+    except OSError:
+        os.rename(retired, target)
+        raise
+    shutil.rmtree(retired, ignore_errors=True)
+
+
+def _write_index_files(
+    engine: IndexEngine,
+    path: Path,
+    schema_fingerprint: str | None,
+    source_path: str | os.PathLike[str] | None,
+) -> None:
+    """Write the four index files (corpus, regions, config, manifest) into
+    an existing directory.  Callers are responsible for atomicity."""
     (path / "corpus.txt").write_text(engine.text, encoding="utf-8")
     regions = {
         name: [[region.start, region.end] for region in region_set]

@@ -14,24 +14,42 @@ is the fault-tolerance layer threaded through the engine:
   per failure class (corrupt / stale / missing index, blown budget,
   malformed region), between typed errors and graceful fallback to the
   cached full-scan pipeline or an index rebuild;
+- :mod:`repro.resilience.retry` — :class:`RetryPolicy` /
+  :func:`call_with_retry`: capped, deterministically jittered exponential
+  backoff for transient I/O failures (used per shard by
+  :class:`~repro.shard.ShardedEngine`);
+- :mod:`repro.resilience.breaker` — :class:`CircuitBreaker` /
+  :class:`BreakerConfig`: the closed → open → half-open state machine
+  that stops hammering a shard that keeps failing;
 - :mod:`repro.resilience.warnings` — :class:`QueryWarning`, the
   structured record of every degradation decision, surfaced on
   ``QueryResult.warnings`` and as ``degraded`` spans in the trace;
 - :mod:`repro.resilience.faults` — deterministic fault injection
-  (index corruption, truncation, mid-parse failures, slow operators)
-  so every degradation path is exercised in CI.
+  (index corruption, truncation, mid-parse failures, slow operators,
+  transient shard I/O faults, slow shards) so every degradation path is
+  exercised in CI.
 
 See ``docs/robustness.md`` for the full semantics.
 """
 
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
 from repro.resilience.budget import BudgetMeter, ResourceBudget
 from repro.resilience.faults import (
     FlakySchema,
     SlowInstance,
+    SlowShard,
+    TransientIOFault,
     corrupt_index_file,
     truncate_file,
 )
 from repro.resilience.policy import DegradationPolicy
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.resilience.warnings import (
     BUDGET_DEGRADED,
     DEGRADED_FULL_SCAN,
@@ -40,6 +58,10 @@ from repro.resilience.warnings import (
     INDEX_REBUILT,
     INDEX_STALE,
     MALFORMED_REGION,
+    PARTIAL_RESULT,
+    SHARD_FAILED,
+    SHARD_RETRIED,
+    SHARD_SKIPPED_OPEN_BREAKER,
     QueryWarning,
     malformed_region_warning,
 )
@@ -48,10 +70,19 @@ __all__ = [
     "ResourceBudget",
     "BudgetMeter",
     "DegradationPolicy",
+    "RetryPolicy",
+    "call_with_retry",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
     "QueryWarning",
     "malformed_region_warning",
     "FlakySchema",
     "SlowInstance",
+    "SlowShard",
+    "TransientIOFault",
     "corrupt_index_file",
     "truncate_file",
     # warning codes
@@ -62,4 +93,8 @@ __all__ = [
     "DEGRADED_FULL_SCAN",
     "BUDGET_DEGRADED",
     "MALFORMED_REGION",
+    "SHARD_FAILED",
+    "SHARD_RETRIED",
+    "SHARD_SKIPPED_OPEN_BREAKER",
+    "PARTIAL_RESULT",
 ]

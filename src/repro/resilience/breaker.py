@@ -1,0 +1,212 @@
+"""Per-shard circuit breakers.
+
+Retrying is the right response to a *transient* failure; it is exactly the
+wrong response to a shard that has been failing for the last hundred
+queries — every query then pays the full retry ladder before giving up.
+A :class:`CircuitBreaker` remembers recent history and converts repeated
+failure into a fast local decision:
+
+- **closed** — normal operation; failures are counted, successes reset
+  the count;
+- **open** — ``failure_threshold`` consecutive failures tripped the
+  breaker: calls are refused outright (``allow()`` is false) until
+  ``reset_timeout_s`` has elapsed;
+- **half-open** — the cooldown elapsed: exactly one probe call is let
+  through at a time.  ``half_open_successes`` successful probes close the
+  breaker; any probe failure re-opens it and restarts the cooldown.
+
+The clock is injectable so the open → half-open transition is testable
+without sleeping, and all transitions are lock-protected so one breaker
+can guard a shard queried from a scatter-gather pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip and recovery parameters for one :class:`CircuitBreaker`.
+
+    Attributes
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker open.
+    reset_timeout_s:
+        Seconds the breaker stays open before allowing half-open probes.
+    half_open_successes:
+        Successful probes required to close again from half-open.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout_s: float = 30.0
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold!r}"
+            )
+        if self.reset_timeout_s < 0:
+            raise ValueError(
+                f"reset_timeout_s must be non-negative, got {self.reset_timeout_s!r}"
+            )
+        if self.half_open_successes < 1:
+            raise ValueError(
+                f"half_open_successes must be >= 1, got {self.half_open_successes!r}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"trip after {self.failure_threshold} failure(s), "
+            f"retry after {self.reset_timeout_s:g}s, "
+            f"close after {self.half_open_successes} probe success(es)"
+        )
+
+
+class CircuitBreaker:
+    """One shard's failure memory: closed → open → half-open → closed.
+
+    Usage is the classic three-call protocol::
+
+        if breaker.allow():
+            try:
+                work()
+            except Exception:
+                breaker.record_failure()
+                raise
+            else:
+                breaker.record_success()
+        else:
+            ...skip the shard...
+
+    ``allow()`` returning true *reserves* a call: in half-open state only
+    one probe is outstanding at a time, and its ``record_success`` /
+    ``record_failure`` decides the next state.  Thread-safe.
+    """
+
+    __slots__ = (
+        "config",
+        "name",
+        "_clock",
+        "_lock",
+        "_state",
+        "_failures",
+        "_probe_successes",
+        "_probe_in_flight",
+        "_opened_at",
+        "_trips",
+    )
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        name: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._probe_successes = 0
+        self._probe_in_flight = False
+        self._opened_at: float | None = None
+        self._trips = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half-open"`` (cooldown applied)."""
+        with self._lock:
+            self._poll()
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        """How many times this breaker has tripped open (lifetime)."""
+        with self._lock:
+            return self._trips
+
+    def _poll(self) -> None:
+        """Open → half-open once the cooldown has elapsed (lock held)."""
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.config.reset_timeout_s:
+                self._state = HALF_OPEN
+                self._probe_successes = 0
+                self._probe_in_flight = False
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._trips += 1
+        self._probe_in_flight = False
+
+    # -- protocol -------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  In half-open state a true answer
+        reserves the single probe slot until its outcome is recorded."""
+        with self._lock:
+            self._poll()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.half_open_successes:
+                    self._state = CLOSED
+                    self._failures = 0
+                    self._opened_at = None
+            else:
+                self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.config.failure_threshold:
+                self._trip()
+
+    # -- introspection --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready view of the breaker for warnings and shard stats."""
+        with self._lock:
+            self._poll()
+            open_for = (
+                self._clock() - self._opened_at
+                if self._state == OPEN and self._opened_at is not None
+                else None
+            )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "trips": self._trips,
+                "open_for_s": open_for,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.name!r}, {self._state}, failures={self._failures})"

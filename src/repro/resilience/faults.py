@@ -12,7 +12,13 @@ theoretically reachable.  This module provides the levers:
   the tolerant-parsing and wall-clock-budget paths;
 - :class:`SlowInstance` — a region-instance wrapper that delays every
   name lookup, making algebra evaluation deterministically slow for
-  deadline-budget tests.
+  deadline-budget tests;
+- :class:`TransientIOFault` / :class:`SlowShard` — shard-level injectors
+  plugged into :class:`~repro.shard.ShardedEngine` as its
+  ``fault_injector`` hook: the first fails the first *K* shard-open
+  attempts with :class:`OSError` (exercising retry/backoff), the second
+  adds fixed latency per shard attempt (exercising scatter-gather under
+  slow shards and deadline budgets).
 
 All injection is deterministic: faults trigger on call counts or
 predicates, never on randomness, so CI failures reproduce.
@@ -122,6 +128,56 @@ class FlakySchema:
         return self._schema.parse(
             text, symbol=symbol, start=start, end=end, counters=counters
         )
+
+
+class TransientIOFault:
+    """Fails the first ``k`` matching shard attempts with :class:`OSError`,
+    then passes forever — the canonical *transient* failure.
+
+    Used as a :class:`~repro.shard.ShardedEngine` ``fault_injector``: the
+    engine invokes the injector with the shard name at the start of every
+    attempt (retries included), so ``TransientIOFault(k=2)`` under a
+    3-attempt retry policy fails twice and succeeds on the third try.
+    ``shard`` restricts injection to one shard; ``None`` matches all.
+    """
+
+    def __init__(self, k: int, shard: str | None = None) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k!r}")
+        self.k = k
+        self.shard = shard
+        self.calls = 0
+        self.failures = 0
+
+    def __call__(self, shard: str | None = None) -> None:
+        if self.shard is not None and shard != self.shard:
+            return
+        self.calls += 1
+        if self.failures < self.k:
+            self.failures += 1
+            raise OSError(
+                f"injected transient I/O fault ({self.failures}/{self.k})"
+                + (f" on shard {shard!r}" if shard is not None else "")
+            )
+
+
+class SlowShard:
+    """Delays every matching shard attempt by ``delay_s`` — deterministic
+    scatter-gather slowness (one straggler must not stall healthy shards'
+    results, and deadline budgets must fire per shard)."""
+
+    def __init__(self, delay_s: float, shard: str | None = None) -> None:
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {delay_s!r}")
+        self.delay_s = delay_s
+        self.shard = shard
+        self.calls = 0
+
+    def __call__(self, shard: str | None = None) -> None:
+        if self.shard is not None and shard != self.shard:
+            return
+        self.calls += 1
+        time.sleep(self.delay_s)
 
 
 class SlowInstance:

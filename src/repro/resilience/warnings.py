@@ -20,6 +20,10 @@ INDEX_REBUILT = "index-rebuilt"
 DEGRADED_FULL_SCAN = "degraded-full-scan"
 BUDGET_DEGRADED = "budget-degraded"
 MALFORMED_REGION = "malformed-region"
+SHARD_FAILED = "shard-failed"
+SHARD_RETRIED = "shard-retried"
+SHARD_SKIPPED_OPEN_BREAKER = "shard-skipped-open-breaker"
+PARTIAL_RESULT = "partial-result"
 
 
 @dataclass(frozen=True)

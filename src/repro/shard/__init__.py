@@ -1,0 +1,51 @@
+"""Sharded corpus execution with per-shard fault isolation.
+
+One structuring schema, N corpus files, one
+:class:`~repro.core.engine.FileQueryEngine` and persisted index per
+shard.  :class:`ShardedEngine` plans each query once and scatter-gathers
+it over a bounded thread pool; every shard evaluates under the existing
+budget/degradation machinery, wrapped in retry-with-backoff
+(:mod:`repro.resilience.retry`) and a per-shard circuit breaker
+(:mod:`repro.resilience.breaker`).  Unhealthy shards degrade into
+structured warnings on a partial result — or, under ``fail_fast``, into
+a typed :class:`~repro.errors.ShardFailedError`.
+
+Layout on disk (see :mod:`repro.shard.manifest`)::
+
+    <root>/manifest.json           kind="sharded" + per-shard fingerprints
+    <root>/shards/<nnn>-<name>/    one crash-safe v2 index per shard
+"""
+
+from repro.shard.engine import (
+    DEFAULT_MAX_PARALLEL,
+    ShardedEngine,
+    ShardedQueryResult,
+)
+from repro.shard.manifest import (
+    ShardEntry,
+    ShardManifest,
+    is_sharded_index,
+    load_shard_manifest,
+    save_shard_manifest,
+    shard_slug,
+)
+from repro.shard.split import split_corpus
+from repro.shard.stats import FAILED, OK, SKIPPED, ShardedStats, ShardExecution
+
+__all__ = [
+    "DEFAULT_MAX_PARALLEL",
+    "FAILED",
+    "OK",
+    "SKIPPED",
+    "ShardEntry",
+    "ShardExecution",
+    "ShardManifest",
+    "ShardedEngine",
+    "ShardedQueryResult",
+    "ShardedStats",
+    "is_sharded_index",
+    "load_shard_manifest",
+    "save_shard_manifest",
+    "shard_slug",
+    "split_corpus",
+]

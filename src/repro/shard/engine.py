@@ -1,0 +1,755 @@
+"""Scatter-gather query execution over a sharded corpus.
+
+One :class:`ShardedEngine` maps a single structuring schema over N corpus
+files, each backed by its own :class:`~repro.core.engine.FileQueryEngine`
+and persisted index.  A query is planned **once** (translation and
+optimization depend only on the schema and index configuration, which all
+shards share) and the plan is executed per shard on a bounded thread
+pool.  Each shard evaluates independently under the existing
+budget/degradation machinery, with three extra layers of isolation:
+
+- transient I/O failures are retried with capped jittered exponential
+  backoff (:mod:`repro.resilience.retry`);
+- a shard that keeps failing trips its own circuit breaker
+  (:mod:`repro.resilience.breaker`) and is skipped — cheaply — until the
+  cooldown elapses;
+- a failed or skipped shard never takes the query down (unless
+  ``fail_fast`` asks for exactly that): the merged result carries rows
+  from the healthy shards plus structured ``shard-failed`` /
+  ``shard-retried`` / ``shard-skipped-open-breaker`` / ``partial-result``
+  warnings.
+
+``fail_fast`` mode flips partial-result semantics into a typed
+:class:`~repro.errors.ShardFailedError` for the first unhealthy shard.
+A query that no shard can answer raises even in tolerant mode — an empty
+"partial" result backed by zero shards would be indistinguishable from a
+true empty answer.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from repro.cache import CacheConfig
+from repro.core.engine import FileQueryEngine, QueryResult
+from repro.core.planner import Plan
+from repro.db.parser import parse_query
+from repro.db.query import Query
+from repro.db.values import Value, canonical
+from repro.errors import QueryError, ShardFailedError
+from repro.index.config import IndexConfig
+from repro.obs.analyze import Analysis, build_node_table
+from repro.obs.trace import Span, Trace
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.resilience.budget import ResourceBudget
+from repro.resilience.policy import DegradationPolicy
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.resilience.warnings import (
+    PARTIAL_RESULT,
+    SHARD_FAILED,
+    SHARD_RETRIED,
+    SHARD_SKIPPED_OPEN_BREAKER,
+    QueryWarning,
+)
+from repro.schema.structuring import StructuringSchema
+from repro.shard.manifest import (
+    SHARDS_SUBDIR,
+    ShardEntry,
+    ShardManifest,
+    load_shard_manifest,
+    save_shard_manifest,
+    shard_slug,
+)
+from repro.shard.split import split_corpus
+from repro.shard.stats import FAILED, OK, SKIPPED, ShardedStats, ShardExecution
+
+#: Default ceiling on concurrently evaluating shards.
+DEFAULT_MAX_PARALLEL = 8
+
+#: A fault injector receives the shard name at the start of every attempt
+#: (see :class:`~repro.resilience.faults.TransientIOFault`).
+FaultInjector = Callable[[str], None]
+
+
+@dataclass
+class _Shard:
+    """One shard's mutable state: identity, lazily built engine, breaker."""
+
+    name: str
+    text: str | None = None
+    directory: Path | None = None
+    source_path: Path | None = None
+    engine: FileQueryEngine | None = None
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class _Outcome:
+    """What one scatter task reported back for one shard."""
+
+    shard: str
+    status: str
+    result: QueryResult | None = None
+    error: BaseException | None = None
+    attempts: int = 0
+    retries: int = 0
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    warnings: list[QueryWarning] = field(default_factory=list)
+    breaker: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ShardedQueryResult:
+    """The merged answer: rows from every healthy shard (in shard order),
+    the shared plan, per-shard results, and the consolidated
+    :class:`~repro.shard.stats.ShardedStats`."""
+
+    rows: list[tuple[Value, ...]]
+    plan: Plan | None
+    stats: ShardedStats
+    shard_results: dict[str, QueryResult]
+    trace: Trace | None = None
+
+    @property
+    def warnings(self) -> list[QueryWarning]:
+        return self.stats.warnings
+
+    @property
+    def values(self) -> list[Value]:
+        return [row[0] for row in self.rows]
+
+    def canonical_rows(self) -> set[tuple]:
+        return {tuple(canonical(value) for value in row) for row in self.rows}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ShardedEngine:
+    """Query a corpus of many files through one schema, one shard each.
+
+    Construction is via the classmethods: :meth:`from_texts` /
+    :meth:`from_paths` build shard engines eagerly (the expensive
+    per-shard parse happens once, up front); :meth:`from_saved` reads a
+    shard manifest and loads each shard lazily, *inside* its scatter task,
+    so a damaged shard directory surfaces as that shard's isolated
+    failure — never as a load-time crash of the whole corpus.
+    """
+
+    def __init__(
+        self,
+        schema: StructuringSchema,
+        shards: Sequence[_Shard],
+        *,
+        config: IndexConfig | None = None,
+        cache_config: CacheConfig | None = None,
+        optimize_expressions: bool = True,
+        tracing: bool = True,
+        policy: DegradationPolicy | None = None,
+        budget: ResourceBudget | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_config: BreakerConfig | None = None,
+        max_parallel: int | None = None,
+        fail_fast: bool = False,
+        fault_injector: FaultInjector | None = None,
+        retry_sleep: Callable[[float], Any] = time.sleep,
+    ) -> None:
+        if not shards:
+            raise ValueError("a sharded engine needs at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names: {sorted(names)}")
+        self.schema = schema
+        self.config = config if config is not None else IndexConfig.full()
+        self.cache_config = cache_config
+        self.optimize_expressions = optimize_expressions
+        self.tracing = tracing
+        self.policy = policy if policy is not None else DegradationPolicy()
+        self.budget = budget
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker_config = (
+            breaker_config if breaker_config is not None else BreakerConfig()
+        )
+        self.max_parallel = (
+            max_parallel if max_parallel is not None else DEFAULT_MAX_PARALLEL
+        )
+        if self.max_parallel < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {self.max_parallel!r}")
+        self.fail_fast = fail_fast
+        self.fault_injector = fault_injector
+        self._retry_sleep = retry_sleep
+        self._shards = list(shards)
+        for shard in self._shards:
+            shard.breaker = CircuitBreaker(self.breaker_config, name=shard.name)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_texts(
+        cls,
+        schema: StructuringSchema,
+        texts: Sequence[str],
+        names: Sequence[str] | None = None,
+        **options: Any,
+    ) -> "ShardedEngine":
+        """One shard per text, built eagerly (names default to ``shard0``,
+        ``shard1``, ...)."""
+        if names is None:
+            names = [f"shard{number}" for number in range(len(texts))]
+        if len(names) != len(texts):
+            raise ValueError("names and texts must have equal length")
+        shards = [
+            _Shard(name=name, text=text) for name, text in zip(names, texts)
+        ]
+        engine = cls(schema, shards, **options)
+        for shard in engine._shards:
+            engine._ensure_engine(shard)
+        return engine
+
+    @classmethod
+    def from_paths(
+        cls,
+        schema: StructuringSchema,
+        paths: Sequence[str | os.PathLike[str]],
+        **options: Any,
+    ) -> "ShardedEngine":
+        """One shard per file, built eagerly; each shard remembers its
+        source path for staleness checks after :meth:`save`."""
+        shards = []
+        for path in paths:
+            path = Path(path)
+            shards.append(
+                _Shard(
+                    name=str(path),
+                    text=path.read_text(encoding="utf-8"),
+                    source_path=path,
+                )
+            )
+        engine = cls(schema, shards, **options)
+        for shard in engine._shards:
+            engine._ensure_engine(shard)
+        return engine
+
+    @classmethod
+    def split(
+        cls,
+        schema: StructuringSchema,
+        text: str,
+        shards: int,
+        **options: Any,
+    ) -> "ShardedEngine":
+        """Shard a single corpus text into ``shards`` byte-balanced chunks
+        at top-level record boundaries (see :mod:`repro.shard.split`)."""
+        return cls.from_texts(schema, split_corpus(schema, text, shards), **options)
+
+    @classmethod
+    def from_saved(
+        cls,
+        schema: StructuringSchema,
+        directory: str | os.PathLike[str],
+        **options: Any,
+    ) -> "ShardedEngine":
+        """Open a saved sharded index (see :meth:`save`).
+
+        Only the root manifest is read here.  Shard indexes load lazily
+        inside their scatter tasks under the retry/breaker machinery, so a
+        corrupt or missing shard costs exactly one shard, not the corpus.
+        """
+        root = Path(directory)
+        manifest = load_shard_manifest(root)
+        shards = []
+        for entry in manifest.shards:
+            source_path: Path | None = None
+            if entry.source and entry.source.get("path"):
+                candidate = Path(entry.source["path"])
+                # Only wire the staleness check to sources that still exist;
+                # a vanished source file must not fail an intact shard.
+                if candidate.exists():
+                    source_path = candidate
+            shards.append(
+                _Shard(
+                    name=entry.name,
+                    directory=root / entry.directory,
+                    source_path=source_path,
+                )
+            )
+        return cls(schema, shards, **options)
+
+    def save(self, directory: str | os.PathLike[str]) -> None:
+        """Persist every shard (each a crash-safe v2 single-index save)
+        plus the root shard manifest with per-shard fingerprints.
+
+        The root manifest is written last: it is the commit point, and it
+        only ever lists shards whose directories are already complete.
+        """
+        from repro.index.persist import corpus_fingerprint, schema_fingerprint
+
+        root = Path(directory)
+        (root / SHARDS_SUBDIR).mkdir(parents=True, exist_ok=True)
+        entries = []
+        for number, shard in enumerate(self._shards):
+            engine = self._ensure_engine(shard)
+            relative = f"{SHARDS_SUBDIR}/{shard_slug(shard.name, number)}"
+            engine.save(str(root / relative), source_path=shard.source_path)
+            source: dict[str, Any] | None = None
+            if shard.source_path is not None:
+                source = {"path": str(shard.source_path)}
+                try:
+                    stat = os.stat(shard.source_path)
+                    source["mtime"] = stat.st_mtime
+                    source["size"] = stat.st_size
+                except OSError:
+                    pass
+            entries.append(
+                ShardEntry(
+                    name=shard.name,
+                    directory=relative,
+                    corpus_fingerprint=corpus_fingerprint(engine.text),
+                    source=source,
+                )
+            )
+        save_shard_manifest(
+            root,
+            ShardManifest(
+                shards=tuple(entries),
+                schema_fingerprint=schema_fingerprint(self.schema),
+            ),
+        )
+
+    # -- shard plumbing --------------------------------------------------------
+
+    @property
+    def shard_names(self) -> list[str]:
+        return [shard.name for shard in self._shards]
+
+    def breaker_snapshot(self, shard_name: str) -> dict[str, Any]:
+        """The named shard's circuit-breaker state (for harnesses/tests)."""
+        return self._shard_by_name(shard_name).breaker.snapshot()
+
+    def _shard_by_name(self, name: str) -> _Shard:
+        for shard in self._shards:
+            if shard.name == name:
+                return shard
+        raise KeyError(f"no shard named {name!r}")
+
+    def _ensure_engine(self, shard: _Shard) -> FileQueryEngine:
+        """Build or load the shard's engine (idempotent, lock-protected).
+
+        Failures leave ``shard.engine`` unset so the next attempt — this
+        query's retry, or the next query — starts clean.
+        """
+        with shard.lock:
+            if shard.engine is not None:
+                return shard.engine
+            if shard.directory is not None:
+                shard.engine = FileQueryEngine.from_saved(
+                    self.schema,
+                    str(shard.directory),
+                    optimize_expressions=self.optimize_expressions,
+                    cache_config=self.cache_config,
+                    tracing=self.tracing,
+                    policy=self.policy,
+                    budget=self.budget,
+                    source_path=shard.source_path,
+                )
+            else:
+                shard.engine = FileQueryEngine(
+                    self.schema,
+                    shard.text or "",
+                    self.config,
+                    optimize_expressions=self.optimize_expressions,
+                    cache_config=self.cache_config,
+                    tracing=self.tracing,
+                    policy=self.policy,
+                    budget=self.budget,
+                )
+            return shard.engine
+
+    def _shared_plan(self, holder: dict, engine: FileQueryEngine, query: Query) -> Plan:
+        """Plan once, under a lock; every other shard reuses the plan."""
+        with holder["lock"]:
+            if "plan" not in holder:
+                holder["plan"] = engine.planner.plan(query)
+            return holder["plan"]
+
+    # -- querying --------------------------------------------------------------
+
+    def query(
+        self,
+        query: Query | str,
+        budget: ResourceBudget | None = None,
+        fail_fast: bool | None = None,
+        max_parallel: int | None = None,
+    ) -> ShardedQueryResult:
+        """Scatter the query over all shards, gather a merged result.
+
+        Row order is deterministic: shards contribute in shard order
+        regardless of completion order.  ``budget`` (or the engine-wide
+        default) applies *per shard* — each shard's execution gets its own
+        meter.  With ``fail_fast`` (here or engine-wide) any unhealthy
+        shard raises :class:`~repro.errors.ShardFailedError` instead of
+        degrading to a partial result.
+        """
+        fail_fast = self.fail_fast if fail_fast is None else fail_fast
+        workers = max_parallel if max_parallel is not None else self.max_parallel
+        if workers < 1:
+            raise ValueError(f"max_parallel must be >= 1, got {workers!r}")
+        parsed = parse_query(query) if isinstance(query, str) else query
+        holder: dict[str, Any] = {"lock": threading.Lock()}
+        started = perf_counter()
+
+        outcomes: list[_Outcome] = [None] * len(self._shards)  # type: ignore[list-item]
+        query_errors: list[tuple[int, BaseException]] = []
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(self._shards)),
+            thread_name_prefix="repro-shard",
+        ) as pool:
+            futures = {
+                pool.submit(self._run_shard, shard, parsed, budget, holder): number
+                for number, shard in enumerate(self._shards)
+            }
+            for future, number in futures.items():
+                try:
+                    outcomes[number] = future.result()
+                except QueryError as error:
+                    # Query-wide defects (bad syntax, untranslatable path)
+                    # are the caller's problem, not a shard fault.
+                    query_errors.append((number, error))
+        if query_errors:
+            raise min(query_errors)[1]
+        return self._gather(parsed, outcomes, holder, started, fail_fast)
+
+    def _run_shard(
+        self,
+        shard: _Shard,
+        query: Query,
+        budget: ResourceBudget | None,
+        holder: dict[str, Any],
+    ) -> _Outcome:
+        started = perf_counter()
+        if not shard.breaker.allow():
+            snapshot = shard.breaker.snapshot()
+            warning = QueryWarning(
+                SHARD_SKIPPED_OPEN_BREAKER,
+                f"shard {shard.name!r} skipped: circuit breaker "
+                f"{snapshot['state']} after {snapshot['trips']} trip(s)",
+                detail={"shard": shard.name, **snapshot},
+            )
+            return _Outcome(
+                shard=shard.name,
+                status=SKIPPED,
+                attempts=0,
+                started_at=started,
+                ended_at=perf_counter(),
+                warnings=[warning],
+                breaker=snapshot,
+            )
+
+        retry_log: list[dict[str, Any]] = []
+
+        def on_retry(attempt: int, error: BaseException, delay: float) -> None:
+            retry_log.append(
+                {"attempt": attempt, "error": str(error), "backoff_s": delay}
+            )
+
+        def attempt_once() -> QueryResult:
+            if self.fault_injector is not None:
+                self.fault_injector(shard.name)
+            engine = self._ensure_engine(shard)
+            if engine.degraded:
+                # A degraded engine has no indexed names; the shared
+                # (index-strategy) plan does not apply — plan locally.
+                return engine.query(query, budget=budget)
+            plan = self._shared_plan(holder, engine, query)
+            return engine.execute_plan(plan, budget=budget)
+
+        try:
+            result, attempts = call_with_retry(
+                attempt_once,
+                self.retry,
+                sleep=self._retry_sleep,
+                rng=random.Random(len(shard.name)),
+                on_retry=on_retry,
+            )
+        except QueryError:
+            raise  # query-wide, handled by the gather loop
+        except Exception as error:  # noqa: BLE001 — isolation boundary
+            shard.breaker.record_failure()
+            attempts = len(retry_log) + 1
+            warning = QueryWarning(
+                SHARD_FAILED,
+                f"shard {shard.name!r} failed after {attempts} attempt(s): {error}",
+                detail={
+                    "shard": shard.name,
+                    "attempts": attempts,
+                    "error": type(error).__name__,
+                    "retries": [dict(event) for event in retry_log],
+                },
+            )
+            return _Outcome(
+                shard=shard.name,
+                status=FAILED,
+                error=error,
+                attempts=attempts,
+                retries=len(retry_log),
+                started_at=started,
+                ended_at=perf_counter(),
+                warnings=[warning],
+                breaker=shard.breaker.snapshot(),
+            )
+        shard.breaker.record_success()
+        warnings = []
+        if retry_log:
+            warnings.append(
+                QueryWarning(
+                    SHARD_RETRIED,
+                    f"shard {shard.name!r} succeeded after "
+                    f"{len(retry_log)} retr{'y' if len(retry_log) == 1 else 'ies'}",
+                    detail={
+                        "shard": shard.name,
+                        "retries": [dict(event) for event in retry_log],
+                    },
+                )
+            )
+        return _Outcome(
+            shard=shard.name,
+            status=OK,
+            result=result,
+            attempts=len(retry_log) + 1,
+            retries=len(retry_log),
+            started_at=started,
+            ended_at=perf_counter(),
+            warnings=warnings,
+            breaker=shard.breaker.snapshot(),
+        )
+
+    def _gather(
+        self,
+        query: Query,
+        outcomes: list[_Outcome],
+        holder: dict[str, Any],
+        started: float,
+        fail_fast: bool,
+    ) -> ShardedQueryResult:
+        if fail_fast:
+            for outcome in outcomes:
+                if outcome.status == FAILED:
+                    raise ShardFailedError(
+                        outcome.shard,
+                        str(outcome.error),
+                        attempts=outcome.attempts,
+                        cause=outcome.error,
+                    ) from outcome.error
+                if outcome.status == SKIPPED:
+                    raise ShardFailedError(
+                        outcome.shard,
+                        "circuit breaker open",
+                        attempts=0,
+                    )
+
+        rows: list[tuple[Value, ...]] = []
+        warnings: list[QueryWarning] = []
+        records: list[ShardExecution] = []
+        results: list[QueryResult] = []
+        shard_results: dict[str, QueryResult] = {}
+        for outcome in outcomes:
+            warnings.extend(outcome.warnings)
+            record = ShardExecution(
+                shard=outcome.shard,
+                status=outcome.status,
+                attempts=outcome.attempts,
+                retries=outcome.retries,
+                duration_s=max(0.0, outcome.ended_at - outcome.started_at),
+                breaker=outcome.breaker,
+                error=str(outcome.error) if outcome.error is not None else None,
+                warnings=list(outcome.warnings),
+            )
+            if outcome.result is not None:
+                rows.extend(outcome.result.rows)
+                results.append(outcome.result)
+                shard_results[outcome.shard] = outcome.result
+                record.rows = len(outcome.result.rows)
+                record.strategy = outcome.result.stats.strategy
+                for inner in outcome.result.warnings:
+                    tagged = QueryWarning(
+                        inner.code,
+                        inner.message,
+                        detail={**inner.detail, "shard": outcome.shard},
+                    )
+                    warnings.append(tagged)
+                    record.warnings.append(tagged)
+            records.append(record)
+
+        unhealthy = [o for o in outcomes if o.status != OK]
+        if not results:
+            first = unhealthy[0]
+            raise ShardFailedError(
+                first.shard,
+                f"no shard produced a result "
+                f"({sum(1 for o in unhealthy if o.status == FAILED)} failed, "
+                f"{sum(1 for o in unhealthy if o.status == SKIPPED)} skipped); "
+                f"first failure: {first.error or 'circuit breaker open'}",
+                attempts=first.attempts,
+                cause=first.error,
+            ) from first.error
+        if unhealthy:
+            warnings.append(
+                QueryWarning(
+                    PARTIAL_RESULT,
+                    f"partial result: rows from {len(results)} of "
+                    f"{len(outcomes)} shards "
+                    f"({sum(1 for o in unhealthy if o.status == FAILED)} failed, "
+                    f"{sum(1 for o in unhealthy if o.status == SKIPPED)} skipped)",
+                    detail={
+                        "healthy": [o.shard for o in outcomes if o.status == OK],
+                        "failed": [o.shard for o in outcomes if o.status == FAILED],
+                        "skipped": [o.shard for o in outcomes if o.status == SKIPPED],
+                    },
+                )
+            )
+
+        trace = self._build_trace(outcomes, started) if self.tracing else None
+        stats = ShardedStats(
+            shards=records,
+            warnings=warnings,
+            duration_s=perf_counter() - started,
+            trace=trace,
+            results=results,
+        )
+        return ShardedQueryResult(
+            rows=rows,
+            plan=holder.get("plan"),
+            stats=stats,
+            shard_results=shard_results,
+            trace=trace,
+        )
+
+    def _build_trace(self, outcomes: list[_Outcome], started: float) -> Trace:
+        """One ``shard:<name>`` span per shard under a ``shard-query``
+        root, each healthy shard's own pipeline trace grafted beneath."""
+        root = Span("shard-query", started_at=started)
+        for outcome in outcomes:
+            span = Span(
+                f"shard:{outcome.shard}",
+                started_at=outcome.started_at,
+                ended_at=outcome.ended_at,
+                metrics={
+                    "status": outcome.status,
+                    "attempts": outcome.attempts,
+                    "retries": outcome.retries,
+                    "breaker": outcome.breaker.get("state", "closed"),
+                },
+            )
+            if outcome.result is not None:
+                span.annotate(
+                    rows=len(outcome.result.rows),
+                    strategy=outcome.result.stats.strategy,
+                )
+                if outcome.result.trace is not None:
+                    span.children.append(outcome.result.trace.root)
+            root.children.append(span)
+        root.ended_at = perf_counter()
+        root.annotate(
+            shards=len(outcomes),
+            healthy=sum(1 for o in outcomes if o.status == OK),
+        )
+        return Trace(root)
+
+    # -- introspection ---------------------------------------------------------
+
+    def explain(self, query: Query | str) -> str:
+        """The shared plan (built on the first loadable shard) plus the
+        shard roster."""
+        from repro.core.explain import explain_plan
+
+        engine = self._any_engine()
+        plan = engine.planner.plan(
+            parse_query(query) if isinstance(query, str) else query
+        )
+        lines = [explain_plan(plan, cache=self.cache_description())]
+        lines.append(
+            f"shards:    {len(self._shards)} "
+            f"(plan reused per shard; retry: {self.retry.describe()}; "
+            f"breaker: {self.breaker_config.describe()})"
+        )
+        for shard in self._shards:
+            state = shard.breaker.snapshot()["state"]
+            loaded = "loaded" if shard.engine is not None else "lazy"
+            lines.append(f"  {shard.name}  [{loaded}, breaker {state}]")
+        return "\n".join(lines)
+
+    def analyze(self, query: Query | str) -> Analysis:
+        """EXPLAIN ANALYZE over the whole corpus: the shared plan's
+        per-node estimates paired with measured actuals from one healthy
+        shard, plus the scatter-gather trace and the per-shard stats
+        (``stats.to_dict()["shards"]``)."""
+        result = self.query(query)
+        plan = result.plan
+        if plan is None:
+            # Every healthy shard ran degraded (local full-scan plans);
+            # report the plan the degraded engines actually used.
+            first = next(iter(result.shard_results.values()))
+            plan = first.plan
+        nodes = []
+        if plan.optimized_expression is not None:
+            engine = self._any_indexed_engine()
+            if engine is not None:
+                node_log: dict = {}
+                engine.index.run(
+                    plan.optimized_expression, node_log=node_log, use_cache=False
+                )
+                nodes = build_node_table(plan.optimized_expression, node_log)
+        return Analysis(
+            plan=plan,
+            stats=result.stats,  # type: ignore[arg-type] — duck-typed facade
+            nodes=nodes,
+            trace=result.trace,
+            cache=self.cache_description(),
+        )
+
+    def _any_engine(self) -> FileQueryEngine:
+        """The first shard engine that loads (for planning/explain)."""
+        last_error: Exception | None = None
+        for shard in self._shards:
+            try:
+                return self._ensure_engine(shard)
+            except Exception as error:  # noqa: BLE001 — try the next shard
+                last_error = error
+        raise ShardFailedError(
+            self._shards[0].name,
+            f"no shard engine could be loaded: {last_error}",
+            cause=last_error,
+        ) from last_error
+
+    def _any_indexed_engine(self) -> FileQueryEngine | None:
+        for shard in self._shards:
+            if shard.engine is not None and not shard.engine.degraded:
+                return shard.engine
+        return None
+
+    def cache_description(self) -> str:
+        """Aggregated cache activity across the shard engines loaded so far."""
+        loaded = [shard.engine for shard in self._shards if shard.engine is not None]
+        if not loaded:
+            return "no shard engines loaded yet"
+        expression_hits = sum(e.cache_stats.expression_hits for e in loaded)
+        expression_misses = sum(e.cache_stats.expression_misses for e in loaded)
+        parse_hits = sum(e.cache_stats.parse_hits for e in loaded)
+        parse_misses = sum(e.cache_stats.parse_misses for e in loaded)
+        avoided = sum(e.cache_stats.bytes_parse_avoided for e in loaded)
+        return (
+            f"{loaded[0].cache_config.describe()} x{len(loaded)} shard(s); "
+            f"expr {expression_hits}h/{expression_misses}m, "
+            f"parse {parse_hits}h/{parse_misses}m, "
+            f"{avoided} bytes not reparsed"
+        )

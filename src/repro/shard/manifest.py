@@ -1,0 +1,181 @@
+"""Shard manifests: one root ``manifest.json`` over N saved shard indexes.
+
+A sharded index directory extends the v2 single-index layout of
+:mod:`repro.index.persist` one level up::
+
+    <root>/
+      manifest.json          kind="sharded", schema fingerprint, and one
+                             entry per shard: name, relative directory,
+                             corpus fingerprint, optional source identity
+      shards/<nnn>-<name>/   a complete v2 single-index directory each
+                             (own manifest, checksums, corpus, regions)
+
+The root manifest carries *per-shard fingerprints* so staleness and
+placement can be checked without opening every shard, while integrity of
+each shard's files stays the job of that shard's own v2 manifest — damage
+to one shard is detected (and isolated) when that shard loads, never
+earlier.
+
+Typed failures mirror the single-index contract:
+:class:`~repro.errors.IndexNotFoundError` when the root is not a sharded
+index, :class:`~repro.errors.IndexCorruptError` when the root manifest
+exists but is unreadable or structurally wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import IndexCorruptError, IndexNotFoundError
+
+#: Root-manifest format: same versioned family as the single-index
+#: manifest (format_version 2) plus the sharded extension marker.
+MANIFEST_KIND = "sharded"
+SHARD_FORMAT_VERSION = 1
+SHARDS_SUBDIR = "shards"
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def shard_slug(name: str, index: int) -> str:
+    """A filesystem-safe shard directory name: ``<nnn>-<sanitized name>``."""
+    base = _SLUG_RE.sub("-", os.path.basename(name)).strip("-") or "shard"
+    return f"{index:03d}-{base[:48]}"
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's row in the root manifest.
+
+    ``directory`` is relative to the root (portable: the whole tree can be
+    moved); ``source`` mirrors the per-shard v2 manifest's source identity
+    (path/mtime/size) when the shard was built from a file.
+    """
+
+    name: str
+    directory: str
+    corpus_fingerprint: str
+    source: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "directory": self.directory,
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "source": dict(self.source) if self.source is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardEntry":
+        return cls(
+            name=data["name"],
+            directory=data["directory"],
+            corpus_fingerprint=data["corpus_fingerprint"],
+            source=data.get("source"),
+        )
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """The parsed root manifest of a sharded index directory."""
+
+    shards: tuple[ShardEntry, ...]
+    schema_fingerprint: str | None = None
+    format_version: int = SHARD_FORMAT_VERSION
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": 2,
+            "kind": MANIFEST_KIND,
+            "shard_format_version": self.format_version,
+            "schema_fingerprint": self.schema_fingerprint,
+            "shards": [entry.to_dict() for entry in self.shards],
+        }
+
+
+def is_sharded_index(directory: str | os.PathLike[str]) -> bool:
+    """Cheap dispatch test: does ``directory`` hold a *sharded* index (as
+    opposed to a single-engine v1/v2 index or nothing at all)?"""
+    path = Path(directory) / "manifest.json"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return isinstance(data, dict) and data.get("kind") == MANIFEST_KIND
+
+
+def save_shard_manifest(
+    directory: str | os.PathLike[str], manifest: ShardManifest
+) -> None:
+    """Write the root manifest (the shard directories must already be
+    saved — the manifest is the commit point listing only complete shards)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    tmp = path / f".manifest.json.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(manifest.to_dict(), indent=2), encoding="utf-8")
+    os.replace(tmp, path / "manifest.json")
+
+
+def load_shard_manifest(directory: str | os.PathLike[str]) -> ShardManifest:
+    """Parse the root manifest of a sharded index directory.
+
+    Raises :class:`IndexNotFoundError` when no manifest exists or it is
+    not a sharded one, and :class:`IndexCorruptError` when a sharded
+    manifest exists but cannot be trusted (unparseable, wrong structure,
+    unsupported shard format version).
+    """
+    root = Path(directory)
+    path = root / "manifest.json"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise IndexNotFoundError(str(root), "missing manifest.json") from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise IndexCorruptError(
+            str(root), f"shard manifest unreadable: {error}", part="manifest.json"
+        ) from None
+    if not isinstance(data, dict):
+        raise IndexCorruptError(
+            str(root), "shard manifest is not an object", part="manifest.json"
+        )
+    if data.get("kind") != MANIFEST_KIND:
+        raise IndexNotFoundError(
+            str(root), "manifest.json is not a sharded-index manifest"
+        )
+    version = data.get("shard_format_version")
+    if version != SHARD_FORMAT_VERSION:
+        raise IndexCorruptError(
+            str(root),
+            f"unsupported shard manifest version {version!r} "
+            f"(supported: {SHARD_FORMAT_VERSION})",
+            part="manifest.json",
+        )
+    raw_shards = data.get("shards")
+    if not isinstance(raw_shards, list) or not raw_shards:
+        raise IndexCorruptError(
+            str(root), "shard manifest lists no shards", part="manifest.json"
+        )
+    try:
+        entries = tuple(ShardEntry.from_dict(item) for item in raw_shards)
+    except (KeyError, TypeError) as error:
+        raise IndexCorruptError(
+            str(root),
+            f"malformed shard entry: {error!r}",
+            part="manifest.json",
+        ) from None
+    names = [entry.name for entry in entries]
+    if len(set(names)) != len(names):
+        raise IndexCorruptError(
+            str(root), "duplicate shard names in manifest", part="manifest.json"
+        )
+    return ShardManifest(
+        shards=entries,
+        schema_fingerprint=data.get("schema_fingerprint"),
+        format_version=version,
+    )

@@ -1,0 +1,62 @@
+"""Schema-aware corpus splitting.
+
+Cutting a file into shards at arbitrary byte offsets would slice records
+in half and make every shard unparseable.  The structuring schema already
+knows where records begin and end: parse the corpus once, take the top
+level of the parse tree (the direct children of the start symbol — one
+node per record in every shipped workload grammar), and partition those
+*whole records* into contiguous, byte-balanced groups.  Each group's text
+slice is then a valid corpus for the same schema by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import GrammarError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schema.structuring import StructuringSchema
+
+
+def split_corpus(schema: "StructuringSchema", text: str, shards: int) -> list[str]:
+    """Split ``text`` into at most ``shards`` contiguous chunks at
+    top-level record boundaries.
+
+    Shards are balanced by bytes, greedily: each shard takes records until
+    it reaches its fair share of the remaining text.  Fewer records than
+    requested shards yields one shard per record (never an empty shard).
+    Raises :class:`~repro.errors.GrammarError` when the corpus has no
+    top-level records to split, and lets the schema's own
+    :class:`~repro.errors.ParseError` propagate for unparseable input.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    tree = schema.parse(text)
+    records = list(tree.children)
+    if not records:
+        raise GrammarError(
+            f"corpus has no top-level <{tree.symbol}> records to shard"
+        )
+    shards = min(shards, len(records))
+    total = records[-1].end - records[0].start
+    chunks: list[str] = []
+    cursor = 0
+    for remaining in range(shards, 0, -1):
+        if remaining == 1:
+            group = records[cursor:]
+        else:
+            spent = records[cursor].start - records[0].start
+            target = (total - spent) / remaining
+            group = [records[cursor]]
+            next_cursor = cursor + 1
+            # Leave at least one record for each shard still to come.
+            while (
+                next_cursor < len(records) - (remaining - 1)
+                and records[next_cursor].end - records[cursor].start <= target
+            ):
+                group.append(records[next_cursor])
+                next_cursor += 1
+        cursor += len(group)
+        chunks.append(text[group[0].start : group[-1].end])
+    return chunks

@@ -1,6 +1,16 @@
-"""Shared fixtures."""
+"""Shared fixtures and a global per-test watchdog.
+
+The watchdog exists for the scatter-gather suite: a deadlocked shard
+pool would otherwise hang the whole run silently.  ``pytest-timeout`` is
+not a dependency, so the hook below arms a SIGALRM per test on platforms
+that have it (no-op elsewhere) and fails the test with a stack-friendly
+error instead of wedging CI.  Override per test with
+``@pytest.mark.timeout(seconds)``.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import pytest
 
@@ -10,6 +20,38 @@ from repro.rig.graph import RegionInclusionGraph
 from repro.workloads.bibtex import bibtex_schema, generate_bibtex
 from repro.workloads.logs import generate_log, log_schema
 from repro.workloads.sgml import generate_sgml, sgml_schema
+
+
+DEFAULT_TEST_TIMEOUT_S = 120
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock limit (SIGALRM watchdog)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+    marker = item.get_closest_marker("timeout")
+    limit = int(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT_S
+
+    def on_alarm(signum, frame):  # pragma: no cover - only fires on a hang
+        raise TimeoutError(
+            f"test exceeded the {limit}s watchdog (deadlocked scatter-gather?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(limit)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

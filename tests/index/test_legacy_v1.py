@@ -1,0 +1,92 @@
+"""Legacy (format version 1) saved indexes: directories from before
+manifests existed must still load — unverified — and upgrade to v2 on the
+next save."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.index.persist import load_index, load_manifest, verify_index
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+QUERY = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return bibtex_schema()
+
+
+@pytest.fixture(scope="module")
+def text() -> str:
+    return generate_bibtex(entries=25, seed=11)
+
+
+@pytest.fixture
+def v1_index(tmp_path, schema, text) -> Path:
+    """A v2 save downgraded to the exact v1 on-disk shape: no
+    manifest.json, config version 1, no schema fingerprint."""
+    directory = tmp_path / "idx"
+    engine = FileQueryEngine(schema, text)
+    engine.save(str(directory))
+    (directory / "manifest.json").unlink()
+    config_path = directory / "config.json"
+    config = json.loads(config_path.read_text(encoding="utf-8"))
+    config["version"] = 1
+    config.pop("schema_fingerprint", None)
+    config_path.write_text(json.dumps(config, indent=2), encoding="utf-8")
+    return directory
+
+
+def test_v1_round_trips_through_load_index(v1_index, text) -> None:
+    index = load_index(v1_index)
+    assert index.text == text
+    assert len(index.instance.names) > 0
+
+
+def test_v1_loads_unverified(v1_index) -> None:
+    # No manifest -> nothing to verify: verify_index reports "legacy" by
+    # returning None instead of raising.
+    assert verify_index(v1_index) is None
+    assert load_manifest(v1_index) is None
+
+
+def test_v1_engine_answers_like_a_fresh_build(v1_index, schema, text) -> None:
+    fresh_rows = FileQueryEngine(schema, text).query(QUERY).canonical_rows()
+    loaded = FileQueryEngine.from_saved(schema, str(v1_index))
+    result = loaded.query(QUERY)
+    assert result.canonical_rows() == fresh_rows
+    assert result.warnings == []  # a clean legacy load is not a degradation
+
+
+def test_v1_survives_strict_policy(v1_index, schema) -> None:
+    from repro.resilience import DegradationPolicy
+
+    # Strict mode raises on *detected* corruption/staleness; a legacy index
+    # is merely unverifiable and must still load.
+    engine = FileQueryEngine.from_saved(
+        schema, str(v1_index), policy=DegradationPolicy.strict()
+    )
+    assert len(engine.query(QUERY).rows) > 0
+
+
+def test_next_save_upgrades_v1_to_v2(v1_index, schema, text) -> None:
+    engine = FileQueryEngine.from_saved(schema, str(v1_index))
+    engine.save(str(v1_index))  # re-save in place: the upgrade path
+    manifest = load_manifest(v1_index)
+    assert manifest is not None
+    assert manifest["format_version"] == 2
+    assert set(manifest["checksums"]) == {
+        "corpus.txt",
+        "regions.json",
+        "config.json",
+    }
+    assert verify_index(v1_index) == manifest
+    config = json.loads((v1_index / "config.json").read_text(encoding="utf-8"))
+    assert config["version"] == 2
+    reloaded = FileQueryEngine.from_saved(schema, str(v1_index))
+    assert reloaded.query(QUERY).canonical_rows() == engine.query(QUERY).canonical_rows()

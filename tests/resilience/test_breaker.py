@@ -1,0 +1,179 @@
+"""Circuit breaker state machine (`resilience/breaker.py`).
+
+Every test injects a fake clock, so open → half-open transitions are
+exercised without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make(clock: FakeClock, **overrides) -> CircuitBreaker:
+    defaults = {"failure_threshold": 3, "reset_timeout_s": 30.0}
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), name="s0", clock=clock)
+
+
+def test_starts_closed_and_allows(clock: FakeClock) -> None:
+    breaker = make(clock)
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+    assert breaker.trips == 0
+
+
+def test_trips_open_after_threshold_consecutive_failures(clock: FakeClock) -> None:
+    breaker = make(clock)
+    for _ in range(3):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert breaker.trips == 1
+
+
+def test_success_resets_the_failure_count(clock: FakeClock) -> None:
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # never reached 3 in a row
+
+
+def test_open_refuses_until_cooldown_then_half_open(clock: FakeClock) -> None:
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(29.9)
+    assert not breaker.allow()
+    clock.advance(0.2)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()
+
+
+def test_half_open_allows_exactly_one_probe_at_a_time(clock: FakeClock) -> None:
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(31)
+    assert breaker.allow()  # reserves the probe slot
+    assert not breaker.allow()  # concurrent caller is refused
+    breaker.record_success()
+    assert breaker.state == CLOSED
+
+
+def test_successful_probe_closes_the_breaker(clock: FakeClock) -> None:
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(31)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+    assert breaker.trips == 1
+
+
+def test_failed_probe_reopens_and_restarts_cooldown(clock: FakeClock) -> None:
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(31)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    assert not breaker.allow()
+    clock.advance(31)
+    assert breaker.allow()  # a fresh cooldown elapsed
+
+
+def test_multiple_probe_successes_required_when_configured(clock: FakeClock) -> None:
+    breaker = make(clock, half_open_successes=2)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(31)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == HALF_OPEN  # one success is not enough
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+
+
+def test_snapshot_shape(clock: FakeClock) -> None:
+    breaker = make(clock)
+    snap = breaker.snapshot()
+    assert snap == {
+        "state": CLOSED,
+        "consecutive_failures": 0,
+        "trips": 0,
+        "open_for_s": None,
+    }
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5)
+    snap = breaker.snapshot()
+    assert snap["state"] == OPEN
+    assert snap["trips"] == 1
+    assert snap["open_for_s"] == pytest.approx(5.0)
+
+
+def test_thread_safety_under_concurrent_hammering(clock: FakeClock) -> None:
+    breaker = make(clock, failure_threshold=1000000)
+    errors: list[Exception] = []
+
+    def hammer() -> None:
+        try:
+            for _ in range(500):
+                if breaker.allow():
+                    breaker.record_failure()
+                    breaker.record_success()
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert breaker.state == CLOSED
+
+
+def test_config_validation() -> None:
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(reset_timeout_s=-1)
+    with pytest.raises(ValueError):
+        BreakerConfig(half_open_successes=0)

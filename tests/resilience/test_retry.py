@@ -1,0 +1,123 @@
+"""Retry with capped jittered exponential backoff (`resilience/retry.py`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy, call_with_retry
+
+
+class _Flaky:
+    """Fails the first ``k`` calls with ``error``, then returns ``value``."""
+
+    def __init__(self, k: int, error: Exception, value: str = "ok") -> None:
+        self.k = k
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.k:
+            raise self.error
+        return self.value
+
+
+def test_succeeds_without_retries() -> None:
+    value, attempts = call_with_retry(lambda: 42, sleep=lambda s: None)
+    assert (value, attempts) == (42, 1)
+
+
+def test_retries_transient_errors_until_success() -> None:
+    flaky = _Flaky(2, OSError("disk hiccup"))
+    value, attempts = call_with_retry(flaky, sleep=lambda s: None)
+    assert value == "ok"
+    assert attempts == 3
+    assert flaky.calls == 3
+
+
+def test_raises_after_max_attempts() -> None:
+    flaky = _Flaky(10, OSError("persistent"))
+    policy = RetryPolicy(max_attempts=3)
+    with pytest.raises(OSError, match="persistent"):
+        call_with_retry(flaky, policy, sleep=lambda s: None)
+    assert flaky.calls == 3
+
+
+def test_non_retryable_errors_propagate_immediately() -> None:
+    flaky = _Flaky(1, ValueError("logic bug"))
+    with pytest.raises(ValueError):
+        call_with_retry(flaky, sleep=lambda s: None)
+    assert flaky.calls == 1
+
+
+def test_backoff_grows_exponentially_and_caps() -> None:
+    policy = RetryPolicy(
+        max_attempts=6,
+        base_delay_s=0.010,
+        multiplier=2.0,
+        max_delay_s=0.040,
+        jitter=0.0,
+    )
+    rng = random.Random(0)
+    delays = [policy.delay_s(attempt, rng) for attempt in range(1, 6)]
+    assert delays == [0.010, 0.020, 0.040, 0.040, 0.040]
+
+
+def test_jitter_only_shrinks_the_delay() -> None:
+    policy = RetryPolicy(base_delay_s=0.100, jitter=0.5)
+    rng = random.Random(123)
+    for attempt in range(1, 4):
+        delay = policy.delay_s(attempt, rng)
+        ceiling = policy.delay_s(attempt, _ZeroRandom())
+        assert 0 < delay <= ceiling
+
+
+class _ZeroRandom(random.Random):
+    def random(self) -> float:  # jitter term becomes zero -> full delay
+        return 0.0
+
+
+def test_deterministic_with_seeded_rng() -> None:
+    policy = RetryPolicy(max_attempts=4)
+    one = [policy.delay_s(n, random.Random(7)) for n in (1, 2, 3)]
+    two = [policy.delay_s(n, random.Random(7)) for n in (1, 2, 3)]
+    assert one == two
+
+
+def test_sleeps_are_recorded_and_bounded() -> None:
+    slept: list[float] = []
+    flaky = _Flaky(3, TimeoutError("slow"))
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.010, max_delay_s=0.025)
+    call_with_retry(flaky, policy, sleep=slept.append, rng=random.Random(0))
+    assert len(slept) == 3
+    assert all(0 < delay <= 0.025 for delay in slept)
+
+
+def test_on_retry_callback_sees_each_failure() -> None:
+    events: list[tuple[int, str]] = []
+    flaky = _Flaky(2, OSError("blip"))
+    call_with_retry(
+        flaky,
+        sleep=lambda s: None,
+        on_retry=lambda attempt, error, delay: events.append((attempt, str(error))),
+    )
+    assert events == [(1, "blip"), (2, "blip")]
+
+
+def test_policy_none_disables_retrying() -> None:
+    flaky = _Flaky(1, OSError("once"))
+    with pytest.raises(OSError):
+        call_with_retry(flaky, RetryPolicy.none(), sleep=lambda s: None)
+    assert flaky.calls == 1
+
+
+def test_policy_validation() -> None:
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)

@@ -1,0 +1,48 @@
+"""Fixtures for the sharded-execution suite: a bibtex corpus, its
+single-engine reference answer, and a saved 8-shard index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.shard import ShardedEngine
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+N_SHARDS = 8
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return bibtex_schema()
+
+
+@pytest.fixture(scope="module")
+def corpus_text() -> str:
+    return generate_bibtex(entries=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def query_text() -> str:
+    return 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+
+@pytest.fixture(scope="module")
+def reference_rows(schema, corpus_text, query_text):
+    """The answer an unsharded engine gives over the whole corpus."""
+    result = FileQueryEngine(schema, corpus_text).query(query_text)
+    assert result.rows, "fixture query must match something"
+    return result.canonical_rows()
+
+
+@pytest.fixture
+def sharded_engine(schema, corpus_text) -> ShardedEngine:
+    return ShardedEngine.split(schema, corpus_text, N_SHARDS)
+
+
+@pytest.fixture
+def saved_sharded(tmp_path, schema, corpus_text):
+    """A saved 8-shard index directory."""
+    directory = tmp_path / "sidx"
+    ShardedEngine.split(schema, corpus_text, N_SHARDS).save(directory)
+    return directory

@@ -1,0 +1,106 @@
+"""Root shard manifests (`shard/manifest.py`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import IndexCorruptError, IndexNotFoundError
+from repro.shard import (
+    ShardEntry,
+    ShardManifest,
+    is_sharded_index,
+    load_shard_manifest,
+    save_shard_manifest,
+    shard_slug,
+)
+
+
+def _manifest(n: int = 3) -> ShardManifest:
+    return ShardManifest(
+        shards=tuple(
+            ShardEntry(
+                name=f"shard{i}",
+                directory=f"shards/{shard_slug(f'shard{i}', i)}",
+                corpus_fingerprint=f"sha256:{i:032x}",
+                source={"path": f"/data/part{i}.bib"} if i % 2 else None,
+            )
+            for i in range(n)
+        ),
+        schema_fingerprint="Ref_Set:deadbeef",
+    )
+
+
+def test_round_trip(tmp_path) -> None:
+    manifest = _manifest()
+    save_shard_manifest(tmp_path, manifest)
+    loaded = load_shard_manifest(tmp_path)
+    assert loaded.shards == manifest.shards
+    assert loaded.schema_fingerprint == "Ref_Set:deadbeef"
+
+
+def test_is_sharded_index_discriminates(tmp_path) -> None:
+    assert not is_sharded_index(tmp_path)  # empty dir
+    save_shard_manifest(tmp_path, _manifest())
+    assert is_sharded_index(tmp_path)
+    # A single-index manifest (no kind marker) is not a sharded one.
+    single = tmp_path / "single"
+    single.mkdir()
+    (single / "manifest.json").write_text(
+        json.dumps({"format_version": 2, "checksums": {}}), encoding="utf-8"
+    )
+    assert not is_sharded_index(single)
+
+
+def test_missing_manifest_is_not_found(tmp_path) -> None:
+    with pytest.raises(IndexNotFoundError):
+        load_shard_manifest(tmp_path / "nowhere")
+
+
+def test_single_index_manifest_is_not_found(tmp_path) -> None:
+    (tmp_path / "manifest.json").write_text(
+        json.dumps({"format_version": 2, "checksums": {}}), encoding="utf-8"
+    )
+    with pytest.raises(IndexNotFoundError):
+        load_shard_manifest(tmp_path)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all {",
+        json.dumps(["a", "list"]),
+        json.dumps({"kind": "sharded", "shard_format_version": 99, "shards": [{}]}),
+        json.dumps({"kind": "sharded", "shard_format_version": 1, "shards": []}),
+        json.dumps({"kind": "sharded", "shard_format_version": 1, "shards": [{"name": "x"}]}),
+    ],
+)
+def test_damaged_manifests_are_corrupt(tmp_path, payload) -> None:
+    (tmp_path / "manifest.json").write_text(payload, encoding="utf-8")
+    with pytest.raises(IndexCorruptError):
+        load_shard_manifest(tmp_path)
+
+
+def test_duplicate_shard_names_are_corrupt(tmp_path) -> None:
+    entry = {
+        "name": "dup",
+        "directory": "shards/000-dup",
+        "corpus_fingerprint": "sha256:0",
+    }
+    (tmp_path / "manifest.json").write_text(
+        json.dumps(
+            {"kind": "sharded", "shard_format_version": 1, "shards": [entry, entry]}
+        ),
+        encoding="utf-8",
+    )
+    with pytest.raises(IndexCorruptError):
+        load_shard_manifest(tmp_path)
+
+
+def test_shard_slug_is_filesystem_safe() -> None:
+    assert shard_slug("shard0", 0) == "000-shard0"
+    slug = shard_slug("/data/my corpus (v2).bib", 12)
+    assert slug.startswith("012-")
+    assert "/" not in slug and " " not in slug and "(" not in slug
+    assert shard_slug("///", 1).startswith("001-")  # never empty

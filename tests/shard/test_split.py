@@ -1,0 +1,82 @@
+"""Schema-aware corpus splitting (`shard/split.py`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.shard import split_corpus
+from repro.workloads.bibtex import generate_bibtex
+from repro.workloads.logs import generate_log, log_schema
+from repro.workloads.sgml import generate_sgml, sgml_schema
+
+
+def test_chunks_cover_all_records_in_order(schema, corpus_text) -> None:
+    chunks = split_corpus(schema, corpus_text, 8)
+    assert len(chunks) == 8
+    # Every record survives: re-parsing the chunks yields as many
+    # top-level records as the whole corpus.
+    total = len(list(schema.parse(corpus_text).children))
+    recovered = sum(len(list(schema.parse(chunk).children)) for chunk in chunks)
+    assert recovered == total
+
+
+def test_every_chunk_parses_under_the_same_schema(schema, corpus_text) -> None:
+    for chunk in split_corpus(schema, corpus_text, 5):
+        tree = schema.parse(chunk)  # must not raise
+        assert list(tree.children)
+
+
+def test_chunks_are_contiguous_slices_of_the_corpus(schema, corpus_text) -> None:
+    chunks = split_corpus(schema, corpus_text, 4)
+    cursor = 0
+    for chunk in chunks:
+        position = corpus_text.find(chunk, cursor)
+        assert position >= cursor
+        cursor = position + len(chunk)
+
+
+def test_byte_balance_is_reasonable(schema, corpus_text) -> None:
+    chunks = split_corpus(schema, corpus_text, 4)
+    sizes = [len(chunk) for chunk in chunks]
+    assert max(sizes) < 2 * (sum(sizes) / len(sizes))
+
+
+def test_more_shards_than_records_caps_at_record_count(schema) -> None:
+    text = generate_bibtex(entries=3, seed=5)
+    chunks = split_corpus(schema, text, 10)
+    assert len(chunks) == 3
+    for chunk in chunks:
+        assert len(list(schema.parse(chunk).children)) == 1
+
+
+def test_single_shard_returns_the_record_span(schema, corpus_text) -> None:
+    (chunk,) = split_corpus(schema, corpus_text, 1)
+    records = list(schema.parse(corpus_text).children)
+    assert chunk == corpus_text[records[0].start : records[-1].end]
+
+
+def test_rejects_nonpositive_shard_count(schema, corpus_text) -> None:
+    with pytest.raises(ValueError):
+        split_corpus(schema, corpus_text, 0)
+
+
+def test_empty_corpus_raises_grammar_error(schema) -> None:
+    with pytest.raises(GrammarError):
+        split_corpus(schema, "", 4)
+
+
+@pytest.mark.parametrize(
+    "make_schema, make_text",
+    [
+        (log_schema, lambda: generate_log(entries=60, seed=3)),
+        (sgml_schema, lambda: generate_sgml(documents=6, seed=1)),
+    ],
+)
+def test_other_workloads_split_cleanly(make_schema, make_text) -> None:
+    workload_schema = make_schema()
+    text = make_text()
+    chunks = split_corpus(workload_schema, text, 3)
+    assert len(chunks) == 3
+    for chunk in chunks:
+        assert list(workload_schema.parse(chunk).children)

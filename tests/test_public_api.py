@@ -9,7 +9,25 @@ import repro
 
 class TestExports:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
+
+    def test_shard_exports(self):
+        from repro import shard
+
+        assert repro.ShardedEngine is shard.ShardedEngine
+        assert repro.ShardedQueryResult is shard.ShardedQueryResult
+        assert repro.ShardedStats is shard.ShardedStats
+        assert repro.split_corpus is shard.split_corpus
+        assert issubclass(repro.ShardFailedError, repro.ShardError)
+        assert issubclass(repro.ShardError, repro.ReproError)
+
+    def test_resilience_exports(self):
+        from repro import resilience
+
+        assert repro.RetryPolicy is resilience.RetryPolicy
+        assert repro.call_with_retry is resilience.call_with_retry
+        assert repro.CircuitBreaker is resilience.CircuitBreaker
+        assert repro.BreakerConfig is resilience.BreakerConfig
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
