@@ -63,3 +63,28 @@ def bench_multi_join_with_optimizer(benchmark, bibtex_engines):
 def bench_multi_join_without_optimizer(benchmark, unoptimized_engine):
     result = benchmark(lambda: unoptimized_engine.query(CITATION_JOIN))
     benchmark.extra_info.update(rows=len(result.rows))
+
+
+@pytest.fixture(scope="module")
+def calibrated_engine(bibtex_texts):
+    """The optimizer plus a warmed feedback-calibrated cost model: three
+    EXPLAIN ANALYZE rounds feed estimate-vs-actual history before timing
+    (the configuration `scripts/check_e10_gate.py` gates on)."""
+    from repro.feedback import FeedbackConfig
+
+    engine = FileQueryEngine(
+        bibtex_schema(), bibtex_texts[400], feedback=FeedbackConfig()
+    )
+    for _ in range(3):
+        engine.analyze(CITATION_JOIN)
+    return engine
+
+
+def bench_multi_join_calibrated(benchmark, calibrated_engine, bibtex_engines):
+    result = benchmark(lambda: calibrated_engine.query(CITATION_JOIN))
+    benchmark.extra_info.update(
+        rows=len(result.rows),
+        observations=calibrated_engine.calibration_state()["observations"],
+    )
+    reference = bibtex_engines[400].query(CITATION_JOIN)
+    assert result.canonical_rows() == reference.canonical_rows()

@@ -97,20 +97,30 @@ def _print_ratios(experiment: str, benches: list[dict]) -> None:
         bracket = name.find("[")
         return name[bracket:] if bracket >= 0 else ""
 
+    def pair_label(name: str, substring: str) -> str:
+        # "[params]" disambiguates parameterized runs; without them, fall
+        # back to the benchmark-name stem so same-experiment pairs stay
+        # tellable apart (E10's bench_pipeline_without_optimizer vs
+        # bench_multi_join_without_optimizer -> "pipeline" / "multi_join").
+        if suffix(name):
+            return suffix(name)
+        stem = name.replace(substring, "").replace("bench_", "").strip("_")
+        return stem.replace("__", "_") or "-"
+
     ratios = []
     # Preferred pairing: the slow benchmark's name with the substring swapped
     # names its fast counterpart (bench_unoptimized_x[n] -> bench_optimized_x[n]).
     for slow_name, slow_median in slow.items():
         counterpart = slow_name.replace(slow_sub, fast_sub)
         if counterpart in fast and fast[counterpart] > 0:
-            label = suffix(slow_name) or "-"
+            label = pair_label(slow_name, slow_sub)
             ratios.append((label, slow_median / fast[counterpart]))
     if not ratios:
         # Fall back to pairing by parameter suffix across the two families.
         for fast_name, fast_median in fast.items():
             for slow_name, slow_median in slow.items():
                 if suffix(fast_name) == suffix(slow_name) and fast_median > 0:
-                    label = suffix(fast_name) or "-"
+                    label = pair_label(fast_name, fast_sub)
                     ratios.append((label, slow_median / fast_median))
     for label, ratio in sorted(ratios):
         print(f"  ratio {label:>20} ({slow_sub} / {fast_sub}): {ratio:.1f}x")

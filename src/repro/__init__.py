@@ -27,6 +27,8 @@ Package layout
 - :mod:`repro.workloads` — BibTeX / logs / SGML grammars and generators;
 - :mod:`repro.resilience` — degradation policies, budgets, retry/backoff,
   circuit breakers, fault injectors;
+- :mod:`repro.feedback` — feedback-calibrated cost model and adaptive
+  re-planning (persisted estimate-vs-actual history);
 - :mod:`repro.shard` — sharded corpora: scatter-gather queries over one
   fault-isolated engine + index per corpus file.
 """
@@ -80,6 +82,13 @@ from repro.obs import (
     Tracer,
 )
 from repro.errors import ShardError, ShardFailedError
+from repro.errors import CalibrationCorruptError, FeedbackError
+from repro.feedback import (
+    CalibratedCostModel,
+    FeedbackConfig,
+    FeedbackHistory,
+    ReplanTriggered,
+)
 from repro.resilience import (
     BreakerConfig,
     CircuitBreaker,
@@ -99,7 +108,7 @@ from repro.shard import (
 )
 from repro.text import Corpus, Document
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Region",
@@ -140,6 +149,11 @@ __all__ = [
     "ResourceBudget",
     "RetryPolicy",
     "call_with_retry",
+    # feedback calibration
+    "CalibratedCostModel",
+    "FeedbackConfig",
+    "FeedbackHistory",
+    "ReplanTriggered",
     # sharded execution
     "ShardedEngine",
     "ShardedQueryResult",
@@ -165,6 +179,8 @@ __all__ = [
     "IndexCorruptError",
     "IndexStaleError",
     "BudgetExceededError",
+    "FeedbackError",
+    "CalibrationCorruptError",
     "ShardError",
     "ShardFailedError",
     "__version__",

@@ -106,12 +106,28 @@ def _budget_from_args(args: argparse.Namespace) -> ResourceBudget | None:
     )
 
 
+def _feedback_from_args(args: argparse.Namespace):
+    """``--feedback`` / ``--feedback-dir`` → a
+    :class:`~repro.feedback.FeedbackConfig`, or ``None`` (= disabled, the
+    default: cold planning is byte-identical to a feedback-free build)."""
+    directory = getattr(args, "feedback_dir", None)
+    if not getattr(args, "feedback", False) and directory is None:
+        return None
+    from repro.feedback import FeedbackConfig
+
+    if directory is None and getattr(args, "index", None):
+        # Persist calibration next to the index it was learned against.
+        directory = args.index
+    return FeedbackConfig(directory=directory)
+
+
 def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
     schema = _schema_for(args.workload)
     cache_config = (
         CacheConfig.disabled() if getattr(args, "no_cache", False) else CacheConfig()
     )
     policy = _policy_from_args(args)
+    feedback = _feedback_from_args(args)
     if getattr(args, "index", None):
         # --file alongside --index names the current source: it enables the
         # staleness check and gives recovery a fresh text to fall back on.
@@ -121,6 +137,7 @@ def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
             cache_config=cache_config,
             policy=policy,
             source_path=args.file or None,
+            feedback=feedback,
         )
     if not args.file:
         raise SystemExit("either --file or --index is required")
@@ -130,7 +147,12 @@ def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
     if getattr(args, "partial", None):
         config = IndexConfig.partial(set(args.partial.split(",")))
     return FileQueryEngine(
-        schema, text, config, cache_config=cache_config, policy=policy
+        schema,
+        text,
+        config,
+        cache_config=cache_config,
+        policy=policy,
+        feedback=feedback,
     )
 
 
@@ -228,6 +250,7 @@ def _sharded_engine_from_args(args: argparse.Namespace):
         "cache_config": cache_config,
         "policy": _policy_from_args(args),
         "fail_fast": getattr(args, "fail_fast", False),
+        "feedback": _feedback_from_args(args),
     }
     if getattr(args, "max_parallel", None):
         options["max_parallel"] = args.max_parallel
@@ -305,17 +328,28 @@ def _cmd_shard_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
+    calibration = engine.calibration_state()
     if getattr(args, "json", False):
         payload = {
             "index": engine.statistics().to_dict(),
             "cache_config": engine.cache_config.describe(),
             "cache": engine.cache_stats.to_dict(),
+            "calibration": calibration,
         }
         print(json.dumps(payload, indent=2))
         return 0
     print(engine.statistics().summary())
     print(f"cache:                  {engine.cache_config.describe()}")
     print(engine.cache_stats.summary())
+    if calibration["enabled"]:
+        state = "calibrated" if calibration["calibrated"] else "cold"
+        print(
+            f"feedback:               enabled ({state}: "
+            f"{calibration['observations']} observation(s) over "
+            f"{calibration['keys']} key(s), version {calibration['version']})"
+        )
+    else:
+        print("feedback:               disabled (--feedback to enable)")
     return 0
 
 
@@ -326,6 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(Consens & Milo, SIGMOD 1994).",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_feedback(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--feedback",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="calibrate the cost model from estimate-vs-actual history "
+            "fed by `analyze` runs (off by default: cold plans match a "
+            "feedback-free build)",
+        )
+        sub.add_argument(
+            "--feedback-dir",
+            dest="feedback_dir",
+            help="directory holding feedback.json (implies --feedback; "
+            "defaults to the --index directory when one is given)",
+        )
 
     def add_common(sub: argparse.ArgumentParser, with_query: bool) -> None:
         sub.add_argument("--workload", required=True, help="bibtex | logs | sgml")
@@ -354,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="keep answering: full-scan past corrupt/stale indexes and "
             "blown budgets, skip malformed regions (warnings on stderr)",
         )
+        add_feedback(sub)
         if with_query:
             sub.add_argument("query", help="XSQL-subset query text")
 
@@ -483,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="keep answering: degraded shards serve full scans, "
             "warnings on stderr",
         )
+        add_feedback(sub)
         sub.add_argument("query", help="XSQL-subset query text")
 
     shard_query = shard_commands.add_parser(

@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.algebra.counters import OperationCounters
 from repro.algebra.region import Instance, RegionSet
@@ -66,6 +67,9 @@ from repro.resilience.warnings import (
 )
 from repro.schema.structuring import StructuringSchema
 from repro.text.document import Corpus
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.feedback import FeedbackConfig, FeedbackHistory
 
 
 @dataclass
@@ -112,6 +116,8 @@ class FileQueryEngine:
         tracing: bool = True,
         policy: DegradationPolicy | None = None,
         budget: ResourceBudget | None = None,
+        feedback: "FeedbackConfig | bool | None" = None,
+        feedback_history: "FeedbackHistory | None" = None,
     ) -> None:
         self.schema = schema
         self.corpus: Corpus | None = corpus if isinstance(corpus, Corpus) else None
@@ -135,7 +141,46 @@ class FileQueryEngine:
             root=schema.grammar.start,
             known_names=schema.grammar.nonterminals,
         )
+        self._wire_feedback(feedback, feedback_history)
         self._wire_caches_and_pipeline(optimize_expressions)
+
+    def _wire_feedback(
+        self,
+        feedback: "FeedbackConfig | bool | None",
+        feedback_history: "FeedbackHistory | None",
+    ) -> None:
+        """Build the feedback-calibration state (must run after the index is
+        built — the cost model seeds cardinalities from its instance — and
+        before :meth:`_wire_caches_and_pipeline`, which hands the model to
+        the planner and executor).
+
+        Feedback is opt-in (``feedback=None`` leaves it disabled).  The cost
+        model itself is *always* constructed — a cold model is a pure
+        function of the index and powers the rows-vs-rows estimates in
+        :meth:`analyze` — but only an *enabled* engine feeds history, plans
+        under calibrated costs, or replans mid-query.
+        """
+        from repro.feedback import CalibratedCostModel, FeedbackConfig, FeedbackHistory
+        from repro.feedback.history import HISTORY_FILENAME
+        from repro.index.persist import corpus_fingerprint
+
+        self.feedback_config = FeedbackConfig.coerce(feedback)
+        self.corpus_fingerprint = corpus_fingerprint(self.text)
+        if feedback_history is not None:
+            self.feedback_history = feedback_history
+        elif self.feedback_config.enabled and self.feedback_config.directory:
+            self.feedback_history = FeedbackHistory.load_or_fresh(
+                Path(self.feedback_config.directory) / HISTORY_FILENAME
+            )
+        else:
+            self.feedback_history = FeedbackHistory()
+        self.cost_model = CalibratedCostModel(
+            self.index.instance,
+            self.corpus_fingerprint,
+            self.feedback_history,
+            config=self.feedback_config,
+            corpus_bytes=len(self.text),
+        )
 
     def _wire_caches_and_pipeline(self, optimize_expressions: bool) -> None:
         """Attach the per-engine caches and build translator/planner/executor.
@@ -148,6 +193,7 @@ class FileQueryEngine:
         self.translator = Translator(
             self.schema, self.config, has_word_index=self.index.word_index is not None
         )
+        active_model = self.cost_model if self.feedback_config.enabled else None
         self.planner = Planner(
             self.translator,
             optimize_expressions=optimize_expressions,
@@ -157,6 +203,7 @@ class FileQueryEngine:
                 else 0
             ),
             cache_stats=self.cache_stats,
+            cost_model=active_model,
         )
         self._executor = PlanExecutor(
             self.schema,
@@ -164,6 +211,7 @@ class FileQueryEngine:
             self.translator,
             cache_config=self.cache_config,
             cache_stats=self.cache_stats,
+            cost_model=active_model,
         )
 
     # -- persistence ------------------------------------------------------------------
@@ -198,6 +246,8 @@ class FileQueryEngine:
         budget: ResourceBudget | None = None,
         source_text: str | None = None,
         source_path: str | os.PathLike[str] | None = None,
+        feedback: "FeedbackConfig | bool | None" = None,
+        feedback_history: "FeedbackHistory | None" = None,
     ) -> "FileQueryEngine":
         """Load a persisted engine, skipping the corpus re-parse.
 
@@ -243,6 +293,8 @@ class FileQueryEngine:
                     tracing=tracing,
                     policy=policy,
                     budget=budget,
+                    feedback=feedback,
+                    feedback_history=feedback_history,
                 )
                 engine._load_warnings.append(QueryWarning(code, str(error)))
                 engine._load_warnings.append(
@@ -261,6 +313,8 @@ class FileQueryEngine:
                 tracing=tracing,
                 policy=policy,
                 budget=budget,
+                feedback=feedback,
+                feedback_history=feedback_history,
             )
             engine._load_warnings.append(QueryWarning(code, str(error)))
             engine._load_warnings.append(
@@ -314,6 +368,7 @@ class FileQueryEngine:
         engine._load_degradation = None
         engine.index_build_bytes = 0
         engine.index = index
+        engine._wire_feedback(feedback, feedback_history)
         engine._wire_caches_and_pipeline(optimize_expressions)
         return engine
 
@@ -354,6 +409,8 @@ class FileQueryEngine:
         tracing: bool,
         policy: DegradationPolicy,
         budget: ResourceBudget | None,
+        feedback: "FeedbackConfig | bool | None" = None,
+        feedback_history: "FeedbackHistory | None" = None,
     ) -> "FileQueryEngine":
         """An engine with *no* index support: the translator finds no
         indexed names, so the planner routes every query to the full-scan
@@ -381,6 +438,7 @@ class FileQueryEngine:
             suffix_array=None,
             config=engine.config,
         )
+        engine._wire_feedback(feedback, feedback_history)
         engine._wire_caches_and_pipeline(optimize_expressions)
         return engine
 
@@ -571,7 +629,18 @@ class FileQueryEngine:
             # the shared result cache so every node's cost is measured.
             node_log = {}
             self.index.run(plan.optimized_expression, node_log=node_log, use_cache=False)
-            nodes = build_node_table(plan.optimized_expression, node_log)
+            # Estimates are taken BEFORE feeding this run's actuals into the
+            # feedback history, so the report shows the deltas the planner
+            # actually faced (and calibration never grades its own homework).
+            nodes = build_node_table(
+                plan.optimized_expression,
+                node_log,
+                estimator=self.cost_model.estimate_rows,
+            )
+            if self.feedback_config.enabled:
+                fed = self.cost_model.observe_tree(plan.optimized_expression, node_log)
+                if fed:
+                    self.save_feedback()
         return Analysis(
             plan=plan,
             stats=result.stats,
@@ -579,6 +648,31 @@ class FileQueryEngine:
             trace=result.trace,
             cache=self.cache_description(),
         )
+
+    # -- feedback calibration ----------------------------------------------------------
+
+    def save_feedback(self) -> None:
+        """Persist the feedback history when a directory is configured
+        (no-op otherwise — in-memory history lives with the engine)."""
+        if self.feedback_config.enabled and self.feedback_config.directory:
+            from repro.feedback.history import HISTORY_FILENAME
+
+            self.feedback_history.save(
+                Path(self.feedback_config.directory) / HISTORY_FILENAME
+            )
+
+    def calibration_state(self) -> dict:
+        """A JSON-friendly summary of the feedback-calibration state for
+        this corpus: whether it is enabled, calibrated (history exists for
+        this fingerprint), and the per-key corrections."""
+        snapshot = self.feedback_history.snapshot(self.corpus_fingerprint)
+        return {
+            "enabled": self.feedback_config.enabled,
+            "calibrated": self.cost_model.calibrated,
+            "fingerprint": self.corpus_fingerprint,
+            "directory": self.feedback_config.directory,
+            **snapshot,
+        }
 
     # -- the baseline ----------------------------------------------------------------
 

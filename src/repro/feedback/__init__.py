@@ -1,0 +1,39 @@
+"""Feedback-calibrated costing and adaptive re-planning.
+
+Closes the loop ROADMAP item 2 asked for: the per-node actuals that
+``engine.analyze()`` already measures flow into a persisted
+:class:`FeedbackHistory`, a :class:`CalibratedCostModel` turns them into
+weight × cardinality plan costs, and the executor re-plans mid-query when
+actuals blow past estimates (:class:`ReplanTriggered`).  See
+``docs/cost_model.md`` for the full model and its invariants.
+"""
+
+from repro.feedback.calibrate import (
+    CalibratedCostModel,
+    FeedbackConfig,
+    NodeGuard,
+    ReplanTriggered,
+    anchor_region,
+    make_node_guard,
+    node_kind,
+)
+from repro.feedback.history import (
+    HISTORY_FILENAME,
+    CalibrationRecord,
+    FeedbackHistory,
+    ReplanEvent,
+)
+
+__all__ = [
+    "CalibratedCostModel",
+    "CalibrationRecord",
+    "FeedbackConfig",
+    "FeedbackHistory",
+    "HISTORY_FILENAME",
+    "NodeGuard",
+    "ReplanEvent",
+    "anchor_region",
+    "make_node_guard",
+    "node_kind",
+    "ReplanTriggered",
+]

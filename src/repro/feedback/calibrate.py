@@ -1,0 +1,321 @@
+"""The calibrated cost model and the adaptive-replan guard.
+
+The static model in :mod:`repro.core.cost` ranks plans by operator weight
+alone; that is exactly what E10 showed to be insufficient for multi-join
+queries, where the dominant term is *how many regions* flow through each
+operator, not how many operators there are.  The calibrated model keeps
+the same operator weights but multiplies each by the estimated number of
+regions entering the operator::
+
+    cost(node) = weight(node) × (1 + Σ estimated_rows(child))
+    cost(tree) = Σ cost(node) over the tree
+
+The ``1 +`` keeps every operator strictly positive, so the two Definition
+3.4 rewrite families still *strictly* decrease cost on an empty history
+(property-tested in ``tests/feedback/test_calibrated_cost.py``) — cold
+behavior therefore matches the static ordering and v1.3.0 plans.
+
+Cardinality seeds come from per-region counts the index already holds
+(``Instance.get(name)`` is O(1) and exact); operator selectivities start
+from fixed priors and are refined by the multiplicative corrections the
+:class:`~repro.feedback.history.FeedbackHistory` has accumulated for
+``(kind, anchor region, corpus fingerprint)`` keys.
+
+:class:`ReplanTriggered` plus :func:`make_node_guard` implement mid-query
+adaptive re-planning: the evaluator calls an opaque guard after each
+computed node (no feedback import inside :mod:`repro.algebra`), and the
+guard raises when actuals blow past estimates badly enough that the
+chosen index strategy is likely a loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.algebra.ast import (
+    Inclusion,
+    Innermost,
+    Name,
+    Outermost,
+    RegionExpr,
+    Select,
+    SetOp,
+)
+from repro.core.cost import node_weight
+from repro.errors import FeedbackError
+from repro.feedback.history import FeedbackHistory
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.algebra.evaluator import NodeRecord
+    from repro.algebra.region import Instance
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """Tuning knobs for calibration and adaptive re-planning.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; ``False`` makes the engine behave exactly like a
+        build without the feedback subsystem.
+    directory:
+        Where to persist ``feedback.json`` across processes (``None`` keeps
+        history in-memory for the engine's lifetime only).
+    replan_factor:
+        A node must produce more than ``estimate × replan_factor`` regions
+        before a mid-query replan is even considered.
+    replan_min_rows:
+        ...and at least this many regions in absolute terms — tiny
+        misestimates never justify abandoning a running plan.
+    select_selectivity / inclusion_selectivity:
+        Cold-start priors for how much of the input a σ-selection or an
+        inclusion keeps, before history corrections refine them.
+    """
+
+    enabled: bool = True
+    directory: str | None = None
+    replan_factor: float = 4.0
+    replan_min_rows: int = 64
+    select_selectivity: float = 0.2
+    inclusion_selectivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.replan_factor <= 1.0:
+            raise FeedbackError(
+                f"replan_factor must be > 1.0 (got {self.replan_factor})"
+            )
+        for knob in ("select_selectivity", "inclusion_selectivity"):
+            value = getattr(self, knob)
+            if not 0.0 < value <= 1.0:
+                raise FeedbackError(f"{knob} must be in (0, 1] (got {value})")
+
+    @classmethod
+    def coerce(cls, value: "FeedbackConfig | bool | None") -> "FeedbackConfig":
+        """Normalise the engine-constructor shorthand: ``None``/``False`` →
+        disabled (feedback is opt-in), ``True`` → defaults, a config →
+        itself."""
+        if value is None or value is False:
+            return cls(enabled=False)
+        if value is True:
+            return cls()
+        return value
+
+    def disabled(self) -> "FeedbackConfig":
+        return replace(self, enabled=False)
+
+
+def node_kind(node: RegionExpr) -> str:
+    """The history-key operator kind: stable, human-readable, and finer
+    than the weight classes (each inclusion/set-op variant is its own
+    kind, since their selectivities genuinely differ)."""
+    if isinstance(node, Name):
+        return "name"
+    if isinstance(node, Select):
+        return f"select:{node.mode}"
+    if isinstance(node, Inclusion):
+        return f"inclusion:{node.op}"
+    if isinstance(node, SetOp):
+        return f"set_op:{node.kind}"
+    if isinstance(node, Innermost):
+        return "innermost"
+    if isinstance(node, Outermost):
+        return "outermost"
+    return type(node).__name__.lower()
+
+
+def anchor_region(node: RegionExpr) -> str:
+    """The first region name in pre-order — the 'driving' index of the
+    subtree, used as the history key's region component."""
+    for sub in node.walk():
+        if isinstance(sub, Name):
+            return sub.region_name
+    return ""
+
+
+class ReplanTriggered(Exception):
+    """Raised by the evaluator's node guard to abandon the current index
+    strategy mid-query.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it is control
+    flow, caught by the executor, and must never escape to callers (the
+    executor re-runs the query under a safer strategy).
+    """
+
+    def __init__(self, node: RegionExpr, estimated: float, actual: int) -> None:
+        self.node = node
+        self.estimated = estimated
+        self.actual = actual
+        super().__init__(
+            f"node {node} produced {actual} regions "
+            f"(estimated {estimated:.1f}); replanning"
+        )
+
+
+class CalibratedCostModel:
+    """Weight × cardinality costs, seeded from the index and refined from
+    feedback history for one corpus fingerprint."""
+
+    def __init__(
+        self,
+        instance: "Instance",
+        fingerprint: str,
+        history: FeedbackHistory,
+        config: FeedbackConfig | None = None,
+        corpus_bytes: int = 0,
+    ) -> None:
+        self.instance = instance
+        self.fingerprint = fingerprint
+        self.history = history
+        self.config = config or FeedbackConfig()
+        #: Total corpus size; the index-vs-scan break-even compares the
+        #: estimated candidate parse bytes against parsing this once.
+        self.corpus_bytes = corpus_bytes
+
+    # -- cardinality estimation ---------------------------------------------
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether any history exists for this corpus — the gate that keeps
+        cold-start planning identical to the static rules."""
+        return self.history.has_history(self.fingerprint)
+
+    def region_count(self, name: str) -> int:
+        return len(self.instance.get(name))
+
+    def avg_region_bytes(self, name: str) -> float:
+        """Mean byte length of the indexed regions under ``name``."""
+        regions = self.instance.get(name)
+        if not len(regions):
+            return 0.0
+        return sum(len(region) for region in regions) / len(regions)
+
+    def estimated_parse_bytes(self, expression: RegionExpr, source_name: str) -> float:
+        """Bytes the candidate pipeline is expected to re-parse: estimated
+        candidate count × the source class's mean region size."""
+        return self.estimate_rows(expression) * self.avg_region_bytes(source_name)
+
+    def _seed_rows(self, node: RegionExpr, child_rows: list[float]) -> float:
+        config = self.config
+        if isinstance(node, Name):
+            return float(self.region_count(node.region_name))
+        if isinstance(node, Select):
+            return child_rows[0] * config.select_selectivity
+        if isinstance(node, Inclusion):
+            return child_rows[0] * config.inclusion_selectivity
+        if isinstance(node, SetOp):
+            left, right = child_rows
+            if node.kind == "union":
+                return left + right
+            if node.kind == "intersect":
+                return min(left, right)
+            return left  # difference: at most everything on the left
+        if isinstance(node, (Innermost, Outermost)):
+            return child_rows[0]
+        return sum(child_rows)
+
+    def estimate_rows(self, node: RegionExpr) -> float:
+        """Estimated output cardinality: the structural seed times the
+        history correction for this (kind, anchor, fingerprint) key."""
+        child_rows = [self.estimate_rows(child) for child in node.children()]
+        seed = self._seed_rows(node, child_rows)
+        correction = self.history.correction(
+            node_kind(node), anchor_region(node), self.fingerprint
+        )
+        return seed * correction
+
+    # -- costs ---------------------------------------------------------------
+
+    def node_cost(self, node: RegionExpr) -> float:
+        """weight × (1 + regions entering the node)."""
+        inflow = sum(self.estimate_rows(child) for child in node.children())
+        return node_weight(node) * (1.0 + inflow)
+
+    def cost(self, expression: RegionExpr) -> float:
+        """The summed calibrated cost of a whole expression tree."""
+        return sum(self.node_cost(node) for node in expression.walk())
+
+    def choose(
+        self, raw: RegionExpr | None, optimized: RegionExpr
+    ) -> tuple[RegionExpr, float, float | None]:
+        """Pick the cheaper of the raw and the rewrite-optimized form.
+
+        Returns ``(winner, winner_cost, loser_cost)``.  Only meaningful
+        when :attr:`calibrated`; ties keep the optimized form (matching
+        cold behavior).
+        """
+        optimized_cost = self.cost(optimized)
+        if raw is None or raw == optimized:
+            return optimized, optimized_cost, None
+        raw_cost = self.cost(raw)
+        if raw_cost < optimized_cost:
+            return raw, raw_cost, optimized_cost
+        return optimized, optimized_cost, raw_cost
+
+    # -- feeding the history -------------------------------------------------
+
+    def observe(self, node: RegionExpr, actual: float) -> bool:
+        """Record one node's actual output cardinality against its current
+        estimate.  Returns whether the history version bumped."""
+        return self.history.observe(
+            node_kind(node),
+            anchor_region(node),
+            self.fingerprint,
+            self.estimate_rows(node),
+            actual,
+        )
+
+    def observe_tree(
+        self,
+        expression: RegionExpr,
+        node_log: "dict[RegionExpr, NodeRecord]",
+    ) -> int:
+        """Feed every *computed* (non-cache-hit) node record into the
+        history; cached records are skipped because they measure the cache,
+        not the operator.  Returns how many observations were recorded.
+
+        Estimates are taken for all nodes *before* any observation is
+        written, so one batch does not calibrate against itself.
+        """
+        pending: list[tuple[RegionExpr, float, float]] = []
+        for node in expression.walk():
+            record = node_log.get(node)
+            if record is None or record.cached:
+                continue
+            pending.append((node, self.estimate_rows(node), float(record.regions)))
+        for node, estimated, actual in pending:
+            self.history.observe(
+                node_kind(node), anchor_region(node), self.fingerprint,
+                estimated, actual,
+            )
+        return len(pending)
+
+
+#: Signature of the evaluator's per-node hook: ``guard(node, region_count)``.
+NodeGuard = Callable[[RegionExpr, int], None]
+
+
+def make_node_guard(model: CalibratedCostModel) -> NodeGuard:
+    """Build the mid-query guard the executor hands to the evaluator.
+
+    The guard raises :class:`ReplanTriggered` when a computed node's actual
+    cardinality exceeds its estimate by more than ``replan_factor`` *and*
+    by at least ``replan_min_rows`` regions — both conditions, so small
+    absolute blow-ups never abandon a nearly-finished plan.  Estimates are
+    computed lazily per distinct node and memoised: the guard runs on the
+    evaluator's hot path.
+    """
+    config = model.config
+    estimates: dict[RegionExpr, float] = {}
+
+    def guard(node: RegionExpr, actual: int) -> None:
+        if actual < config.replan_min_rows:
+            return
+        estimated = estimates.get(node)
+        if estimated is None:
+            estimated = estimates[node] = model.estimate_rows(node)
+        if actual > estimated * config.replan_factor:
+            raise ReplanTriggered(node, estimated, actual)
+
+    return guard

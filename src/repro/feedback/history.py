@@ -1,0 +1,316 @@
+"""The estimate-vs-actual calibration history.
+
+Every key is a ``(operator kind, region name, corpus fingerprint)`` triple:
+the *kind* says which algebra operator produced the cardinality, the
+*region* anchors it to the driving region name (the leftmost name in the
+operator's subtree), and the *fingerprint* pins it to one corpus state —
+history learned on one corpus (or one shard) never contaminates another.
+
+The store accumulates estimated and actual row counts per key and exposes
+a multiplicative *correction* (``actual_total / estimated_total``, clamped)
+that the :class:`~repro.feedback.calibrate.CalibratedCostModel` folds into
+its cardinality estimates.  A monotonically increasing :attr:`version`
+changes whenever a correction moves materially, so plan caches built under
+stale costs can be invalidated (see
+:class:`~repro.core.planner.Planner`).
+
+Persistence is one JSON file with a SHA-256 payload checksum; load
+failures raise the typed
+:class:`~repro.errors.CalibrationCorruptError` instead of silently
+steering plans with garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import CalibrationCorruptError
+
+#: Corrections are clamped into this band: one wildly mis-measured run must
+#: not swing estimates by more than a constant factor in either direction.
+MIN_CORRECTION = 1.0 / 64.0
+MAX_CORRECTION = 64.0
+
+#: Relative movement of a key's correction below which :attr:`version` does
+#: not bump — repeated identical queries converge and stop invalidating
+#: plan caches.
+_STABLE_FRACTION = 0.05
+
+_FORMAT_VERSION = 1
+
+#: File name used inside a feedback directory.
+HISTORY_FILENAME = "feedback.json"
+
+
+@dataclass
+class CalibrationRecord:
+    """Accumulated estimate-vs-actual evidence for one key."""
+
+    observations: int = 0
+    estimated_total: float = 0.0
+    actual_total: float = 0.0
+    last_estimated: float = 0.0
+    last_actual: float = 0.0
+
+    @property
+    def correction(self) -> float:
+        """The multiplicative fix-up for estimates under this key."""
+        if self.observations == 0 or self.estimated_total <= 0.0:
+            return 1.0
+        ratio = self.actual_total / self.estimated_total
+        return min(MAX_CORRECTION, max(MIN_CORRECTION, ratio))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "observations": self.observations,
+            "estimated_total": self.estimated_total,
+            "actual_total": self.actual_total,
+            "last_estimated": self.last_estimated,
+            "last_actual": self.last_actual,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CalibrationRecord":
+        return cls(
+            observations=int(payload["observations"]),
+            estimated_total=float(payload["estimated_total"]),
+            actual_total=float(payload["actual_total"]),
+            last_estimated=float(payload["last_estimated"]),
+            last_actual=float(payload["last_actual"]),
+        )
+
+
+HistoryKey = tuple[str, str, str]  # (operator kind, region name, fingerprint)
+
+
+@dataclass(frozen=True)
+class ReplanEvent:
+    """One adaptive re-planning decision (kept for stats/JSON output)."""
+
+    node: str
+    estimated: float
+    actual: int
+    factor: float
+    from_strategy: str
+    to_strategy: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node": self.node,
+            "estimated": self.estimated,
+            "actual": self.actual,
+            "factor": self.factor,
+            "from_strategy": self.from_strategy,
+            "to_strategy": self.to_strategy,
+        }
+
+
+class FeedbackHistory:
+    """Thread-safe persisted store of estimate-vs-actual observations."""
+
+    def __init__(self) -> None:
+        self._records: dict[HistoryKey, CalibrationRecord] = {}
+        self._version = 0
+        self._lock = threading.RLock()
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Bumps whenever calibration state changes materially (new key, or
+        a correction moving by more than ~5%).  Plan caches key on it."""
+        with self._lock:
+            return self._version
+
+    def observe(
+        self,
+        kind: str,
+        region: str,
+        fingerprint: str,
+        estimated: float,
+        actual: float,
+    ) -> bool:
+        """Record one estimate-vs-actual pair.  Returns whether the store's
+        :attr:`version` bumped (i.e. plans chosen before are now suspect)."""
+        key = (kind, region, fingerprint)
+        estimated = max(0.0, float(estimated))
+        actual = max(0.0, float(actual))
+        with self._lock:
+            record = self._records.get(key)
+            created = record is None
+            if record is None:
+                record = self._records[key] = CalibrationRecord()
+            before = record.correction
+            record.observations += 1
+            record.estimated_total += estimated
+            record.actual_total += actual
+            record.last_estimated = estimated
+            record.last_actual = actual
+            after = record.correction
+            moved = abs(after - before) > _STABLE_FRACTION * max(before, 1e-9)
+            if created or moved:
+                self._version += 1
+                return True
+            return False
+
+    def correction(self, kind: str, region: str, fingerprint: str) -> float:
+        """The clamped multiplicative correction for a key (1.0 unknown)."""
+        with self._lock:
+            record = self._records.get((kind, region, fingerprint))
+            return record.correction if record is not None else 1.0
+
+    def record(self, kind: str, region: str, fingerprint: str) -> CalibrationRecord | None:
+        with self._lock:
+            return self._records.get((kind, region, fingerprint))
+
+    def has_history(self, fingerprint: str) -> bool:
+        """Whether any observation exists for this corpus state — the gate
+        between cold (static-rule) and calibrated planning."""
+        with self._lock:
+            return any(key[2] == fingerprint for key in self._records)
+
+    def observation_count(self, fingerprint: str | None = None) -> int:
+        with self._lock:
+            return sum(
+                record.observations
+                for key, record in self._records.items()
+                if fingerprint is None or key[2] == fingerprint
+            )
+
+    def keys(self) -> Iterator[HistoryKey]:
+        with self._lock:
+            return iter(list(self._records))
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._records:
+                self._version += 1
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- persistence ---------------------------------------------------------
+
+    def _payload(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "kind": kind,
+                "region": region,
+                "fingerprint": fingerprint,
+                **record.to_dict(),
+            }
+            for (kind, region, fingerprint), record in sorted(self._records.items())
+        ]
+
+    @staticmethod
+    def _checksum(records_json: str) -> str:
+        return "sha256:" + hashlib.sha256(records_json.encode("utf-8")).hexdigest()[:32]
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Atomically persist the history (tmp file + rename): a crash mid-
+        write leaves the previous file intact, never a torn one."""
+        with self._lock:
+            records_json = json.dumps(self._payload(), sort_keys=True)
+        envelope = {
+            "format": _FORMAT_VERSION,
+            "checksum": self._checksum(records_json),
+            "records": json.loads(records_json),
+        }
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        staging = target.with_name(target.name + ".tmp")
+        staging.write_text(json.dumps(envelope, indent=1, sort_keys=True), encoding="utf-8")
+        os.replace(staging, target)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "FeedbackHistory":
+        """Load a saved history; any integrity failure raises the typed
+        :class:`~repro.errors.CalibrationCorruptError`."""
+        target = Path(path)
+        try:
+            text = target.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise
+        except OSError as error:
+            raise CalibrationCorruptError(str(target), f"unreadable: {error}") from error
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CalibrationCorruptError(str(target), f"invalid JSON: {error}") from error
+        if not isinstance(envelope, dict):
+            raise CalibrationCorruptError(str(target), "envelope is not an object")
+        if envelope.get("format") != _FORMAT_VERSION:
+            raise CalibrationCorruptError(
+                str(target), f"unsupported format {envelope.get('format')!r}"
+            )
+        records = envelope.get("records")
+        if not isinstance(records, list):
+            raise CalibrationCorruptError(str(target), "records is not a list")
+        expected = cls._checksum(json.dumps(records, sort_keys=True))
+        if envelope.get("checksum") != expected:
+            raise CalibrationCorruptError(
+                str(target),
+                f"checksum mismatch (saved {envelope.get('checksum')!r}, "
+                f"computed {expected!r})",
+            )
+        history = cls()
+        try:
+            for entry in records:
+                key = (str(entry["kind"]), str(entry["region"]), str(entry["fingerprint"]))
+                history._records[key] = CalibrationRecord.from_dict(entry)
+        except (KeyError, TypeError, ValueError) as error:
+            raise CalibrationCorruptError(
+                str(target), f"malformed record: {error}"
+            ) from error
+        history._version = 1 if history._records else 0
+        return history
+
+    @classmethod
+    def load_or_fresh(cls, path: str | os.PathLike[str]) -> "FeedbackHistory":
+        """Load when the file exists; a missing file is a normal cold start
+        (corruption still raises — it must be visible)."""
+        try:
+            return cls.load(path)
+        except FileNotFoundError:
+            return cls()
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self, fingerprint: str | None = None) -> dict[str, Any]:
+        """A JSON-friendly view of calibration state (``stats --json``)."""
+        with self._lock:
+            keys = [
+                key for key in self._records
+                if fingerprint is None or key[2] == fingerprint
+            ]
+            fingerprints = sorted({key[2] for key in keys})
+            return {
+                "version": self._version,
+                "keys": len(keys),
+                "observations": sum(
+                    self._records[key].observations for key in keys
+                ),
+                "fingerprints": fingerprints,
+                "corrections": {
+                    f"{kind}:{region}": round(self._records[(kind, region, fp)].correction, 4)
+                    for (kind, region, fp) in sorted(keys)
+                },
+            }
+
+    def describe(self, fingerprint: str | None = None) -> str:
+        view = self.snapshot(fingerprint)
+        if not view["keys"]:
+            return "calibration: cold (no history)"
+        return (
+            f"calibration: {view['observations']} observation(s) over "
+            f"{view['keys']} key(s), {len(view['fingerprints'])} corpus "
+            f"fingerprint(s), version {view['version']}"
+        )

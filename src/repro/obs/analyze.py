@@ -13,7 +13,7 @@ in CI against ``schemas/analyze.schema.json``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.algebra.ast import (
     Inclusion,
@@ -63,13 +63,20 @@ def node_label(node: RegionExpr) -> str:
 
 @dataclass
 class NodeAnalysis:
-    """One plan-node row: the estimate next to what actually happened."""
+    """One plan-node row: the estimate next to what actually happened.
+
+    ``estimated_rows`` is the cardinality estimate in *regions* — the same
+    unit as ``actual_regions`` — so estimate-vs-actual deltas are
+    rows-vs-rows, not cost-units-vs-rows (static cost units are only
+    comparable to other static costs).
+    """
 
     depth: int
     label: str
     expression: str
     estimated_cost: int
     estimated_subtree_cost: int
+    estimated_rows: float | None = None
     actual_seconds: float | None = None
     actual_regions: int | None = None
     cached: bool | None = None
@@ -81,6 +88,7 @@ class NodeAnalysis:
             "expression": self.expression,
             "estimated_cost": self.estimated_cost,
             "estimated_subtree_cost": self.estimated_subtree_cost,
+            "estimated_rows": self.estimated_rows,
             "actual_s": self.actual_seconds,
             "actual_regions": self.actual_regions,
             "cached": self.cached,
@@ -90,9 +98,15 @@ class NodeAnalysis:
 def build_node_table(
     expression: RegionExpr,
     node_log: dict[RegionExpr, NodeRecord] | None,
+    estimator: "Callable[[RegionExpr], float] | None" = None,
 ) -> list[NodeAnalysis]:
     """Pre-order plan-node rows pairing each node's static estimate with
-    its measured record (when the expression was instrumented)."""
+    its measured record (when the expression was instrumented).
+
+    ``estimator`` maps a node to its estimated output cardinality in
+    regions (the calibrated cost model's ``estimate_rows``); omitted, the
+    rows carry no cardinality estimates.
+    """
     rows: list[NodeAnalysis] = []
 
     def visit(node: RegionExpr, depth: int) -> None:
@@ -104,6 +118,7 @@ def build_node_table(
                 expression=str(node),
                 estimated_cost=node_weight(node),
                 estimated_subtree_cost=static_cost(node),
+                estimated_rows=estimator(node) if estimator is not None else None,
                 actual_seconds=record.elapsed if record is not None else None,
                 actual_regions=record.regions if record is not None else None,
                 cached=record.cached if record is not None else None,
@@ -155,8 +170,13 @@ class Analysis:
         if self.nodes:
             lines.append("")
             lines.append("plan nodes (estimated cost | measured):")
-            lines.append("  est  subtree     actual    regions  node")
+            lines.append("  est  subtree  est.rows     actual    regions  node")
             for row in self.nodes:
+                est_rows = (
+                    f"{row.estimated_rows:8.1f}"
+                    if row.estimated_rows is not None
+                    else "       –"
+                )
                 actual = (
                     f"{row.actual_seconds * 1e3:7.3f}ms"
                     if row.actual_seconds is not None
@@ -171,7 +191,7 @@ class Analysis:
                 indent = "  " * row.depth
                 lines.append(
                     f"  {row.estimated_cost:<4d} {row.estimated_subtree_cost:<7d} "
-                    f"{actual}  {regions}  {indent}{row.label}{cached}"
+                    f"{est_rows}  {actual}  {regions}  {indent}{row.label}{cached}"
                 )
         if self.trace is not None:
             lines.append("")

@@ -83,6 +83,8 @@ class QueryStats:
         - ``warnings``: structured non-fatal incidents, each a
           ``{code, message, detail}`` dict (degradations, skipped
           malformed regions)
+        - ``replans``: mid-query adaptive re-planning records (empty when
+          the plan ran to completion as chosen)
         - ``duration_s``: end-to-end seconds (0.0 when untraced)
         - ``trace``: the span tree (``None`` when untraced)
         """
@@ -99,6 +101,7 @@ class QueryStats:
             "algebra": execution.algebra.snapshot(),
             "cache": self.cache,
             "warnings": [warning.to_dict() for warning in execution.warnings],
+            "replans": [dict(record) for record in execution.replans],
             "duration_s": self.duration_seconds,
             "trace": self.trace.to_dict() if self.trace is not None else None,
         }

@@ -24,6 +24,7 @@ SHARD_FAILED = "shard-failed"
 SHARD_RETRIED = "shard-retried"
 SHARD_SKIPPED_OPEN_BREAKER = "shard-skipped-open-breaker"
 PARTIAL_RESULT = "partial-result"
+REPLANNED = "replanned"
 
 
 @dataclass(frozen=True)

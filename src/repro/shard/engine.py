@@ -34,6 +34,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclass_replace
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Sequence
@@ -45,6 +46,7 @@ from repro.db.parser import parse_query
 from repro.db.query import Query
 from repro.db.values import Value, canonical
 from repro.errors import QueryError, ShardFailedError
+from repro.feedback import HISTORY_FILENAME, FeedbackConfig, FeedbackHistory
 from repro.index.config import IndexConfig
 from repro.obs.analyze import Analysis, build_node_table
 from repro.obs.trace import Span, Trace
@@ -163,6 +165,8 @@ class ShardedEngine:
         fail_fast: bool = False,
         fault_injector: FaultInjector | None = None,
         retry_sleep: Callable[[float], Any] = time.sleep,
+        feedback: "FeedbackConfig | bool | None" = None,
+        feedback_history: "FeedbackHistory | None" = None,
     ) -> None:
         if not shards:
             raise ValueError("a sharded engine needs at least one shard")
@@ -188,6 +192,18 @@ class ShardedEngine:
         self.fail_fast = fail_fast
         self.fault_injector = fault_injector
         self._retry_sleep = retry_sleep
+        # One shared history across all shards: keys carry each shard's own
+        # corpus fingerprint, so per-shard calibration is automatic while
+        # persistence stays a single root-level feedback.json.
+        self.feedback_config = FeedbackConfig.coerce(feedback)
+        if feedback_history is not None:
+            self.feedback_history = feedback_history
+        elif self.feedback_config.enabled and self.feedback_config.directory:
+            self.feedback_history = FeedbackHistory.load_or_fresh(
+                Path(self.feedback_config.directory) / HISTORY_FILENAME
+            )
+        else:
+            self.feedback_history = FeedbackHistory()
         self._shards = list(shards)
         for shard in self._shards:
             shard.breaker = CircuitBreaker(self.breaker_config, name=shard.name)
@@ -266,6 +282,12 @@ class ShardedEngine:
         corrupt or missing shard costs exactly one shard, not the corpus.
         """
         root = Path(directory)
+        options = dict(options)
+        feedback = FeedbackConfig.coerce(options.get("feedback"))
+        if feedback.enabled and feedback.directory is None:
+            # Default the calibration home to the index root, so history
+            # saved by `save()` is picked up transparently on reopen.
+            options["feedback"] = dataclass_replace(feedback, directory=str(root))
         manifest = load_shard_manifest(root)
         shards = []
         for entry in manifest.shards:
@@ -325,6 +347,8 @@ class ShardedEngine:
                 schema_fingerprint=schema_fingerprint(self.schema),
             ),
         )
+        if self.feedback_config.enabled and len(self.feedback_history):
+            self.feedback_history.save(root / HISTORY_FILENAME)
 
     # -- shard plumbing --------------------------------------------------------
 
@@ -361,6 +385,8 @@ class ShardedEngine:
                     policy=self.policy,
                     budget=self.budget,
                     source_path=shard.source_path,
+                    feedback=self.feedback_config,
+                    feedback_history=self.feedback_history,
                 )
             else:
                 shard.engine = FileQueryEngine(
@@ -372,6 +398,8 @@ class ShardedEngine:
                     tracing=self.tracing,
                     policy=self.policy,
                     budget=self.budget,
+                    feedback=self.feedback_config,
+                    feedback_history=self.feedback_history,
                 )
             return shard.engine
 
@@ -708,7 +736,20 @@ class ShardedEngine:
                 engine.index.run(
                     plan.optimized_expression, node_log=node_log, use_cache=False
                 )
-                nodes = build_node_table(plan.optimized_expression, node_log)
+                # Estimate (and, when enabled, feed the shared history)
+                # against the instrumented shard's own fingerprint:
+                # per-shard keying is what makes the corrections honest.
+                nodes = build_node_table(
+                    plan.optimized_expression,
+                    node_log,
+                    estimator=engine.cost_model.estimate_rows,
+                )
+                if self.feedback_config.enabled:
+                    fed = engine.cost_model.observe_tree(
+                        plan.optimized_expression, node_log
+                    )
+                    if fed:
+                        self.save_feedback()
         return Analysis(
             plan=plan,
             stats=result.stats,  # type: ignore[arg-type] — duck-typed facade
@@ -716,6 +757,24 @@ class ShardedEngine:
             trace=result.trace,
             cache=self.cache_description(),
         )
+
+    def save_feedback(self) -> None:
+        """Persist the shared calibration history to its configured
+        directory (no-op when feedback is disabled or in-memory only)."""
+        if self.feedback_config.enabled and self.feedback_config.directory:
+            self.feedback_history.save(
+                Path(self.feedback_config.directory) / HISTORY_FILENAME
+            )
+
+    def calibration_state(self) -> dict[str, Any]:
+        """Corpus-wide calibration state: the shared history's snapshot
+        (per-shard fingerprints appear as distinct entries)."""
+        return {
+            "enabled": self.feedback_config.enabled,
+            "directory": self.feedback_config.directory,
+            "shards": len(self._shards),
+            **self.feedback_history.snapshot(),
+        }
 
     def _any_engine(self) -> FileQueryEngine:
         """The first shard engine that loads (for planning/explain)."""

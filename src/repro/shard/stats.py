@@ -130,6 +130,17 @@ class ShardedStats:
                 merged[key] = merged.get(key, 0) + value
         return merged
 
+    def _merged_replans(self) -> list[dict[str, Any]]:
+        """Per-shard adaptive-replan records, each tagged with its shard."""
+        merged: list[dict[str, Any]] = []
+        for record, result in zip(
+            (record for record in self.shards if record.status == OK),
+            self._results,
+        ):
+            for replan in result.stats.replans:
+                merged.append({**dict(replan), "shard": record.shard})
+        return merged
+
     def _merged_cache(self) -> dict[str, int]:
         merged = {
             "expression_hits": 0,
@@ -161,6 +172,7 @@ class ShardedStats:
             "algebra": self._merged_algebra(),
             "cache": self._merged_cache(),
             "warnings": [warning.to_dict() for warning in self.warnings],
+            "replans": self._merged_replans(),
             "duration_s": self.duration_s,
             "trace": self.trace.to_dict() if self.trace is not None else None,
             "shards": [record.to_dict() for record in self.shards],

@@ -1,0 +1,146 @@
+"""The calibrated cost model.
+
+The load-bearing property: on an *empty* history the calibrated model
+agrees with the static rewrite ordering — every Definition 3.4 rewrite
+the optimizer applies strictly decreases calibrated cost.  That is what
+keeps cold-start planning identical to the uncalibrated engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.ast import parse_expression
+from repro.core.optimizer import OptimizationTrace, optimize
+from repro.feedback import CalibratedCostModel, FeedbackConfig, FeedbackHistory
+from repro.feedback.calibrate import anchor_region, node_kind
+
+FP = "sha256:test-corpus"
+
+
+class _EmptyInstance:
+    """An instance with no indexed regions: every seed count is zero, so
+    strict decrease must come from the model's structure alone."""
+
+    def get(self, name):
+        return ()
+
+
+def _cold_model(instance) -> CalibratedCostModel:
+    return CalibratedCostModel(instance, FP, FeedbackHistory())
+
+
+#: Inclusion chains over the paper's BibTeX RIG that the Section 3.2
+#: optimizer actually rewrites (both rule families, in combination).
+REWRITABLE = [
+    "Reference >d Title",
+    "Reference >d Authors",
+    "Reference >d Authors >d Name",
+    "Reference >d Authors >d Name >d Last_Name",
+    "Reference > Authors > Name > Last_Name",
+    "Reference >d Authors >d Name >d sigma[chang](Last_Name)",
+    "Reference >d Editors >d Name",
+    "(Reference >d Authors >d Name) | (Reference >d Title)",
+]
+
+
+class TestRewritesStrictlyDecreaseCost:
+    @pytest.mark.parametrize("text", REWRITABLE)
+    def test_on_real_counts(self, text, bibtex_engine, paper_rig):
+        model = _cold_model(bibtex_engine.index.instance)
+        raw = parse_expression(text)
+        trace = OptimizationTrace()
+        optimized = optimize(raw, paper_rig, trace)
+        assert trace.rewrite_count > 0, f"expected rewrites for {text}"
+        assert model.cost(optimized) < model.cost(raw)
+
+    @pytest.mark.parametrize("text", REWRITABLE)
+    def test_on_empty_instance(self, text, paper_rig):
+        # Zero region counts everywhere: the `1 +` inflow term must keep
+        # the decrease strict even with nothing indexed.
+        model = _cold_model(_EmptyInstance())
+        raw = parse_expression(text)
+        trace = OptimizationTrace()
+        optimized = optimize(raw, paper_rig, trace)
+        assert trace.rewrite_count > 0
+        assert model.cost(optimized) < model.cost(raw)
+
+    def test_relax_family_in_isolation(self, bibtex_engine):
+        model = _cold_model(bibtex_engine.index.instance)
+        direct = parse_expression("Reference >d Title")
+        simple = parse_expression("Reference > Title")
+        assert model.cost(simple) < model.cost(direct)
+
+    def test_shorten_family_in_isolation(self, bibtex_engine):
+        model = _cold_model(bibtex_engine.index.instance)
+        long_chain = parse_expression("Reference > Authors > Last_Name")
+        short_chain = parse_expression("Reference > Last_Name")
+        assert model.cost(short_chain) < model.cost(long_chain)
+
+    def test_every_intermediate_step_decreases(self, bibtex_engine, paper_rig):
+        # Walk the longest chain down one shortening at a time: each
+        # single-step rewrite (not only the fixpoint) must pay for itself.
+        model = _cold_model(bibtex_engine.index.instance)
+        steps = [
+            "Reference >d Authors >d Name >d Last_Name",
+            "Reference > Authors > Name > Last_Name",
+            "Reference > Authors > Last_Name",
+            "Reference > Last_Name",
+        ]
+        costs = [model.cost(parse_expression(text)) for text in steps]
+        assert costs == sorted(costs, reverse=True)
+        assert len(set(costs)) == len(costs)
+
+
+class TestEstimates:
+    def test_name_seeds_from_index_counts(self, bibtex_engine):
+        model = _cold_model(bibtex_engine.index.instance)
+        node = parse_expression("Reference")
+        expected = len(bibtex_engine.index.instance.get("Reference"))
+        assert model.estimate_rows(node) == pytest.approx(float(expected))
+
+    def test_cold_model_is_not_calibrated(self, bibtex_engine):
+        model = _cold_model(bibtex_engine.index.instance)
+        assert not model.calibrated
+
+    def test_corrections_scale_estimates(self, bibtex_engine):
+        history = FeedbackHistory()
+        model = CalibratedCostModel(
+            bibtex_engine.index.instance, FP, history
+        )
+        node = parse_expression("Reference")
+        cold = model.estimate_rows(node)
+        history.observe(
+            node_kind(node), anchor_region(node), FP, estimated=cold, actual=cold * 3
+        )
+        assert model.calibrated
+        assert model.estimate_rows(node) == pytest.approx(cold * 3.0)
+
+    def test_observe_tree_skips_cached_records(self, bibtex_engine):
+        from repro.algebra.evaluator import NodeRecord
+
+        history = FeedbackHistory()
+        model = CalibratedCostModel(bibtex_engine.index.instance, FP, history)
+        expression = parse_expression("Reference > Last_Name")
+        node_log = {
+            node: NodeRecord(elapsed=0.0, regions=5, cached=True)
+            for node in expression.walk()
+        }
+        assert model.observe_tree(expression, node_log) == 0
+        assert not model.calibrated
+
+    def test_selectivity_knobs_apply(self, bibtex_engine):
+        loose = CalibratedCostModel(
+            bibtex_engine.index.instance,
+            FP,
+            FeedbackHistory(),
+            config=FeedbackConfig(select_selectivity=1.0),
+        )
+        tight = CalibratedCostModel(
+            bibtex_engine.index.instance,
+            FP,
+            FeedbackHistory(),
+            config=FeedbackConfig(select_selectivity=0.1),
+        )
+        node = parse_expression("sigma[chang](Last_Name)")
+        assert tight.estimate_rows(node) < loose.estimate_rows(node)

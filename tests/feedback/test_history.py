@@ -1,0 +1,143 @@
+"""FeedbackHistory: observation arithmetic, versioning, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CalibrationCorruptError, FeedbackError, ReproError
+from repro.feedback import FeedbackConfig, FeedbackHistory, HISTORY_FILENAME
+from repro.feedback.history import MAX_CORRECTION, MIN_CORRECTION
+
+FP = "sha256:corpus-a"
+
+
+class TestObservation:
+    def test_unknown_key_correction_is_neutral(self):
+        history = FeedbackHistory()
+        assert history.correction("name", "Reference", FP) == 1.0
+
+    def test_correction_is_actual_over_estimated(self):
+        history = FeedbackHistory()
+        history.observe("name", "Reference", FP, estimated=10.0, actual=40.0)
+        assert history.correction("name", "Reference", FP) == pytest.approx(4.0)
+
+    def test_correction_accumulates_totals(self):
+        history = FeedbackHistory()
+        history.observe("select:exact", "Title", FP, estimated=10.0, actual=30.0)
+        history.observe("select:exact", "Title", FP, estimated=10.0, actual=10.0)
+        # (30 + 10) / (10 + 10)
+        assert history.correction("select:exact", "Title", FP) == pytest.approx(2.0)
+
+    def test_correction_is_clamped(self):
+        history = FeedbackHistory()
+        history.observe("name", "A", FP, estimated=1.0, actual=1e9)
+        history.observe("name", "B", FP, estimated=1e9, actual=1.0)
+        assert history.correction("name", "A", FP) == MAX_CORRECTION
+        assert history.correction("name", "B", FP) == MIN_CORRECTION
+
+    def test_keys_partition_by_fingerprint(self):
+        history = FeedbackHistory()
+        history.observe("name", "Reference", "fp-one", 10.0, 40.0)
+        assert history.correction("name", "Reference", "fp-two") == 1.0
+        assert history.has_history("fp-one")
+        assert not history.has_history("fp-two")
+
+    def test_version_bumps_on_new_key(self):
+        history = FeedbackHistory()
+        before = history.version
+        assert history.observe("name", "Reference", FP, 10.0, 10.0)
+        assert history.version == before + 1
+
+    def test_version_stable_under_converged_observations(self):
+        history = FeedbackHistory()
+        history.observe("name", "Reference", FP, 10.0, 20.0)
+        settled = history.version
+        # Identical estimate/actual pairs keep the correction fixed: the
+        # version must not bump, or repeated queries would thrash the
+        # plan cache forever.
+        for _ in range(5):
+            assert not history.observe("name", "Reference", FP, 10.0, 20.0)
+        assert history.version == settled
+
+    def test_version_bumps_on_material_move(self):
+        history = FeedbackHistory()
+        history.observe("name", "Reference", FP, 10.0, 10.0)
+        settled = history.version
+        assert history.observe("name", "Reference", FP, 10.0, 1000.0)
+        assert history.version > settled
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        history = FeedbackHistory()
+        history.observe("name", "Reference", FP, 10.0, 40.0)
+        history.observe("inclusion:>", "Reference", FP, 20.0, 5.0)
+        target = tmp_path / HISTORY_FILENAME
+        history.save(target)
+        loaded = FeedbackHistory.load(target)
+        assert len(loaded) == 2
+        assert loaded.correction("name", "Reference", FP) == pytest.approx(4.0)
+        assert loaded.correction("inclusion:>", "Reference", FP) == pytest.approx(0.25)
+        assert loaded.has_history(FP)
+
+    def test_load_or_fresh_on_missing_file(self, tmp_path):
+        history = FeedbackHistory.load_or_fresh(tmp_path / "absent.json")
+        assert len(history) == 0
+
+    def test_load_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FeedbackHistory.load(tmp_path / "absent.json")
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all {",
+            json.dumps(["not", "an", "object"]),
+            json.dumps({"format": 99, "checksum": "x", "records": []}),
+            json.dumps({"format": 1, "checksum": "x", "records": "nope"}),
+        ],
+        ids=["bad-json", "bad-envelope", "bad-format", "bad-records"],
+    )
+    def test_corrupt_payloads_raise_typed_error(self, tmp_path, payload):
+        target = tmp_path / HISTORY_FILENAME
+        target.write_text(payload, encoding="utf-8")
+        with pytest.raises(CalibrationCorruptError) as excinfo:
+            FeedbackHistory.load(target)
+        assert excinfo.value.path == str(target)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_flipped_bit_fails_the_checksum(self, tmp_path):
+        history = FeedbackHistory()
+        history.observe("name", "Reference", FP, 10.0, 40.0)
+        target = tmp_path / HISTORY_FILENAME
+        history.save(target)
+        envelope = json.loads(target.read_text(encoding="utf-8"))
+        envelope["records"][0]["actual_total"] = 9999.0
+        target.write_text(json.dumps(envelope), encoding="utf-8")
+        with pytest.raises(CalibrationCorruptError, match="checksum"):
+            FeedbackHistory.load(target)
+
+    def test_load_or_fresh_still_raises_on_corruption(self, tmp_path):
+        target = tmp_path / HISTORY_FILENAME
+        target.write_text("garbage", encoding="utf-8")
+        with pytest.raises(CalibrationCorruptError):
+            FeedbackHistory.load_or_fresh(target)
+
+
+class TestConfig:
+    def test_coerce_shorthands(self):
+        assert not FeedbackConfig.coerce(None).enabled
+        assert not FeedbackConfig.coerce(False).enabled
+        assert FeedbackConfig.coerce(True).enabled
+        config = FeedbackConfig(replan_factor=8.0)
+        assert FeedbackConfig.coerce(config) is config
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(FeedbackError):
+            FeedbackConfig(replan_factor=1.0)
+        with pytest.raises(FeedbackError):
+            FeedbackConfig(select_selectivity=0.0)
+        with pytest.raises(FeedbackError):
+            FeedbackConfig(inclusion_selectivity=1.5)

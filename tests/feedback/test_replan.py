@@ -1,0 +1,132 @@
+"""Mid-query adaptive re-planning.
+
+A replan must be invisible in the answer (row-identical to the plan it
+abandoned) and loud in the diagnostics (a ``replanned`` warning, a
+``replanned`` trace span, and a structured record in ``stats.replans``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.feedback import FeedbackConfig, FeedbackHistory
+from repro.feedback.calibrate import (
+    CalibratedCostModel,
+    ReplanTriggered,
+    make_node_guard,
+)
+from repro.resilience.warnings import REPLANNED
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+SELECT = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+
+def _underestimating_engine(text: str, **config_knobs) -> FileQueryEngine:
+    """An engine whose history says every estimate runs ~64x too high, so
+    real cardinalities blow past the corrected estimates and trigger the
+    replan guard almost immediately."""
+    config = FeedbackConfig(
+        replan_factor=2.0, replan_min_rows=1, **config_knobs
+    )
+    engine = FileQueryEngine(bibtex_schema(), text, feedback=config)
+    for name in engine.index.instance.names:
+        for kind in ("name", "inclusion:>", "inclusion:>d", "select:exact"):
+            engine.feedback_history.observe(
+                kind, name, engine.corpus_fingerprint,
+                estimated=1e6, actual=1.0,
+            )
+    assert engine.cost_model.calibrated
+    return engine
+
+
+@pytest.fixture(scope="module")
+def corpus_text() -> str:
+    return generate_bibtex(entries=40, seed=3)
+
+
+class TestReplannedQueries:
+    def test_rows_identical_to_unreplanned(self, corpus_text):
+        plain = FileQueryEngine(bibtex_schema(), corpus_text)
+        replanning = _underestimating_engine(corpus_text)
+        expected = plain.query(SELECT)
+        result = replanning.query(SELECT)
+        assert result.stats.replans, "expected the replan guard to fire"
+        assert len(result.rows) == len(expected.rows)
+        assert result.canonical_rows() == expected.canonical_rows()
+
+    def test_replan_diagnostics(self, corpus_text):
+        engine = _underestimating_engine(corpus_text)
+        result = engine.query(SELECT)
+        assert result.stats.strategy == "full-scan(replanned)"
+        [record] = result.stats.replans[:1]
+        assert record["actual"] > record["estimated"] * 2.0
+        assert record["to_strategy"] == "full-scan"
+        codes = [warning.code for warning in result.stats.warnings]
+        assert REPLANNED in codes
+        trace = result.stats.trace
+        assert trace is not None
+
+        def span_names(span):
+            yield span.name
+            for child in span.children:
+                yield from span_names(child)
+
+        assert "replanned" in list(span_names(trace.root))
+
+    def test_replans_surface_in_stats_json(self, corpus_text):
+        engine = _underestimating_engine(corpus_text)
+        payload = engine.query(SELECT).stats.to_dict()
+        assert payload["replans"]
+        record = payload["replans"][0]
+        assert set(record) >= {
+            "node", "estimated", "actual", "factor",
+            "from_strategy", "to_strategy",
+        }
+
+    def test_cold_engine_never_replans(self, corpus_text):
+        # Feedback on, history empty: the guard must stay inert, keeping
+        # cold behavior identical to a feedback-free build.
+        engine = FileQueryEngine(
+            bibtex_schema(), corpus_text,
+            feedback=FeedbackConfig(replan_factor=1.5, replan_min_rows=1),
+        )
+        result = engine.query(SELECT)
+        assert result.stats.replans == []
+        assert result.stats.strategy != "full-scan(replanned)"
+
+
+class TestNodeGuard:
+    def test_guard_respects_min_rows(self, bibtex_engine):
+        history = FeedbackHistory()
+        model = CalibratedCostModel(
+            bibtex_engine.index.instance,
+            "fp",
+            history,
+            config=FeedbackConfig(replan_factor=2.0, replan_min_rows=1000),
+        )
+        from repro.algebra.ast import parse_expression
+
+        node = parse_expression("Last_Name")
+        history.observe("name", "Last_Name", "fp", estimated=1e6, actual=1.0)
+        guard = make_node_guard(model)
+        # Far beyond factor x estimate, but below the absolute floor.
+        guard(node, 999)
+
+    def test_guard_raises_past_both_thresholds(self, bibtex_engine):
+        history = FeedbackHistory()
+        model = CalibratedCostModel(
+            bibtex_engine.index.instance,
+            "fp",
+            history,
+            config=FeedbackConfig(replan_factor=2.0, replan_min_rows=1),
+        )
+        from repro.algebra.ast import parse_expression
+
+        node = parse_expression("Last_Name")
+        history.observe("name", "Last_Name", "fp", estimated=1e6, actual=1.0)
+        guard = make_node_guard(model)
+        estimate = model.estimate_rows(node)
+        with pytest.raises(ReplanTriggered) as excinfo:
+            guard(node, int(estimate * 3) + 1)
+        assert excinfo.value.actual > excinfo.value.estimated

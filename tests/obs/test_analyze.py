@@ -102,10 +102,15 @@ class TestEngineAnalyze:
                 "expression",
                 "estimated_cost",
                 "estimated_subtree_cost",
+                "estimated_rows",
                 "actual_s",
                 "actual_regions",
                 "cached",
             }
+            # Rows-vs-rows: the cardinality estimate shares the unit of
+            # actual_regions (satellite 1 of the feedback-calibration PR).
+            assert row["estimated_rows"] is not None
+            assert row["estimated_rows"] >= 0.0
         assert data["stages"]["name"] == "query"
         json.dumps(data)
 

@@ -9,7 +9,7 @@ import repro
 
 class TestExports:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_shard_exports(self):
         from repro import shard
@@ -28,6 +28,16 @@ class TestExports:
         assert repro.call_with_retry is resilience.call_with_retry
         assert repro.CircuitBreaker is resilience.CircuitBreaker
         assert repro.BreakerConfig is resilience.BreakerConfig
+
+    def test_feedback_exports(self):
+        from repro import feedback
+
+        assert repro.FeedbackConfig is feedback.FeedbackConfig
+        assert repro.FeedbackHistory is feedback.FeedbackHistory
+        assert repro.CalibratedCostModel is feedback.CalibratedCostModel
+        assert repro.ReplanTriggered is feedback.ReplanTriggered
+        assert issubclass(repro.CalibrationCorruptError, repro.FeedbackError)
+        assert issubclass(repro.FeedbackError, repro.ReproError)
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
