@@ -84,7 +84,7 @@ def bench_multi_join_calibrated(benchmark, calibrated_engine, bibtex_engines):
     result = benchmark(lambda: calibrated_engine.query(CITATION_JOIN))
     benchmark.extra_info.update(
         rows=len(result.rows),
-        observations=calibrated_engine.calibration_state()["observations"],
+        observations=calibrated_engine.stats().calibration["observations"],
     )
     reference = bibtex_engines[400].query(CITATION_JOIN)
     assert result.canonical_rows() == reference.canonical_rows()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate query-server response envelopes against the checked-in schema,
+with no third-party dependencies.
+
+Usage::
+
+    curl -s localhost:8080/stats | python scripts/check_server_schema.py
+    python scripts/check_server_schema.py response.json [response2.json ...]
+
+Each input document must be one envelope from the family pinned in
+``schemas/server.schema.json``.  Validation happens in three steps:
+
+1. the envelope base (``ok`` + a known ``kind``);
+2. the full shape for that ``kind`` (``#/definitions/<kind>``);
+3. for ``kind=analyze``, the ``analysis`` payload additionally against
+   ``schemas/analyze.schema.json`` — the server's analyze body is the
+   CLI's ``analyze --json`` contract verbatim, and this keeps the two
+   from drifting apart.
+
+Reuses the subset-of-JSON-Schema validator from
+``scripts/check_analyze_schema.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from check_analyze_schema import SCHEMA_PATH as ANALYZE_SCHEMA_PATH  # noqa: E402
+from check_analyze_schema import validate  # noqa: E402
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "server.schema.json"
+
+
+def validate_envelope(document: object, schema: dict, analyze_schema: dict) -> list[str]:
+    """All violations for one server envelope (empty = valid)."""
+    errors = validate(document, schema, root=schema)
+    if errors or not isinstance(document, dict):
+        return errors
+    kind = document.get("kind")
+    definition = schema["definitions"].get(kind)
+    if definition is None:  # the enum check above already flagged it
+        return [f"$: unknown envelope kind {kind!r}"]
+    errors = validate(document, definition, root=schema, path=f"$({kind})")
+    if not errors and kind == "analyze":
+        errors = validate(
+            document["analysis"], analyze_schema, path="$(analyze).analysis"
+        )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    analyze_schema = json.loads(ANALYZE_SCHEMA_PATH.read_text(encoding="utf-8"))
+    sources = (
+        [(path, Path(path).read_text(encoding="utf-8")) for path in argv[1:]]
+        if len(argv) > 1
+        else [("<stdin>", sys.stdin.read())]
+    )
+    failed = False
+    for name, text in sources:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            print(f"{name}: invalid JSON: {error}", file=sys.stderr)
+            return 2
+        errors = validate_envelope(document, schema, analyze_schema)
+        for message in errors:
+            print(f"{name}: schema violation: {message}", file=sys.stderr)
+        failed = failed or bool(errors)
+    if failed:
+        return 1
+    print(
+        f"{len(sources)} envelope(s) conform to schemas/server.schema.json"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

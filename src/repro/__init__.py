@@ -30,9 +30,22 @@ Package layout
 - :mod:`repro.feedback` — feedback-calibrated cost model and adaptive
   re-planning (persisted estimate-vs-actual history);
 - :mod:`repro.shard` — sharded corpora: scatter-gather queries over one
-  fault-isolated engine + index per corpus file.
+  fault-isolated engine + index per corpus file;
+- :mod:`repro.api` — the unified engine API: one request/response
+  dataclass family and the :class:`~repro.api.QueryBackend` protocol both
+  engines satisfy;
+- :mod:`repro.server` — a concurrent HTTP serving layer (``repro serve``)
+  with admission control, budget quotas, and cursor pagination.
 """
 
+from repro.api import (
+    AnalyzeResponse,
+    ExplainResponse,
+    QueryBackend,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+)
 from repro.algebra import (
     Region,
     RegionSet,
@@ -83,6 +96,7 @@ from repro.obs import (
 )
 from repro.errors import ShardError, ShardFailedError
 from repro.errors import CalibrationCorruptError, FeedbackError
+from repro.errors import PaginationError, ServerError, ServerOverloadedError
 from repro.feedback import (
     CalibratedCostModel,
     FeedbackConfig,
@@ -100,6 +114,7 @@ from repro.resilience import (
 )
 from repro.rig import RegionInclusionGraph, derive_full_rig, derive_partial_rig
 from repro.schema import Grammar, StructuringSchema
+from repro.server import QueryServer, ServerConfig
 from repro.shard import (
     ShardedEngine,
     ShardedQueryResult,
@@ -108,7 +123,7 @@ from repro.shard import (
 )
 from repro.text import Corpus, Document
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Region",
@@ -159,6 +174,16 @@ __all__ = [
     "ShardedQueryResult",
     "ShardedStats",
     "split_corpus",
+    # unified engine API
+    "AnalyzeResponse",
+    "ExplainResponse",
+    "QueryBackend",
+    "QueryRequest",
+    "QueryResponse",
+    "StatsResponse",
+    # serving layer
+    "QueryServer",
+    "ServerConfig",
     # error hierarchy
     "ReproError",
     "RegionError",
@@ -183,6 +208,9 @@ __all__ = [
     "CalibrationCorruptError",
     "ShardError",
     "ShardFailedError",
+    "PaginationError",
+    "ServerError",
+    "ServerOverloadedError",
     "__version__",
 ]
 

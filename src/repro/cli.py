@@ -42,8 +42,15 @@ Examples::
         --fail-fast --max-parallel 4 'SELECT ...'
 
 ``query``, ``stats``, ``analyze``, and ``shard query`` accept ``--json``
-for machine-readable output (the ``analyze`` shape is validated in CI
-against ``schemas/analyze.schema.json``).
+for machine-readable output, assembled from the unified response
+dataclasses in :mod:`repro.api` — the exact shapes the query server
+emits (``analyze`` is validated in CI against
+``schemas/analyze.schema.json``, the server envelopes against
+``schemas/server.schema.json``)::
+
+    # Long-lived query server over a corpus or saved (sharded) index
+    python -m repro serve --workload bibtex --file refs.bib --port 8080
+    python -m repro serve --workload bibtex --index ./sidx --workers 8
 """
 
 from __future__ import annotations
@@ -53,9 +60,9 @@ import json
 import sys
 from typing import Callable
 
+from repro.api import AnalyzeResponse, QueryRequest, query_response, render_value
 from repro.cache import CacheConfig
 from repro.core.engine import FileQueryEngine
-from repro.db.values import AtomicValue, ObjectValue, canonical
 from repro.errors import ReproError
 from repro.index.config import IndexConfig
 from repro.resilience import DegradationPolicy, ResourceBudget
@@ -156,20 +163,6 @@ def _engine_from_args(args: argparse.Namespace) -> FileQueryEngine:
     )
 
 
-def _render_value(value) -> str:
-    if isinstance(value, AtomicValue):
-        return value.text
-    if isinstance(value, ObjectValue):
-        scalars = {
-            key: child.text
-            for key, child in value.attributes.items()
-            if isinstance(child, AtomicValue)
-        }
-        inner = ", ".join(f"{key}={text!r}" for key, text in sorted(scalars.items()))
-        return f"{value.class_name}({inner})"
-    return str(canonical(value))
-
-
 def _cmd_generate(args: argparse.Namespace) -> int:
     _register_workloads()
     if args.workload not in WORKLOADS:
@@ -187,18 +180,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
     result = engine.query(args.query, budget=_budget_from_args(args))
     if getattr(args, "json", False):
-        payload = {
-            "rows": [
-                [_render_value(value) for value in row] for row in result.rows
-            ],
-            "warnings": [warning.to_dict() for warning in result.warnings],
-            "stats": result.stats.to_dict(),
-        }
-        print(json.dumps(payload, indent=2))
+        response = query_response(result, QueryRequest(query=args.query))
+        print(json.dumps(response.to_dict(), indent=2))
         _print_warnings(result)
         return 0
     for row in result.rows:
-        print(" | ".join(_render_value(value) for value in row))
+        print(" | ".join(render_value(value) for value in row))
     _print_warnings(result)
     stats = result.stats
     cache_note = ""
@@ -223,11 +210,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
-    analysis = engine.analyze(args.query)
+    response = AnalyzeResponse.from_analysis(engine.analyze(args.query))
     if getattr(args, "json", False):
-        print(json.dumps(analysis.to_dict(), indent=2))
+        print(json.dumps(response.to_dict(), indent=2))
     else:
-        print(analysis.render())
+        print(response.text)
     return 0
 
 
@@ -288,18 +275,12 @@ def _cmd_shard_query(args: argparse.Namespace) -> int:
     engine = _sharded_engine_from_args(args)
     result = engine.query(args.query, budget=_budget_from_args(args))
     if getattr(args, "json", False):
-        payload = {
-            "rows": [
-                [_render_value(value) for value in row] for row in result.rows
-            ],
-            "warnings": [warning.to_dict() for warning in result.warnings],
-            "stats": result.stats.to_dict(),
-        }
-        print(json.dumps(payload, indent=2))
+        response = query_response(result, QueryRequest(query=args.query))
+        print(json.dumps(response.to_dict(), indent=2))
         _print_warnings(result)
         return 0
     for row in result.rows:
-        print(" | ".join(_render_value(value) for value in row))
+        print(" | ".join(render_value(value) for value in row))
     _print_warnings(result)
     stats = result.stats
     print(
@@ -318,25 +299,20 @@ def _cmd_shard_explain(args: argparse.Namespace) -> int:
 
 def _cmd_shard_analyze(args: argparse.Namespace) -> int:
     engine = _sharded_engine_from_args(args)
-    analysis = engine.analyze(args.query)
+    response = AnalyzeResponse.from_analysis(engine.analyze(args.query))
     if getattr(args, "json", False):
-        print(json.dumps(analysis.to_dict(), indent=2))
+        print(json.dumps(response.to_dict(), indent=2))
     else:
-        print(analysis.render())
+        print(response.text)
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
-    calibration = engine.calibration_state()
+    response = engine.stats()
+    calibration = response.calibration
     if getattr(args, "json", False):
-        payload = {
-            "index": engine.statistics().to_dict(),
-            "cache_config": engine.cache_config.describe(),
-            "cache": engine.cache_stats.to_dict(),
-            "calibration": calibration,
-        }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(response.to_dict(), indent=2))
         return 0
     print(engine.statistics().summary())
     print(f"cache:                  {engine.cache_config.describe()}")
@@ -350,6 +326,53 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
     else:
         print("feedback:               disabled (--feedback to enable)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.server import QueryServer, ServerConfig
+    from repro.shard.manifest import is_sharded_index
+
+    if getattr(args, "index", None) and is_sharded_index(args.index):
+        backend = _sharded_engine_from_args(args)
+    else:
+        backend = _engine_from_args(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        budget=_budget_from_args(args),
+        default_page_size=args.page_size,
+        max_page_size=args.max_page_size,
+    )
+    server = QueryServer(backend, config)
+
+    # SIGTERM/SIGINT only set an event: calling server.shutdown() from
+    # inside a handler would deadlock against the serve loop it interrupts.
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    server.start()
+    print(
+        f"serving {type(backend).__name__} on {server.url} "
+        f"({config.workers} worker(s), queue depth {config.queue_depth}; "
+        f"Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        while not stop.wait(0.5):
+            pass
+    finally:
+        server.shutdown()
+    print("server stopped", file=sys.stderr)
     return 0
 
 
@@ -466,6 +489,64 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(stats, with_query=False)
     add_json(stats)
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived HTTP query server over a corpus or saved index "
+        "(POST /query /explain /analyze, GET /stats /healthz)",
+    )
+    add_common(serve, with_query=False)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="concurrently executing requests (the worker pool size)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        dest="queue_depth",
+        default=16,
+        help="requests allowed to wait past the workers; anything more "
+        "is rejected with a structured 429",
+    )
+    serve.add_argument(
+        "--page-size",
+        type=int,
+        dest="page_size",
+        help="default rows per response page (unset = everything at once)",
+    )
+    serve.add_argument(
+        "--max-page-size",
+        type=int,
+        dest="max_page_size",
+        default=10_000,
+        help="largest page a client may request",
+    )
+    serve.add_argument(
+        "--budget-ms",
+        type=float,
+        dest="budget_ms",
+        help="server-level wall-clock budget; each request's quota "
+        "inherits this deadline",
+    )
+    serve.add_argument(
+        "--budget-regions",
+        type=int,
+        dest="budget_regions",
+        help="server-level region cap, split across workers per request",
+    )
+    serve.add_argument(
+        "--budget-bytes",
+        type=int,
+        dest="budget_bytes",
+        help="server-level (re-)parse byte cap, split across workers",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     shard = commands.add_parser(
         "shard",

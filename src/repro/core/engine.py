@@ -31,6 +31,14 @@ from typing import TYPE_CHECKING
 
 from repro.algebra.counters import OperationCounters
 from repro.algebra.region import Instance, RegionSet
+from repro.api import (
+    AnalyzeResponse,
+    ExplainResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    query_response,
+)
 from repro.cache import CacheConfig, CacheStats
 from repro.core.partial import Execution, ExecutionStats, PlanExecutor
 from repro.core.planner import Plan, Planner
@@ -495,9 +503,18 @@ class FileQueryEngine:
         return self.planner.plan(query)
 
     def query(
-        self, query: Query | str, budget: ResourceBudget | None = None
-    ) -> QueryResult:
+        self,
+        query: QueryRequest | Query | str,
+        budget: ResourceBudget | None = None,
+    ) -> QueryResult | QueryResponse:
         """Plan and execute a query.
+
+        Passing a :class:`~repro.api.QueryRequest` selects the unified
+        :class:`~repro.api.QueryBackend` surface: the request's budget and
+        cursor pagination apply, and the wire-ready
+        :class:`~repro.api.QueryResponse` comes back.  Query text (or a
+        parsed :class:`~repro.db.query.Query`) keeps the historical rich
+        :class:`QueryResult`.
 
         When tracing is enabled (the default) the result carries a
         hierarchical :class:`~repro.obs.trace.Trace` of the pipeline —
@@ -512,6 +529,9 @@ class FileQueryEngine:
         policy, retries once through the unguarded full-scan pipeline under
         a ``degraded`` span.
         """
+        if isinstance(query, QueryRequest):
+            result = self.query(query.query, budget=query.budget)
+            return query_response(result, query)
         tracer = self._tracer()
         if tracer is None:
             plan = self.planner.plan(query)
@@ -601,26 +621,40 @@ class FileQueryEngine:
         )
         return fallback, execution
 
-    def explain(self, query: QueryResult | Query | str) -> str:
+    def explain(
+        self, query: QueryRequest | QueryResult | Query | str
+    ) -> str | ExplainResponse:
         """A human-readable account of the plan for a query, including the
         engine's cache state.
 
         Accepts a :class:`QueryResult` directly (its plan is reused — no
         ``engine.explain(result.plan.query)`` round-trip) as well as query
-        text or a parsed :class:`Query`.
+        text or a parsed :class:`Query`.  A :class:`~repro.api.QueryRequest`
+        returns the wire-ready :class:`~repro.api.ExplainResponse` instead
+        of bare text.
         """
         from repro.core.explain import explain_plan
 
+        if isinstance(query, QueryRequest):
+            return ExplainResponse(text=self.explain(query.query))
         plan = query.plan if isinstance(query, QueryResult) else self.plan(query)
         return explain_plan(plan, cache=self.cache_description())
 
-    def analyze(self, query: QueryResult | Query | str) -> Analysis:
+    def analyze(
+        self, query: QueryRequest | QueryResult | Query | str
+    ) -> Analysis | AnalyzeResponse:
         """EXPLAIN ANALYZE: execute the query (or reuse an already-executed
         :class:`QueryResult`) and return an :class:`~repro.obs.analyze.Analysis`
         pairing the static cost-model estimates with measured actuals —
         per-stage wall-time/bytes from the trace plus per-plan-node timing
-        and region counts from an instrumented evaluation.
+        and region counts from an instrumented evaluation.  A
+        :class:`~repro.api.QueryRequest` executes under the request's
+        budget and returns the wire-ready
+        :class:`~repro.api.AnalyzeResponse`.
         """
+        if isinstance(query, QueryRequest):
+            executed = self.query(query.query, budget=query.budget)
+            return AnalyzeResponse.from_analysis(self.analyze(executed))
         result = query if isinstance(query, QueryResult) else self.query(query)
         plan = result.plan
         nodes = []
@@ -662,6 +696,20 @@ class FileQueryEngine:
             )
 
     def calibration_state(self) -> dict:
+        """Deprecated spelling of the calibration summary: use
+        :meth:`stats` and read ``.calibration`` instead (one unified
+        surface for every statistics consumer)."""
+        import warnings
+
+        warnings.warn(
+            "FileQueryEngine.calibration_state() is deprecated; use "
+            "FileQueryEngine.stats().calibration instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._calibration_state()
+
+    def _calibration_state(self) -> dict:
         """A JSON-friendly summary of the feedback-calibration state for
         this corpus: whether it is enabled, calibrated (history exists for
         this fingerprint), and the per-key corrections."""
@@ -724,6 +772,24 @@ class FileQueryEngine:
 
     def statistics(self) -> IndexStatistics:
         return self.index.statistics()
+
+    def stats(self) -> StatsResponse:
+        """The unified statistics surface (:class:`~repro.api.StatsResponse`):
+        index statistics, cache configuration + lifetime activity, and the
+        feedback-calibration state, as one wire-ready object shared by the
+        CLI's ``stats --json`` and the server's ``GET /stats``."""
+        return StatsResponse(
+            index=self.statistics().to_dict(),
+            cache_config=self.cache_config.describe(),
+            cache=self.cache_stats.to_dict(),
+            calibration=self._calibration_state(),
+            backend={
+                "type": "file",
+                "corpus_bytes": len(self.text),
+                "indexed_names": sorted(self.indexed_names),
+                "degraded": self.degraded,
+            },
+        )
 
     def cache_description(self) -> str:
         """One line: cache configuration plus lifetime hit/miss totals."""

@@ -103,6 +103,12 @@ class TranslationError(QueryError):
     """A query path does not match any path in the region inclusion graph."""
 
 
+class PaginationError(QueryError):
+    """A malformed unified-API request: bad cursor token, a cursor replayed
+    against a different query, or invalid request/budget fields (see
+    :mod:`repro.api`)."""
+
+
 class PlanningError(QueryError):
     """The planner cannot produce an executable plan for a query."""
 
@@ -204,6 +210,26 @@ class ShardFailedError(ShardError):
         else:
             message = f"shard {shard!r} failed after {attempts} attempt(s): {reason}"
         super().__init__(message)
+
+
+class ServerError(ReproError):
+    """Errors in the query-serving layer (see :mod:`repro.server`)."""
+
+
+class ServerOverloadedError(ServerError):
+    """The server declined to admit a request: the worker pool and its
+    queue are full, or the server-level budget has no quota left to mint.
+
+    Carries a ``snapshot`` of the admission state (in-flight requests,
+    queue depth, per-request quota, lifetime tallies) so the structured
+    429-style error tells the client *why* — and the caller can back off
+    intelligently.
+    """
+
+    def __init__(self, reason: str, snapshot: dict | None = None) -> None:
+        self.reason = reason
+        self.snapshot = snapshot if snapshot is not None else {}
+        super().__init__(f"server overloaded: {reason}")
 
 
 class FeedbackError(ReproError):

@@ -1,0 +1,43 @@
+"""A long-lived concurrent query server over the unified engine API.
+
+The paper's engine answers one query per process; this package puts a
+stdlib-only HTTP serving layer in front of any
+:class:`~repro.api.QueryBackend` (a
+:class:`~repro.core.engine.FileQueryEngine` or a
+:class:`~repro.shard.ShardedEngine`), so callers stop paying process
+startup and cold caches on every query:
+
+- ``POST /query``   — execute, with cursor pagination and per-request budgets;
+- ``POST /explain`` — the plan, unexecuted;
+- ``POST /analyze`` — EXPLAIN ANALYZE (the pinned ``analyze.schema.json`` shape);
+- ``GET  /stats``   — server counters + admission state + engine/cache stats;
+- ``GET  /healthz`` — liveness.
+
+Concurrency is bounded twice: an :class:`AdmissionController` mints
+per-request :class:`~repro.resilience.ResourceBudget` quotas from a
+server-level budget and rejects past ``workers + queue_depth`` in flight
+(structured 429), and a :class:`WorkerPool` with a hard queue cap executes
+what was admitted.  All requests share one backend — and therefore its
+thread-safe plan/region/parse caches, so traffic warms itself.
+
+See ``docs/server.md`` for the wire contract
+(``schemas/server.schema.json``) and ``repro serve`` for the CLI.
+"""
+
+from repro.server.admission import Admission, AdmissionController, mint_quota
+from repro.server.app import ERROR_CODES, QueryServerApp, ServerConfig
+from repro.server.http import QueryServer
+from repro.server.pool import WorkerPool
+from repro.server.stats import ServerStats
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "ERROR_CODES",
+    "QueryServer",
+    "QueryServerApp",
+    "ServerConfig",
+    "ServerStats",
+    "WorkerPool",
+    "mint_quota",
+]

@@ -1,0 +1,144 @@
+"""Per-request admission control: quotas minted from a server-level budget.
+
+A long-lived server cannot hand every request an unlimited
+:class:`~repro.resilience.ResourceBudget` — one runaway query would starve
+the rest.  The :class:`AdmissionController` holds the **server-level**
+budget and mints a per-request quota for each admitted request:
+
+- the wall-clock deadline passes through unchanged (it is already
+  per-request semantics);
+- ``max_regions`` and ``max_bytes_parsed`` are divided by the worker
+  count, so even with every worker busy the *executing* requests can
+  never collectively exceed the server's totals.
+
+Admission also enforces the concurrency cap: at most ``workers``
+executing plus ``queue_depth`` waiting.  A request past that is rejected
+*immediately* with a typed :class:`~repro.errors.ServerOverloadedError`
+carrying the admission snapshot — the structured 429 — instead of
+degrading the healthy requests already in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ServerOverloadedError
+from repro.resilience.budget import ResourceBudget
+
+
+def mint_quota(
+    server_budget: ResourceBudget | None,
+    workers: int,
+    per_request: ResourceBudget | None = None,
+) -> ResourceBudget | None:
+    """The per-request quota: an explicit override wins; otherwise the
+    server-level totals split evenly across the worker pool.  ``None``
+    when the server runs unmetered."""
+    if per_request is not None:
+        return per_request
+    if server_budget is None or server_budget.unlimited:
+        return None
+    share = max(1, workers)
+
+    def split(total: int | None) -> int | None:
+        if total is None:
+            return None
+        return max(1, total // share)
+
+    return ResourceBudget(
+        deadline_s=server_budget.deadline_s,
+        max_regions=split(server_budget.max_regions),
+        max_bytes_parsed=split(server_budget.max_bytes_parsed),
+    )
+
+
+@dataclass
+class Admission:
+    """One admitted request's ticket: release it exactly once."""
+
+    budget: ResourceBudget | None
+    _controller: "AdmissionController"
+    _released: bool = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+
+class AdmissionController:
+    """Thread-safe gate in front of the worker pool.
+
+    ``admit()`` either returns an :class:`Admission` (with the minted
+    per-request budget) or raises
+    :class:`~repro.errors.ServerOverloadedError`.  The controller only
+    counts — execution order is the pool's business.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        queue_depth: int,
+        server_budget: ResourceBudget | None = None,
+        per_request_budget: ResourceBudget | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth!r}")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.capacity = workers + queue_depth
+        self.server_budget = server_budget
+        self.quota = mint_quota(server_budget, workers, per_request_budget)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._admitted_total = 0
+        self._rejected_total = 0
+        self._peak_in_flight = 0
+
+    def admit(self) -> Admission:
+        with self._lock:
+            if self._in_flight >= self.capacity:
+                self._rejected_total += 1
+                snapshot = self._snapshot_locked()
+                raise ServerOverloadedError(
+                    f"{self._in_flight} request(s) in flight >= capacity "
+                    f"{self.capacity} ({self.workers} worker(s) + "
+                    f"queue depth {self.queue_depth})",
+                    snapshot=snapshot,
+                )
+            self._in_flight += 1
+            self._admitted_total += 1
+            self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+        return Admission(budget=self.quota, _controller=self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def _snapshot_locked(self) -> dict[str, Any]:
+        return {
+            "in_flight": self._in_flight,
+            "capacity": self.capacity,
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "peak_in_flight": self._peak_in_flight,
+            "admitted_total": self._admitted_total,
+            "rejected_total": self._rejected_total,
+            "server_budget": (
+                self.server_budget.describe()
+                if self.server_budget is not None
+                else "unlimited"
+            ),
+            "per_request_quota": (
+                self.quota.describe() if self.quota is not None else "unlimited"
+            ),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """The admission state, for ``GET /stats`` and 429 error detail."""
+        with self._lock:
+            return self._snapshot_locked()

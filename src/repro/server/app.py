@@ -1,0 +1,335 @@
+"""The serving core, independent of any transport.
+
+:class:`QueryServerApp` routes ``(method, path, body)`` to the backend
+through admission control and the bounded worker pool, and renders every
+outcome — success or failure — as one JSON envelope family::
+
+    {"ok": true,  "kind": "query" | "explain" | "analyze" | "stats" | "health", ...}
+    {"ok": false, "kind": "error", "status": 429,
+     "error": {"type": "ServerOverloadedError", "code": "server-overloaded",
+               "message": "...", "detail": {...}}}
+
+Keeping the app free of sockets makes the whole serving contract testable
+in-process (``tests/server/test_app.py``); :mod:`repro.server.http` is a
+thin HTTP skin over :meth:`QueryServerApp.handle`.
+
+Every handled request runs under a ``server:request``
+:class:`~repro.obs.trace.Span` folded into :class:`ServerStats`
+(per-endpoint counters plus a recent-request ring, all on ``GET /stats``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Any, Mapping
+
+from repro.api import QueryBackend, QueryRequest
+from repro.errors import (
+    BudgetExceededError,
+    PaginationError,
+    QueryError,
+    ReproError,
+    ServerOverloadedError,
+    ShardFailedError,
+)
+from repro.obs.trace import Span
+from repro.resilience.budget import ResourceBudget
+from repro.server.admission import AdmissionController
+from repro.server.pool import WorkerPool
+from repro.server.stats import ServerStats
+
+#: Endpoints that cost engine work and therefore pass admission control.
+ENGINE_ENDPOINTS = {"/query", "/explain", "/analyze"}
+
+
+class _MethodNotAllowed(Exception):
+    """Internal: wrong HTTP method for a known endpoint (→ 405)."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address (``port=0`` picks a free port — handy in tests).
+    workers / queue_depth:
+        Bounded worker pool: at most ``workers`` requests executing and
+        ``queue_depth`` waiting; anything past that is rejected with a
+        structured 429.
+    budget:
+        Server-level :class:`~repro.resilience.ResourceBudget`; per-request
+        quotas are minted from it (regions/bytes split across workers,
+        deadline per request).
+    per_request_budget:
+        Explicit per-request quota, overriding the minted split.
+    default_page_size / max_page_size:
+        Pagination defaults; a request asking for more than
+        ``max_page_size`` rows per page is rejected.
+    recent_spans:
+        How many recent ``server:request`` spans ``GET /stats`` retains.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 4
+    queue_depth: int = 16
+    budget: ResourceBudget | None = None
+    per_request_budget: ResourceBudget | None = None
+    default_page_size: int | None = None
+    max_page_size: int = 10_000
+    recent_spans: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_page_size < 1:
+            raise ValueError(
+                f"max_page_size must be >= 1, got {self.max_page_size!r}"
+            )
+        if (
+            self.default_page_size is not None
+            and not 1 <= self.default_page_size <= self.max_page_size
+        ):
+            raise ValueError(
+                f"default_page_size must be in [1, {self.max_page_size}], "
+                f"got {self.default_page_size!r}"
+            )
+
+
+#: Stable machine-matchable error codes for the wire (exception type →
+#: kebab-case code); anything unmapped falls back to "internal-error".
+ERROR_CODES = {
+    "ServerOverloadedError": "server-overloaded",
+    "BudgetExceededError": "budget-exceeded",
+    "PaginationError": "bad-request",
+    "QuerySyntaxError": "query-syntax",
+    "TranslationError": "query-translation",
+    "PlanningError": "query-planning",
+    "QueryError": "query-error",
+    "ShardFailedError": "shard-failed",
+}
+
+
+def _combined_budget(
+    requested: ResourceBudget | None, quota: ResourceBudget | None
+) -> ResourceBudget | None:
+    """The effective per-request budget: the tighter of what the client
+    asked for and what admission minted (a client may narrow its quota,
+    never widen it)."""
+    if requested is None:
+        return quota
+    if quota is None:
+        return requested
+
+    def tighter(a: float | None, b: float | None) -> float | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+    return ResourceBudget(
+        deadline_s=tighter(requested.deadline_s, quota.deadline_s),
+        max_regions=tighter(requested.max_regions, quota.max_regions),
+        max_bytes_parsed=tighter(requested.max_bytes_parsed, quota.max_bytes_parsed),
+    )
+
+
+class QueryServerApp:
+    """Route requests to a :class:`~repro.api.QueryBackend` and envelope
+    the answers.  One instance serves many concurrent callers: the
+    backend's caches are thread-safe and session-shared, so every request
+    warms the next one."""
+
+    def __init__(self, backend: QueryBackend, config: ServerConfig | None = None) -> None:
+        self.backend = backend
+        self.config = config if config is not None else ServerConfig()
+        self.admission = AdmissionController(
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+            server_budget=self.config.budget,
+            per_request_budget=self.config.per_request_budget,
+        )
+        self.pool = WorkerPool(
+            workers=self.config.workers, queue_depth=self.config.queue_depth
+        )
+        self.stats = ServerStats(recent=self.config.recent_spans)
+        self.started_at = perf_counter()
+        self._closed = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the worker pool (idempotent)."""
+        if not self._closed.is_set():
+            self._closed.set()
+            self.pool.shutdown(wait=True)
+
+    @property
+    def uptime_s(self) -> float:
+        return perf_counter() - self.started_at
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        """One request → ``(http_status, envelope_dict)``.  Never raises:
+        every failure becomes a structured error envelope."""
+        span = Span("server:request", started_at=perf_counter())
+        try:
+            status, payload = self._route(method, path, body)
+        except Exception as error:  # noqa: BLE001 — the envelope boundary
+            status, payload = self._error_envelope(error)
+        span.ended_at = perf_counter()
+        span.annotate(endpoint=path, method=method, status=status)
+        self.stats.record(span, status)
+        return status, payload
+
+    def _route(
+        self, method: str, path: str, body: Mapping[str, Any] | None
+    ) -> tuple[int, dict[str, Any]]:
+        path = path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            return 200, self._health_envelope()
+        if path == "/stats":
+            self._require(method, "GET", path)
+            return 200, self._stats_envelope()
+        if path in ENGINE_ENDPOINTS:
+            self._require(method, "POST", path)
+            return 200, self._engine_envelope(path, body)
+        return self._plain_error(404, "not-found", f"no such endpoint: {path}")
+
+    def _require(self, method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _MethodNotAllowed(f"{path} requires {expected}, got {method}")
+
+    # -- endpoint bodies ---------------------------------------------------------
+
+    def _health_envelope(self) -> dict[str, Any]:
+        import repro
+
+        return {
+            "ok": True,
+            "kind": "health",
+            "status": "ok",
+            "uptime_s": self.uptime_s,
+            "backend": type(self.backend).__name__,
+            "version": repro.__version__,
+        }
+
+    def _stats_envelope(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "kind": "stats",
+            "server": {
+                **self.stats.to_dict(),
+                "admission": self.admission.snapshot(),
+                "uptime_s": self.uptime_s,
+            },
+            "engine": self.backend.stats().to_dict(),
+        }
+
+    def _build_request(self, body: Mapping[str, Any] | None) -> QueryRequest:
+        if body is None:
+            raise PaginationError("request needs a JSON object body")
+        request = QueryRequest.from_dict(body)
+        page_size = request.page_size
+        if page_size is None and request.cursor is None:
+            page_size = self.config.default_page_size
+        if page_size is not None and page_size > self.config.max_page_size:
+            raise PaginationError(
+                f"page_size {page_size} exceeds maximum "
+                f"{self.config.max_page_size}"
+            )
+        if page_size != request.page_size:
+            request = replace(request, page_size=page_size)
+        return request
+
+    def _engine_envelope(
+        self, endpoint: str, body: Mapping[str, Any] | None
+    ) -> dict[str, Any]:
+        request = self._build_request(body)
+        ticket = self.admission.admit()
+        try:
+            future = self.pool.submit(lambda: self._execute(endpoint, request, ticket))
+        except ServerOverloadedError:
+            ticket.release()
+            raise
+        try:
+            return future.result()
+        finally:
+            ticket.release()
+
+    def _execute(
+        self, endpoint: str, request: QueryRequest, ticket: Any
+    ) -> dict[str, Any]:
+        if endpoint == "/query":
+            guarded = replace(
+                request, budget=_combined_budget(request.budget, ticket.budget)
+            )
+            response = self.backend.query(guarded)
+            return {"ok": True, "kind": "query", **response.to_dict()}
+        if endpoint == "/explain":
+            response = self.backend.explain(request)
+            return {"ok": True, "kind": "explain", **response.to_dict()}
+        # /analyze: instrumented re-execution; the quota still applies to
+        # the primary execution via the request budget.
+        guarded = replace(
+            request, budget=_combined_budget(request.budget, ticket.budget)
+        )
+        response = self.backend.analyze(guarded)
+        return {"ok": True, "kind": "analyze", "analysis": response.to_dict()}
+
+    # -- errors ------------------------------------------------------------------
+
+    def _plain_error(
+        self, status: int, code: str, message: str
+    ) -> tuple[int, dict[str, Any]]:
+        return status, {
+            "ok": False,
+            "kind": "error",
+            "status": status,
+            "error": {"type": "HTTPError", "code": code, "message": message, "detail": {}},
+        }
+
+    def _error_envelope(self, error: Exception) -> tuple[int, dict[str, Any]]:
+        if isinstance(error, _MethodNotAllowed):
+            return self._plain_error(405, "method-not-allowed", str(error))
+        name = type(error).__name__
+        detail: dict[str, Any] = {}
+        if isinstance(error, ServerOverloadedError):
+            status = 429
+            detail = {"admission": dict(error.snapshot)}
+        elif isinstance(error, BudgetExceededError):
+            status = 429
+            detail = {
+                "resource": error.resource,
+                "limit": error.limit,
+                "spent": error.spent,
+                "partial": dict(error.partial),
+            }
+        elif isinstance(error, ShardFailedError):
+            status = 503
+            detail = {"shard": error.shard, "attempts": error.attempts}
+        elif isinstance(error, QueryError):
+            # Includes PaginationError: the client's request is at fault.
+            status = 400
+        elif isinstance(error, ReproError):
+            status = 500
+        else:
+            status = 500
+        return status, {
+            "ok": False,
+            "kind": "error",
+            "status": status,
+            "error": {
+                "type": name,
+                "code": ERROR_CODES.get(name, "internal-error"),
+                "message": str(error),
+                "detail": detail,
+            },
+        }

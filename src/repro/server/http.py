@@ -1,0 +1,159 @@
+"""The stdlib HTTP skin over :class:`~repro.server.app.QueryServerApp`.
+
+``ThreadingHTTPServer`` supplies one thread per connection for parsing and
+I/O; all *engine* work still flows through the app's admission control and
+bounded worker pool, so concurrency of real work is capped regardless of
+how many sockets are open.  Responses are ``application/json`` with
+accurate ``Content-Length`` (HTTP/1.1 keep-alive friendly).
+
+>>> server = QueryServer(engine, ServerConfig(port=0))   # doctest: +SKIP
+>>> with server:                                         # doctest: +SKIP
+...     print(server.url)                                # background thread
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api import QueryBackend
+from repro.server.app import QueryServerApp, ServerConfig
+
+#: Refuse to buffer request bodies past this size (a query is text; 8 MiB
+#: of body is a client bug, not a query).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-query-server"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        app: QueryServerApp = self.server.app  # type: ignore[attr-defined]
+        body: dict[str, Any] | None = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._respond(413, {
+                "ok": False,
+                "kind": "error",
+                "status": 413,
+                "error": {
+                    "type": "HTTPError",
+                    "code": "payload-too-large",
+                    "message": f"request body {length} bytes exceeds {MAX_BODY_BYTES}",
+                    "detail": {},
+                },
+            })
+            return
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                self._respond(400, {
+                    "ok": False,
+                    "kind": "error",
+                    "status": 400,
+                    "error": {
+                        "type": "HTTPError",
+                        "code": "bad-json",
+                        "message": f"request body is not valid JSON: {error}",
+                        "detail": {},
+                    },
+                })
+                return
+        status, payload = app.handle(method, self.path.split("?", 1)[0], body)
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging lives in ServerStats, not stderr
+
+
+class QueryServer:
+    """A long-lived query server over one shared backend.
+
+    Usable three ways: :meth:`serve_forever` (blocking, the CLI's mode),
+    :meth:`start` (background thread, returns once the socket is bound),
+    or as a context manager (start on enter, shut down on exit — the
+    tests' mode).
+    """
+
+    def __init__(self, backend: QueryBackend, config: ServerConfig | None = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.app = QueryServerApp(backend, self.config)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.app = self.app  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (typically from a signal handler)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._close()
+
+    def start(self) -> "QueryServer":
+        """Serve on a background thread; returns immediately."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-query-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting connections, drain workers, release the socket.
+        Idempotent and safe to call from any thread (including signal
+        handlers via ``threading``-safe ``shutdown``)."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._close()
+
+    def _close(self) -> None:
+        self.app.close()
+        self._httpd.server_close()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

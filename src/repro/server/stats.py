@@ -1,0 +1,62 @@
+"""Thread-safe server-lifetime counters and recent-request spans.
+
+Every handled request closes one ``server:request``
+:class:`~repro.obs.trace.Span` (endpoint, status, duration); the
+:class:`ServerStats` aggregate rolls those into per-endpoint counters and
+keeps a bounded ring of the most recent span dicts, all surfaced by
+``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.obs.trace import Span
+
+
+class ServerStats:
+    """Lifetime request tallies for one server instance."""
+
+    def __init__(self, recent: int = 32) -> None:
+        self._lock = threading.Lock()
+        self._by_endpoint: dict[str, dict[str, Any]] = {}
+        self._by_status: dict[int, int] = {}
+        self._recent: "deque[dict[str, Any]]" = deque(maxlen=max(0, recent))
+        self._requests_total = 0
+        self._errors_total = 0
+
+    def record(self, span: Span, status: int) -> None:
+        """Fold one closed ``server:request`` span into the tallies."""
+        endpoint = str(span.metrics.get("endpoint", "?"))
+        with self._lock:
+            self._requests_total += 1
+            if status >= 400:
+                self._errors_total += 1
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+            bucket = self._by_endpoint.setdefault(
+                endpoint, {"requests": 0, "errors": 0, "seconds_total": 0.0}
+            )
+            bucket["requests"] += 1
+            if status >= 400:
+                bucket["errors"] += 1
+            bucket["seconds_total"] += span.duration
+            if self._recent.maxlen:
+                self._recent.append(span.to_dict())
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "requests_total": self._requests_total,
+                "errors_total": self._errors_total,
+                "by_status": {
+                    str(status): count
+                    for status, count in sorted(self._by_status.items())
+                },
+                "by_endpoint": {
+                    endpoint: dict(bucket)
+                    for endpoint, bucket in sorted(self._by_endpoint.items())
+                },
+                "recent_requests": list(self._recent),
+            }

@@ -32,6 +32,7 @@ import os
 import random
 import threading
 import time
+import warnings as _warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from dataclasses import replace as dataclass_replace
@@ -39,6 +40,14 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
+from repro.api import (
+    AnalyzeResponse,
+    ExplainResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    query_response,
+)
 from repro.cache import CacheConfig
 from repro.core.engine import FileQueryEngine, QueryResult
 from repro.core.planner import Plan
@@ -414,11 +423,11 @@ class ShardedEngine:
 
     def query(
         self,
-        query: Query | str,
+        query: QueryRequest | Query | str,
         budget: ResourceBudget | None = None,
         fail_fast: bool | None = None,
         max_parallel: int | None = None,
-    ) -> ShardedQueryResult:
+    ) -> ShardedQueryResult | QueryResponse:
         """Scatter the query over all shards, gather a merged result.
 
         Row order is deterministic: shards contribute in shard order
@@ -427,7 +436,15 @@ class ShardedEngine:
         meter.  With ``fail_fast`` (here or engine-wide) any unhealthy
         shard raises :class:`~repro.errors.ShardFailedError` instead of
         degrading to a partial result.
+
+        A :class:`~repro.api.QueryRequest` selects the unified
+        :class:`~repro.api.QueryBackend` surface and returns the
+        wire-ready :class:`~repro.api.QueryResponse` (the request's budget
+        applies per shard; pagination slices the merged rows).
         """
+        if isinstance(query, QueryRequest):
+            result = self.query(query.query, budget=query.budget)
+            return query_response(result, query)
         fail_fast = self.fail_fast if fail_fast is None else fail_fast
         workers = max_parallel if max_parallel is not None else self.max_parallel
         if workers < 1:
@@ -695,11 +712,14 @@ class ShardedEngine:
 
     # -- introspection ---------------------------------------------------------
 
-    def explain(self, query: Query | str) -> str:
+    def explain(self, query: QueryRequest | Query | str) -> str | ExplainResponse:
         """The shared plan (built on the first loadable shard) plus the
-        shard roster."""
+        shard roster.  A :class:`~repro.api.QueryRequest` returns the
+        wire-ready :class:`~repro.api.ExplainResponse`."""
         from repro.core.explain import explain_plan
 
+        if isinstance(query, QueryRequest):
+            return ExplainResponse(text=self.explain(query.query))
         engine = self._any_engine()
         plan = engine.planner.plan(
             parse_query(query) if isinstance(query, str) else query
@@ -716,12 +736,22 @@ class ShardedEngine:
             lines.append(f"  {shard.name}  [{loaded}, breaker {state}]")
         return "\n".join(lines)
 
-    def analyze(self, query: Query | str) -> Analysis:
+    def analyze(
+        self,
+        query: QueryRequest | Query | str,
+        budget: ResourceBudget | None = None,
+    ) -> Analysis | AnalyzeResponse:
         """EXPLAIN ANALYZE over the whole corpus: the shared plan's
         per-node estimates paired with measured actuals from one healthy
         shard, plus the scatter-gather trace and the per-shard stats
-        (``stats.to_dict()["shards"]``)."""
-        result = self.query(query)
+        (``stats.to_dict()["shards"]``).  A :class:`~repro.api.QueryRequest`
+        returns the wire-ready :class:`~repro.api.AnalyzeResponse` (the
+        request budget applies per shard)."""
+        if isinstance(query, QueryRequest):
+            return AnalyzeResponse.from_analysis(
+                self.analyze(query.query, budget=query.budget)
+            )
+        result = self.query(query, budget=budget)
         plan = result.plan
         if plan is None:
             # Every healthy shard ran degraded (local full-scan plans);
@@ -767,6 +797,16 @@ class ShardedEngine:
             )
 
     def calibration_state(self) -> dict[str, Any]:
+        """Deprecated: use :meth:`stats` (``stats().calibration``) instead."""
+        _warnings.warn(
+            "ShardedEngine.calibration_state() is deprecated; "
+            "use ShardedEngine.stats().calibration instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._calibration_state()
+
+    def _calibration_state(self) -> dict[str, Any]:
         """Corpus-wide calibration state: the shared history's snapshot
         (per-shard fingerprints appear as distinct entries)."""
         return {
@@ -775,6 +815,43 @@ class ShardedEngine:
             "shards": len(self._shards),
             **self.feedback_history.snapshot(),
         }
+
+    def stats(self) -> StatsResponse:
+        """The unified :class:`~repro.api.QueryBackend` stats surface.
+
+        ``cache`` sums the per-shard :class:`~repro.cache.CacheStats`
+        counters key-wise across the shard engines loaded so far (lazy
+        shards contribute nothing until first touched); ``index``
+        summarizes the shard roster rather than one index's internals.
+        """
+        loaded = [shard.engine for shard in self._shards if shard.engine is not None]
+        cache: dict[str, Any] = {}
+        for engine in loaded:
+            for key, value in engine.cache_stats.to_dict().items():
+                cache[key] = cache.get(key, 0) + value
+        index: dict[str, Any] = {
+            "shards": len(self._shards),
+            "loaded_shards": len(loaded),
+            "per_shard": {
+                shard.name: shard.engine.statistics().to_dict()
+                for shard in self._shards
+                if shard.engine is not None
+            },
+        }
+        return StatsResponse(
+            index=index,
+            cache_config=self.cache_description(),
+            cache=cache,
+            calibration=self._calibration_state(),
+            backend={
+                "type": "sharded",
+                "shard_names": self.shard_names,
+                "breakers": {
+                    shard.name: shard.breaker.snapshot()["state"]
+                    for shard in self._shards
+                },
+            },
+        )
 
     def _any_engine(self) -> FileQueryEngine:
         """The first shard engine that loads (for planning/explain)."""

@@ -42,7 +42,7 @@ class TestColdEquivalence:
     def test_feedback_disabled_by_default(self, corpus_text):
         engine = FileQueryEngine(bibtex_schema(), corpus_text)
         assert not engine.feedback_config.enabled
-        state = engine.calibration_state()
+        state = engine.stats().calibration
         assert state["enabled"] is False
 
 
@@ -53,7 +53,7 @@ class TestAnalyzeFeedsHistory:
         engine.analyze(SELECT)
         assert len(engine.feedback_history) > 0
         assert engine.cost_model.calibrated
-        state = engine.calibration_state()
+        state = engine.stats().calibration
         assert state["observations"] > 0
         assert state["calibrated"] is True
 
@@ -146,7 +146,7 @@ class TestShardedFeedback:
         # only fingerprints belonging to real shards — may be fed.
         assert observed
         assert observed <= shard_fingerprints
-        state = engine.calibration_state()
+        state = engine.stats().calibration
         assert state["enabled"] and state["observations"] > 0
 
     def test_sharded_rows_unchanged_with_feedback(self):

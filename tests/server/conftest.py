@@ -1,0 +1,74 @@
+"""Fixtures for the serving-layer suite: a bibtex corpus, its engine,
+the transport-free app, and a live HTTP server thread."""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.server import QueryServer, QueryServerApp, ServerConfig
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+SCRIPTS = Path(__file__).resolve().parent.parent.parent / "scripts"
+if str(SCRIPTS) not in sys.path:
+    sys.path.insert(0, str(SCRIPTS))
+
+QUERY = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+SELECT_ALL = "SELECT r.Title FROM Reference r"
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return bibtex_schema()
+
+
+@pytest.fixture(scope="module")
+def corpus_text() -> str:
+    return generate_bibtex(entries=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def engine(schema, corpus_text) -> FileQueryEngine:
+    return FileQueryEngine(schema, corpus_text)
+
+
+@pytest.fixture
+def app(engine):
+    application = QueryServerApp(engine, ServerConfig(workers=2, queue_depth=4))
+    yield application
+    application.close()
+
+
+@pytest.fixture
+def server(engine):
+    with QueryServer(engine, ServerConfig(port=0, workers=4, queue_depth=8)) as srv:
+        yield srv
+
+
+def http_post(url: str, body: dict) -> tuple[int, dict]:
+    """POST JSON; returns (status, envelope) without raising on 4xx/5xx."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def http_get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)

@@ -1,0 +1,210 @@
+"""The unified engine API: request/response family, cursors, pagination,
+protocol conformance, and the deprecation shims."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import (
+    AnalyzeResponse,
+    QueryBackend,
+    QueryRequest,
+    QueryResponse,
+    decode_cursor,
+    encode_cursor,
+    paginate,
+    query_digest,
+    render_rows,
+)
+from repro.errors import PaginationError
+from repro.resilience import ResourceBudget
+from repro.shard import ShardedEngine
+
+from tests.server.conftest import QUERY, SELECT_ALL
+
+
+# -- cursors -------------------------------------------------------------------
+
+
+def test_cursor_round_trip() -> None:
+    token = encode_cursor("abc123", 40, 10)
+    assert decode_cursor(token) == ("abc123", 40, 10)
+
+
+@pytest.mark.parametrize(
+    "token",
+    [
+        "not base64 at all!",
+        "Zm9v",  # valid base64, not JSON
+        encode_cursor("d", -1, 10),
+        encode_cursor("d", 0, 0),
+    ],
+)
+def test_malformed_cursor_rejected(token: str) -> None:
+    with pytest.raises(PaginationError):
+        decode_cursor(token)
+
+
+def test_cursor_bound_to_query_text() -> None:
+    rows = [[str(n)] for n in range(10)]
+    token = encode_cursor(query_digest("SELECT a"), 5, 5)
+    request = QueryRequest(query="SELECT b", cursor=token)
+    with pytest.raises(PaginationError, match="does not belong"):
+        paginate(rows, request)
+
+
+def test_paginate_walks_every_row() -> None:
+    rows = [[str(n)] for n in range(10)]
+    request = QueryRequest(query="SELECT a", page_size=3)
+    collected: list[list[str]] = []
+    while True:
+        page, start, cursor = paginate(rows, request)
+        assert start == len(collected)
+        collected.extend(page)
+        if cursor is None:
+            break
+        request = QueryRequest(query="SELECT a", cursor=cursor)
+    assert collected == rows
+
+
+def test_paginate_without_page_size_returns_everything() -> None:
+    rows = [[str(n)] for n in range(4)]
+    page, start, cursor = paginate(rows, QueryRequest(query="SELECT a"))
+    assert (page, start, cursor) == (rows, 0, None)
+
+
+# -- request validation --------------------------------------------------------
+
+
+def test_request_rejects_nonpositive_page_size() -> None:
+    with pytest.raises(PaginationError):
+        QueryRequest(query="SELECT a", page_size=0)
+
+
+def test_from_dict_round_trips_budget() -> None:
+    request = QueryRequest.from_dict(
+        {
+            "query": SELECT_ALL,
+            "page_size": 5,
+            "budget": {"deadline_ms": 1500, "max_regions": 10},
+        }
+    )
+    assert request.query_text == SELECT_ALL
+    assert request.page_size == 5
+    assert request.budget == ResourceBudget(deadline_s=1.5, max_regions=10)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {},
+        {"query": ""},
+        {"query": 42},
+        {"query": "SELECT a", "qery": "typo"},
+        {"query": "SELECT a", "page_size": "five"},
+        {"query": "SELECT a", "page_size": True},
+        {"query": "SELECT a", "cursor": 9},
+        {"query": "SELECT a", "budget": "fast"},
+        {"query": "SELECT a", "budget": {"deadline": 1}},
+    ],
+)
+def test_from_dict_rejects_malformed_payloads(payload: dict) -> None:
+    with pytest.raises(PaginationError):
+        QueryRequest.from_dict(payload)
+
+
+# -- both engines satisfy the protocol -----------------------------------------
+
+
+def test_file_engine_satisfies_backend_protocol(engine) -> None:
+    assert isinstance(engine, QueryBackend)
+
+
+def test_sharded_engine_satisfies_backend_protocol(schema, corpus_text) -> None:
+    assert isinstance(ShardedEngine.split(schema, corpus_text, 2), QueryBackend)
+
+
+def test_request_rows_match_legacy_rendering(engine) -> None:
+    legacy = engine.query(QUERY)
+    response = engine.query(QueryRequest(query=QUERY))
+    assert isinstance(response, QueryResponse)
+    assert response.rows == render_rows(legacy.rows)
+    assert response.total_rows == len(legacy.rows)
+    assert response.next_cursor is None
+    # Stats vary run-to-run (the second execution hits warm caches), but
+    # the shape and the row count are fixed.
+    assert response.stats["rows"] == len(legacy.rows)
+    assert response.stats["strategy"] == legacy.stats.strategy
+
+
+def test_sharded_request_rows_match_legacy_rendering(schema, corpus_text) -> None:
+    sharded = ShardedEngine.split(schema, corpus_text, 4)
+    legacy = sharded.query(QUERY)
+    response = sharded.query(QueryRequest(query=QUERY))
+    assert response.rows == render_rows(legacy.rows)
+    assert response.stats["strategy"] == "sharded"
+
+
+def test_request_pagination_reassembles_full_result(engine) -> None:
+    full = engine.query(QueryRequest(query=SELECT_ALL))
+    collected: list[list[str]] = []
+    request = QueryRequest(query=SELECT_ALL, page_size=7)
+    while True:
+        page = engine.query(request)
+        assert page.row_start == len(collected)
+        collected.extend(page.rows)
+        if page.next_cursor is None:
+            break
+        request = QueryRequest(query=SELECT_ALL, cursor=page.next_cursor)
+    assert collected == full.rows
+    assert full.total_rows == len(collected)
+
+
+def test_explain_and_analyze_requests_return_wire_dataclasses(engine) -> None:
+    explain = engine.explain(QueryRequest(query=SELECT_ALL))
+    assert explain.to_dict()["lines"] == explain.text.splitlines()
+    analysis = engine.analyze(SELECT_ALL)
+    response = engine.analyze(QueryRequest(query=SELECT_ALL))
+    assert isinstance(response, AnalyzeResponse)
+    # The wire shape is the pinned analyze --json contract, verbatim.
+    assert response.to_dict().keys() == analysis.to_dict().keys()
+
+
+def test_stats_response_keeps_cli_shape(engine) -> None:
+    payload = engine.stats().to_dict()
+    assert set(payload) == {"index", "cache_config", "cache", "calibration", "backend"}
+    assert payload["backend"]["type"] == "file"
+
+
+# -- deprecation shims ---------------------------------------------------------
+
+
+def test_calibration_state_is_a_deprecated_alias(engine) -> None:
+    with pytest.warns(DeprecationWarning, match="stats\\(\\).calibration"):
+        legacy = engine.calibration_state()
+    assert legacy == engine.stats().calibration
+
+
+def test_sharded_calibration_state_is_a_deprecated_alias(schema, corpus_text) -> None:
+    sharded = ShardedEngine.split(schema, corpus_text, 2)
+    with pytest.warns(DeprecationWarning):
+        legacy = sharded.calibration_state()
+    assert legacy == sharded.stats().calibration
+
+
+def test_top_level_reexports() -> None:
+    for name in (
+        "QueryRequest",
+        "QueryResponse",
+        "ExplainResponse",
+        "AnalyzeResponse",
+        "StatsResponse",
+        "QueryBackend",
+        "QueryServer",
+        "ServerConfig",
+        "PaginationError",
+        "ServerError",
+        "ServerOverloadedError",
+    ):
+        assert hasattr(repro, name), name
