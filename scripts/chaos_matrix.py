@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""CI chaos matrix.
+
+Runs the seed-driven chaos scenarios (:mod:`repro.chaos`) — hung shards
+under deadlines, corrupt/stale saved indexes, transient I/O, worker-pool
+stalls, admission overload, graceful-drain races, malformed HTTP bodies —
+against both the solo and the sharded engine, and fails on the first
+violated invariant of the healthy-twin oracle.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_matrix.py --seed 0..7
+    PYTHONPATH=src python scripts/chaos_matrix.py --seed 3 --scenario hang
+    PYTHONPATH=src python scripts/chaos_matrix.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos import BACKENDS, SCENARIOS, parse_seeds, render_report, run_matrix
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--seed",
+        default="0..7",
+        help="seeds to run: N, N..M, or a comma-separated mix (default 0..7)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=[*BACKENDS, "both"],
+        default="both",
+        help="engine(s) to drive the scenarios against",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            print(f"{name:16s} [{', '.join(scenario.backends)}]")
+            print(f"    {scenario.description}")
+            print(f"    injection: {scenario.injection}")
+        return 0
+
+    backends = BACKENDS if args.backend == "both" else (args.backend,)
+    runs = run_matrix(
+        parse_seeds(args.seed), scenarios=args.scenario, backends=backends
+    )
+    print(render_report(runs))
+    return 0 if all(run.passed for run in runs) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

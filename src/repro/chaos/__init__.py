@@ -1,0 +1,47 @@
+"""Deterministic chaos testing for the query engine and its server.
+
+Every degradation promise in ``docs/robustness.md`` is only worth what
+its test coverage proves.  This package turns the promises into a
+**seed-driven chaos matrix**: named scenarios inject faults through the
+same hooks production code exposes (shard fault injectors, worker-pool
+stalls, on-disk index damage, malformed HTTP bodies, admission capacity,
+graceful-drain races), and an **invariant oracle** replays every faulted
+run against a healthy twin:
+
+- rows are byte-identical to the healthy answer, or the loss is flagged
+  (``partial-result`` + a cause code), or the failure is a typed error —
+  never silently wrong, never an untyped crash;
+- every run finishes inside its wall-clock bound — a hung dependency
+  never becomes a hung request.
+
+Entry points: :func:`~repro.chaos.harness.run_matrix` (library),
+``scripts/chaos_matrix.py`` (CI), ``repro chaos`` (CLI).  Determinism:
+each run's RNG is seeded from ``(scenario, backend, seed)``, so
+``--seed N`` replays a failure exactly.
+"""
+
+from repro.chaos.harness import (
+    BACKENDS,
+    ChaosRun,
+    Fixtures,
+    parse_seeds,
+    render_report,
+    run_matrix,
+    run_one,
+)
+from repro.chaos.oracle import Check, Verdict
+from repro.chaos.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "BACKENDS",
+    "SCENARIOS",
+    "Check",
+    "ChaosRun",
+    "Fixtures",
+    "Scenario",
+    "Verdict",
+    "parse_seeds",
+    "render_report",
+    "run_matrix",
+    "run_one",
+]

@@ -1,0 +1,188 @@
+"""The chaos harness: build fixtures, run scenarios, report verdicts.
+
+One :class:`Fixtures` holds the corpus, the query, and the **healthy
+twin** reference answer computed once from an unfaulted engine; every
+scenario run compares against it.  :func:`run_matrix` is the entry point
+shared by ``scripts/chaos_matrix.py``, the ``repro chaos`` CLI
+subcommand, and the test suite: it expands ``scenarios x backends x
+seeds`` into deterministic :class:`ChaosRun` records.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterable, Sequence
+
+from repro.chaos.oracle import Verdict
+from repro.chaos.scenarios import N_SHARDS, SCENARIOS, Scenario
+from repro.core.engine import FileQueryEngine
+from repro.shard import ShardedEngine
+
+DEFAULT_QUERY = 'SELECT r FROM Reference r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+BACKENDS = ("solo", "sharded")
+
+
+@dataclass
+class Fixtures:
+    """The shared healthy-twin context every scenario runs against."""
+
+    schema: Any
+    text: str
+    query: str
+    reference: set[tuple]
+    wire_reference: set[tuple]
+
+    @classmethod
+    def build(cls, entries: int = 40, corpus_seed: int = 11) -> "Fixtures":
+        from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+        schema = bibtex_schema()
+        text = generate_bibtex(entries=entries, seed=corpus_seed)
+        engine = FileQueryEngine(schema, text)
+        result = engine.query(DEFAULT_QUERY)
+        if not result.rows:
+            raise RuntimeError("chaos fixture query matched nothing")
+        # The wire-level twin comes from an actual (healthy) server pass,
+        # so scenario envelopes compare like-for-like.
+        from repro.server import QueryServerApp
+
+        app = QueryServerApp(engine)
+        status, payload = app.handle("POST", "/query", {"query": DEFAULT_QUERY})
+        app.close()
+        if status != 200:
+            raise RuntimeError(f"healthy wire twin failed: {payload}")
+        return cls(
+            schema=schema,
+            text=text,
+            query=DEFAULT_QUERY,
+            reference=result.canonical_rows(),
+            wire_reference={tuple(row) for row in payload["rows"]},
+        )
+
+    def solo_engine(self, **options: Any) -> FileQueryEngine:
+        return FileQueryEngine(self.schema, self.text, **options)
+
+    def sharded_engine(self, **options: Any) -> ShardedEngine:
+        return ShardedEngine.split(self.schema, self.text, N_SHARDS, **options)
+
+    def backend(self, kind: str, **options: Any):
+        if kind == "solo":
+            return self.solo_engine(**options)
+        if kind == "sharded":
+            return self.sharded_engine(**options)
+        raise ValueError(f"unknown backend {kind!r} (one of {BACKENDS})")
+
+
+@dataclass
+class ChaosRun:
+    """One (scenario, backend, seed) execution and its oracle verdict."""
+
+    scenario: str
+    backend: str
+    seed: int
+    verdict: Verdict
+    elapsed_s: float
+    error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.error is None and self.verdict.passed
+
+    def describe(self) -> str:
+        head = f"{self.scenario} [{self.backend}] seed={self.seed}"
+        if self.error is not None:
+            return f"FAIL {head}: harness crashed: {self.error}"
+        state = "pass" if self.passed else "FAIL"
+        lines = [f"{state} {head} ({self.elapsed_s:.2f}s)"]
+        for check in self.verdict.checks:
+            if not check.ok or not self.passed:
+                lines.append(f"    {check}")
+        return "\n".join(lines)
+
+
+def parse_seeds(spec: str) -> list[int]:
+    """``"3"`` → ``[3]``; ``"0..7"`` → ``[0, 1, ..., 7]``; comma-separated
+    mixes allowed (``"0..3,7"``)."""
+    seeds: list[int] = []
+    for piece in spec.split(","):
+        piece = piece.strip()
+        if ".." in piece:
+            low, high = piece.split("..", 1)
+            start, end = int(low), int(high)
+            if end < start:
+                raise ValueError(f"empty seed range {piece!r}")
+            seeds.extend(range(start, end + 1))
+        elif piece:
+            seeds.append(int(piece))
+    if not seeds:
+        raise ValueError(f"no seeds in {spec!r}")
+    return seeds
+
+
+def run_one(
+    scenario: Scenario, fixtures: Fixtures, backend: str, seed: int
+) -> ChaosRun:
+    """Run one scenario deterministically: the RNG is seeded from the
+    (scenario, backend, seed) triple, so a CI failure replays exactly."""
+    rng = random.Random(f"{scenario.name}:{backend}:{seed}")
+    started = perf_counter()
+    with tempfile.TemporaryDirectory(prefix=f"chaos-{scenario.name}-") as tmp:
+        try:
+            verdict = scenario.run(fixtures, rng, backend, Path(tmp))
+        except Exception as error:  # noqa: BLE001 — a crash is a failed run
+            return ChaosRun(
+                scenario=scenario.name,
+                backend=backend,
+                seed=seed,
+                verdict=Verdict(),
+                elapsed_s=perf_counter() - started,
+                error=f"{type(error).__name__}: {error}",
+            )
+    return ChaosRun(
+        scenario=scenario.name,
+        backend=backend,
+        seed=seed,
+        verdict=verdict,
+        elapsed_s=perf_counter() - started,
+    )
+
+
+def run_matrix(
+    seeds: Iterable[int],
+    scenarios: Sequence[str] | None = None,
+    backends: Sequence[str] = BACKENDS,
+    fixtures: Fixtures | None = None,
+) -> list[ChaosRun]:
+    """Every selected scenario x applicable backend x seed."""
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    unknown = sorted(set(names) - set(SCENARIOS))
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {unknown} (one of {sorted(SCENARIOS)})")
+    fixtures = fixtures if fixtures is not None else Fixtures.build()
+    runs: list[ChaosRun] = []
+    for seed in seeds:
+        for name in names:
+            scenario = SCENARIOS[name]
+            for backend in backends:
+                if backend not in scenario.backends:
+                    continue
+                runs.append(run_one(scenario, fixtures, backend, seed))
+    return runs
+
+
+def render_report(runs: Sequence[ChaosRun]) -> str:
+    """A readable matrix summary, failures expanded."""
+    lines = []
+    failed = [run for run in runs if not run.passed]
+    for run in runs:
+        lines.append(run.describe())
+    lines.append(
+        f"chaos matrix: {len(runs) - len(failed)}/{len(runs)} run(s) passed"
+        + ("" if not failed else f", {len(failed)} FAILED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,573 @@
+"""Named, seed-driven chaos scenarios.
+
+Each scenario injects one fault family through a **named injection
+point** — the same hooks production code exposes
+(:mod:`repro.resilience.faults` injectors on the sharded engine and the
+server worker pool, on-disk damage to saved indexes, malformed bodies at
+the HTTP boundary) — then judges the faulted run with the
+:mod:`~repro.chaos.oracle` against a healthy twin.
+
+Determinism: every variable choice (victim shard, delay, corruption
+mode, malformed payload) comes from the ``random.Random`` the harness
+seeds per ``(scenario, backend, seed)``.  Same seed, same fault, same
+verdict — a CI failure replays exactly with ``--seed N``.
+
+The registry maps scenario name → :class:`Scenario`; the injection
+points they exercise:
+
+==============  =============================================  ==================
+scenario        injection point                                backends
+==============  =============================================  ==================
+hang            shard fault injector (``HungShard``) /         solo, sharded
+                zero-width deadline (solo)
+slow            shard fault injector (``SlowShard``),          sharded
+                hedged re-dispatch
+transient-io    shard fault injector (``TransientIOFault``)    sharded
+corrupt         on-disk index damage (``corrupt_index_file``)  solo, sharded
+stale           source rewritten after indexing                solo, sharded
+worker-stall    server pool injector (``WorkerStall``)         solo, sharded
+overload        admission capacity exhaustion                  solo, sharded
+drain           graceful-shutdown race                         solo, sharded
+malformed-body  HTTP boundary (raw socket bodies)              solo, sharded
+==============  =============================================  ==================
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.chaos.oracle import Verdict
+from repro.core.engine import FileQueryEngine
+from repro.errors import (
+    BudgetExceededError,
+    IndexCorruptError,
+    IndexNotFoundError,
+    IndexStaleError,
+)
+from repro.resilience import (
+    DegradationPolicy,
+    HungShard,
+    ResourceBudget,
+    RetryPolicy,
+    SlowShard,
+    TransientIOFault,
+    WorkerStall,
+    corrupt_index_file,
+)
+from repro.shard import ShardedEngine, split_corpus
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.chaos.harness import Fixtures
+
+#: Warning codes a degraded single-engine load may legitimately surface.
+SOLO_DEGRADE_CODES = {
+    "index-corrupt",
+    "index-missing",
+    "index-stale",
+    "index-rebuilt",
+    "degraded-full-scan",
+}
+
+N_SHARDS = 8
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered chaos scenario."""
+
+    name: str
+    description: str
+    injection: str
+    backends: tuple[str, ...]
+    run: Callable[["Fixtures", random.Random, str, Path], Verdict]
+
+
+# -- engine-level scenarios ----------------------------------------------------
+
+
+def _run_hang(fx: "Fixtures", rng: random.Random, backend: str, workdir: Path) -> Verdict:
+    verdict = Verdict()
+    if backend == "solo":
+        # The solo engine has no I/O injector; a zero-width deadline is
+        # the equivalent stuck-operator probe — the wall-clock guard must
+        # convert "no progress" into a typed error, instantly.
+        deadline = rng.choice([0.0, 0.001])
+        engine = fx.solo_engine()
+        started = perf_counter()
+        error: BaseException | None = None
+        try:
+            engine.query(fx.query, budget=ResourceBudget(deadline_s=deadline))
+        except Exception as caught:  # noqa: BLE001 — oracle judges the type
+            error = caught
+        verdict.typed_error(error, (BudgetExceededError,))
+        verdict.bounded(perf_counter() - started, 1.0)
+        return verdict
+
+    victim = f"shard{rng.randrange(N_SHARDS)}"
+    deadline = 0.25
+    fault = HungShard(hang_s=30.0, shard=victim)
+    engine = fx.sharded_engine(fault_injector=fault)
+    started = perf_counter()
+    result = engine.query(fx.query, budget=ResourceBudget(deadline_s=deadline))
+    elapsed = perf_counter() - started
+    codes = [w.code for w in result.warnings]
+    # The acceptance bound: a hung shard returns a partial result in
+    # under 2x the request deadline — never a hang.
+    verdict.bounded(elapsed, 2 * deadline)
+    verdict.rows_identical_or_flagged(result.canonical_rows(), fx.reference, codes)
+    verdict.codes_include(codes, {"shard-timeout", "partial-result"})
+    verdict.codes_within(codes, {"shard-timeout", "partial-result"})
+    verdict.add(
+        "hang-released",
+        fault.released.is_set(),
+        "abandonment released the hung attempt"
+        if fault.released.is_set()
+        else "hung attempt was never released",
+    )
+    return verdict
+
+
+def _run_slow(fx: "Fixtures", rng: random.Random, backend: str, workdir: Path) -> Verdict:
+    verdict = Verdict()
+    victim = f"shard{rng.randrange(N_SHARDS)}"
+    delay = rng.uniform(0.08, 0.15)
+    hedged = rng.random() < 0.5
+    engine = fx.sharded_engine(
+        fault_injector=SlowShard(delay_s=delay, shard=victim),
+        hedge_after_s=0.02 if hedged else None,
+    )
+    started = perf_counter()
+    result = engine.query(fx.query)
+    verdict.bounded(perf_counter() - started, 10.0)
+    codes = [w.code for w in result.warnings]
+    verdict.rows_identical_or_flagged(result.canonical_rows(), fx.reference, codes)
+    verdict.codes_within(codes, {"shard-hedged"} if hedged else set())
+    return verdict
+
+
+def _run_transient(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    verdict = Verdict()
+    victim = f"shard{rng.randrange(N_SHARDS)}"
+    k = rng.choice([1, 2])
+    fault = TransientIOFault(k=k, shard=victim)
+    engine = fx.sharded_engine(
+        fault_injector=fault,
+        retry=RetryPolicy(max_attempts=3),
+        retry_sleep=lambda seconds: None,
+    )
+    started = perf_counter()
+    result = engine.query(fx.query)
+    verdict.bounded(perf_counter() - started, 10.0)
+    codes = [w.code for w in result.warnings]
+    verdict.rows_identical_or_flagged(result.canonical_rows(), fx.reference, codes)
+    verdict.codes_include(codes, {"shard-retried"})
+    verdict.codes_within(codes, {"shard-retried"})
+    verdict.add(
+        "injector-consumed",
+        fault.failures == k,
+        f"injector failed {fault.failures}/{k} time(s)",
+    )
+    return verdict
+
+
+def _run_corrupt(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    verdict = Verdict()
+    if backend == "solo":
+        directory = workdir / "solo-idx"
+        fx.solo_engine().save(str(directory))
+        part = rng.choice(["regions", "corpus", "config", "manifest"])
+        mode = rng.choice(["garbage", "truncate", "delete"])
+        corrupt_index_file(directory, part=part, mode=mode)
+        started = perf_counter()
+        try:
+            engine = FileQueryEngine.from_saved(fx.schema, str(directory))
+        except (IndexCorruptError, IndexNotFoundError) as caught:
+            # Unrecoverable damage (untrustworthy corpus bytes, missing
+            # config) is a typed refusal at load time — never a wrong
+            # answer, never an untyped crash.
+            verdict.typed_error(caught, (IndexCorruptError, IndexNotFoundError))
+            verdict.bounded(perf_counter() - started, 10.0)
+            return verdict
+        result = engine.query(fx.query)
+        verdict.bounded(perf_counter() - started, 10.0)
+        codes = [w.code for w in result.warnings]
+        # Degradation must preserve the answer: a damaged index is never
+        # an excuse for wrong rows.
+        verdict.rows_identical_or_flagged(result.canonical_rows(), fx.reference, codes)
+        verdict.codes_within(codes, SOLO_DEGRADE_CODES)
+        return verdict
+
+    directory = workdir / "sharded-idx"
+    fx.sharded_engine().save(directory)
+    victim = rng.randrange(N_SHARDS)
+    part = rng.choice(["corpus", "regions"])
+    victim_dir = sorted((directory / "shards").iterdir())[victim]
+    if part == "corpus":
+        # Unrecoverable: no trustworthy text to full-scan — the shard
+        # must fail in isolation and the loss must be flagged.
+        (victim_dir / "corpus.txt").write_text("garbage", encoding="utf-8")
+    else:
+        corrupt_index_file(victim_dir, part="regions", mode="garbage")
+    engine = ShardedEngine.from_saved(fx.schema, directory)
+    started = perf_counter()
+    result = engine.query(fx.query)
+    verdict.bounded(perf_counter() - started, 10.0)
+    codes = [w.code for w in result.warnings]
+    verdict.rows_identical_or_flagged(result.canonical_rows(), fx.reference, codes)
+    verdict.codes_within(
+        codes, SOLO_DEGRADE_CODES | {"shard-failed", "partial-result"}
+    )
+    return verdict
+
+
+def _run_stale(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.workloads.bibtex import generate_bibtex
+
+    verdict = Verdict()
+    rewrite = generate_bibtex(entries=3, seed=rng.randrange(1_000_000))
+    if backend == "solo":
+        source = workdir / "refs.bib"
+        source.write_text(fx.text, encoding="utf-8")
+        directory = workdir / "solo-idx"
+        fx.solo_engine().save(str(directory), source_path=source)
+        source.write_text(rewrite, encoding="utf-8")
+        started = perf_counter()
+        error: BaseException | None = None
+        try:
+            FileQueryEngine.from_saved(
+                fx.schema,
+                str(directory),
+                policy=DegradationPolicy.strict(),
+                source_path=source,
+            ).query(fx.query)
+        except Exception as caught:  # noqa: BLE001 — oracle judges the type
+            error = caught
+        verdict.typed_error(error, (IndexStaleError,))
+        verdict.bounded(perf_counter() - started, 10.0)
+        return verdict
+
+    parts = split_corpus(fx.schema, fx.text, N_SHARDS)
+    sources = []
+    for number, part in enumerate(parts):
+        path = workdir / f"part{number}.bib"
+        path.write_text(part, encoding="utf-8")
+        sources.append(path)
+    directory = workdir / "sharded-idx"
+    ShardedEngine.from_paths(fx.schema, sources).save(directory)
+    sources[rng.randrange(N_SHARDS)].write_text(rewrite, encoding="utf-8")
+    engine = ShardedEngine.from_saved(fx.schema, directory)
+    started = perf_counter()
+    result = engine.query(fx.query)
+    verdict.bounded(perf_counter() - started, 10.0)
+    codes = [w.code for w in result.warnings]
+    # The stale shard re-answers (degraded) from its *current* source, so
+    # rows may legitimately differ from the pre-rewrite twin; the
+    # invariant is visibility, not identity: staleness must be flagged
+    # and every shard must still answer.
+    verdict.codes_include(codes, {"index-stale"})
+    verdict.add(
+        "all-shards-answer",
+        result.stats.healthy_shards == N_SHARDS,
+        f"{result.stats.healthy_shards}/{N_SHARDS} shard(s) answered",
+    )
+    return verdict
+
+
+# -- server-level scenarios ----------------------------------------------------
+
+
+def _wire_rows(payload: dict[str, Any]) -> set[tuple]:
+    return {tuple(row) for row in payload.get("rows", [])}
+
+
+def _run_worker_stall(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.server import QueryServerApp, ServerConfig
+
+    verdict = Verdict()
+    healthy_app = QueryServerApp(fx.backend(backend))
+    status, payload = healthy_app.handle("POST", "/query", {"query": fx.query})
+    healthy_rows = _wire_rows(payload)
+    healthy_app.close()
+
+    stall = rng.uniform(0.3, 0.4)
+    app = QueryServerApp(
+        fx.backend(backend),
+        ServerConfig(workers=2, budget=ResourceBudget(deadline_s=0.15)),
+    )
+    app.pool.fault_injector = WorkerStall(stall_s=stall, k=1)
+    started = perf_counter()
+    status, payload = app.handle("POST", "/query", {"query": fx.query})
+    elapsed = perf_counter() - started
+    # The stall consumed the admission-minted deadline: the request must
+    # fail *typed* (budget-exceeded, or shard-failed when every shard's
+    # window expired) — never succeed as if the clock restarted.
+    verdict.envelope_error(
+        status, payload, {429, 503}, {"budget-exceeded", "shard-failed"}
+    )
+    verdict.bounded(elapsed, stall + 2.0)
+    status, payload = app.handle("POST", "/query", {"query": fx.query})
+    verdict.add(
+        "recovers",
+        status == 200 and _wire_rows(payload) == healthy_rows,
+        f"post-stall request: status {status}, rows "
+        + ("identical" if _wire_rows(payload) == healthy_rows else "DIFFER"),
+    )
+    app.close()
+    return verdict
+
+
+def _run_overload(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.server import QueryServerApp, ServerConfig
+
+    verdict = Verdict()
+    app = QueryServerApp(fx.backend(backend), ServerConfig(workers=1, queue_depth=0))
+    status, payload = app.handle("POST", "/query", {"query": fx.query})
+    healthy_rows = _wire_rows(payload)
+    verdict.add("warmup", status == 200, f"warm-up request: status {status}")
+
+    app.pool.fault_injector = WorkerStall(stall_s=0.4, k=1)
+    occupied: list[tuple[int, dict[str, Any]]] = []
+    holder = threading.Thread(
+        target=lambda: occupied.append(
+            app.handle("POST", "/query", {"query": fx.query})
+        )
+    )
+    holder.start()
+    time.sleep(0.15)  # the holder is mid-stall: capacity is exhausted
+    status, payload = app.handle("POST", "/query", {"query": fx.query})
+    holder.join()
+    verdict.envelope_error(status, payload, {429}, {"server-overloaded"})
+    retry_after = payload.get("error", {}).get("detail", {}).get("retry_after_s")
+    admission_hint = (
+        payload.get("error", {})
+        .get("detail", {})
+        .get("admission", {})
+        .get("retry_after_s")
+    )
+    verdict.add(
+        "retry-after",
+        retry_after is not None and admission_hint is not None,
+        f"429 carries retry_after_s={retry_after} "
+        f"(admission snapshot: {admission_hint})",
+    )
+    held_status, held_payload = occupied[0]
+    verdict.add(
+        "in-flight-survives",
+        held_status == 200 and _wire_rows(held_payload) == healthy_rows,
+        f"the stalled-but-admitted request finished: status {held_status}",
+    )
+    status, payload = app.handle("POST", "/query", {"query": fx.query})
+    verdict.add(
+        "recovers",
+        status == 200 and _wire_rows(payload) == healthy_rows,
+        f"post-burst request: status {status}",
+    )
+    app.close()
+    return verdict
+
+
+def _run_drain(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.server import QueryServerApp, ServerConfig
+
+    verdict = Verdict()
+    app = QueryServerApp(
+        fx.backend(backend), ServerConfig(workers=1, drain_deadline_s=5.0)
+    )
+    status, payload = app.handle("POST", "/query", {"query": fx.query})
+    healthy_rows = _wire_rows(payload)
+    app.pool.fault_injector = WorkerStall(stall_s=0.3, k=1)
+    in_flight: list[tuple[int, dict[str, Any]]] = []
+    holder = threading.Thread(
+        target=lambda: in_flight.append(
+            app.handle("POST", "/query", {"query": fx.query})
+        )
+    )
+    holder.start()
+    time.sleep(0.1)  # the request is mid-execution when the drain begins
+    app.start_draining()
+    status, payload = app.handle("POST", "/query", {"query": fx.query})
+    verdict.envelope_error(status, payload, {503}, {"server-draining"})
+    verdict.add(
+        "retry-after",
+        payload.get("error", {}).get("detail", {}).get("retry_after_s") is not None,
+        "draining 503 carries retry_after_s",
+    )
+    status, payload = app.handle("GET", "/healthz", None)
+    verdict.add(
+        "healthz-draining",
+        payload.get("status") == "draining",
+        f"healthz reports {payload.get('status')!r}",
+    )
+    started = perf_counter()
+    drained = app.drain()
+    verdict.add(
+        "drained-in-time",
+        drained,
+        f"drain finished in {perf_counter() - started:.3f}s"
+        if drained
+        else "drain deadline expired with work still running",
+    )
+    holder.join()
+    held_status, held_payload = in_flight[0]
+    verdict.add(
+        "in-flight-completes",
+        held_status == 200 and _wire_rows(held_payload) == healthy_rows,
+        f"the in-flight request finished during the drain: status {held_status}",
+    )
+    return verdict
+
+
+#: Malformed HTTP bodies: (label, raw bytes).  Every one must come back
+#: as a structured 4xx envelope, never a 500 and never a hang.
+MALFORMED_BODIES = [
+    ("truncated-json", b'{"query": "SELECT'),
+    ("not-json", b"\xff\xfe garbage \x00"),
+    ("json-array", b'["SELECT r FROM Reference r"]'),
+    ("json-scalar", b'"just a string"'),
+    ("missing-query", b"{}"),
+    ("wrong-types", b'{"query": 42}'),
+    ("bad-budget", b'{"query": "SELECT r FROM Reference r", "budget": "fast"}'),
+    ("bad-cursor", b'{"query": "SELECT r FROM Reference r", "cursor": "zzz"}'),
+]
+
+
+def _run_malformed_body(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.server import QueryServer, ServerConfig
+
+    verdict = Verdict()
+    bodies = rng.sample(MALFORMED_BODIES, 4)
+    server = QueryServer(fx.backend(backend), ServerConfig(port=0))
+    with server:
+        for label, raw in bodies:
+            request = urllib.request.Request(
+                server.url + "/query",
+                data=raw,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    status, payload = response.status, json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                status, payload = error.code, json.loads(error.read())
+            verdict.add(
+                f"malformed:{label}",
+                400 <= status < 500 and payload.get("ok") is False,
+                f"status {status}, code "
+                f"{payload.get('error', {}).get('code')!r}",
+            )
+        request = urllib.request.Request(
+            server.url + "/query",
+            data=json.dumps({"query": fx.query}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+        verdict.add(
+            "still-healthy",
+            response.status == 200 and _wire_rows(payload) == fx.wire_reference,
+            f"valid request after the garbage: status {response.status}, rows "
+            + ("identical" if _wire_rows(payload) == fx.wire_reference else "DIFFER"),
+        )
+    return verdict
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in [
+        Scenario(
+            "hang",
+            "a shard hangs (or an operator makes no progress) under a "
+            "request deadline — partial result under 2x the deadline",
+            "shard fault injector / wall-clock guard",
+            ("solo", "sharded"),
+            _run_hang,
+        ),
+        Scenario(
+            "slow",
+            "one shard is slow; with hedging enabled a duplicate attempt "
+            "races it and the first answer wins",
+            "shard fault injector (SlowShard) + hedged dispatch",
+            ("sharded",),
+            _run_slow,
+        ),
+        Scenario(
+            "transient-io",
+            "the first K attempts on one shard fail with OSError; retries "
+            "recover the full answer",
+            "shard fault injector (TransientIOFault)",
+            ("sharded",),
+            _run_transient,
+        ),
+        Scenario(
+            "corrupt",
+            "a saved index is damaged on disk; answers degrade (identical "
+            "rows) or fail flagged, never silently wrong",
+            "on-disk index damage",
+            ("solo", "sharded"),
+            _run_corrupt,
+        ),
+        Scenario(
+            "stale",
+            "a source file changed after indexing; staleness is typed "
+            "(strict) or flagged (tolerant)",
+            "source rewrite after save",
+            ("solo", "sharded"),
+            _run_stale,
+        ),
+        Scenario(
+            "worker-stall",
+            "the worker pool stalls a request past its end-to-end "
+            "deadline; the deadline is consumed, not re-armed",
+            "server pool fault injector (WorkerStall)",
+            ("solo", "sharded"),
+            _run_worker_stall,
+        ),
+        Scenario(
+            "overload",
+            "admission capacity exhausted; 429 with Retry-After from the "
+            "queue-drain rate, in-flight work unharmed",
+            "admission capacity",
+            ("solo", "sharded"),
+            _run_overload,
+        ),
+        Scenario(
+            "drain",
+            "graceful shutdown races an in-flight request: it completes, "
+            "new work gets structured 503s",
+            "graceful-drain state machine",
+            ("solo", "sharded"),
+            _run_drain,
+        ),
+        Scenario(
+            "malformed-body",
+            "garbage request bodies at the HTTP boundary come back as "
+            "structured 4xx envelopes",
+            "HTTP request parsing",
+            ("solo", "sharded"),
+            _run_malformed_body,
+        ),
+    ]
+}

@@ -232,6 +232,20 @@ class ServerOverloadedError(ServerError):
         super().__init__(f"server overloaded: {reason}")
 
 
+class ServerDrainingError(ServerError):
+    """The server is shutting down gracefully: it no longer admits new
+    engine work, while requests already executing run to completion under
+    the drain deadline.  Queued-but-unstarted requests receive this error
+    too — they never ran, so retrying elsewhere (or after
+    ``retry_after_s``) is always safe.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float | None = None) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(f"server draining: {reason}")
+
+
 class FeedbackError(ReproError):
     """Errors in the feedback-calibration subsystem (see
     :mod:`repro.feedback`)."""

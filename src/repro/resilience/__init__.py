@@ -39,12 +39,14 @@ from repro.resilience.breaker import (
     BreakerConfig,
     CircuitBreaker,
 )
-from repro.resilience.budget import BudgetMeter, ResourceBudget
+from repro.resilience.budget import BudgetMeter, ResourceBudget, combine_budgets
 from repro.resilience.faults import (
     FlakySchema,
+    HungShard,
     SlowInstance,
     SlowShard,
     TransientIOFault,
+    WorkerStall,
     corrupt_index_file,
     truncate_file,
 )
@@ -60,8 +62,10 @@ from repro.resilience.warnings import (
     MALFORMED_REGION,
     PARTIAL_RESULT,
     SHARD_FAILED,
+    SHARD_HEDGED,
     SHARD_RETRIED,
     SHARD_SKIPPED_OPEN_BREAKER,
+    SHARD_TIMEOUT,
     QueryWarning,
     malformed_region_warning,
 )
@@ -69,6 +73,7 @@ from repro.resilience.warnings import (
 __all__ = [
     "ResourceBudget",
     "BudgetMeter",
+    "combine_budgets",
     "DegradationPolicy",
     "RetryPolicy",
     "call_with_retry",
@@ -80,9 +85,11 @@ __all__ = [
     "QueryWarning",
     "malformed_region_warning",
     "FlakySchema",
+    "HungShard",
     "SlowInstance",
     "SlowShard",
     "TransientIOFault",
+    "WorkerStall",
     "corrupt_index_file",
     "truncate_file",
     # warning codes
@@ -94,7 +101,9 @@ __all__ = [
     "BUDGET_DEGRADED",
     "MALFORMED_REGION",
     "SHARD_FAILED",
+    "SHARD_HEDGED",
     "SHARD_RETRIED",
     "SHARD_SKIPPED_OPEN_BREAKER",
+    "SHARD_TIMEOUT",
     "PARTIAL_RESULT",
 ]

@@ -16,14 +16,55 @@ snapshot) the moment a limit is crossed.  Checks sit inside the operator
 loops of :mod:`repro.algebra.evaluator` and :mod:`repro.core.partial`, so
 a runaway query is stopped between operators / candidate regions, not
 only at the end.
+
+End-to-end deadlines
+--------------------
+``deadline_s`` alone is *relative*: each meter restarts the clock, so a
+request crossing layer boundaries (server admission → worker pool →
+scatter-gather → per-shard evaluation) would silently re-arm its deadline
+at every hop.  :meth:`ResourceBudget.started` converts the relative
+deadline into an **absolute** one (``deadline_at``, on the
+``perf_counter`` clock) exactly once — at admission — and every meter
+downstream measures against that same instant.  Layers that want the
+clamp to be *visible* (a shard dispatched late should report the smaller
+window it actually got) call :meth:`ResourceBudget.at_dispatch`, which
+rewrites ``deadline_s`` to the remaining time while keeping the absolute
+anchor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 
 from repro.errors import BudgetExceededError
+
+
+def combine_budgets(
+    requested: "ResourceBudget | None", quota: "ResourceBudget | None"
+) -> "ResourceBudget | None":
+    """The effective budget: the tighter of what the caller asked for and
+    what the quota allows, limit by limit.  A caller may narrow its quota,
+    never widen it.  Absolute deadlines combine to the earlier instant.
+    """
+    if requested is None:
+        return quota
+    if quota is None:
+        return requested
+
+    def tighter(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+    return ResourceBudget(
+        deadline_s=tighter(requested.deadline_s, quota.deadline_s),
+        max_regions=tighter(requested.max_regions, quota.max_regions),
+        max_bytes_parsed=tighter(requested.max_bytes_parsed, quota.max_bytes_parsed),
+        deadline_at=tighter(requested.deadline_at, quota.deadline_at),
+    )
 
 
 @dataclass(frozen=True)
@@ -41,11 +82,17 @@ class ResourceBudget:
     max_bytes_parsed:
         Total file bytes the executor may (re-)parse: candidate regions
         plus full scans.
+    deadline_at:
+        Absolute end-to-end deadline on the ``perf_counter`` clock,
+        stamped by :meth:`started` at admission.  When set, every meter
+        derived from this budget measures against this single instant —
+        the deadline never restarts at a layer boundary.
     """
 
     deadline_s: float | None = None
     max_regions: int | None = None
     max_bytes_parsed: int | None = None
+    deadline_at: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("deadline_s", "max_regions", "max_bytes_parsed"):
@@ -59,12 +106,51 @@ class ResourceBudget:
             self.deadline_s is None
             and self.max_regions is None
             and self.max_bytes_parsed is None
+            and self.deadline_at is None
         )
+
+    def started(self, now: float | None = None) -> "ResourceBudget":
+        """Mint the absolute end-to-end deadline (idempotent).
+
+        Call exactly once at admission — the top of the request path.
+        A budget without a relative deadline, or one already stamped,
+        passes through unchanged.
+        """
+        if self.deadline_s is None or self.deadline_at is not None:
+            return self
+        now = perf_counter() if now is None else now
+        return replace(self, deadline_at=now + self.deadline_s)
+
+    def remaining_s(self, now: float | None = None) -> float | None:
+        """Seconds left until the absolute deadline (``None`` when no
+        absolute deadline was minted; never negative)."""
+        if self.deadline_at is None:
+            return None
+        now = perf_counter() if now is None else now
+        return max(0.0, self.deadline_at - now)
+
+    def at_dispatch(self, now: float | None = None) -> "ResourceBudget":
+        """Clamp ``deadline_s`` to the remaining end-to-end time.
+
+        Used at every dispatch boundary (e.g. handing a shard its
+        budget): the shard sees — and reports — the window it actually
+        has, not the request's original full deadline.  The absolute
+        anchor is kept, so the clamp can never *extend* the deadline.
+        """
+        remaining = self.remaining_s(now)
+        if remaining is None or self.deadline_s is None:
+            return self
+        if remaining >= self.deadline_s:
+            return self
+        return replace(self, deadline_s=remaining)
 
     def describe(self) -> str:
         parts = []
         if self.deadline_s is not None:
-            parts.append(f"deadline {self.deadline_s * 1e3:.0f}ms")
+            note = " end-to-end" if self.deadline_at is not None else ""
+            parts.append(f"deadline {self.deadline_s * 1e3:.0f}ms{note}")
+        elif self.deadline_at is not None:
+            parts.append("absolute deadline")
         if self.max_regions is not None:
             parts.append(f"max {self.max_regions} regions")
         if self.max_bytes_parsed is not None:
@@ -72,7 +158,8 @@ class ResourceBudget:
         return ", ".join(parts) if parts else "unlimited"
 
     def meter(self) -> "BudgetMeter":
-        """Start a meter for one execution (the clock starts now)."""
+        """Start a meter for one execution (the clock starts now; an
+        absolute ``deadline_at`` overrides the relative restart)."""
         return BudgetMeter(self)
 
 
@@ -82,11 +169,20 @@ class BudgetMeter:
     Not thread-safe: one meter serves one query execution, like a tracer.
     """
 
-    __slots__ = ("budget", "started_at", "regions", "bytes_parsed")
+    __slots__ = ("budget", "started_at", "deadline_at", "regions", "bytes_parsed")
 
     def __init__(self, budget: ResourceBudget) -> None:
         self.budget = budget
         self.started_at = perf_counter()
+        # An absolute (end-to-end) deadline wins over the relative one:
+        # a meter started late in the request's life gets only what is
+        # left, never a fresh window.
+        if budget.deadline_at is not None:
+            self.deadline_at = budget.deadline_at
+        elif budget.deadline_s is not None:
+            self.deadline_at = self.started_at + budget.deadline_s
+        else:
+            self.deadline_at = None
         self.regions = 0
         self.bytes_parsed = 0
 
@@ -96,12 +192,15 @@ class BudgetMeter:
 
     def snapshot(self) -> dict:
         """Partial-progress statistics, embedded in the raised error."""
-        return {
+        snapshot = {
             "elapsed_s": self.elapsed_s,
             "regions_materialized": self.regions,
             "bytes_parsed": self.bytes_parsed,
             "budget": self.budget.describe(),
         }
+        if self.budget.deadline_at is not None:
+            snapshot["remaining_s"] = max(0.0, self.deadline_at - perf_counter())
+        return snapshot
 
     def _exceeded(self, resource: str, limit: float, spent: float) -> BudgetExceededError:
         return BudgetExceededError(
@@ -109,11 +208,13 @@ class BudgetMeter:
         )
 
     def check_deadline(self) -> None:
-        deadline = self.budget.deadline_s
-        if deadline is not None:
-            elapsed = self.elapsed_s
-            if elapsed > deadline:
-                raise self._exceeded("wall_clock", deadline, round(elapsed, 6))
+        if self.deadline_at is not None and perf_counter() > self.deadline_at:
+            limit = (
+                self.budget.deadline_s
+                if self.budget.deadline_s is not None
+                else round(self.deadline_at - self.started_at, 6)
+            )
+            raise self._exceeded("wall_clock", limit, round(self.elapsed_s, 6))
 
     def charge_regions(self, count: int) -> None:
         """Account ``count`` freshly materialized regions (also checks the

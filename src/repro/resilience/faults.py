@@ -13,12 +13,20 @@ theoretically reachable.  This module provides the levers:
 - :class:`SlowInstance` — a region-instance wrapper that delays every
   name lookup, making algebra evaluation deterministically slow for
   deadline-budget tests;
-- :class:`TransientIOFault` / :class:`SlowShard` — shard-level injectors
-  plugged into :class:`~repro.shard.ShardedEngine` as its
-  ``fault_injector`` hook: the first fails the first *K* shard-open
-  attempts with :class:`OSError` (exercising retry/backoff), the second
-  adds fixed latency per shard attempt (exercising scatter-gather under
-  slow shards and deadline budgets).
+- :class:`TransientIOFault` / :class:`SlowShard` / :class:`HungShard` —
+  shard-level injectors plugged into
+  :class:`~repro.shard.ShardedEngine` as its ``fault_injector`` hook: the
+  first fails the first *K* shard-open attempts with :class:`OSError`
+  (exercising retry/backoff), the second adds fixed latency per shard
+  attempt (exercising scatter-gather under slow shards, deadline budgets,
+  and hedged reads), the third hangs an attempt until released or a
+  ceiling elapses (exercising deadline-bounded abandonment of a hung
+  shard);
+- :class:`WorkerStall` — a server-layer injector plugged into
+  :class:`~repro.server.WorkerPool`: stalls the first *K* executions
+  before they start, exercising end-to-end deadline propagation through
+  queue wait (a stalled worker consumes the request's admission-minted
+  deadline, it does not re-arm it).
 
 All injection is deterministic: faults trigger on call counts or
 predicates, never on randomness, so CI failures reproduce.
@@ -26,6 +34,7 @@ predicates, never on randomness, so CI failures reproduce.
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 from typing import Any, Callable
@@ -178,6 +187,67 @@ class SlowShard:
             return
         self.calls += 1
         time.sleep(self.delay_s)
+
+
+class HungShard:
+    """Hangs every matching shard attempt for up to ``hang_s`` — the
+    canonical *stuck I/O* failure, which no retry or budget meter can
+    interrupt from inside the attempt.
+
+    Unlike a bare ``time.sleep`` the hang is *releasable*: the sharded
+    engine calls :meth:`release` when it abandons a hung attempt at the
+    request deadline, so the stuck thread wakes immediately, raises, and
+    returns its pool slot instead of lingering for the full ceiling.
+    """
+
+    def __init__(self, hang_s: float, shard: str | None = None) -> None:
+        if hang_s < 0:
+            raise ValueError(f"hang_s must be non-negative, got {hang_s!r}")
+        self.hang_s = hang_s
+        self.shard = shard
+        self.calls = 0
+        self.released = threading.Event()
+
+    def __call__(self, shard: str | None = None) -> None:
+        if self.shard is not None and shard != self.shard:
+            return
+        self.calls += 1
+        if self.released.wait(self.hang_s):
+            raise OSError(
+                f"hung attempt on shard {shard!r} released after abandonment"
+            )
+
+    def release(self) -> None:
+        """Wake every hanging (and future) attempt; they fail fast."""
+        self.released.set()
+
+
+class WorkerStall:
+    """Stalls the first ``k`` worker-pool executions by ``stall_s`` before
+    the submitted callable runs (``k=None`` stalls every execution).
+
+    Plugged into :class:`~repro.server.WorkerPool` as its
+    ``fault_injector``; exercises end-to-end deadline semantics — the
+    stall happens *after* admission, so it consumes the request's minted
+    deadline rather than re-arming it.
+    """
+
+    def __init__(self, stall_s: float, k: int | None = None) -> None:
+        if stall_s < 0:
+            raise ValueError(f"stall_s must be non-negative, got {stall_s!r}")
+        if k is not None and k < 0:
+            raise ValueError(f"k must be non-negative, got {k!r}")
+        self.stall_s = stall_s
+        self.k = k
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> None:
+        with self._lock:
+            self.calls += 1
+            stall = self.k is None or self.calls <= self.k
+        if stall:
+            time.sleep(self.stall_s)
 
 
 class SlowInstance:

@@ -31,11 +31,12 @@ from repro.errors import (
     PaginationError,
     QueryError,
     ReproError,
+    ServerDrainingError,
     ServerOverloadedError,
     ShardFailedError,
 )
 from repro.obs.trace import Span
-from repro.resilience.budget import ResourceBudget
+from repro.resilience.budget import ResourceBudget, combine_budgets
 from repro.server.admission import AdmissionController
 from repro.server.pool import WorkerPool
 from repro.server.stats import ServerStats
@@ -71,6 +72,9 @@ class ServerConfig:
         ``max_page_size`` rows per page is rejected.
     recent_spans:
         How many recent ``server:request`` spans ``GET /stats`` retains.
+    drain_deadline_s:
+        How long a graceful shutdown waits for in-flight requests to
+        finish before detaching their (daemon) workers.
     """
 
     host: str = "127.0.0.1"
@@ -82,8 +86,13 @@ class ServerConfig:
     default_page_size: int | None = None
     max_page_size: int = 10_000
     recent_spans: int = 32
+    drain_deadline_s: float = 5.0
 
     def __post_init__(self) -> None:
+        if self.drain_deadline_s < 0:
+            raise ValueError(
+                f"drain_deadline_s must be non-negative, got {self.drain_deadline_s!r}"
+            )
         if self.max_page_size < 1:
             raise ValueError(
                 f"max_page_size must be >= 1, got {self.max_page_size!r}"
@@ -102,6 +111,7 @@ class ServerConfig:
 #: kebab-case code); anything unmapped falls back to "internal-error".
 ERROR_CODES = {
     "ServerOverloadedError": "server-overloaded",
+    "ServerDrainingError": "server-draining",
     "BudgetExceededError": "budget-exceeded",
     "PaginationError": "bad-request",
     "QuerySyntaxError": "query-syntax",
@@ -110,31 +120,6 @@ ERROR_CODES = {
     "QueryError": "query-error",
     "ShardFailedError": "shard-failed",
 }
-
-
-def _combined_budget(
-    requested: ResourceBudget | None, quota: ResourceBudget | None
-) -> ResourceBudget | None:
-    """The effective per-request budget: the tighter of what the client
-    asked for and what admission minted (a client may narrow its quota,
-    never widen it)."""
-    if requested is None:
-        return quota
-    if quota is None:
-        return requested
-
-    def tighter(a: float | None, b: float | None) -> float | None:
-        if a is None:
-            return b
-        if b is None:
-            return a
-        return min(a, b)
-
-    return ResourceBudget(
-        deadline_s=tighter(requested.deadline_s, quota.deadline_s),
-        max_regions=tighter(requested.max_regions, quota.max_regions),
-        max_bytes_parsed=tighter(requested.max_bytes_parsed, quota.max_bytes_parsed),
-    )
 
 
 class QueryServerApp:
@@ -158,14 +143,38 @@ class QueryServerApp:
         self.stats = ServerStats(recent=self.config.recent_spans)
         self.started_at = perf_counter()
         self._closed = threading.Event()
+        self._draining = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------------
 
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def start_draining(self) -> None:
+        """Stop admitting new engine work: from here on, ``/query`` /
+        ``/explain`` / ``/analyze`` answer a structured 503 with
+        ``Retry-After`` while already-admitted requests keep running."""
+        self._draining.set()
+
+    def drain(self, deadline_s: float | None = None) -> bool:
+        """Graceful shutdown: stop admitting, let executing requests
+        finish within the drain deadline, fail queued-but-unstarted ones
+        with typed 503s.  Returns ``True`` when everything in flight
+        completed in time.  Idempotent."""
+        deadline = (
+            self.config.drain_deadline_s if deadline_s is None else deadline_s
+        )
+        self._draining.set()
+        drained = self.pool.drain(deadline)
+        self._closed.set()
+        return drained
+
     def close(self) -> None:
-        """Stop the worker pool (idempotent)."""
+        """Stop the worker pool (idempotent; graceful — same as
+        :meth:`drain` with the configured deadline)."""
         if not self._closed.is_set():
-            self._closed.set()
-            self.pool.shutdown(wait=True)
+            self.drain()
 
     @property
     def uptime_s(self) -> float:
@@ -215,7 +224,7 @@ class QueryServerApp:
         return {
             "ok": True,
             "kind": "health",
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
             "uptime_s": self.uptime_s,
             "backend": type(self.backend).__name__,
             "version": repro.__version__,
@@ -253,9 +262,22 @@ class QueryServerApp:
         self, endpoint: str, body: Mapping[str, Any] | None
     ) -> dict[str, Any]:
         request = self._build_request(body)
+        if self.draining:
+            raise ServerDrainingError(
+                "shutting down; not admitting new requests",
+                retry_after_s=self._retry_after_s(),
+            )
         ticket = self.admission.admit()
+        # The effective budget is combined — and its absolute end-to-end
+        # deadline minted — HERE, at admission, before the request ever
+        # touches the worker queue: time spent waiting for a worker
+        # consumes the deadline, it does not re-arm it.
+        budget = combine_budgets(request.budget, ticket.budget)
+        if budget is not None:
+            budget = budget.started()
+        guarded = replace(request, budget=budget)
         try:
-            future = self.pool.submit(lambda: self._execute(endpoint, request, ticket))
+            future = self.pool.submit(lambda: self._execute(endpoint, guarded))
         except ServerOverloadedError:
             ticket.release()
             raise
@@ -264,27 +286,25 @@ class QueryServerApp:
         finally:
             ticket.release()
 
-    def _execute(
-        self, endpoint: str, request: QueryRequest, ticket: Any
-    ) -> dict[str, Any]:
+    def _execute(self, endpoint: str, request: QueryRequest) -> dict[str, Any]:
         if endpoint == "/query":
-            guarded = replace(
-                request, budget=_combined_budget(request.budget, ticket.budget)
-            )
-            response = self.backend.query(guarded)
+            response = self.backend.query(request)
             return {"ok": True, "kind": "query", **response.to_dict()}
         if endpoint == "/explain":
             response = self.backend.explain(request)
             return {"ok": True, "kind": "explain", **response.to_dict()}
         # /analyze: instrumented re-execution; the quota still applies to
         # the primary execution via the request budget.
-        guarded = replace(
-            request, budget=_combined_budget(request.budget, ticket.budget)
-        )
-        response = self.backend.analyze(guarded)
+        response = self.backend.analyze(request)
         return {"ok": True, "kind": "analyze", "analysis": response.to_dict()}
 
     # -- errors ------------------------------------------------------------------
+
+    def _retry_after_s(self) -> float:
+        """The back-off hint for a rejected client, from the recent
+        queue-drain rate and the load currently ahead of it."""
+        pending = self.admission.snapshot()["in_flight"]
+        return self.stats.retry_after_s(pending, workers=self.config.workers)
 
     def _plain_error(
         self, status: int, code: str, message: str
@@ -303,7 +323,19 @@ class QueryServerApp:
         detail: dict[str, Any] = {}
         if isinstance(error, ServerOverloadedError):
             status = 429
-            detail = {"admission": dict(error.snapshot)}
+            retry_after = self._retry_after_s()
+            detail = {
+                "admission": {**error.snapshot, "retry_after_s": retry_after},
+                "retry_after_s": retry_after,
+            }
+        elif isinstance(error, ServerDrainingError):
+            status = 503
+            retry_after = (
+                error.retry_after_s
+                if error.retry_after_s is not None
+                else self._retry_after_s()
+            )
+            detail = {"retry_after_s": retry_after}
         elif isinstance(error, BudgetExceededError):
             status = 429
             detail = {

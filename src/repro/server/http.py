@@ -14,6 +14,7 @@ accurate ``Content-Length`` (HTTP/1.1 keep-alive friendly).
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -24,6 +25,18 @@ from repro.server.app import QueryServerApp, ServerConfig
 #: Refuse to buffer request bodies past this size (a query is text; 8 MiB
 #: of body is a client bug, not a query).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _retry_after_from(status: int, payload: dict[str, Any]) -> float | None:
+    """The envelope's back-off hint, when the status calls for one (429
+    overload, 503 draining/unavailable)."""
+    if status not in (429, 503) or payload.get("kind") != "error":
+        return None
+    detail = payload.get("error", {}).get("detail", {})
+    retry_after = detail.get("retry_after_s")
+    if retry_after is None:
+        retry_after = detail.get("admission", {}).get("retry_after_s")
+    return retry_after
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -70,6 +83,23 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 })
                 return
+            if not isinstance(body, dict):
+                # Valid JSON, wrong shape: a request body is an object,
+                # never an array/scalar — reject structured, not with a
+                # 500 from deep inside request parsing.
+                self._respond(400, {
+                    "ok": False,
+                    "kind": "error",
+                    "status": 400,
+                    "error": {
+                        "type": "HTTPError",
+                        "code": "bad-json",
+                        "message": "request body must be a JSON object, got "
+                        + type(body).__name__,
+                        "detail": {},
+                    },
+                })
+                return
         status, payload = app.handle(method, self.path.split("?", 1)[0], body)
         self._respond(status, payload)
 
@@ -78,6 +108,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        retry_after = _retry_after_from(status, payload)
+        if retry_after is not None:
+            # Whole seconds, per RFC 9110; never 0 (that invites an
+            # immediate, equally doomed retry).
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
         try:
             self.wfile.write(data)
@@ -139,9 +174,19 @@ class QueryServer:
         return self
 
     def shutdown(self) -> None:
-        """Stop accepting connections, drain workers, release the socket.
-        Idempotent and safe to call from any thread (including signal
-        handlers via ``threading``-safe ``shutdown``)."""
+        """Graceful drain, then release the socket.  Idempotent and safe
+        to call from any thread.
+
+        The sequence matters: first stop *admitting* engine work (new
+        requests get structured 503s with ``Retry-After`` — the listener
+        stays open so clients hear the rejection instead of a connection
+        refusal), let requests already executing finish within
+        ``drain_deadline_s`` (queued-but-unstarted ones are failed with
+        typed 503s — they never ran, so retrying is safe), and only then
+        stop the accept loop and close the listening socket.
+        """
+        self.app.start_draining()
+        self.app.drain()
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10.0)

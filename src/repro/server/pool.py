@@ -10,6 +10,13 @@ structured rejection, not a silently growing backlog.  This pool owns a
 (The :class:`~repro.server.admission.AdmissionController` normally rejects
 before the queue can fill; the pool's own cap is the backstop that makes
 the bound true even if a caller bypasses admission.)
+
+Shutdown comes in two flavors: :meth:`WorkerPool.shutdown` (legacy —
+drain everything already queued, then stop) and :meth:`WorkerPool.drain`
+(graceful — finish what is *executing*, fail what is merely *queued* with
+a typed :class:`~repro.errors.ServerDrainingError`, all bounded by a
+drain deadline).  The server's SIGTERM path uses ``drain``: active
+queries complete, queued-but-unstarted ones get structured 503s.
 """
 
 from __future__ import annotations
@@ -17,19 +24,31 @@ from __future__ import annotations
 import queue
 import threading
 from concurrent.futures import Future
+from time import perf_counter
 from typing import Any, Callable
 
-from repro.errors import ServerOverloadedError
+from repro.errors import ServerDrainingError, ServerOverloadedError
 
 #: Sentinel telling a worker thread to exit.
 _STOP = object()
 
 
 class WorkerPool:
-    """N worker threads draining one bounded queue of callables."""
+    """N worker threads draining one bounded queue of callables.
+
+    ``fault_injector`` (a zero-argument callable, e.g.
+    :class:`~repro.resilience.faults.WorkerStall`) runs at the start of
+    every execution — *after* the item left the queue, so an injected
+    stall consumes the request's admission-minted deadline exactly like a
+    real scheduling delay would.
+    """
 
     def __init__(
-        self, workers: int, queue_depth: int, name: str = "repro-server"
+        self,
+        workers: int,
+        queue_depth: int,
+        name: str = "repro-server",
+        fault_injector: Callable[[], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
@@ -37,6 +56,7 @@ class WorkerPool:
             raise ValueError(f"queue_depth must be >= 0, got {queue_depth!r}")
         self.workers = workers
         self.queue_depth = queue_depth
+        self.fault_injector = fault_injector
         # Executing work occupies a worker, not a queue slot, so the queue
         # holds at most queue_depth waiting items plus one per worker in
         # the instant between get() and execution; size accordingly.
@@ -78,6 +98,8 @@ class WorkerPool:
             if not future.set_running_or_notify_cancel():
                 continue
             try:
+                if self.fault_injector is not None:
+                    self.fault_injector()
                 future.set_result(fn())
             except BaseException as error:  # noqa: BLE001 — future boundary
                 future.set_exception(error)
@@ -93,3 +115,40 @@ class WorkerPool:
         if wait:
             for thread in self._threads:
                 thread.join(timeout=10.0)
+
+    def drain(self, deadline_s: float = 5.0) -> bool:
+        """Graceful shutdown: stop accepting, fail queued-but-unstarted
+        work with :class:`~repro.errors.ServerDrainingError`, and give
+        work already *executing* up to ``deadline_s`` to finish.
+
+        Returns ``True`` when every worker exited within the deadline
+        (``False`` means an in-flight request outlived the drain window —
+        its worker thread is a daemon, so the process can still exit).
+        Idempotent; safe to call after :meth:`shutdown`.
+        """
+        with self._lock:
+            self._shutdown = True
+        # Flush the backlog: anything still queued never started, so a
+        # typed rejection is safe — the client can retry with no risk of
+        # double execution.  (A worker racing us to an item simply runs
+        # it; that item counts as in-flight.)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            future, _fn = item
+            if future.set_running_or_notify_cancel():
+                future.set_exception(
+                    ServerDrainingError(
+                        "request was queued but not started before shutdown"
+                    )
+                )
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        end = perf_counter() + max(0.0, deadline_s)
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, end - perf_counter()))
+        return not any(thread.is_alive() for thread in self._threads)

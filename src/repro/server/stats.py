@@ -15,6 +15,14 @@ from typing import Any
 
 from repro.obs.trace import Span
 
+#: How many recent engine-request durations feed the queue-drain-rate
+#: estimate behind ``Retry-After`` (429/503 back-off hints).
+DRAIN_WINDOW = 64
+
+#: Retry-After fallback when no engine request has completed yet — the
+#: server is cold, so any small positive hint beats no hint.
+COLD_RETRY_AFTER_S = 1.0
+
 
 class ServerStats:
     """Lifetime request tallies for one server instance."""
@@ -24,6 +32,7 @@ class ServerStats:
         self._by_endpoint: dict[str, dict[str, Any]] = {}
         self._by_status: dict[int, int] = {}
         self._recent: "deque[dict[str, Any]]" = deque(maxlen=max(0, recent))
+        self._durations: "deque[float]" = deque(maxlen=DRAIN_WINDOW)
         self._requests_total = 0
         self._errors_total = 0
 
@@ -32,6 +41,10 @@ class ServerStats:
         endpoint = str(span.metrics.get("endpoint", "?"))
         with self._lock:
             self._requests_total += 1
+            if status < 400 and str(span.metrics.get("method", "")) == "POST":
+                # Completed engine work: its duration feeds the
+                # queue-drain-rate estimate behind Retry-After.
+                self._durations.append(span.duration)
             if status >= 400:
                 self._errors_total += 1
             self._by_status[status] = self._by_status.get(status, 0) + 1
@@ -44,6 +57,20 @@ class ServerStats:
             bucket["seconds_total"] += span.duration
             if self._recent.maxlen:
                 self._recent.append(span.to_dict())
+
+    def retry_after_s(self, pending: int, workers: int = 1) -> float:
+        """How long an overload-rejected client should wait before
+        retrying, from the recent queue-drain rate: ``pending`` requests
+        ahead of it drain in waves of ``workers`` at the recent mean
+        engine-request duration.  Clamped to [0.1s, 60s]; a cold server
+        (no completions yet) answers :data:`COLD_RETRY_AFTER_S`."""
+        with self._lock:
+            durations = list(self._durations)
+        if not durations:
+            return COLD_RETRY_AFTER_S
+        mean = sum(durations) / len(durations)
+        waves = max(1, -(-max(0, pending) // max(1, workers)))  # ceil
+        return round(min(60.0, max(0.1, mean * waves)), 3)
 
     def to_dict(self) -> dict[str, Any]:
         with self._lock:

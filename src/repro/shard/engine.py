@@ -33,7 +33,8 @@ import random
 import threading
 import time
 import warnings as _warnings
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from dataclasses import replace as dataclass_replace
 from pathlib import Path
@@ -66,8 +67,10 @@ from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.resilience.warnings import (
     PARTIAL_RESULT,
     SHARD_FAILED,
+    SHARD_HEDGED,
     SHARD_RETRIED,
     SHARD_SKIPPED_OPEN_BREAKER,
+    SHARD_TIMEOUT,
     QueryWarning,
 )
 from repro.schema.structuring import StructuringSchema
@@ -86,8 +89,20 @@ from repro.shard.stats import FAILED, OK, SKIPPED, ShardedStats, ShardExecution
 DEFAULT_MAX_PARALLEL = 8
 
 #: A fault injector receives the shard name at the start of every attempt
-#: (see :class:`~repro.resilience.faults.TransientIOFault`).
+#: (see :class:`~repro.resilience.faults.TransientIOFault`).  An injector
+#: may also expose ``release()``: the engine calls it when it abandons a
+#: hung attempt so the injected hang can wake up and fail fast (see
+#: :class:`~repro.resilience.faults.HungShard`).
 FaultInjector = Callable[[str], None]
+
+#: How long past an absolute request deadline the gather loop waits for
+#: per-shard budget meters to fire on their own before abandoning the
+#: stragglers outright: ``fraction * deadline_s`` clamped to the bounds.
+#: Keeps the worst case comfortably under 2x the deadline while giving a
+#: healthy-but-late shard time to report its own BudgetExceededError.
+GATHER_GRACE_FRACTION = 0.25
+GATHER_GRACE_MIN_S = 0.02
+GATHER_GRACE_MAX_S = 1.0
 
 
 @dataclass
@@ -117,6 +132,24 @@ class _Outcome:
     ended_at: float = 0.0
     warnings: list[QueryWarning] = field(default_factory=list)
     breaker: dict[str, Any] = field(default_factory=dict)
+    hedged: bool = False
+    winner: str | None = None
+
+
+@dataclass
+class _ShardTask:
+    """One shard's in-flight scatter state: the primary attempt and, when
+    hedging kicked in, its racing duplicate."""
+
+    number: int
+    shard: _Shard
+    primary: "Future[_Outcome]"
+    dispatched_at: float
+    hedge: "Future[_Outcome] | None" = None
+    hedged_at: float | None = None
+
+    def futures(self) -> list["Future[_Outcome]"]:
+        return [self.primary] if self.hedge is None else [self.primary, self.hedge]
 
 
 @dataclass
@@ -172,6 +205,7 @@ class ShardedEngine:
         breaker_config: BreakerConfig | None = None,
         max_parallel: int | None = None,
         fail_fast: bool = False,
+        hedge_after_s: float | None = None,
         fault_injector: FaultInjector | None = None,
         retry_sleep: Callable[[float], Any] = time.sleep,
         feedback: "FeedbackConfig | bool | None" = None,
@@ -199,6 +233,9 @@ class ShardedEngine:
         if self.max_parallel < 1:
             raise ValueError(f"max_parallel must be >= 1, got {self.max_parallel!r}")
         self.fail_fast = fail_fast
+        if hedge_after_s is not None and hedge_after_s < 0:
+            raise ValueError(f"hedge_after_s must be non-negative, got {hedge_after_s!r}")
+        self.hedge_after_s = hedge_after_s
         self.fault_injector = fault_injector
         self._retry_sleep = retry_sleep
         # One shared history across all shards: keys carry each shard's own
@@ -427,15 +464,26 @@ class ShardedEngine:
         budget: ResourceBudget | None = None,
         fail_fast: bool | None = None,
         max_parallel: int | None = None,
+        hedge_after_s: float | None = None,
     ) -> ShardedQueryResult | QueryResponse:
         """Scatter the query over all shards, gather a merged result.
 
         Row order is deterministic: shards contribute in shard order
         regardless of completion order.  ``budget`` (or the engine-wide
-        default) applies *per shard* — each shard's execution gets its own
-        meter.  With ``fail_fast`` (here or engine-wide) any unhealthy
-        shard raises :class:`~repro.errors.ShardFailedError` instead of
-        degrading to a partial result.
+        default) is stamped with an absolute end-to-end deadline here —
+        once, at admission — and every shard receives the *remaining*
+        time at its dispatch, so the deadline never restarts at a layer
+        boundary.  A shard that produces nothing by the deadline (plus a
+        small grace for its own meter to fire) is abandoned with a
+        ``shard-timeout`` warning instead of hanging the request.
+
+        With ``hedge_after_s`` (here or engine-wide), a shard still
+        running after that many seconds is re-dispatched to a second
+        attempt; the first finished attempt wins and the merged result
+        carries a ``shard-hedged`` warning.  With ``fail_fast`` (here or
+        engine-wide) any unhealthy shard raises
+        :class:`~repro.errors.ShardFailedError` instead of degrading to a
+        partial result.
 
         A :class:`~repro.api.QueryRequest` selects the unified
         :class:`~repro.api.QueryBackend` surface and returns the
@@ -449,30 +497,190 @@ class ShardedEngine:
         workers = max_parallel if max_parallel is not None else self.max_parallel
         if workers < 1:
             raise ValueError(f"max_parallel must be >= 1, got {workers!r}")
+        hedge_after = (
+            self.hedge_after_s if hedge_after_s is None else hedge_after_s
+        )
         parsed = parse_query(query) if isinstance(query, str) else query
         holder: dict[str, Any] = {"lock": threading.Lock()}
         started = perf_counter()
 
+        effective = budget if budget is not None else self.budget
+        if effective is not None:
+            effective = effective.started()  # mint the deadline once, here
+        outcomes = self._scatter(parsed, effective, holder, workers, hedge_after)
+        return self._gather(parsed, outcomes, holder, started, fail_fast)
+
+    def _scatter(
+        self,
+        query: Query,
+        budget: ResourceBudget | None,
+        holder: dict[str, Any],
+        workers: int,
+        hedge_after: float | None,
+    ) -> list[_Outcome]:
+        """Dispatch one task per shard and gather their outcomes, hedging
+        stragglers and abandoning anything still running past the
+        absolute deadline (plus grace)."""
+        base = min(workers, len(self._shards))
+        pool = ThreadPoolExecutor(
+            # Headroom for hedge attempts: a hedge must never queue
+            # behind the very straggler it is meant to outrun.
+            max_workers=base * 2 if hedge_after is not None else base,
+            thread_name_prefix="repro-shard",
+        )
         outcomes: list[_Outcome] = [None] * len(self._shards)  # type: ignore[list-item]
         query_errors: list[tuple[int, BaseException]] = []
-        with ThreadPoolExecutor(
-            max_workers=min(workers, len(self._shards)),
-            thread_name_prefix="repro-shard",
-        ) as pool:
-            futures = {
-                pool.submit(self._run_shard, shard, parsed, budget, holder): number
+        try:
+            tasks = [
+                _ShardTask(
+                    number,
+                    shard,
+                    primary=pool.submit(self._run_shard, shard, query, budget, holder),
+                    dispatched_at=perf_counter(),
+                )
                 for number, shard in enumerate(self._shards)
-            }
-            for future, number in futures.items():
-                try:
-                    outcomes[number] = future.result()
-                except QueryError as error:
-                    # Query-wide defects (bad syntax, untranslatable path)
-                    # are the caller's problem, not a shard fault.
-                    query_errors.append((number, error))
+            ]
+            abandon_at: float | None = None
+            if budget is not None and budget.deadline_at is not None:
+                grace = min(
+                    GATHER_GRACE_MAX_S,
+                    max(
+                        GATHER_GRACE_MIN_S,
+                        (budget.deadline_s or 0.0) * GATHER_GRACE_FRACTION,
+                    ),
+                )
+                abandon_at = budget.deadline_at + grace
+            pending = list(tasks)
+            while pending:
+                still_pending = []
+                for task in pending:
+                    outcome = self._resolve_task(task, query_errors)
+                    if outcome is not None:
+                        outcomes[task.number] = outcome
+                    else:
+                        still_pending.append(task)
+                pending = still_pending
+                if not pending or query_errors:
+                    break
+                now = perf_counter()
+                if abandon_at is not None and now >= abandon_at:
+                    for task in pending:
+                        outcomes[task.number] = self._abandon_task(task, budget)
+                    break
+                next_at = abandon_at
+                if hedge_after is not None:
+                    for task in pending:
+                        if task.hedge is not None:
+                            continue
+                        hedge_at = task.dispatched_at + hedge_after
+                        if now >= hedge_at and not task.primary.done():
+                            task.hedge = pool.submit(
+                                self._run_shard, task.shard, query, budget, holder
+                            )
+                            task.hedged_at = now
+                        elif task.hedge is None:
+                            next_at = (
+                                hedge_at if next_at is None else min(next_at, hedge_at)
+                            )
+                live = [f for t in pending for f in t.futures() if not f.done()]
+                timeout = (
+                    None if next_at is None else max(0.0, next_at - perf_counter())
+                )
+                if live:
+                    futures_wait(live, timeout=timeout, return_when=FIRST_COMPLETED)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         if query_errors:
+            # Query-wide defects (bad syntax, untranslatable path) are the
+            # caller's problem, not a shard fault.
             raise min(query_errors)[1]
-        return self._gather(parsed, outcomes, holder, started, fail_fast)
+        return outcomes
+
+    def _resolve_task(
+        self,
+        task: _ShardTask,
+        query_errors: list[tuple[int, BaseException]],
+    ) -> _Outcome | None:
+        """The task's final outcome, or ``None`` while it is undecided.
+
+        First *successful* attempt wins; a failed attempt whose sibling
+        is still running stays undecided (the hedge may yet save the
+        shard)."""
+        finished: list[tuple[str, _Outcome | None]] = []
+        for which, future in (("primary", task.primary), ("hedge", task.hedge)):
+            if future is None or not future.done():
+                continue
+            try:
+                finished.append((which, future.result()))
+            except QueryError as error:
+                query_errors.append((task.number, error))
+                finished.append((which, None))
+        if not finished:
+            return None
+        healthy = [
+            (which, outcome)
+            for which, outcome in finished
+            if outcome is not None and outcome.status == OK
+        ]
+        if healthy:
+            which, outcome = healthy[0]
+        elif len(finished) == len(task.futures()):
+            remaining = [pair for pair in finished if pair[1] is not None]
+            if not remaining:
+                return None  # every attempt raised a query-wide error
+            which, outcome = remaining[0]
+        else:
+            return None
+        if task.hedge is not None:
+            outcome.hedged = True
+            outcome.winner = which
+            outcome.warnings = [
+                QueryWarning(
+                    SHARD_HEDGED,
+                    f"shard {task.shard.name!r} hedged after "
+                    f"{(task.hedged_at or 0.0) - task.dispatched_at:.3f}s; "
+                    f"{which} attempt won",
+                    detail={"shard": task.shard.name, "winner": which},
+                )
+            ] + outcome.warnings
+        return outcome
+
+    def _abandon_task(
+        self, task: _ShardTask, budget: ResourceBudget | None
+    ) -> _Outcome:
+        """Give up on a shard that produced nothing by the deadline: the
+        attempt threads are detached (their eventual results discarded)
+        and a releasable injected hang is woken so it fails fast."""
+        for future in task.futures():
+            future.cancel()
+        release = getattr(self.fault_injector, "release", None)
+        if callable(release):
+            release()
+        described = budget.describe() if budget is not None else "deadline"
+        warning = QueryWarning(
+            SHARD_TIMEOUT,
+            f"shard {task.shard.name!r} abandoned: no result within the "
+            f"request deadline ({described})",
+            detail={
+                "shard": task.shard.name,
+                "hedged": task.hedge is not None,
+                "budget": described,
+            },
+        )
+        return _Outcome(
+            shard=task.shard.name,
+            status=FAILED,
+            error=TimeoutError(
+                f"shard {task.shard.name!r} abandoned: no result within the "
+                f"request deadline"
+            ),
+            attempts=len(task.futures()),
+            started_at=task.dispatched_at,
+            ended_at=perf_counter(),
+            warnings=[warning],
+            breaker=task.shard.breaker.snapshot(),
+            hedged=task.hedge is not None,
+        )
 
     def _run_shard(
         self,
@@ -482,6 +690,11 @@ class ShardedEngine:
         holder: dict[str, Any],
     ) -> _Outcome:
         started = perf_counter()
+        if budget is not None:
+            # A shard dispatched (or hedged) late gets only the request's
+            # remaining time — visibly: its own stats report the clamped
+            # window, not the original full deadline.
+            budget = budget.at_dispatch(started)
         if not shard.breaker.allow():
             snapshot = shard.breaker.snapshot()
             warning = QueryWarning(
@@ -695,6 +908,8 @@ class ShardedEngine:
                     "breaker": outcome.breaker.get("state", "closed"),
                 },
             )
+            if outcome.hedged:
+                span.annotate(hedged=True, winner=outcome.winner)
             if outcome.result is not None:
                 span.annotate(
                     rows=len(outcome.result.rows),

@@ -1,0 +1,152 @@
+"""The chaos harness itself: the invariant oracle's verdict logic, seed
+parsing, the scenario registry's shape, and one end-to-end faulted run
+per backend judged against the healthy twin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    BACKENDS,
+    SCENARIOS,
+    Fixtures,
+    Verdict,
+    parse_seeds,
+    render_report,
+    run_matrix,
+    run_one,
+)
+from repro.errors import BudgetExceededError, IndexCorruptError
+
+
+# -- the oracle ----------------------------------------------------------------
+
+
+class TestVerdict:
+    def test_identical_rows_pass(self):
+        verdict = Verdict()
+        verdict.rows_identical_or_flagged({("a",)}, {("a",)}, codes=[])
+        assert verdict.passed
+
+    def test_flagged_subset_passes(self):
+        verdict = Verdict()
+        verdict.rows_identical_or_flagged(
+            {("a",)}, {("a",), ("b",)}, codes=["partial-result"]
+        )
+        assert verdict.passed
+
+    def test_silent_loss_fails(self):
+        verdict = Verdict()
+        verdict.rows_identical_or_flagged({("a",)}, {("a",), ("b",)}, codes=[])
+        assert not verdict.passed
+        assert "WITHOUT" in verdict.failures[0].message
+
+    def test_invented_rows_fail_even_when_flagged(self):
+        verdict = Verdict()
+        verdict.rows_identical_or_flagged(
+            {("a",), ("x",)}, {("a",)}, codes=["partial-result"]
+        )
+        assert not verdict.passed
+        assert "invented" in verdict.failures[0].message
+
+    def test_undocumented_warning_code_fails(self):
+        verdict = Verdict()
+        verdict.codes_within(["shard-failed", "surprise"], ["shard-failed"])
+        assert not verdict.passed
+
+    def test_bound_violation_fails(self):
+        verdict = Verdict()
+        verdict.bounded(elapsed_s=2.0, bound_s=0.5)
+        assert not verdict.passed
+
+    def test_typed_error_must_be_documented(self):
+        verdict = Verdict()
+        verdict.typed_error(BudgetExceededError("wall_clock", 1, 2), (IndexCorruptError,))
+        assert not verdict.passed
+        verdict = Verdict()
+        verdict.typed_error(None, (IndexCorruptError,))
+        assert not verdict.passed  # a fault that vanished silently is a failure
+
+    def test_envelope_error_accepts_any_expected_status(self):
+        verdict = Verdict()
+        payload = {"error": {"code": "server-draining"}}
+        verdict.envelope_error(503, payload, {429, 503}, ["server-draining"])
+        assert verdict.passed
+
+
+# -- seed parsing --------------------------------------------------------------
+
+
+def test_parse_seeds() -> None:
+    assert parse_seeds("3") == [3]
+    assert parse_seeds("0..3") == [0, 1, 2, 3]
+    assert parse_seeds("0..2,7") == [0, 1, 2, 7]
+    with pytest.raises(ValueError):
+        parse_seeds("5..1")
+    with pytest.raises(ValueError):
+        parse_seeds("")
+
+
+# -- the registry --------------------------------------------------------------
+
+
+def test_every_scenario_declares_valid_backends() -> None:
+    assert SCENARIOS, "the registry must not be empty"
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.backends, name
+        assert set(scenario.backends) <= set(BACKENDS), name
+        assert scenario.description and scenario.injection, name
+
+
+def test_issue_required_scenarios_are_registered() -> None:
+    # The CI matrix's fixed axes must exist by name.
+    assert {"hang", "corrupt", "transient-io", "overload"} <= set(SCENARIOS)
+
+
+# -- end-to-end runs -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fixtures() -> Fixtures:
+    return Fixtures.build()
+
+
+def test_hung_shard_run_passes_the_oracle(fixtures) -> None:
+    runs = run_matrix([0], scenarios=["hang"], fixtures=fixtures)
+    assert len(runs) == 2  # solo + sharded
+    for run in runs:
+        assert run.passed, run.describe()
+
+
+def test_runs_are_deterministic_per_seed(fixtures) -> None:
+    scenario = SCENARIOS["corrupt"]
+    first = run_one(scenario, fixtures, "solo", seed=6)
+    second = run_one(scenario, fixtures, "solo", seed=6)
+    assert first.passed and second.passed
+    # Same seed, same fault choices: the oracle ran the same checks and
+    # reached the same conclusions both times.
+    assert [c.name for c in first.verdict.checks] == [
+        c.name for c in second.verdict.checks
+    ]
+
+
+def test_crashing_scenario_is_a_failed_run_not_an_exception(fixtures) -> None:
+    from repro.chaos.scenarios import Scenario
+
+    def explode(fx, rng, backend, workdir):
+        raise RuntimeError("scenario bug")
+
+    bomb = Scenario(
+        name="bomb",
+        description="always crashes",
+        injection="none",
+        backends=("solo",),
+        run=explode,
+    )
+    run = run_one(bomb, fixtures, "solo", seed=0)
+    assert not run.passed
+    assert run.error is not None and "scenario bug" in run.error
+    assert "harness crashed" in run.describe()
+    report = render_report([run])
+    assert "0/1" in report and "1 FAILED" in report

@@ -1,0 +1,99 @@
+"""End-to-end deadline semantics: the absolute deadline is minted once
+(`started()`), combined budgets take the tighter limit per field, and a
+meter started late in the request's life measures against the original
+instant — the clock never re-arms at a layer boundary."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.resilience import ResourceBudget, combine_budgets
+
+
+class TestStarted:
+    def test_started_mints_absolute_deadline(self):
+        budget = ResourceBudget(deadline_s=0.5).started(now=100.0)
+        assert budget.deadline_at == pytest.approx(100.5)
+        assert budget.deadline_s == 0.5  # the declared window is kept
+
+    def test_started_is_idempotent(self):
+        once = ResourceBudget(deadline_s=0.5).started(now=100.0)
+        twice = once.started(now=200.0)  # a later restamp must not extend
+        assert twice.deadline_at == once.deadline_at
+
+    def test_started_without_deadline_is_a_no_op(self):
+        budget = ResourceBudget(max_regions=10)
+        assert budget.started() is budget
+
+    def test_remaining_counts_down_and_floors_at_zero(self):
+        budget = ResourceBudget(deadline_s=1.0).started(now=100.0)
+        assert budget.remaining_s(now=100.4) == pytest.approx(0.6)
+        assert budget.remaining_s(now=105.0) == 0.0
+        assert ResourceBudget(deadline_s=1.0).remaining_s() is None  # unstamped
+
+
+class TestAtDispatch:
+    def test_dispatch_clamps_to_remaining_time(self):
+        budget = ResourceBudget(deadline_s=1.0).started(now=100.0)
+        shard_view = budget.at_dispatch(now=100.7)
+        assert shard_view.deadline_s == pytest.approx(0.3)
+        assert shard_view.deadline_at == budget.deadline_at  # anchor kept
+
+    def test_dispatch_never_extends(self):
+        budget = ResourceBudget(deadline_s=0.2).started(now=100.0)
+        # Dispatched immediately: full window remains, nothing to clamp.
+        assert budget.at_dispatch(now=100.0).deadline_s == 0.2
+
+    def test_dispatch_without_stamp_is_a_no_op(self):
+        budget = ResourceBudget(deadline_s=1.0)
+        assert budget.at_dispatch() is budget
+
+
+class TestMeterAgainstAbsoluteDeadline:
+    def test_late_meter_gets_no_fresh_window(self):
+        # The request was admitted long ago; a meter created now must see
+        # the deadline as already blown even though *its* clock just started.
+        stamped = ResourceBudget(deadline_s=0.01).started(
+            now=time.perf_counter() - 1.0
+        )
+        meter = stamped.meter()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            meter.check_deadline()
+        error = excinfo.value
+        assert error.resource == "wall_clock"
+        assert error.partial["remaining_s"] == 0.0
+
+    def test_unstamped_meter_restarts_relative_clock(self):
+        # Without started(), deadline_s stays relative — the documented
+        # legacy behaviour for single-layer callers.
+        meter = ResourceBudget(deadline_s=30.0).meter()
+        meter.check_deadline()  # plenty of relative time left
+
+
+class TestCombineBudgets:
+    def test_tighter_limit_wins_per_field(self):
+        requested = ResourceBudget(deadline_s=5.0, max_regions=100)
+        quota = ResourceBudget(deadline_s=1.0, max_bytes_parsed=4096)
+        combined = combine_budgets(requested, quota)
+        assert combined.deadline_s == 1.0
+        assert combined.max_regions == 100
+        assert combined.max_bytes_parsed == 4096
+
+    def test_none_passes_the_other_through(self):
+        quota = ResourceBudget(deadline_s=1.0)
+        assert combine_budgets(None, quota) is quota
+        assert combine_budgets(quota, None) is quota
+        assert combine_budgets(None, None) is None
+
+    def test_earlier_absolute_deadline_wins(self):
+        early = ResourceBudget(deadline_s=1.0).started(now=100.0)
+        late = ResourceBudget(deadline_s=1.0).started(now=200.0)
+        assert combine_budgets(late, early).deadline_at == early.deadline_at
+
+    def test_caller_cannot_widen_quota(self):
+        quota = ResourceBudget(deadline_s=0.5)
+        combined = combine_budgets(ResourceBudget(deadline_s=60.0), quota)
+        assert combined.deadline_s == 0.5
