@@ -1,0 +1,157 @@
+"""E13 — live ingestion: append throughput and crash-recovery time.
+
+The paper's engine answers queries over *files as they are*; the live
+layer extends that to files as they grow.  Two costs matter:
+
+- **Append latency** — a durable append journals the record and fsyncs
+  before acknowledging, so the floor is one fsync.  Measured solo and as
+  an append+query mix (the serving steady state).
+- **Recovery time** — reopening an index whose journal holds unfolded
+  frames must replay them into delta segments.  Measured against journal
+  depth, along with the compaction that folds the delta away.
+
+Benchmarks build a fresh index per round (appends mutate on-disk state),
+so the measured body includes only the live-path work being quantified.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.live import LiveEngine
+from repro.shard import ShardedEngine
+from repro.workloads.logs import generate_log, log_schema, tail_entries
+
+N_SHARDS = 4
+BASE_ENTRIES = 400
+QUERY = 'SELECT e FROM Entry e WHERE e.Level = "ERROR"'
+
+
+@pytest.fixture(scope="module")
+def live_schema():
+    return log_schema()
+
+
+@pytest.fixture(scope="module")
+def base_corpus() -> str:
+    return generate_log(entries=BASE_ENTRIES, seed=29)
+
+
+@pytest.fixture(scope="module")
+def ingest_records(live_schema) -> list[str]:
+    return list(tail_entries(entries=64, seed=7, start=BASE_ENTRIES))
+
+
+@pytest.fixture(scope="module")
+def saved_base(tmp_path_factory, live_schema, base_corpus):
+    directory = tmp_path_factory.mktemp("e13") / "base-idx"
+    ShardedEngine.split(live_schema, base_corpus, N_SHARDS).save(directory)
+    return directory
+
+
+@pytest.fixture
+def fresh_index(tmp_path, saved_base):
+    """A private copy of the saved base index: appends are destructive."""
+    directory = tmp_path / "idx"
+    shutil.copytree(saved_base, directory)
+    return directory
+
+
+def bench_append_durable(benchmark, live_schema, fresh_index, ingest_records):
+    """One journaled, fsynced append (the ack floor is the fsync)."""
+    live = LiveEngine.open(live_schema, fresh_index)
+    cursor = iter(ingest_records * 1000)
+
+    try:
+        benchmark(lambda: live.append(next(cursor)))
+        status = live.status()
+        benchmark.extra_info.update(
+            appended=status["next_seq"] - 1,
+            journal_bytes=status["journal_bytes"],
+            fsync_per_append=1,
+        )
+    finally:
+        live.close()
+
+
+def bench_append_query_mix(benchmark, live_schema, fresh_index, ingest_records):
+    """The serving steady state: one append, then a query that merges the
+    delta segment with the base shards."""
+    live = LiveEngine.open(live_schema, fresh_index)
+    cursor = iter(ingest_records * 1000)
+
+    def round_trip():
+        live.append(next(cursor))
+        return live.query(QUERY)
+
+    try:
+        result = benchmark(round_trip)
+        benchmark.extra_info.update(
+            rows=len(result.rows),
+            pending=live.status()["pending_records"],
+        )
+    finally:
+        live.close()
+
+
+@pytest.mark.parametrize("depth", [8, 64])
+def bench_recovery_replay(benchmark, live_schema, saved_base, tmp_path, depth):
+    """Reopen with ``depth`` unfolded journal frames: orphan sweep +
+    fingerprint check + journal replay into a pending delta."""
+    seed_dir = tmp_path / "seed"
+    shutil.copytree(saved_base, seed_dir)
+    live = LiveEngine.open(live_schema, seed_dir)
+    for record in tail_entries(entries=depth, seed=13, start=BASE_ENTRIES):
+        live.append(record)
+    live.close()
+
+    counter = [0]
+
+    def setup():
+        work = tmp_path / f"run-{counter[0]}"
+        counter[0] += 1
+        if work.exists():
+            shutil.rmtree(work)
+        shutil.copytree(seed_dir, work)
+        return (work,), {}
+
+    def reopen(work):
+        engine = LiveEngine.open(live_schema, work)
+        pending = engine.status()["pending_records"]
+        engine.close()
+        return pending
+
+    pending = benchmark.pedantic(reopen, setup=setup, rounds=10)
+    benchmark.extra_info.update(journal_depth=depth, replayed=pending)
+
+
+def bench_compaction_fold(benchmark, live_schema, saved_base, tmp_path):
+    """Folding a 32-record delta into the base index (stage + swap +
+    manifest + trim)."""
+    seed_dir = tmp_path / "seed"
+    shutil.copytree(saved_base, seed_dir)
+    live = LiveEngine.open(live_schema, seed_dir)
+    for record in tail_entries(entries=32, seed=17, start=BASE_ENTRIES):
+        live.append(record)
+    live.close()
+
+    counter = [0]
+
+    def setup():
+        work = tmp_path / f"run-{counter[0]}"
+        counter[0] += 1
+        if work.exists():
+            shutil.rmtree(work)
+        shutil.copytree(seed_dir, work)
+        engine = LiveEngine.open(live_schema, work)
+        return (engine,), {}
+
+    def fold(engine):
+        report = engine.compact()
+        engine.close()
+        return report
+
+    report = benchmark.pedantic(fold, setup=setup, rounds=10)
+    benchmark.extra_info.update(folded=sum(report["folded"].values()))

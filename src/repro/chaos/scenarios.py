@@ -29,7 +29,21 @@ worker-stall    server pool injector (``WorkerStall``)         solo, sharded
 overload        admission capacity exhaustion                  solo, sharded
 drain           graceful-shutdown race                         solo, sharded
 malformed-body  HTTP boundary (raw socket bodies)              solo, sharded
+kill-mid-append torn write-ahead-journal frame on disk         sharded
+torn-journal-   byte-level journal truncation / bit rot        sharded
+tail
+crash-mid-      ``LiveEngine`` crash hook between compaction   sharded
+compaction      commit points
+crash-mid-      ``LiveEngine`` crash hook between split        sharded
+split           commit points
 ==============  =============================================  ==================
+
+The four live-ingestion scenarios share one invariant, judged against a
+from-scratch rebuild of the *logical* corpus (base text + acked
+appends): after a crash at any named point, reopening recovers every
+acked append and drops every unacked one — and once fully compacted, the
+shard corpus files concatenate byte-for-byte to the logical corpus, so
+double-applied or half-lost records cannot hide behind row projection.
 """
 
 from __future__ import annotations
@@ -438,6 +452,284 @@ def _run_drain(
     return verdict
 
 
+# -- live-ingestion crash scenarios --------------------------------------------
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a chaos crash hook to abandon a live-engine operation at
+    a named point, exactly as SIGKILL would — nothing after the raise
+    runs, and recovery happens on the next :meth:`LiveEngine.open`."""
+
+
+#: Codes a post-crash reopen may legitimately surface.
+LIVE_RECOVERY_CODES = {
+    "delta-replayed",
+    "stale-staging-removed",
+    "shard-split",
+}
+
+
+def _live_setup(
+    fx: "Fixtures", rng: random.Random, workdir: Path
+) -> tuple[Path, list[str]]:
+    """A saved sharded index plus deterministic self-delimiting records to
+    append (drawn from the scenario RNG, so every seed ingests a different
+    batch)."""
+    from repro.workloads.bibtex import generate_bibtex
+
+    directory = workdir / "live-idx"
+    fx.sharded_engine().save(directory)
+    extra = generate_bibtex(
+        entries=rng.randrange(3, 6), seed=rng.randrange(1_000_000)
+    )
+    tree = fx.schema.parse(extra)
+    records = [extra[child.start : child.end] + "\n\n" for child in tree.children]
+    return directory, records
+
+
+def _tail_journal(directory: Path) -> Path:
+    from repro.shard.manifest import load_shard_manifest
+
+    entry = load_shard_manifest(directory).shards[-1]
+    return directory / "wal" / f"{Path(entry.directory).name}.wal"
+
+
+def _rebuild_rows(fx: "Fixtures", logical: str) -> set[tuple]:
+    return FileQueryEngine(fx.schema, logical).query(fx.query).canonical_rows()
+
+
+def _verify_compacted_corpus(
+    verdict: Verdict, fx: "Fixtures", directory: Path, logical: str
+) -> None:
+    """The strongest oracle: after a full compaction, the shard corpus
+    files must concatenate byte-for-byte to the logical corpus — row
+    projection cannot hide a double-applied or half-lost record from
+    this check."""
+    from repro.live import LiveEngine
+    from repro.shard.manifest import load_shard_manifest
+
+    live = LiveEngine.open(fx.schema, directory)
+    live.compact()
+    live.close()
+    stored = "".join(
+        (directory / entry.directory / "corpus.txt").read_text(encoding="utf-8")
+        for entry in load_shard_manifest(directory).shards
+    )
+    verdict.add(
+        "corpus-byte-identical",
+        stored == logical,
+        "compacted shard corpora concatenate to the logical corpus"
+        if stored == logical
+        else f"compacted corpus diverged ({len(stored)} vs {len(logical)} bytes)",
+    )
+
+
+def _run_kill_mid_append(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.live import LiveEngine, encode_frame
+
+    verdict = Verdict()
+    directory, records = _live_setup(fx, rng, workdir)
+    live = LiveEngine.open(fx.schema, directory)
+    acked = [live.append(record) for record in records[:-1]]
+    live.close()
+    # The process dies mid-write of the final (never-acked) frame: a
+    # random prefix of its bytes reaches the journal.
+    frame = encode_frame(acked[-1] + 1, records[-1])
+    cut = rng.randrange(1, len(frame))
+    with open(_tail_journal(directory), "ab") as handle:
+        handle.write(frame[:cut])
+
+    started = perf_counter()
+    reopened = LiveEngine.open(fx.schema, directory)
+    result = reopened.query(fx.query)
+    verdict.bounded(perf_counter() - started, 30.0)
+    codes = [w.code for w in result.warnings]
+    acked_logical = fx.text + "".join(records[:-1])
+    verdict.rows_identical_or_flagged(
+        result.canonical_rows(), _rebuild_rows(fx, acked_logical), codes
+    )
+    verdict.codes_include(codes, {"delta-replayed"})
+    verdict.codes_within(codes, LIVE_RECOVERY_CODES)
+    # The torn tail was truncated, so the retry lands cleanly with the
+    # next sequence number and completes the batch.
+    retry_seq = reopened.append(records[-1])
+    verdict.add(
+        "retry-succeeds",
+        retry_seq == acked[-1] + 1,
+        f"retried append acked with seq {retry_seq} "
+        f"(expected {acked[-1] + 1})",
+    )
+    result = reopened.query(fx.query)
+    reopened.close()
+    logical = fx.text + "".join(records)
+    verdict.rows_identical_or_flagged(
+        result.canonical_rows(), _rebuild_rows(fx, logical), []
+    )
+    _verify_compacted_corpus(verdict, fx, directory, logical)
+    return verdict
+
+
+def _run_torn_journal_tail(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    import struct
+
+    from repro.errors import JournalCorruptError
+    from repro.live import LiveEngine, encode_frame
+
+    verdict = Verdict()
+    directory, records = _live_setup(fx, rng, workdir)
+    live = LiveEngine.open(fx.schema, directory)
+    for record in records:
+        live.append(record)
+    live.close()
+    journal = _tail_journal(directory)
+    data = journal.read_bytes()
+    logical = fx.text + "".join(records)
+
+    if rng.random() < 0.5:
+        # Torn tail: an unacked frame cut at a random byte — inside the
+        # header, exactly after it, or mid-payload — must truncate away.
+        extra = encode_frame(len(records) + 1, records[rng.randrange(len(records))])
+        journal.write_bytes(data + extra[: rng.randrange(1, len(extra))])
+        started = perf_counter()
+        reopened = LiveEngine.open(fx.schema, directory)
+        result = reopened.query(fx.query)
+        reopened.close()
+        verdict.bounded(perf_counter() - started, 30.0)
+        codes = [w.code for w in result.warnings]
+        verdict.rows_identical_or_flagged(
+            result.canonical_rows(), _rebuild_rows(fx, logical), codes
+        )
+        verdict.codes_include(codes, {"delta-replayed"})
+        verdict.codes_within(codes, LIVE_RECOVERY_CODES)
+        # Repair truncated the torn bytes on disk: a second reopen sees a
+        # clean journal (replayed frames, no torn tail).
+        again = LiveEngine.open(fx.schema, directory)
+        torn_again = any(
+            w.detail.get("torn_bytes") for w in again.query(fx.query).warnings
+        )
+        again.close()
+        verdict.add(
+            "tail-repaired",
+            not torn_again,
+            "second reopen found a clean journal"
+            if not torn_again
+            else "torn tail survived the repair",
+        )
+        _verify_compacted_corpus(verdict, fx, directory, logical)
+        return verdict
+
+    # In-place bit rot inside a fully present, *acked* frame: truncation
+    # cannot explain it, so replay must refuse with a typed error rather
+    # than silently drop acked data.
+    (first_length,) = struct.unpack(">I", data[:4])
+    offset = 8 + rng.randrange(first_length)
+    flipped = data[:offset] + bytes([data[offset] ^ 0xFF]) + data[offset + 1 :]
+    journal.write_bytes(flipped)
+    started = perf_counter()
+    error: BaseException | None = None
+    try:
+        LiveEngine.open(fx.schema, directory)
+    except Exception as caught:  # noqa: BLE001 — oracle judges the type
+        error = caught
+    verdict.typed_error(error, (JournalCorruptError,))
+    verdict.bounded(perf_counter() - started, 30.0)
+    return verdict
+
+
+def _run_crash_mid_compaction(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.live import LiveEngine
+
+    verdict = Verdict()
+    directory, records = _live_setup(fx, rng, workdir)
+    point = rng.choice(["compact:shard-saved", "compact:manifest-updated"])
+
+    def crash_hook(name: str) -> None:
+        if name == point:
+            raise SimulatedCrash(name)
+
+    live = LiveEngine.open(fx.schema, directory, crash_hook=crash_hook)
+    for record in records:
+        live.append(record)
+    crashed = False
+    try:
+        live.compact()
+    except SimulatedCrash:
+        crashed = True
+    live.close()
+    verdict.add(
+        "crash-injected", crashed, f"compaction crashed at {point!r}"
+        if crashed
+        else f"crash hook never fired at {point!r}",
+    )
+
+    started = perf_counter()
+    reopened = LiveEngine.open(fx.schema, directory)
+    result = reopened.query(fx.query)
+    reopened.close()
+    verdict.bounded(perf_counter() - started, 30.0)
+    codes = [w.code for w in result.warnings]
+    logical = fx.text + "".join(records)
+    verdict.rows_identical_or_flagged(
+        result.canonical_rows(), _rebuild_rows(fx, logical), codes
+    )
+    verdict.codes_within(codes, LIVE_RECOVERY_CODES)
+    _verify_compacted_corpus(verdict, fx, directory, logical)
+    return verdict
+
+
+def _run_crash_mid_split(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.live import LiveEngine
+
+    verdict = Verdict()
+    directory, records = _live_setup(fx, rng, workdir)
+    point = rng.choice(["split:shards-saved", "split:manifest-updated"])
+
+    def crash_hook(name: str) -> None:
+        if name == point:
+            raise SimulatedCrash(name)
+
+    # A 1-byte budget guarantees the freshly folded tail shard overflows
+    # and the compaction proceeds into the split lifecycle.
+    live = LiveEngine.open(
+        fx.schema, directory, max_shard_bytes=1, crash_hook=crash_hook
+    )
+    for record in records:
+        live.append(record)
+    crashed = False
+    try:
+        live.compact()
+    except SimulatedCrash:
+        crashed = True
+    live.close()
+    verdict.add(
+        "crash-injected", crashed, f"split crashed at {point!r}"
+        if crashed
+        else f"crash hook never fired at {point!r}",
+    )
+
+    started = perf_counter()
+    reopened = LiveEngine.open(fx.schema, directory)
+    result = reopened.query(fx.query)
+    reopened.close()
+    verdict.bounded(perf_counter() - started, 30.0)
+    codes = [w.code for w in result.warnings]
+    logical = fx.text + "".join(records)
+    verdict.rows_identical_or_flagged(
+        result.canonical_rows(), _rebuild_rows(fx, logical), codes
+    )
+    verdict.codes_within(codes, LIVE_RECOVERY_CODES)
+    _verify_compacted_corpus(verdict, fx, directory, logical)
+    return verdict
+
+
 #: Malformed HTTP bodies: (label, raw bytes).  Every one must come back
 #: as a structured 4xx envelope, never a 500 and never a hang.
 MALFORMED_BODIES = [
@@ -568,6 +860,42 @@ SCENARIOS: dict[str, Scenario] = {
             "HTTP request parsing",
             ("solo", "sharded"),
             _run_malformed_body,
+        ),
+        Scenario(
+            "kill-mid-append",
+            "the process dies mid-write of a journal frame: acked appends "
+            "recover, the torn unacked frame truncates away, the retry "
+            "lands with the next sequence number",
+            "partial WAL frame bytes on disk",
+            ("sharded",),
+            _run_kill_mid_append,
+        ),
+        Scenario(
+            "torn-journal-tail",
+            "byte-level journal damage: a torn tail truncates and replays "
+            "clean; in-place bit rot in an acked frame raises a typed "
+            "JournalCorruptError instead of silent loss",
+            "WAL truncation / bit flip",
+            ("sharded",),
+            _run_torn_journal_tail,
+        ),
+        Scenario(
+            "crash-mid-compaction",
+            "a crash between any two compaction commit points (shard swap, "
+            "root-manifest rewrite, journal trim): reopening replays the "
+            "journal — no lost and no double-applied records",
+            "LiveEngine crash hook",
+            ("sharded",),
+            _run_crash_mid_compaction,
+        ),
+        Scenario(
+            "crash-mid-split",
+            "a crash between the split lifecycle's commit points (new "
+            "shards saved, root-manifest rewrite, old-dir GC): the logical "
+            "corpus survives byte-for-byte either way",
+            "LiveEngine crash hook",
+            ("sharded",),
+            _run_crash_mid_split,
         ),
     ]
 }

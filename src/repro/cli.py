@@ -244,6 +244,109 @@ def _sharded_engine_from_args(args: argparse.Namespace):
     return ShardedEngine.from_saved(schema, args.index, **options)
 
 
+def _live_engine_from_args(args: argparse.Namespace):
+    from repro.live import LiveEngine
+
+    schema = _schema_for(args.workload)
+    if not getattr(args, "index", None):
+        raise SystemExit("live commands need --index DIR (a saved sharded index)")
+    cache_config = (
+        CacheConfig.disabled() if getattr(args, "no_cache", False) else CacheConfig()
+    )
+    return LiveEngine.open(
+        schema,
+        args.index,
+        max_shard_bytes=getattr(args, "max_shard_bytes", None),
+        cache_config=cache_config,
+        policy=_policy_from_args(args),
+        feedback=_feedback_from_args(args),
+    )
+
+
+def _cmd_live_append(args: argparse.Namespace) -> int:
+    engine = _live_engine_from_args(args)
+    try:
+        records: list[str] = list(args.record or [])
+        if not records:
+            data = sys.stdin.read()
+            if args.lines:
+                records = [line + "\n" for line in data.splitlines() if line.strip()]
+            elif data:
+                records = [data]
+        if not records:
+            raise SystemExit(
+                "nothing to append: pass --record TEXT (repeatable) or pipe "
+                "records on stdin (--lines for one record per line)"
+            )
+        last_seq = None
+        for record in records:
+            last_seq = engine.append(record)
+        status = engine.status()
+        print(
+            f"appended {len(records)} record(s) through seq {last_seq} "
+            f"to shard {status['tail']} "
+            f"({status['pending_records']} pending, journal "
+            f"{status['journal_bytes']} byte(s))",
+            file=sys.stderr,
+        )
+        if args.compact:
+            return _print_compaction(engine.compact())
+        return 0
+    finally:
+        engine.close()
+
+
+def _print_compaction(report: dict) -> int:
+    folded = report.get("folded", {})
+    if folded:
+        for name, count in folded.items():
+            print(f"folded {count} record(s) into shard {name}", file=sys.stderr)
+    else:
+        print("nothing pending; base indexes already current", file=sys.stderr)
+    split = report.get("split")
+    if split:
+        print(
+            f"split shard {split['shard']} ({split['bytes']} bytes) into "
+            f"{', '.join(split['into'])}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_live_compact(args: argparse.Namespace) -> int:
+    engine = _live_engine_from_args(args)
+    try:
+        return _print_compaction(engine.compact())
+    finally:
+        engine.close()
+
+
+def _cmd_live_status(args: argparse.Namespace) -> int:
+    engine = _live_engine_from_args(args)
+    try:
+        status = engine.status()
+        if getattr(args, "json", False):
+            print(json.dumps(status, indent=2))
+            return 0
+        print(f"live index at {status['root']}")
+        print(
+            f"  {len(status['shards'])} shard(s), tail {status['tail']}, "
+            f"next seq {status['next_seq']}"
+        )
+        print(
+            f"  {status['pending_records']} pending record(s), "
+            f"{status['journal_bytes']} journal byte(s)"
+        )
+        for shard in status["shards"]:
+            print(
+                f"  {shard['name']}: applied_seq {shard['applied_seq']}, "
+                f"{shard['pending']} pending, journal {shard['journal_bytes']} B"
+            )
+        return 0
+    finally:
+        engine.close()
+
+
 def _cmd_shard_build(args: argparse.Namespace) -> int:
     from repro.shard import ShardedEngine
 
@@ -336,7 +439,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import QueryServer, ServerConfig
     from repro.shard.manifest import is_sharded_index
 
-    if getattr(args, "index", None) and is_sharded_index(args.index):
+    if getattr(args, "live", False):
+        backend = _live_engine_from_args(args)
+    elif getattr(args, "index", None) and is_sharded_index(args.index):
         backend = _sharded_engine_from_args(args)
     else:
         backend = _engine_from_args(args)
@@ -517,6 +622,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(POST /query /explain /analyze, GET /stats /healthz)",
     )
     add_common(serve, with_query=False)
+    serve.add_argument(
+        "--live",
+        action="store_true",
+        help="serve a saved sharded --index as a live engine: enables "
+        "journaled POST /append next to the query endpoints",
+    )
+    serve.add_argument(
+        "--max-shard-bytes",
+        type=int,
+        dest="max_shard_bytes",
+        help="with --live: split the tail shard during compaction once it "
+        "exceeds this many bytes",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8080, help="bind port (0 picks a free one)"
@@ -714,6 +832,64 @@ def build_parser() -> argparse.ArgumentParser:
     add_shard_common(shard_analyze)
     add_json(shard_analyze)
     shard_analyze.set_defaults(handler=_cmd_shard_analyze)
+
+    live = commands.add_parser(
+        "live",
+        help="crash-safe live ingestion over a saved sharded index: "
+        "journaled appends, delta-segment queries, compaction",
+    )
+    live_commands = live.add_subparsers(dest="live_command", required=True)
+
+    def add_live_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workload", required=True, help="bibtex | logs | sgml")
+        sub.add_argument(
+            "--index", required=True, help="directory of a saved sharded index"
+        )
+        sub.add_argument(
+            "--max-shard-bytes",
+            type=int,
+            dest="max_shard_bytes",
+            help="split the tail shard during compaction once its corpus "
+            "exceeds this many bytes",
+        )
+
+    live_append = live_commands.add_parser(
+        "append",
+        help="durably append records (journaled + fsynced before the ack)",
+    )
+    add_live_common(live_append)
+    live_append.add_argument(
+        "--record",
+        action="append",
+        help="record text to append (repeatable; default: read stdin)",
+    )
+    live_append.add_argument(
+        "--lines",
+        action="store_true",
+        help="treat each non-blank stdin line as one record (for "
+        "line-oriented workloads like logs)",
+    )
+    live_append.add_argument(
+        "--compact",
+        action="store_true",
+        help="fold the delta into the base indexes after appending",
+    )
+    live_append.set_defaults(handler=_cmd_live_append)
+
+    live_compact = live_commands.add_parser(
+        "compact",
+        help="fold journaled deltas into the base shard indexes "
+        "(and split an oversized tail shard)",
+    )
+    add_live_common(live_compact)
+    live_compact.set_defaults(handler=_cmd_live_compact)
+
+    live_status = live_commands.add_parser(
+        "status", help="journal checkpoints and pending delta sizes"
+    )
+    add_live_common(live_status)
+    add_json(live_status)
+    live_status.set_defaults(handler=_cmd_live_status)
 
     return parser
 

@@ -71,6 +71,8 @@ from repro.resilience.warnings import (
     INDEX_MISSING,
     INDEX_REBUILT,
     INDEX_STALE,
+    STALE_STAGING_REMOVED,
+    UNVERIFIED_LEGACY_INDEX,
     QueryWarning,
 )
 from repro.schema.structuring import StructuringSchema
@@ -224,14 +226,20 @@ class FileQueryEngine:
 
     # -- persistence ------------------------------------------------------------------
 
-    def save(self, directory: str, source_path: str | os.PathLike[str] | None = None) -> None:
+    def save(
+        self,
+        directory: str,
+        source_path: str | os.PathLike[str] | None = None,
+        live: dict | None = None,
+    ) -> None:
         """Persist the built indexes (see :mod:`repro.index.persist`).
 
         The structuring schema's fingerprint is stored alongside, so a later
         ``from_saved`` under a different schema fails loudly instead of
         silently answering wrongly.  ``source_path`` (optional) records the
         original file's identity next to the corpus content hash, enabling
-        staleness detection at load time.
+        staleness detection at load time.  ``live`` (optional) attaches
+        live-ingestion manifest state (see :func:`~repro.index.persist.save_index`).
         """
         from repro.index.persist import save_index, schema_fingerprint
 
@@ -240,6 +248,7 @@ class FileQueryEngine:
             directory,
             schema_fingerprint=schema_fingerprint(self.schema),
             source_path=source_path,
+            live=live,
         )
 
     @classmethod
@@ -276,12 +285,24 @@ class FileQueryEngine:
         """
         from repro.index.persist import (
             load_index,
+            load_manifest,
             load_schema_fingerprint,
             schema_fingerprint,
             stale_reason,
+            sweep_stale_staging,
         )
 
         policy = policy if policy is not None else DegradationPolicy()
+
+        load_warnings: list[QueryWarning] = []
+        for orphan in sweep_stale_staging(directory):
+            load_warnings.append(
+                QueryWarning(
+                    STALE_STAGING_REMOVED,
+                    f"removed orphaned staging directory {orphan}",
+                    detail={"path": orphan, "index": str(directory)},
+                )
+            )
 
         def recover(error: RegionIndexError, action: str, code: str) -> "FileQueryEngine":
             if action == RAISE:
@@ -304,6 +325,7 @@ class FileQueryEngine:
                     feedback=feedback,
                     feedback_history=feedback_history,
                 )
+                engine._load_warnings.extend(load_warnings)
                 engine._load_warnings.append(QueryWarning(code, str(error)))
                 engine._load_warnings.append(
                     QueryWarning(
@@ -324,6 +346,7 @@ class FileQueryEngine:
                 feedback=feedback,
                 feedback_history=feedback_history,
             )
+            engine._load_warnings.extend(load_warnings)
             engine._load_warnings.append(QueryWarning(code, str(error)))
             engine._load_warnings.append(
                 QueryWarning(
@@ -355,6 +378,15 @@ class FileQueryEngine:
             if reason is not None:
                 raise IndexStaleError(str(directory), reason)
             index = load_index(directory)
+            if load_manifest(directory) is None:
+                load_warnings.append(
+                    QueryWarning(
+                        UNVERIFIED_LEGACY_INDEX,
+                        f"index at {directory} predates manifests (v1): "
+                        "loaded without checksum verification",
+                        detail={"path": str(directory)},
+                    )
+                )
         except IndexNotFoundError as error:
             return recover(error, policy.on_missing, INDEX_MISSING)
         except IndexStaleError as error:
@@ -372,7 +404,7 @@ class FileQueryEngine:
         engine.policy = policy
         engine.budget = budget
         engine._span_hooks = HookRegistry()
-        engine._load_warnings = []
+        engine._load_warnings = list(load_warnings)
         engine._load_degradation = None
         engine.index_build_bytes = 0
         engine.index = index

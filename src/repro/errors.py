@@ -153,6 +153,35 @@ class IndexCorruptError(RegionIndexError):
         super().__init__(f"saved index at {where} is corrupt: {reason}")
 
 
+class JournalCorruptError(RegionIndexError):
+    """A write-ahead journal failed integrity verification.
+
+    Torn *tails* (a frame that simply runs past end-of-file, the signature
+    of a crash mid-append) are **not** corruption — replay truncates them
+    silently, because appends only ever extend the journal.  This error is
+    reserved for damage that truncation cannot explain: a fully present
+    frame whose CRC32 does not match its payload, a frame header too short
+    to be a frame, or sequence numbers that go backwards — in-place bit
+    rot or foreign writes, where dropping data would be silent loss.
+
+    Attributes
+    ----------
+    path:
+        The journal file that failed verification.
+    reason:
+        What was wrong.
+    offset:
+        Byte offset of the offending frame within the journal.
+    """
+
+    def __init__(self, path: str, reason: str, offset: int | None = None) -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.offset = offset
+        where = self.path if offset is None else f"{self.path} at byte {offset}"
+        super().__init__(f"journal {where!r} is corrupt: {reason}")
+
+
 class IndexStaleError(RegionIndexError):
     """A saved index no longer matches its source file (the file changed
     after the index was built)."""

@@ -58,7 +58,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.schema.structuring import StructuringSchema
 
 _FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Version written when the index carries live-ingestion state (an
+#: ``applied_seq`` journal checkpoint).  Plain saves stay at version 2 so
+#: existing indexes and their readers are untouched.
+_LIVE_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: The files covered by manifest checksums.
 _CHECKSUMMED = ("corpus.txt", "regions.json", "config.json")
@@ -137,12 +141,20 @@ def save_index(
     directory: str | os.PathLike[str],
     schema_fingerprint: str | None = None,
     source_path: str | os.PathLike[str] | None = None,
+    live: dict | None = None,
 ) -> None:
     """Persist an engine's text and region indexes to ``directory``.
 
     ``source_path`` (optional) records the original file's mtime/size next
     to the corpus content hash, enabling cheap staleness checks at load
     time.
+
+    ``live`` (optional) attaches live-ingestion state to the manifest —
+    today the journal checkpoint ``{"applied_seq": N}``.  Because it rides
+    in the manifest, it is committed by the *same* rename that promotes the
+    folded data: a compaction can never land rows without advancing the
+    checkpoint, or vice versa.  Saves carrying ``live`` are stamped format
+    version 3; plain saves stay at version 2.
 
     The save is crash-safe: every file is written into a temporary sibling
     directory which is renamed into place only once complete.  A process
@@ -156,15 +168,63 @@ def save_index(
     """
     target = Path(directory)
     target.parent.mkdir(parents=True, exist_ok=True)
+    sweep_stale_staging(target)
     staging = target.parent / f".{target.name}.saving-{os.getpid()}"
     if staging.exists():
         shutil.rmtree(staging)
     staging.mkdir()
     try:
-        _write_index_files(engine, staging, schema_fingerprint, source_path)
+        _write_index_files(engine, staging, schema_fingerprint, source_path, live)
         _swap_into_place(staging, target)
     finally:
         shutil.rmtree(staging, ignore_errors=True)
+
+
+def sweep_stale_staging(directory: str | os.PathLike[str]) -> list[str]:
+    """Remove orphaned staging/retired siblings left by a crash mid-save.
+
+    A process killed inside :func:`save_index` can leave a
+    ``.<name>.saving-<pid>`` (and, mid-swap, a ``.<name>.retired-<pid>``)
+    sibling directory behind forever.  They are dead weight: the swap
+    protocol guarantees the *target* is always a complete index, so any
+    sibling belonging to another (necessarily dead or restarted) save
+    attempt is safe to delete.  Returns the removed paths so callers can
+    surface a ``stale-staging-removed`` warning.
+    """
+    target = Path(directory)
+    removed: list[str] = []
+    parent = target.parent
+    if not parent.is_dir():
+        return removed
+    for kind in ("saving", "retired"):
+        for orphan in parent.glob(f".{target.name}.{kind}-*"):
+            if not orphan.is_dir():
+                continue
+            shutil.rmtree(orphan, ignore_errors=True)
+            if not orphan.exists():
+                removed.append(str(orphan))
+    return removed
+
+
+def load_live_state(directory: str | os.PathLike[str]) -> dict | None:
+    """The live-ingestion state stored in a saved index's manifest, or
+    ``None`` when the index has none (v1/v2, or v3 without the key)."""
+    manifest = load_manifest(directory)
+    if manifest is None:
+        return None
+    live = manifest.get("live")
+    return dict(live) if isinstance(live, dict) else None
+
+
+def applied_seq(directory: str | os.PathLike[str]) -> int:
+    """The journal checkpoint recorded with a saved index: every journal
+    frame with ``seq`` at or below this value is already folded into the
+    base index.  ``0`` when the index carries no live state."""
+    live = load_live_state(directory)
+    if live is None:
+        return 0
+    value = live.get("applied_seq", 0)
+    return int(value) if isinstance(value, (int, float)) else 0
 
 
 def _swap_into_place(staging: Path, target: Path) -> None:
@@ -194,9 +254,11 @@ def _write_index_files(
     path: Path,
     schema_fingerprint: str | None,
     source_path: str | os.PathLike[str] | None,
+    live: dict | None = None,
 ) -> None:
     """Write the four index files (corpus, regions, config, manifest) into
     an existing directory.  Callers are responsible for atomicity."""
+    format_version = _FORMAT_VERSION if live is None else _LIVE_FORMAT_VERSION
     (path / "corpus.txt").write_text(engine.text, encoding="utf-8")
     regions = {
         name: [[region.start, region.end] for region in region_set]
@@ -205,7 +267,7 @@ def _write_index_files(
     (path / "regions.json").write_text(json.dumps(regions), encoding="utf-8")
     config = engine.config
     config_data = {
-        "version": _FORMAT_VERSION,
+        "version": format_version,
         "region_names": (
             sorted(config.region_names) if config.region_names is not None else None
         ),
@@ -232,13 +294,15 @@ def _write_index_files(
         except OSError:
             pass  # fingerprint still works via the content hash
     manifest = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": format_version,
         "corpus_fingerprint": corpus_fingerprint(engine.text),
         "checksums": {
             name: _crc32((path / name).read_bytes()) for name in _CHECKSUMMED
         },
         "source": source,
     }
+    if live is not None:
+        manifest["live"] = dict(live)
     (path / "manifest.json").write_text(json.dumps(manifest, indent=2), encoding="utf-8")
 
 

@@ -1,0 +1,23 @@
+"""Crash-safe live ingestion: write-ahead journal, delta segments, and a
+recovery-verified shard lifecycle (see :mod:`repro.live.engine`)."""
+
+from repro.live.engine import WAL_SUBDIR, LiveEngine
+from repro.live.journal import (
+    Frame,
+    JournalWriter,
+    ReplayResult,
+    encode_frame,
+    replay_journal,
+    trim_journal,
+)
+
+__all__ = [
+    "LiveEngine",
+    "WAL_SUBDIR",
+    "Frame",
+    "JournalWriter",
+    "ReplayResult",
+    "encode_frame",
+    "replay_journal",
+    "trim_journal",
+]

@@ -1,0 +1,564 @@
+"""Crash-safe live ingestion over a saved sharded index.
+
+:class:`LiveEngine` turns the immutable sharded index of
+:mod:`repro.shard` into an appendable corpus without giving up any of its
+durability guarantees.  The moving parts:
+
+- **Write-ahead journal** (:mod:`repro.live.journal`): every append is
+  framed, checksummed, and fsynced before the call returns.  Journals
+  live under ``<root>/wal/`` — *outside* the shard directories — because
+  compaction replaces a shard directory wholesale and must never take
+  unfolded journal frames down with it.
+- **Delta segment**: acked records accumulate in memory per shard and are
+  queried alongside the base index — each dirty shard's delta is answered
+  by a small :class:`~repro.core.engine.FileQueryEngine` over the joined
+  record texts, and its rows are spliced after that shard's base rows, so
+  the merged result is byte-identical to a full rebuild of the logical
+  corpus (base text + acked appends).
+- **Compaction**: folds each dirty shard's delta into its base index via
+  the existing staging-sibling + rename-swap save.  The journal
+  checkpoint (``applied_seq``) rides *in the shard's own manifest*, so
+  one rename commits the folded rows and the checkpoint together; the
+  journal trim afterwards is pure garbage collection.  A tail shard that
+  outgrows ``max_shard_bytes`` then splits through
+  :func:`~repro.shard.split.split_corpus`, with the root ``manifest.json``
+  rewritten last as the commit point.
+- **Recovery** (:meth:`LiveEngine.open`): orphaned shard directories from
+  an uncommitted split are swept; a shard whose own manifest ran ahead of
+  the root manifest (crash between a compaction's swap and the root
+  rewrite) refreshes the root entry; journal frames above each shard's
+  ``applied_seq`` are replayed into the delta segment with a
+  ``delta-replayed`` warning; torn journal tails are truncated.  Every
+  acked append survives, every unacked one vanishes.
+
+Appends go to the **tail shard** (the root manifest's last entry) and
+each record must be self-delimiting — it carries its own separators, so
+the logical shard text is exactly ``base + "".join(records)``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.api import (
+    AnalyzeResponse,
+    ExplainResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsResponse,
+    query_response,
+)
+from repro.core.engine import FileQueryEngine
+from repro.errors import JournalCorruptError, ParseError
+from repro.index.persist import applied_seq as saved_applied_seq
+from repro.index.persist import corpus_fingerprint, load_manifest
+from repro.live.journal import Frame, JournalWriter, replay_journal, trim_journal
+from repro.resilience.budget import ResourceBudget
+from repro.resilience.warnings import DELTA_REPLAYED, SHARD_SPLIT, STALE_STAGING_REMOVED, QueryWarning
+from repro.schema.structuring import StructuringSchema
+from repro.shard.engine import ShardedEngine, ShardedQueryResult
+from repro.shard.manifest import (
+    SHARDS_SUBDIR,
+    ShardEntry,
+    ShardManifest,
+    load_shard_manifest,
+    save_shard_manifest,
+    shard_slug,
+)
+from repro.shard.split import split_corpus
+
+WAL_SUBDIR = "wal"
+
+
+class LiveEngine:
+    """A sharded query engine that accepts durable appends.
+
+    Construct via :meth:`open` on a directory produced by
+    :meth:`~repro.shard.ShardedEngine.save` (``repro shard build``).  The
+    engine satisfies the unified :class:`~repro.api.QueryBackend` surface
+    (``query``/``explain``/``analyze``/``stats`` accept
+    :class:`~repro.api.QueryRequest` and return wire responses), which is
+    what lets ``repro serve`` put ``POST /append`` next to ``/query``.
+
+    ``crash_hook`` is a test-only seam: a callable invoked with a named
+    point (``"append:written"``, ``"compact:shard-saved"``,
+    ``"compact:manifest-updated"``, ``"split:shards-saved"``,
+    ``"split:manifest-updated"``) that may raise to simulate a crash
+    exactly there — the chaos scenarios drive every window through it.
+    """
+
+    def __init__(
+        self,
+        schema: StructuringSchema,
+        root: Path,
+        manifest: ShardManifest,
+        engine: ShardedEngine,
+        options: dict[str, Any],
+        pending: dict[str, list[Frame]],
+        next_seq: int,
+        load_warnings: list[QueryWarning],
+        max_shard_bytes: int | None = None,
+        crash_hook=None,
+    ) -> None:
+        self.schema = schema
+        self.root = root
+        self.max_shard_bytes = max_shard_bytes
+        self.crash_hook = crash_hook
+        self._manifest = manifest
+        self._engine = engine
+        self._options = options
+        self._pending = pending
+        self._next_seq = next_seq
+        self._load_warnings = load_warnings
+        self._delta: dict[str, tuple[int, FileQueryEngine]] = {}
+        self._journal: JournalWriter | None = None
+        self._lock = threading.RLock()
+
+    # -- construction / recovery ------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        schema: StructuringSchema,
+        directory: str | os.PathLike[str],
+        max_shard_bytes: int | None = None,
+        crash_hook=None,
+        **options: Any,
+    ) -> "LiveEngine":
+        """Open a saved sharded index for live ingestion, running the full
+        crash-recovery protocol described in the module docstring.
+        ``options`` pass through to :meth:`ShardedEngine.from_saved` (and
+        to the reopen after every compaction)."""
+        root = Path(directory)
+        manifest = load_shard_manifest(root)
+        warnings: list[QueryWarning] = []
+
+        # 1. Sweep shard directories no manifest entry references: the
+        # staging side of a split whose commit (the root manifest rewrite)
+        # never happened, or the retired side of one that did.
+        referenced = {entry.directory for entry in manifest.shards}
+        shards_dir = root / SHARDS_SUBDIR
+        if shards_dir.is_dir():
+            for child in sorted(shards_dir.iterdir()):
+                relative = f"{SHARDS_SUBDIR}/{child.name}"
+                if (
+                    child.is_dir()
+                    and not child.name.startswith(".")
+                    and relative not in referenced
+                ):
+                    shutil.rmtree(child, ignore_errors=True)
+                    warnings.append(
+                        QueryWarning(
+                            STALE_STAGING_REMOVED,
+                            f"removed unreferenced shard directory {relative} "
+                            "(uncommitted or superseded by a split)",
+                            detail={"path": str(child), "root": str(root)},
+                        )
+                    )
+
+        # 2. A shard whose own (atomically committed) manifest ran ahead
+        # of the root manifest: a compaction crashed between the shard
+        # swap and the root rewrite.  The shard is authoritative — refresh
+        # the root entry.
+        entries: list[ShardEntry] = []
+        refreshed = False
+        for entry in manifest.shards:
+            shard_manifest = load_manifest(root / entry.directory)
+            actual = (
+                shard_manifest.get("corpus_fingerprint")
+                if isinstance(shard_manifest, dict)
+                else None
+            )
+            if isinstance(actual, str) and actual != entry.corpus_fingerprint:
+                entry = ShardEntry(
+                    name=entry.name,
+                    directory=entry.directory,
+                    corpus_fingerprint=actual,
+                    source=entry.source,
+                )
+                refreshed = True
+                warnings.append(
+                    QueryWarning(
+                        DELTA_REPLAYED,
+                        f"shard {entry.name!r} committed ahead of the root "
+                        "manifest (crash mid-compaction); root entry refreshed",
+                        detail={"shard": entry.name, "fingerprint": actual},
+                    )
+                )
+            entries.append(entry)
+        if refreshed:
+            manifest = ShardManifest(
+                shards=tuple(entries),
+                schema_fingerprint=manifest.schema_fingerprint,
+                format_version=manifest.format_version,
+            )
+            save_shard_manifest(root, manifest)
+
+        # 3. Replay journals: frames above a shard's applied_seq become
+        # its delta segment again; torn tails are truncated; journals for
+        # vanished shards are deleted iff fully applied.
+        applied_by_dir = {
+            entry.directory: saved_applied_seq(root / entry.directory)
+            for entry in entries
+        }
+        global_applied = max(applied_by_dir.values(), default=0)
+        by_basename = {Path(entry.directory).name: entry for entry in entries}
+        pending: dict[str, list[Frame]] = {}
+        next_seq = global_applied + 1
+        wal_dir = root / WAL_SUBDIR
+        if wal_dir.is_dir():
+            for wal in sorted(wal_dir.glob("*.wal")):
+                entry = by_basename.get(wal.name[: -len(".wal")])
+                replay = replay_journal(wal)
+                if entry is None:
+                    if replay.max_seq <= global_applied:
+                        wal.unlink(missing_ok=True)
+                        continue
+                    raise JournalCorruptError(
+                        str(wal),
+                        "journal for a shard absent from the manifest holds "
+                        f"frames beyond the applied checkpoint {global_applied} "
+                        "— acked appends would be lost",
+                    )
+                next_seq = max(next_seq, replay.max_seq + 1)
+                frames = [
+                    frame
+                    for frame in replay.frames
+                    if frame.seq > applied_by_dir[entry.directory]
+                ]
+                if frames:
+                    pending[entry.name] = frames
+                if frames or replay.torn_bytes:
+                    warnings.append(
+                        QueryWarning(
+                            DELTA_REPLAYED,
+                            f"replayed {len(frames)} journaled append(s) into "
+                            f"shard {entry.name!r}'s delta segment"
+                            + (
+                                f"; truncated a {replay.torn_bytes}-byte torn tail"
+                                if replay.torn_bytes
+                                else ""
+                            ),
+                            detail={
+                                "shard": entry.name,
+                                "replayed": len(frames),
+                                "torn_bytes": replay.torn_bytes,
+                                "journal": str(wal),
+                            },
+                        )
+                    )
+
+        engine = ShardedEngine.from_saved(schema, root, **options)
+        return cls(
+            schema=schema,
+            root=root,
+            manifest=manifest,
+            engine=engine,
+            options=dict(options),
+            pending=pending,
+            next_seq=next_seq,
+            load_warnings=warnings,
+            max_shard_bytes=max_shard_bytes,
+            crash_hook=crash_hook,
+        )
+
+    # -- appending --------------------------------------------------------------
+
+    def append(self, record: str) -> int:
+        """Durably append one record to the tail shard.
+
+        The record must parse under the engine's schema as at least one
+        complete top-level record (raises
+        :class:`~repro.errors.ParseError` otherwise — nothing is
+        journaled) and must be self-delimiting: it carries any separators
+        the grammar needs, e.g. a trailing newline for line-oriented
+        workloads.  Returns the record's journal sequence number; by the
+        time it returns, the frame is fsynced — the append survives any
+        subsequent crash.
+        """
+        tree = self.schema.parse(record)
+        if not list(tree.children):
+            raise ParseError(
+                f"record contains no top-level <{tree.symbol}> record", 0
+            )
+        with self._lock:
+            tail = self._manifest.shards[-1]
+            seq = self._next_seq
+            self._writer(tail).append(seq, record, crash_hook=self.crash_hook)
+            # Past this point the append is acked: frame fsynced.
+            self._next_seq = seq + 1
+            self._pending.setdefault(tail.name, []).append(
+                Frame(seq=seq, record=record)
+            )
+            return seq
+
+    def _writer(self, tail: ShardEntry) -> JournalWriter:
+        path = self._journal_path(tail)
+        if self._journal is None or self._journal.path != path:
+            if self._journal is not None:
+                self._journal.close()
+            self._journal = JournalWriter(path)
+        return self._journal
+
+    def _journal_path(self, entry: ShardEntry) -> Path:
+        return self.root / WAL_SUBDIR / f"{Path(entry.directory).name}.wal"
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(
+        self,
+        query: Any,
+        budget: ResourceBudget | None = None,
+        fail_fast: bool | None = None,
+    ) -> ShardedQueryResult | QueryResponse:
+        """Scatter-gather over the base index, with each dirty shard's
+        delta segment answered alongside and its rows spliced after that
+        shard's base rows — the merged rows match a full rebuild of the
+        logical corpus.  A :class:`~repro.api.QueryRequest` returns the
+        wire-ready :class:`~repro.api.QueryResponse`."""
+        if isinstance(query, QueryRequest):
+            result = self.query(query.query, budget=query.budget)
+            return query_response(result, query)
+        with self._lock:
+            snapshot = {
+                name: list(frames)
+                for name, frames in self._pending.items()
+                if frames
+            }
+            manifest = self._manifest
+        base = self._engine.query(query, budget=budget, fail_fast=fail_fast)
+        if self._load_warnings:
+            base.stats.warnings[:0] = list(self._load_warnings)
+        if not snapshot:
+            return base
+        rows: list[tuple] = []
+        for entry in manifest.shards:
+            shard_result = base.shard_results.get(entry.name)
+            if shard_result is not None:
+                rows.extend(shard_result.rows)
+            frames = snapshot.get(entry.name)
+            if frames:
+                delta_result = self._delta_engine(entry.name, frames).query(query)
+                rows.extend(delta_result.rows)
+        return ShardedQueryResult(
+            rows=rows,
+            plan=base.plan,
+            stats=base.stats,
+            shard_results=base.shard_results,
+            trace=base.trace,
+        )
+
+    def _delta_engine(self, shard_name: str, frames: list[Frame]) -> FileQueryEngine:
+        """The cached delta-segment engine for one dirty shard, rebuilt
+        whenever the shard's pending tail advances (keyed by last seq)."""
+        cached = self._delta.get(shard_name)
+        if cached is not None and cached[0] == frames[-1].seq:
+            return cached[1]
+        engine = FileQueryEngine(
+            self.schema, "".join(frame.record for frame in frames)
+        )
+        self._delta[shard_name] = (frames[-1].seq, engine)
+        return engine
+
+    # -- compaction and the shard lifecycle -------------------------------------
+
+    def compact(self) -> dict[str, Any]:
+        """Fold every dirty shard's delta into its base index, then split
+        the tail shard if it outgrew ``max_shard_bytes``.
+
+        Commit points, in order, per shard: (1) the staging-sibling
+        rename-swap that lands the folded index *and* its ``applied_seq``
+        checkpoint atomically; (2) the root-manifest rewrite refreshing
+        the shard's fingerprint; (3) the atomic journal trim.  A crash
+        between any two is recovered by :meth:`open` — step 1 makes the
+        remaining steps idempotent housekeeping.
+        """
+        with self._lock:
+            if self._journal is not None:
+                # Trims and splits replace journal files; never keep a
+                # handle to a replaced inode.
+                self._journal.close()
+                self._journal = None
+            folded: dict[str, int] = {}
+            for entry in list(self._manifest.shards):
+                frames = self._pending.get(entry.name)
+                if not frames:
+                    continue
+                shard_dir = self.root / entry.directory
+                base_text = (shard_dir / "corpus.txt").read_text(encoding="utf-8")
+                new_text = base_text + "".join(frame.record for frame in frames)
+                applied = frames[-1].seq
+                FileQueryEngine(self.schema, new_text).save(
+                    str(shard_dir), live={"applied_seq": applied}
+                )
+                self._crash("compact:shard-saved")
+                self._replace_entry(
+                    entry,
+                    ShardEntry(
+                        name=entry.name,
+                        directory=entry.directory,
+                        corpus_fingerprint=corpus_fingerprint(new_text),
+                        source=entry.source,
+                    ),
+                )
+                save_shard_manifest(self.root, self._manifest)
+                self._crash("compact:manifest-updated")
+                trim_journal(self._journal_path(entry), applied)
+                self._pending.pop(entry.name, None)
+                self._delta.pop(entry.name, None)
+                folded[entry.name] = len(frames)
+            split = self._maybe_split() if self.max_shard_bytes is not None else None
+            self._engine = ShardedEngine.from_saved(
+                self.schema, self.root, **self._options
+            )
+            return {"folded": folded, "split": split}
+
+    def _replace_entry(self, old: ShardEntry, new: ShardEntry) -> None:
+        entries = tuple(
+            new if entry.name == old.name else entry
+            for entry in self._manifest.shards
+        )
+        self._manifest = ShardManifest(
+            shards=entries,
+            schema_fingerprint=self._manifest.schema_fingerprint,
+            format_version=self._manifest.format_version,
+        )
+
+    def _maybe_split(self) -> dict[str, Any] | None:
+        """Split the (just-compacted) tail shard in two when it exceeds the
+        byte budget.  New shard directories are always fresh slugs — the
+        old directory is never reused — and the root manifest rewrite is
+        the commit point; the old directory and journal are garbage
+        afterwards."""
+        tail = self._manifest.shards[-1]
+        shard_dir = self.root / tail.directory
+        text = (shard_dir / "corpus.txt").read_text(encoding="utf-8")
+        if len(text.encode("utf-8")) <= self.max_shard_bytes:
+            return None
+        halves = split_corpus(self.schema, text, 2)
+        if len(halves) < 2:
+            return None  # a single record cannot be split
+        applied = saved_applied_seq(shard_dir)
+        position = len(self._manifest.shards) - 1
+        new_entries: list[ShardEntry] = []
+        for offset, half in enumerate(halves):
+            name = f"{tail.name}/{offset}"
+            index = position + offset
+            relative = f"{SHARDS_SUBDIR}/{shard_slug(name, index)}"
+            while (self.root / relative).exists():
+                index += len(self._manifest.shards) + 1
+                relative = f"{SHARDS_SUBDIR}/{shard_slug(name, index)}"
+            FileQueryEngine(self.schema, half).save(
+                str(self.root / relative), live={"applied_seq": applied}
+            )
+            new_entries.append(
+                ShardEntry(
+                    name=name,
+                    directory=relative,
+                    corpus_fingerprint=corpus_fingerprint(half),
+                    source=None,
+                )
+            )
+        self._crash("split:shards-saved")
+        self._manifest = ShardManifest(
+            shards=tuple(self._manifest.shards[:-1]) + tuple(new_entries),
+            schema_fingerprint=self._manifest.schema_fingerprint,
+            format_version=self._manifest.format_version,
+        )
+        save_shard_manifest(self.root, self._manifest)
+        self._crash("split:manifest-updated")
+        shutil.rmtree(shard_dir, ignore_errors=True)
+        self._journal_path(tail).unlink(missing_ok=True)
+        warning = QueryWarning(
+            SHARD_SPLIT,
+            f"shard {tail.name!r} exceeded {self.max_shard_bytes} bytes and "
+            f"split into {new_entries[0].name!r} and {new_entries[1].name!r}",
+            detail={
+                "shard": tail.name,
+                "bytes": len(text.encode("utf-8")),
+                "max_shard_bytes": self.max_shard_bytes,
+                "into": [entry.name for entry in new_entries],
+            },
+        )
+        self._load_warnings.append(warning)
+        return {
+            "shard": tail.name,
+            "into": [entry.name for entry in new_entries],
+            "bytes": len(text.encode("utf-8")),
+        }
+
+    def _crash(self, point: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(point)
+
+    # -- introspection ----------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """A structured snapshot of the live state: shard roster with
+        journal checkpoints, pending delta sizes, and journal footprint."""
+        with self._lock:
+            shards = []
+            journal_bytes = 0
+            for entry in self._manifest.shards:
+                wal = self._journal_path(entry)
+                size = wal.stat().st_size if wal.exists() else 0
+                journal_bytes += size
+                shards.append(
+                    {
+                        "name": entry.name,
+                        "directory": entry.directory,
+                        "applied_seq": saved_applied_seq(self.root / entry.directory),
+                        "pending": len(self._pending.get(entry.name, [])),
+                        "journal_bytes": size,
+                    }
+                )
+            return {
+                "root": str(self.root),
+                "shards": shards,
+                "tail": self._manifest.shards[-1].name,
+                "pending_records": sum(
+                    len(frames) for frames in self._pending.values()
+                ),
+                "next_seq": self._next_seq,
+                "max_shard_bytes": self.max_shard_bytes,
+                "journal_bytes": journal_bytes,
+            }
+
+    def explain(self, query: Any) -> str | ExplainResponse:
+        """The base engine's plan/roster explanation (the delta segment
+        executes the same shared plan shape on a small in-memory engine)."""
+        return self._engine.explain(query)
+
+    def analyze(
+        self, query: Any, budget: ResourceBudget | None = None
+    ) -> Any | AnalyzeResponse:
+        """EXPLAIN ANALYZE over the *base* index (instrumentation needs
+        the persisted shard engines; pending deltas are excluded — compact
+        first for exact row counts)."""
+        return self._engine.analyze(query, budget=budget)
+
+    def stats(self) -> StatsResponse:
+        response = self._engine.stats()
+        with self._lock:
+            response.backend.update(
+                {
+                    "type": "live",
+                    "base": "sharded",
+                    "pending_records": sum(
+                        len(frames) for frames in self._pending.values()
+                    ),
+                    "next_seq": self._next_seq,
+                    "tail": self._manifest.shards[-1].name,
+                }
+            )
+        return response
+
+    def close(self) -> None:
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None

@@ -1,0 +1,202 @@
+"""The write-ahead journal: checksummed, record-boundary-aware frames.
+
+Every live append is journaled *before* it is acknowledged.  The frame
+format is fixed and self-delimiting::
+
+    [u32 length][u32 crc32][payload]          (big-endian)
+    payload = [u64 seq][UTF-8 record bytes]
+
+``length`` counts payload bytes; ``crc32`` covers the payload.  The
+sequence number is a monotonically increasing per-journal counter — it is
+what the compaction checkpoint (``applied_seq`` in the shard's own
+manifest) refers to, so replay can tell "already folded into the base
+index" from "pending in the delta segment" without comparing bytes.
+
+The ack contract: :meth:`JournalWriter.append` returns only after the
+frame's bytes are flushed **and fsynced**.  A record whose append call
+returned therefore survives any crash; a record whose call did not return
+may or may not have reached the disk — and replay resolves that edge
+deterministically:
+
+- a frame that simply runs past end-of-file (short header *or* short
+  payload) is a **torn tail** — the signature of a crash mid-write.
+  Appends only ever extend the journal, so a torn frame is always the
+  last one; :func:`replay_journal` truncates it away and carries on.
+- a fully present frame whose CRC does not match, a complete header
+  describing an impossible payload, or sequence numbers that fail to
+  increase are **corruption** — in-place damage that truncation cannot
+  explain — and raise :class:`~repro.errors.JournalCorruptError` rather
+  than silently dropping acked data.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import JournalCorruptError
+
+_HEADER = struct.Struct(">II")  # payload length, payload crc32
+_SEQ = struct.Struct(">Q")
+
+#: Smallest legal payload: a u64 sequence number and an empty record.
+_MIN_PAYLOAD = _SEQ.size
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One journaled append: its sequence number and the record text."""
+
+    seq: int
+    record: str
+
+
+def encode_frame(seq: int, record: str) -> bytes:
+    """The on-disk bytes for one frame (exposed for tests and the chaos
+    scenarios, which forge torn tails from real frame prefixes)."""
+    payload = _SEQ.pack(seq) + record.encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+@dataclass
+class ReplayResult:
+    """What :func:`replay_journal` found: the intact frames, plus how many
+    torn-tail bytes were discarded (0 on a clean journal)."""
+
+    frames: list[Frame]
+    torn_bytes: int
+
+    @property
+    def max_seq(self) -> int:
+        return self.frames[-1].seq if self.frames else 0
+
+
+def replay_journal(
+    path: str | os.PathLike[str], repair: bool = True
+) -> ReplayResult:
+    """Read every intact frame from a journal, truncating a torn tail.
+
+    With ``repair`` (the default) a torn tail is also physically truncated
+    from the file, so the next append extends a clean journal.  Raises
+    :class:`~repro.errors.JournalCorruptError` on damage that is not a
+    torn tail (see the module docstring for the torn/corrupt distinction).
+    A missing journal is an empty one.
+    """
+    journal = Path(path)
+    try:
+        data = journal.read_bytes()
+    except FileNotFoundError:
+        return ReplayResult(frames=[], torn_bytes=0)
+    frames: list[Frame] = []
+    offset = 0
+    last_seq = 0
+    good_end = 0
+    while offset < len(data):
+        if len(data) - offset < _HEADER.size:
+            break  # torn tail: header itself ran past EOF
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length < _MIN_PAYLOAD:
+            raise JournalCorruptError(
+                str(journal),
+                f"frame payload length {length} is below the {_MIN_PAYLOAD}-byte "
+                "minimum (a sequence number no longer fits)",
+                offset=offset,
+            )
+        start = offset + _HEADER.size
+        if start + length > len(data):
+            break  # torn tail: payload ran past EOF
+        payload = data[start : start + length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise JournalCorruptError(
+                str(journal),
+                "frame checksum mismatch (in-place damage, not a torn tail)",
+                offset=offset,
+            )
+        (seq,) = _SEQ.unpack_from(payload, 0)
+        if seq <= last_seq:
+            raise JournalCorruptError(
+                str(journal),
+                f"sequence numbers must increase (frame {seq} after {last_seq})",
+                offset=offset,
+            )
+        try:
+            record = payload[_MIN_PAYLOAD:].decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise JournalCorruptError(
+                str(journal),
+                f"frame record is not valid UTF-8 despite a matching "
+                f"checksum: {error}",
+                offset=offset,
+            ) from None
+        frames.append(Frame(seq=seq, record=record))
+        last_seq = seq
+        offset = start + length
+        good_end = offset
+    torn = len(data) - good_end
+    if torn and repair:
+        with open(journal, "r+b") as handle:
+            handle.truncate(good_end)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return ReplayResult(frames=frames, torn_bytes=torn)
+
+
+def trim_journal(path: str | os.PathLike[str], applied_seq: int) -> int:
+    """Drop every frame at or below ``applied_seq`` — pure garbage
+    collection, safe at any time, because the checkpoint those frames fed
+    is already committed in the shard's own manifest.
+
+    The trim is atomic (rewrite to a temporary sibling, fsync, rename);
+    a journal left with no frames is deleted outright.  Returns how many
+    frames remain.
+    """
+    journal = Path(path)
+    replay = replay_journal(journal)
+    kept = [frame for frame in replay.frames if frame.seq > applied_seq]
+    if not kept:
+        journal.unlink(missing_ok=True)
+        return 0
+    if len(kept) == len(replay.frames) and replay.torn_bytes == 0:
+        return len(kept)  # nothing to drop and the tail is clean
+    tmp = journal.parent / f".{journal.name}.trim-{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        for frame in kept:
+            handle.write(encode_frame(frame.seq, frame.record))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, journal)
+    return len(kept)
+
+
+class JournalWriter:
+    """Append frames to one shard's journal with an fsync-before-ack
+    contract.  Not thread-safe by itself — the live engine serializes
+    appends under its own lock."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "ab")
+
+    def append(self, seq: int, record: str, crash_hook=None) -> None:
+        """Write one frame and fsync it.  Returning *is* the ack: the
+        record is durable.  ``crash_hook`` (tests/chaos only) fires after
+        the write but before the fsync — the widest unacked window."""
+        self._handle.write(encode_frame(seq, record))
+        if crash_hook is not None:
+            crash_hook("append:written")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

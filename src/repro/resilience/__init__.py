@@ -55,6 +55,7 @@ from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.resilience.warnings import (
     BUDGET_DEGRADED,
     DEGRADED_FULL_SCAN,
+    DELTA_REPLAYED,
     INDEX_CORRUPT,
     INDEX_MISSING,
     INDEX_REBUILT,
@@ -65,7 +66,10 @@ from repro.resilience.warnings import (
     SHARD_HEDGED,
     SHARD_RETRIED,
     SHARD_SKIPPED_OPEN_BREAKER,
+    SHARD_SPLIT,
     SHARD_TIMEOUT,
+    STALE_STAGING_REMOVED,
+    UNVERIFIED_LEGACY_INDEX,
     QueryWarning,
     malformed_region_warning,
 )
@@ -106,4 +110,8 @@ __all__ = [
     "SHARD_SKIPPED_OPEN_BREAKER",
     "SHARD_TIMEOUT",
     "PARTIAL_RESULT",
+    "DELTA_REPLAYED",
+    "SHARD_SPLIT",
+    "STALE_STAGING_REMOVED",
+    "UNVERIFIED_LEGACY_INDEX",
 ]

@@ -27,6 +27,10 @@ SHARD_HEDGED = "shard-hedged"
 SHARD_TIMEOUT = "shard-timeout"
 PARTIAL_RESULT = "partial-result"
 REPLANNED = "replanned"
+DELTA_REPLAYED = "delta-replayed"
+SHARD_SPLIT = "shard-split"
+STALE_STAGING_REMOVED = "stale-staging-removed"
+UNVERIFIED_LEGACY_INDEX = "unverified-legacy-index"
 
 
 @dataclass(frozen=True)

@@ -4,7 +4,7 @@
 through admission control and the bounded worker pool, and renders every
 outcome — success or failure — as one JSON envelope family::
 
-    {"ok": true,  "kind": "query" | "explain" | "analyze" | "stats" | "health", ...}
+    {"ok": true,  "kind": "query" | "explain" | "analyze" | "append" | "stats" | "health", ...}
     {"ok": false, "kind": "error", "status": 429,
      "error": {"type": "ServerOverloadedError", "code": "server-overloaded",
                "message": "...", "detail": {...}}}
@@ -28,7 +28,9 @@ from typing import Any, Mapping
 from repro.api import QueryBackend, QueryRequest
 from repro.errors import (
     BudgetExceededError,
+    JournalCorruptError,
     PaginationError,
+    ParseError,
     QueryError,
     ReproError,
     ServerDrainingError,
@@ -43,6 +45,10 @@ from repro.server.stats import ServerStats
 
 #: Endpoints that cost engine work and therefore pass admission control.
 ENGINE_ENDPOINTS = {"/query", "/explain", "/analyze"}
+
+#: Ingestion endpoint: also admission-controlled, but takes a record body
+#: instead of a query request and requires a live (appendable) backend.
+APPEND_ENDPOINT = "/append"
 
 
 class _MethodNotAllowed(Exception):
@@ -119,6 +125,8 @@ ERROR_CODES = {
     "PlanningError": "query-planning",
     "QueryError": "query-error",
     "ShardFailedError": "shard-failed",
+    "ParseError": "bad-record",
+    "JournalCorruptError": "journal-corrupt",
 }
 
 
@@ -210,6 +218,9 @@ class QueryServerApp:
         if path in ENGINE_ENDPOINTS:
             self._require(method, "POST", path)
             return 200, self._engine_envelope(path, body)
+        if path == APPEND_ENDPOINT:
+            self._require(method, "POST", path)
+            return self._append_envelope(body)
         return self._plain_error(404, "not-found", f"no such endpoint: {path}")
 
     def _require(self, method: str, expected: str, path: str) -> None:
@@ -286,6 +297,51 @@ class QueryServerApp:
         finally:
             ticket.release()
 
+    def _append_envelope(
+        self, body: Mapping[str, Any] | None
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /append``: durably ingest one record through a live
+        backend.  Admission-controlled like the engine endpoints — an
+        overloaded or draining server rejects appends the same way — but
+        the body is ``{"record": "..."}`` rather than a query request."""
+        if not callable(getattr(self.backend, "append", None)):
+            return self._plain_error(
+                400,
+                "append-unsupported",
+                f"backend {type(self.backend).__name__} does not support "
+                "live appends; serve a live engine to enable /append",
+            )
+        if body is None or not isinstance(body.get("record"), str):
+            return self._plain_error(
+                400, "bad-request", 'append needs a JSON body {"record": "..."}'
+            )
+        record = body["record"]
+        if self.draining:
+            raise ServerDrainingError(
+                "shutting down; not admitting new requests",
+                retry_after_s=self._retry_after_s(),
+            )
+        ticket = self.admission.admit()
+        try:
+            future = self.pool.submit(lambda: self._execute_append(record))
+        except ServerOverloadedError:
+            ticket.release()
+            raise
+        try:
+            return 200, future.result()
+        finally:
+            ticket.release()
+
+    def _execute_append(self, record: str) -> dict[str, Any]:
+        seq = self.backend.append(record)
+        envelope: dict[str, Any] = {"ok": True, "kind": "append", "seq": seq}
+        status = getattr(self.backend, "status", None)
+        if callable(status):
+            snapshot = status()
+            envelope["shard"] = snapshot.get("tail")
+            envelope["pending"] = snapshot.get("pending_records")
+        return envelope
+
     def _execute(self, endpoint: str, request: QueryRequest) -> dict[str, Any]:
         if endpoint == "/query":
             response = self.backend.query(request)
@@ -350,6 +406,13 @@ class QueryServerApp:
         elif isinstance(error, QueryError):
             # Includes PaginationError: the client's request is at fault.
             status = 400
+        elif isinstance(error, ParseError):
+            # A record rejected at /append: the client's payload is at fault.
+            status = 400
+            detail = {"position": error.position, "symbol": error.symbol}
+        elif isinstance(error, JournalCorruptError):
+            status = 500
+            detail = {"path": error.path, "reason": error.reason, "offset": error.offset}
         elif isinstance(error, ReproError):
             status = 500
         else:

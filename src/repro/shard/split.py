@@ -29,6 +29,13 @@ def split_corpus(schema: "StructuringSchema", text: str, shards: int) -> list[st
     Raises :class:`~repro.errors.GrammarError` when the corpus has no
     top-level records to split, and lets the schema's own
     :class:`~repro.errors.ParseError` propagate for unparseable input.
+
+    The chunks tile the corpus: ``"".join(split_corpus(s, text, n)) ==
+    text``, byte for byte.  Inter-record separator bytes (and any corpus
+    prefix/suffix) travel with the chunk they precede — safe because the
+    grammars skip leading whitespace and tolerate trailing whitespace —
+    so the logical corpus can always be reconstructed from the shards
+    exactly, which is what crash recovery rebuilds are compared against.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards!r}")
@@ -42,6 +49,7 @@ def split_corpus(schema: "StructuringSchema", text: str, shards: int) -> list[st
     total = records[-1].end - records[0].start
     chunks: list[str] = []
     cursor = 0
+    chunk_start = 0
     for remaining in range(shards, 0, -1):
         if remaining == 1:
             group = records[cursor:]
@@ -58,5 +66,7 @@ def split_corpus(schema: "StructuringSchema", text: str, shards: int) -> list[st
                 group.append(records[next_cursor])
                 next_cursor += 1
         cursor += len(group)
-        chunks.append(text[group[0].start : group[-1].end])
+        chunk_end = len(text) if remaining == 1 else group[-1].end
+        chunks.append(text[chunk_start:chunk_end])
+        chunk_start = chunk_end
     return chunks

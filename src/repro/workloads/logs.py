@@ -128,6 +128,28 @@ def generate_log(entries: int = 500, seed: int = 0, **knobs: object) -> str:
     return LogGenerator(entries=entries, seed=seed, **knobs).generate()  # type: ignore[arg-type]
 
 
+def tail_entries(entries: int = 100, seed: int = 0, start: int = 0, **knobs: object):
+    """Yield single log entries shaped for live ingestion.
+
+    Each yielded string is one complete, newline-terminated ``Entry`` —
+    exactly the self-delimiting record
+    :meth:`repro.live.LiveEngine.append` expects, so a tailing ingester
+    is just::
+
+        for record in tail_entries(entries=100, seed=7):
+            live.append(record)      # journaled + fsynced before returning
+
+    ``start`` offsets the entry numbering (and thus the timestamps), so
+    successive batches continue the clock of an earlier
+    :func:`generate_log` corpus instead of restarting it.  The stream is
+    deterministic in ``(seed, start, knobs)``.
+    """
+    generator = LogGenerator(entries=entries, seed=seed, **knobs)  # type: ignore[arg-type]
+    rng = random.Random(generator.seed)
+    for number in range(start, start + entries):
+        yield generator._entry(rng, number) + "\n"
+
+
 ERROR_QUERY = 'SELECT e FROM Entry e WHERE e.Level = "ERROR"'
 STORAGE_ERRORS_QUERY = (
     'SELECT e FROM Entry e WHERE e.Level = "ERROR" AND e.Component = "storage"'

@@ -60,7 +60,10 @@ def test_v1_engine_answers_like_a_fresh_build(v1_index, schema, text) -> None:
     loaded = FileQueryEngine.from_saved(schema, str(v1_index))
     result = loaded.query(QUERY)
     assert result.canonical_rows() == fresh_rows
-    assert result.warnings == []  # a clean legacy load is not a degradation
+    # A legacy load still answers, but flags that nothing could be
+    # checksum-verified — the one durability promise a v1 layout cannot make.
+    codes = [warning.code for warning in result.warnings]
+    assert codes == ["unverified-legacy-index"]
 
 
 def test_v1_survives_strict_policy(v1_index, schema) -> None:

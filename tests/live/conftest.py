@@ -1,0 +1,44 @@
+"""Fixtures for the live-ingestion suite: a saved sharded bibtex index,
+self-delimiting records to append, and the full-rebuild reference oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FileQueryEngine
+from repro.shard import ShardedEngine
+from repro.workloads.bibtex import bibtex_schema, generate_bibtex
+
+QUERY = "SELECT r.Key FROM Reference r"
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return bibtex_schema()
+
+
+@pytest.fixture(scope="module")
+def corpus_text() -> str:
+    return generate_bibtex(entries=24, seed=11)
+
+
+@pytest.fixture(scope="module")
+def records(schema) -> list[str]:
+    """Individual appendable records: one complete entry each, carrying
+    their own trailing separator."""
+    text = generate_bibtex(entries=4, seed=99)
+    tree = schema.parse(text)
+    return [text[child.start : child.end] + "\n\n" for child in tree.children]
+
+
+@pytest.fixture
+def saved_index(tmp_path, schema, corpus_text):
+    directory = tmp_path / "live-idx"
+    ShardedEngine.split(schema, corpus_text, 4).save(directory)
+    return directory
+
+
+def rebuild_rows(schema, logical_corpus: str, query: str = QUERY):
+    """The oracle: canonical rows of a from-scratch engine over the
+    logical corpus (base text + every acked record, in order)."""
+    return FileQueryEngine(schema, logical_corpus).query(query).canonical_rows()

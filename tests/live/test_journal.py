@@ -1,0 +1,153 @@
+"""The write-ahead journal (`live/journal.py`): frame round trips, the
+torn-tail/corruption distinction, atomic trims, and the fsync-before-ack
+writer."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import JournalCorruptError
+from repro.live import (
+    JournalWriter,
+    encode_frame,
+    replay_journal,
+    trim_journal,
+)
+
+
+def write_frames(path, frames) -> None:
+    with open(path, "wb") as handle:
+        for seq, record in frames:
+            handle.write(encode_frame(seq, record))
+
+
+def test_round_trip_preserves_frames(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    frames = [(1, "alpha\n"), (2, ""), (3, "gamma with spaces and é\n")]
+    write_frames(journal, frames)
+    replay = replay_journal(journal)
+    assert [(f.seq, f.record) for f in replay.frames] == frames
+    assert replay.torn_bytes == 0
+    assert replay.max_seq == 3
+
+
+def test_missing_journal_is_empty(tmp_path) -> None:
+    replay = replay_journal(tmp_path / "nope.wal")
+    assert replay.frames == []
+    assert replay.max_seq == 0
+
+
+def test_torn_tail_is_truncated_and_repaired(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(1, "kept\n")])
+    clean_size = journal.stat().st_size
+    # A crash mid-write: half of the next frame reached the disk.
+    partial = encode_frame(2, "lost\n")
+    with open(journal, "ab") as handle:
+        handle.write(partial[: len(partial) // 2])
+    replay = replay_journal(journal)
+    assert [f.record for f in replay.frames] == ["kept\n"]
+    assert replay.torn_bytes == len(partial) // 2
+    # repair=True (default) physically removed the torn bytes.
+    assert journal.stat().st_size == clean_size
+    assert replay_journal(journal).torn_bytes == 0
+
+
+def test_torn_header_alone_is_a_torn_tail(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(1, "kept\n")])
+    with open(journal, "ab") as handle:
+        handle.write(b"\x00\x00")  # 2 bytes: not even a full header
+    replay = replay_journal(journal, repair=False)
+    assert [f.seq for f in replay.frames] == [1]
+    assert replay.torn_bytes == 2
+    # repair=False left the file alone.
+    assert replay_journal(journal, repair=False).torn_bytes == 2
+
+
+def test_checksum_mismatch_raises_typed_error(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(1, "payload bytes here\n")])
+    data = bytearray(journal.read_bytes())
+    data[12] ^= 0xFF  # flip one payload byte; length/CRC header intact
+    journal.write_bytes(bytes(data))
+    with pytest.raises(JournalCorruptError) as info:
+        replay_journal(journal)
+    assert "checksum" in str(info.value)
+    assert info.value.offset == 0
+
+
+def test_impossible_length_raises(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    # A complete header declaring a 2-byte payload: too small to hold the
+    # u64 sequence number — structural damage, not a torn tail.
+    journal.write_bytes(struct.pack(">II", 2, 0) + b"xx")
+    with pytest.raises(JournalCorruptError):
+        replay_journal(journal)
+
+
+def test_non_increasing_sequence_raises(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(2, "first\n"), (2, "repeat\n")])
+    with pytest.raises(JournalCorruptError) as info:
+        replay_journal(journal)
+    assert "increase" in str(info.value)
+
+
+def test_invalid_utf8_raises(tmp_path) -> None:
+    import zlib
+
+    journal = tmp_path / "a.wal"
+    payload = struct.pack(">Q", 1) + b"\xff\xfe"
+    journal.write_bytes(
+        struct.pack(">II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+    )
+    with pytest.raises(JournalCorruptError) as info:
+        replay_journal(journal)
+    assert "UTF-8" in str(info.value)
+
+
+def test_trim_drops_applied_frames_atomically(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(1, "a\n"), (2, "b\n"), (3, "c\n")])
+    assert trim_journal(journal, applied_seq=2) == 1
+    replay = replay_journal(journal)
+    assert [(f.seq, f.record) for f in replay.frames] == [(3, "c\n")]
+    # No leftover temporary siblings.
+    assert [p.name for p in tmp_path.iterdir()] == ["a.wal"]
+
+
+def test_trim_to_empty_deletes_the_journal(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(1, "a\n")])
+    assert trim_journal(journal, applied_seq=1) == 0
+    assert not journal.exists()
+    # Trimming a missing journal is a no-op.
+    assert trim_journal(journal, applied_seq=5) == 0
+
+
+def test_trim_with_nothing_to_drop_leaves_bytes_untouched(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(3, "a\n"), (4, "b\n")])
+    before = journal.read_bytes()
+    assert trim_journal(journal, applied_seq=2) == 2
+    assert journal.read_bytes() == before
+
+
+def test_writer_acks_are_replayable(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    with JournalWriter(journal) as writer:
+        writer.append(1, "one\n")
+        writer.append(2, "two\n")
+    replay = replay_journal(journal)
+    assert [f.record for f in replay.frames] == ["one\n", "two\n"]
+
+
+def test_writer_extends_an_existing_journal(tmp_path) -> None:
+    journal = tmp_path / "a.wal"
+    write_frames(journal, [(1, "old\n")])
+    with JournalWriter(journal) as writer:
+        writer.append(2, "new\n")
+    assert [f.seq for f in replay_journal(journal).frames] == [1, 2]

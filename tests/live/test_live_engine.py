@@ -1,0 +1,312 @@
+"""The live engine (`live/engine.py`): durable appends, delta-merged
+queries, compaction commit points, tail splitting, and crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import QueryRequest, QueryResponse
+from repro.errors import JournalCorruptError, ParseError
+from repro.live import LiveEngine, WAL_SUBDIR, encode_frame, replay_journal
+from repro.shard.manifest import load_shard_manifest
+
+from tests.live.conftest import QUERY, rebuild_rows
+
+
+def open_live(schema, directory, **kwargs) -> LiveEngine:
+    return LiveEngine.open(schema, directory, **kwargs)
+
+
+# -- appending and querying ---------------------------------------------------
+
+
+def test_append_assigns_monotonic_sequence_numbers(schema, saved_index, records):
+    live = open_live(schema, saved_index)
+    try:
+        assert [live.append(r) for r in records[:3]] == [1, 2, 3]
+        assert live.status()["next_seq"] == 4
+    finally:
+        live.close()
+
+
+def test_merged_rows_match_a_full_rebuild(schema, saved_index, corpus_text, records):
+    live = open_live(schema, saved_index)
+    try:
+        for record in records:
+            live.append(record)
+        merged = live.query(QUERY).canonical_rows()
+        assert merged == rebuild_rows(schema, corpus_text + "".join(records))
+    finally:
+        live.close()
+
+
+def test_unparseable_record_is_rejected_before_journaling(
+    schema, saved_index
+):
+    live = open_live(schema, saved_index)
+    try:
+        with pytest.raises(ParseError):
+            live.append("this is not a bibtex entry")
+        assert live.status()["pending_records"] == 0
+        assert live.status()["journal_bytes"] == 0
+    finally:
+        live.close()
+
+
+def test_query_request_returns_wire_response(schema, saved_index, records):
+    live = open_live(schema, saved_index)
+    try:
+        live.append(records[0])
+        response = live.query(QueryRequest(query=QUERY))
+        assert isinstance(response, QueryResponse)
+        assert response.total_rows == len(live.query(QUERY).rows)
+    finally:
+        live.close()
+
+
+def test_stats_reports_live_backend(schema, saved_index, records):
+    live = open_live(schema, saved_index)
+    try:
+        live.append(records[0])
+        backend = live.stats().backend
+        assert backend["type"] == "live"
+        assert backend["base"] == "sharded"
+        assert backend["pending_records"] == 1
+    finally:
+        live.close()
+
+
+# -- durability across reopen -------------------------------------------------
+
+
+def test_acked_appends_survive_reopen(schema, saved_index, corpus_text, records):
+    live = open_live(schema, saved_index)
+    try:
+        for record in records[:2]:
+            live.append(record)
+    finally:
+        live.close()  # no compaction: records live only in the journal
+
+    reopened = open_live(schema, saved_index)
+    try:
+        rows = reopened.query(QUERY)
+        assert rows.canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records[:2])
+        )
+        codes = [w.code for w in rows.warnings]
+        assert "delta-replayed" in codes
+        # The sequence counter continues where the journal left off.
+        assert reopened.append(records[2]) == 3
+    finally:
+        reopened.close()
+
+
+def test_clean_index_reopens_without_warnings(schema, saved_index):
+    live = open_live(schema, saved_index)
+    try:
+        assert live.query(QUERY).warnings == []
+    finally:
+        live.close()
+
+
+# -- compaction ---------------------------------------------------------------
+
+
+def test_compact_folds_delta_and_trims_journal(
+    schema, saved_index, corpus_text, records
+):
+    live = open_live(schema, saved_index)
+    try:
+        for record in records:
+            live.append(record)
+        report = live.compact()
+        assert sum(report["folded"].values()) == len(records)
+        status = live.status()
+        assert status["pending_records"] == 0
+        assert status["journal_bytes"] == 0
+        assert live.query(QUERY).canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records)
+        )
+    finally:
+        live.close()
+
+    # A post-compaction open finds nothing to recover.
+    reopened = open_live(schema, saved_index)
+    try:
+        result = reopened.query(QUERY)
+        assert result.warnings == []
+        assert result.canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records)
+        )
+    finally:
+        reopened.close()
+
+
+def test_applied_seq_checkpoint_rides_the_shard_manifest(
+    schema, saved_index, records
+):
+    from repro.index.persist import applied_seq
+
+    live = open_live(schema, saved_index)
+    try:
+        for record in records[:3]:
+            live.append(record)
+        live.compact()
+        tail = live.status()["tail"]
+        manifest = load_shard_manifest(saved_index)
+        (entry,) = [s for s in manifest.shards if s.name == tail]
+        assert applied_seq(saved_index / entry.directory) == 3
+        # Sequence numbers never restart, even with the journal gone.
+        assert live.append(records[3]) == 4
+    finally:
+        live.close()
+
+
+def test_compact_is_idempotent_when_clean(schema, saved_index):
+    live = open_live(schema, saved_index)
+    try:
+        assert live.compact()["folded"] == {}
+    finally:
+        live.close()
+
+
+# -- crash points -------------------------------------------------------------
+
+
+class Boom(RuntimeError):
+    pass
+
+
+@pytest.mark.parametrize(
+    "point", ["compact:shard-saved", "compact:manifest-updated"]
+)
+def test_crash_between_compaction_commit_points_recovers(
+    schema, saved_index, corpus_text, records, point
+):
+    def crash(name: str) -> None:
+        if name == point:
+            raise Boom(name)
+
+    live = open_live(schema, saved_index, crash_hook=crash)
+    try:
+        for record in records:
+            live.append(record)
+        with pytest.raises(Boom):
+            live.compact()
+    finally:
+        live.close()
+
+    reopened = open_live(schema, saved_index)
+    try:
+        assert reopened.query(QUERY).canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records)
+        )
+        reopened.compact()
+        assert reopened.query(QUERY).canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records)
+        )
+    finally:
+        reopened.close()
+
+
+def test_torn_journal_tail_recovers_acked_records_only(
+    schema, saved_index, corpus_text, records
+):
+    live = open_live(schema, saved_index)
+    try:
+        for record in records[:2]:
+            live.append(record)
+        tail = live.status()["tail"]
+    finally:
+        live.close()
+    # Forge the crash: half of an unacked frame reaches the journal.
+    manifest = load_shard_manifest(saved_index)
+    (entry,) = [s for s in manifest.shards if s.name == tail]
+    from pathlib import Path
+
+    wal = saved_index / WAL_SUBDIR / f"{Path(entry.directory).name}.wal"
+    partial = encode_frame(3, records[2])
+    with open(wal, "ab") as handle:
+        handle.write(partial[: len(partial) // 2])
+
+    reopened = open_live(schema, saved_index)
+    try:
+        assert reopened.query(QUERY).canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records[:2])
+        )
+        # The torn bytes are physically gone; the seq was never acked and
+        # is reused for the retry.
+        assert replay_journal(wal).torn_bytes == 0
+        assert reopened.append(records[2]) == 3
+    finally:
+        reopened.close()
+
+
+def test_corrupt_journal_raises_typed_error_on_open(
+    schema, saved_index, records
+):
+    live = open_live(schema, saved_index)
+    try:
+        live.append(records[0])
+        tail = live.status()["tail"]
+    finally:
+        live.close()
+    manifest = load_shard_manifest(saved_index)
+    (entry,) = [s for s in manifest.shards if s.name == tail]
+    from pathlib import Path
+
+    wal = saved_index / WAL_SUBDIR / f"{Path(entry.directory).name}.wal"
+    data = bytearray(wal.read_bytes())
+    data[10] ^= 0xFF  # in-place damage inside the first frame's payload
+    wal.write_bytes(bytes(data))
+    with pytest.raises(JournalCorruptError):
+        open_live(schema, saved_index)
+
+
+# -- splitting ----------------------------------------------------------------
+
+
+def test_oversized_tail_splits_during_compaction(
+    schema, saved_index, corpus_text, records
+):
+    live = open_live(schema, saved_index, max_shard_bytes=1)
+    try:
+        for record in records:
+            live.append(record)
+        report = live.compact()
+        assert report["split"] is not None
+        assert len(report["split"]["into"]) == 2
+        status = live.status()
+        assert len(status["shards"]) == 5
+        assert live.query(QUERY).canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records)
+        )
+    finally:
+        live.close()
+
+    reopened = open_live(schema, saved_index)
+    try:
+        result = reopened.query(QUERY)
+        assert result.warnings == []
+        assert result.canonical_rows() == rebuild_rows(
+            schema, corpus_text + "".join(records)
+        )
+    finally:
+        reopened.close()
+
+
+def test_appends_continue_into_the_new_tail_after_split(
+    schema, saved_index, corpus_text, records
+):
+    live = open_live(schema, saved_index, max_shard_bytes=1)
+    try:
+        live.append(records[0])
+        live.compact()  # folds, then splits the tail
+        seq = live.append(records[1])
+        assert seq == 2
+        live.compact()
+        assert live.query(QUERY).canonical_rows() == rebuild_rows(
+            schema, corpus_text + records[0] + records[1]
+        )
+    finally:
+        live.close()

@@ -23,19 +23,19 @@ def _interrupt_after(monkeypatch, files_written: int):
     four index files — the moral equivalent of `kill -9` mid-save."""
     original = persist._write_index_files
 
-    def wrapper(engine, path, schema_fingerprint, source_path):
+    def wrapper(engine, path, *args, **kwargs):
         real_write_text = Path.write_text
         budget = {"left": files_written}
 
-        def counting_write_text(self, *args, **kwargs):
+        def counting_write_text(self, *write_args, **write_kwargs):
             if budget["left"] <= 0:
                 raise _KilledMidSave()
             budget["left"] -= 1
-            return real_write_text(self, *args, **kwargs)
+            return real_write_text(self, *write_args, **write_kwargs)
 
         with pytest.MonkeyPatch.context() as inner:
             inner.setattr(Path, "write_text", counting_write_text)
-            return original(engine, path, schema_fingerprint, source_path)
+            return original(engine, path, *args, **kwargs)
 
     monkeypatch.setattr(persist, "_write_index_files", wrapper)
 

@@ -50,10 +50,9 @@ def test_more_shards_than_records_caps_at_record_count(schema) -> None:
         assert len(list(schema.parse(chunk).children)) == 1
 
 
-def test_single_shard_returns_the_record_span(schema, corpus_text) -> None:
+def test_single_shard_returns_the_whole_corpus(schema, corpus_text) -> None:
     (chunk,) = split_corpus(schema, corpus_text, 1)
-    records = list(schema.parse(corpus_text).children)
-    assert chunk == corpus_text[records[0].start : records[-1].end]
+    assert chunk == corpus_text
 
 
 def test_rejects_nonpositive_shard_count(schema, corpus_text) -> None:
@@ -80,3 +79,53 @@ def test_other_workloads_split_cleanly(make_schema, make_text) -> None:
     assert len(chunks) == 3
     for chunk in chunks:
         assert list(workload_schema.parse(chunk).children)
+
+
+# -- degenerate shapes --------------------------------------------------------
+
+
+def test_one_giant_record_among_tiny_ones(schema) -> None:
+    """Byte balancing must not split the giant record or starve a shard:
+    every chunk still holds at least one whole record."""
+    tiny = generate_bibtex(entries=6, seed=2)
+    # Inflate one quoted field value: still a perfectly grammatical entry,
+    # just ~20 kB — larger than all the tiny records combined.
+    giant = generate_bibtex(entries=1, seed=3).replace("Taylor", "x" * 20_000, 1)
+    text = tiny + giant + generate_bibtex(entries=6, seed=4)
+    chunks = split_corpus(schema, text, 4)
+    assert "".join(chunks) == text
+    assert all(list(schema.parse(chunk).children) for chunk in chunks)
+    # The giant record travels whole inside exactly one chunk.
+    assert sum("x" * 20_000 in chunk for chunk in chunks) == 1
+
+
+def test_exactly_as_many_records_as_shards(schema) -> None:
+    text = generate_bibtex(entries=5, seed=9)
+    chunks = split_corpus(schema, text, 5)
+    assert len(chunks) == 5
+    for chunk in chunks:
+        assert len(list(schema.parse(chunk).children)) == 1
+    assert "".join(chunks) == text
+
+
+def test_chunks_tile_the_corpus_byte_for_byte(schema) -> None:
+    """The crash-recovery oracle depends on this property: the logical
+    corpus must be reconstructible from the shard chunks exactly.  Seeded
+    sweep across workloads, corpus sizes, and shard counts."""
+    cases = [
+        (schema, generate_bibtex(entries=n, seed=seed))
+        for n in (1, 2, 7, 23)
+        for seed in (0, 11)
+    ] + [
+        (log_schema(), generate_log(entries=n, seed=5))
+        for n in (1, 3, 50)
+    ] + [
+        (sgml_schema(), generate_sgml(documents=n, seed=8))
+        for n in (1, 4)
+    ]
+    for workload_schema, text in cases:
+        for shards in (1, 2, 3, 8, 64):
+            chunks = split_corpus(workload_schema, text, shards)
+            assert "".join(chunks) == text, (
+                f"tiling broke at shards={shards}, corpus of {len(text)} bytes"
+            )

@@ -200,3 +200,81 @@ class TestIndexAndStats:
         assert payload["index"]["total_region_entries"] > 0
         assert "cache" in payload
         assert "cache_config" in payload
+
+
+class TestLive:
+    @pytest.fixture
+    def live_index(self, corpus_file, tmp_path):
+        directory = tmp_path / "lidx"
+        assert main(
+            [
+                "shard", "build", "--workload", "bibtex",
+                "--file", corpus_file, "--shards", "3",
+                "--out", str(directory),
+            ]
+        ) == 0
+        return str(directory)
+
+    @pytest.fixture
+    def record(self):
+        from repro.workloads.bibtex import bibtex_schema
+
+        text = generate_bibtex(entries=1, seed=77)
+        schema = bibtex_schema()
+        (child,) = list(schema.parse(text).children)
+        return text[child.start : child.end] + "\n\n"
+
+    def test_append_then_status_then_compact(self, live_index, record, capsys):
+        assert main(
+            [
+                "live", "append", "--workload", "bibtex",
+                "--index", live_index, "--record", record,
+            ]
+        ) == 0
+        assert "appended 1 record(s) through seq 1" in capsys.readouterr().err
+
+        assert main(
+            ["live", "status", "--workload", "bibtex", "--index", live_index]
+        ) == 0
+        assert "1 pending record(s)" in capsys.readouterr().out
+
+        assert main(
+            ["live", "compact", "--workload", "bibtex", "--index", live_index]
+        ) == 0
+        assert "folded 1 record(s)" in capsys.readouterr().err
+
+        assert main(
+            [
+                "live", "status", "--workload", "bibtex",
+                "--index", live_index, "--json",
+            ]
+        ) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["pending_records"] == 0
+        assert status["next_seq"] == 2
+
+    def test_appended_rows_reach_queries(self, live_index, record, capsys):
+        main(
+            [
+                "live", "append", "--workload", "bibtex",
+                "--index", live_index, "--record", record, "--compact",
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "shard", "query", "--workload", "bibtex",
+                "--index", live_index, "SELECT r.Key FROM Reference r",
+            ]
+        ) == 0
+        assert "13 row(s)" in capsys.readouterr().err
+
+    def test_bad_record_is_a_typed_cli_error(self, live_index, capsys):
+        code = main(
+            [
+                "live", "append", "--workload", "bibtex",
+                "--index", live_index, "--record", "not bibtex",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
