@@ -17,6 +17,11 @@ Each input document must be one envelope from the family pinned in
    CLI's ``analyze --json`` contract verbatim, and this keeps the two
    from drifting apart.
 
+Independently of any input documents, the warning-code enum pinned in
+the schema is cross-checked against the constants in
+``repro.resilience.warnings``: a new code cannot ship without extending
+the schema, and the schema cannot pin codes the engine no longer emits.
+
 Reuses the subset-of-JSON-Schema validator from
 ``scripts/check_analyze_schema.py``.
 """
@@ -28,11 +33,39 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from check_analyze_schema import SCHEMA_PATH as ANALYZE_SCHEMA_PATH  # noqa: E402
 from check_analyze_schema import validate  # noqa: E402
 
 SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "server.schema.json"
+
+
+def warning_code_mismatches(schema: dict) -> list[str]:
+    """Drift between the schema's warning-code enum and the engine's
+    warning vocabulary (``repro.resilience.warnings``), empty = in sync."""
+    from repro.resilience import warnings as warning_codes
+
+    engine_codes = {
+        value
+        for name, value in vars(warning_codes).items()
+        if name.isupper() and isinstance(value, str)
+    }
+    pinned = set(
+        schema["definitions"]["warnings"]["items"]["properties"]["code"]["enum"]
+    )
+    errors = []
+    for code in sorted(engine_codes - pinned):
+        errors.append(
+            f"warning code {code!r} exists in repro.resilience.warnings "
+            "but is not pinned in the schema enum"
+        )
+    for code in sorted(pinned - engine_codes):
+        errors.append(
+            f"warning code {code!r} is pinned in the schema enum but "
+            "repro.resilience.warnings no longer defines it"
+        )
+    return errors
 
 
 def validate_envelope(document: object, schema: dict, analyze_schema: dict) -> list[str]:
@@ -55,6 +88,11 @@ def validate_envelope(document: object, schema: dict, analyze_schema: dict) -> l
 def main(argv: list[str]) -> int:
     schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
     analyze_schema = json.loads(ANALYZE_SCHEMA_PATH.read_text(encoding="utf-8"))
+    drift = warning_code_mismatches(schema)
+    for message in drift:
+        print(f"schema drift: {message}", file=sys.stderr)
+    if drift:
+        return 1
     sources = (
         [(path, Path(path).read_text(encoding="utf-8")) for path in argv[1:]]
         if len(argv) > 1

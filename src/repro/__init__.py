@@ -123,7 +123,7 @@ from repro.shard import (
 )
 from repro.text import Corpus, Document
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Region",

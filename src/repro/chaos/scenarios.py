@@ -36,6 +36,14 @@ crash-mid-      ``LiveEngine`` crash hook between compaction   sharded
 compaction      commit points
 crash-mid-      ``LiveEngine`` crash hook between split        sharded
 split           commit points
+corrupt-one-    on-disk damage to one replica per shard,       sharded
+replica         then scrub ``--repair``
+corrupt-all-    on-disk damage to all but one replica,         sharded
+but-one         anti-entropy re-seed from the survivor
+kill-mid-       scrub crash hook between quarantine,           sharded
+repair          peer-copy, and swap commit points
+kill-mid-       ``LiveEngine`` append crash hook between       sharded
+quorum-append   per-replica journal fsyncs
 ==============  =============================================  ==================
 
 The four live-ingestion scenarios share one invariant, judged against a
@@ -505,21 +513,36 @@ def _verify_compacted_corpus(
     files must concatenate byte-for-byte to the logical corpus — row
     projection cannot hide a double-applied or half-lost record from
     this check."""
+    from repro.index.persist import is_replicated_index, replica_directories
     from repro.live import LiveEngine
     from repro.shard.manifest import load_shard_manifest
 
     live = LiveEngine.open(fx.schema, directory)
     live.compact()
     live.close()
-    stored = "".join(
-        (directory / entry.directory / "corpus.txt").read_text(encoding="utf-8")
-        for entry in load_shard_manifest(directory).shards
-    )
+    pieces: list[str] = []
+    replicas_agree = True
+    for entry in load_shard_manifest(directory).shards:
+        shard_dir = directory / entry.directory
+        if is_replicated_index(shard_dir):
+            copies = [
+                (replica / "corpus.txt").read_text(encoding="utf-8")
+                for replica in replica_directories(shard_dir)
+            ]
+            replicas_agree = replicas_agree and all(c == copies[0] for c in copies)
+            pieces.append(copies[0])
+        else:
+            pieces.append(
+                (shard_dir / "corpus.txt").read_text(encoding="utf-8")
+            )
+    stored = "".join(pieces)
     verdict.add(
         "corpus-byte-identical",
-        stored == logical,
+        stored == logical and replicas_agree,
         "compacted shard corpora concatenate to the logical corpus"
-        if stored == logical
+        if stored == logical and replicas_agree
+        else "replica corpora disagree after compaction"
+        if not replicas_agree
         else f"compacted corpus diverged ({len(stored)} vs {len(logical)} bytes)",
     )
 
@@ -744,6 +767,234 @@ MALFORMED_BODIES = [
 ]
 
 
+# -- replication scenarios -----------------------------------------------------
+
+
+def _replicated_setup(
+    fx: "Fixtures", workdir: Path, replicas: int
+) -> tuple[Path, list[Path]]:
+    """A saved sharded index with N complete copies per shard, plus the
+    per-shard directories for fault injection."""
+    from repro.shard.manifest import load_shard_manifest
+
+    directory = workdir / "replicated-idx"
+    fx.sharded_engine().save(directory, replicas=replicas)
+    manifest = load_shard_manifest(directory)
+    return directory, [directory / entry.directory for entry in manifest.shards]
+
+
+def _damage_replica(rng: random.Random, replica_dir: Path) -> None:
+    """One randomly chosen corruption against one replica copy."""
+    part = rng.choice(["corpus", "regions", "config"])
+    mode = rng.choice(["garbage", "truncate", "delete"])
+    corrupt_index_file(replica_dir, part=part, mode=mode)
+
+
+def _judge_replicated_read(
+    verdict: Verdict, fx: "Fixtures", directory: Path, require_failover: bool
+) -> None:
+    """Query the damaged index: rows must be byte-identical (no partial
+    result — a healthy sibling answers for every shard), flagged with
+    ``replica-failover`` when damage was routed around."""
+    engine = ShardedEngine.from_saved(fx.schema, directory)
+    started = perf_counter()
+    result = engine.query(fx.query)
+    verdict.bounded(perf_counter() - started, 30.0)
+    codes = [w.code for w in result.warnings]
+    rows = result.canonical_rows()
+    verdict.add(
+        "rows-byte-identical",
+        rows == fx.reference,
+        "every shard answered from a healthy replica"
+        if rows == fx.reference
+        else f"rows diverged from the healthy twin "
+        f"({len(rows)} vs {len(fx.reference)})",
+    )
+    if require_failover:
+        verdict.codes_include(codes, {"replica-failover"})
+    verdict.codes_within(codes, {"replica-failover"})
+
+
+def _judge_scrub_heals(
+    verdict: Verdict, fx: "Fixtures", directory: Path
+) -> None:
+    """Anti-entropy: one repair pass heals, the next pass finds nothing."""
+    from repro.shard.scrub import scrub_index
+
+    report = scrub_index(fx.schema, directory, repair=True)
+    verdict.add(
+        "repair-completes",
+        not report.unrepaired,
+        f"{len(report.repairs)} repair action(s), none unrepairable"
+        if not report.unrepaired
+        else f"{len(report.unrepaired)} replica(s) unrepairable",
+    )
+    second = scrub_index(fx.schema, directory)
+    verdict.add(
+        "second-pass-clean",
+        second.clean,
+        "post-repair scrub found zero findings"
+        if second.clean
+        else f"post-repair scrub still sees {len(second.findings)} finding(s)",
+    )
+    _judge_replicated_read(verdict, fx, directory, require_failover=False)
+
+
+def _run_corrupt_one_replica(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.index.persist import replica_dir_name
+
+    verdict = Verdict()
+    directory, shard_dirs = _replicated_setup(fx, workdir, replicas=2)
+    for shard_dir in shard_dirs:
+        _damage_replica(rng, shard_dir / replica_dir_name(rng.randrange(2)))
+    _judge_replicated_read(verdict, fx, directory, require_failover=True)
+    _judge_scrub_heals(verdict, fx, directory)
+    return verdict
+
+
+def _run_corrupt_all_but_one(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.index.persist import replica_dir_name
+
+    verdict = Verdict()
+    directory, shard_dirs = _replicated_setup(fx, workdir, replicas=3)
+    for shard_dir in shard_dirs:
+        survivor = rng.randrange(3)
+        for index in range(3):
+            if index != survivor:
+                _damage_replica(rng, shard_dir / replica_dir_name(index))
+    _judge_replicated_read(verdict, fx, directory, require_failover=True)
+    _judge_scrub_heals(verdict, fx, directory)
+    return verdict
+
+
+def _run_kill_mid_repair(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.core.engine import FileQueryEngine as _Engine
+    from repro.index.persist import replica_dir_name
+    from repro.resilience import DegradationPolicy
+    from repro.shard.scrub import scrub_index
+
+    verdict = Verdict()
+    directory, shard_dirs = _replicated_setup(fx, workdir, replicas=2)
+    victim_shard = shard_dirs[rng.randrange(len(shard_dirs))]
+    healthy_name = replica_dir_name(rng.randrange(2))
+    victim_name = replica_dir_name(1 - int(healthy_name[-1]))
+    _damage_replica(rng, victim_shard / victim_name)
+    point = rng.choice(["scrub:quarantined", "scrub:peer-copied", "scrub:repaired"])
+
+    def crash_hook(name: str) -> None:
+        if name == point:
+            raise SimulatedCrash(name)
+
+    crashed = False
+    try:
+        scrub_index(fx.schema, directory, repair=True, crash_hook=crash_hook)
+    except SimulatedCrash:
+        crashed = True
+    verdict.add(
+        "crash-injected",
+        crashed,
+        f"repair crashed at {point!r}"
+        if crashed
+        else f"crash hook never fired at {point!r}",
+    )
+    # The invariant the repair protocol exists for: whatever the crash
+    # point, the last healthy copy is still on disk and loadable.
+    survivor_ok = True
+    try:
+        _Engine.from_saved(
+            fx.schema,
+            str(victim_shard / healthy_name),
+            policy=DegradationPolicy.strict(),
+        )
+    except Exception as error:  # noqa: BLE001 — oracle judges the outcome
+        survivor_ok = False
+        verdict.add(
+            "healthy-replica-survives",
+            False,
+            f"last healthy replica lost mid-repair: {error}",
+        )
+    if survivor_ok:
+        verdict.add(
+            "healthy-replica-survives",
+            True,
+            f"{healthy_name} still verifies after the crash",
+        )
+    # A re-run finishes the interrupted repair, and the next pass is clean.
+    _judge_scrub_heals(verdict, fx, directory)
+    return verdict
+
+
+def _run_kill_mid_quorum_append(
+    fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
+) -> Verdict:
+    from repro.live import LiveEngine
+    from repro.workloads.bibtex import generate_bibtex
+
+    verdict = Verdict()
+    directory, _ = _replicated_setup(fx, workdir, replicas=2)
+    extra = generate_bibtex(
+        entries=rng.randrange(3, 6), seed=rng.randrange(1_000_000)
+    )
+    tree = fx.schema.parse(extra)
+    records = [extra[child.start : child.end] + "\n\n" for child in tree.children]
+
+    # The process dies after replica journal 0 fsynced the frame but
+    # before journal 1 saw it: the widest quorum-split window.
+    armed = {"on": False}
+
+    def crash_hook(name: str) -> None:
+        if armed["on"] and name == "append:journal-acked:0":
+            raise SimulatedCrash(name)
+
+    live = LiveEngine.open(fx.schema, directory, crash_hook=crash_hook)
+    for record in records[:-1]:
+        live.append(record)
+    armed["on"] = True
+    crashed = False
+    try:
+        live.append(records[-1])
+    except SimulatedCrash:
+        crashed = True
+    live.close()
+    verdict.add(
+        "crash-injected", crashed, "append crashed between replica journals"
+        if crashed
+        else "crash hook never fired",
+    )
+
+    # The frame is durable on journal 0, so recovery promotes it to every
+    # replica journal: the un-acked append IS the recovered state here
+    # (exactly why retries carry request ids).
+    started = perf_counter()
+    reopened = LiveEngine.open(fx.schema, directory)
+    result = reopened.query(fx.query)
+    verdict.bounded(perf_counter() - started, 30.0)
+    codes = [w.code for w in result.warnings]
+    logical = fx.text + "".join(records)
+    verdict.rows_identical_or_flagged(
+        result.canonical_rows(), _rebuild_rows(fx, logical), codes
+    )
+    verdict.codes_within(codes, LIVE_RECOVERY_CODES | {"replica-failover"})
+    # An idempotent retry of the in-doubt record dedupes instead of
+    # double-appending — but only when the client tagged it; here the
+    # recovered seq must simply not be reissued.
+    next_seq = reopened.append_record(records[0], request_id="chaos-retry")["seq"]
+    verdict.add(
+        "seq-not-reissued",
+        next_seq == len(records) + 1,
+        f"next append took seq {next_seq} (expected {len(records) + 1})",
+    )
+    reopened.close()
+    _verify_compacted_corpus(verdict, fx, directory, logical + records[0])
+    return verdict
+
+
 def _run_malformed_body(
     fx: "Fixtures", rng: random.Random, backend: str, workdir: Path
 ) -> Verdict:
@@ -896,6 +1147,42 @@ SCENARIOS: dict[str, Scenario] = {
             "LiveEngine crash hook",
             ("sharded",),
             _run_crash_mid_split,
+        ),
+        Scenario(
+            "corrupt-one-replica",
+            "one replica of every shard is damaged (replicas=2): queries "
+            "stay byte-identical via replica-failover — no partial result "
+            "— and one scrub --repair pass heals to zero findings",
+            "on-disk replica damage + scrub repair",
+            ("sharded",),
+            _run_corrupt_one_replica,
+        ),
+        Scenario(
+            "corrupt-all-but-one",
+            "every replica but one is damaged per shard (replicas=3): the "
+            "single survivor still answers byte-identically and re-seeds "
+            "its siblings through anti-entropy repair",
+            "on-disk replica damage + scrub repair",
+            ("sharded",),
+            _run_corrupt_all_but_one,
+        ),
+        Scenario(
+            "kill-mid-repair",
+            "the scrubber dies between quarantine, peer-copy, and swap: "
+            "the last healthy replica is never lost, and a re-run "
+            "finishes the interrupted repair",
+            "scrub crash hook",
+            ("sharded",),
+            _run_kill_mid_repair,
+        ),
+        Scenario(
+            "kill-mid-quorum-append",
+            "the process dies after one replica journal fsynced a frame "
+            "but before its sibling: recovery promotes the acked frame to "
+            "every journal and never reissues its sequence number",
+            "LiveEngine append crash hook",
+            ("sharded",),
+            _run_kill_mid_quorum_append,
         ),
     ]
 }

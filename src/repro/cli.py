@@ -41,6 +41,14 @@ Examples::
     python -m repro shard query --workload bibtex --index ./sidx \
         --fail-fast --max-parallel 4 'SELECT ...'
 
+    # Replication: N complete copies per shard, breaker-aware failover on
+    # read, and a scrubber that verifies checksums + corpus fingerprints
+    # and heals damage from a verified peer (quarantining, never deleting)
+    python -m repro shard build --workload bibtex --out ./sidx \
+        --file refs.bib --shards 4 --replicas 2
+    python -m repro scrub --workload bibtex --index ./sidx
+    python -m repro scrub --workload bibtex --index ./sidx --repair
+
 ``query``, ``stats``, ``analyze``, and ``shard query`` accept ``--json``
 for machine-readable output, assembled from the unified response
 dataclasses in :mod:`repro.api` — the exact shapes the query server
@@ -220,8 +228,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_index(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
-    engine.save(args.out, source_path=args.file or None)
-    print(f"saved index to {args.out}", file=sys.stderr)
+    replicas = _replicas_from_args(args)
+    engine.save(args.out, source_path=args.file or None, replicas=replicas)
+    where = f"{args.out} ({replicas} replica(s))" if replicas else args.out
+    print(f"saved index to {where}", file=sys.stderr)
     print(engine.statistics().summary())
     return 0
 
@@ -257,6 +267,7 @@ def _live_engine_from_args(args: argparse.Namespace):
         schema,
         args.index,
         max_shard_bytes=getattr(args, "max_shard_bytes", None),
+        ack_quorum=getattr(args, "ack_quorum", None),
         cache_config=cache_config,
         policy=_policy_from_args(args),
         feedback=_feedback_from_args(args),
@@ -347,6 +358,15 @@ def _cmd_live_status(args: argparse.Namespace) -> int:
         engine.close()
 
 
+def _replicas_from_args(args: argparse.Namespace) -> int | None:
+    replicas = getattr(args, "replicas", None)
+    if replicas is None:
+        return None
+    if replicas < 2:
+        raise SystemExit("--replicas needs at least 2 copies to be worth the disk")
+    return replicas
+
+
 def _cmd_shard_build(args: argparse.Namespace) -> int:
     from repro.shard import ShardedEngine
 
@@ -364,9 +384,12 @@ def _cmd_shard_build(args: argparse.Namespace) -> int:
         engine = ShardedEngine.split(schema, text, args.shards, config=config)
     else:
         raise SystemExit("either --files F [F ...] or --file F --shards N is required")
-    engine.save(args.out)
+    replicas = _replicas_from_args(args)
+    engine.save(args.out, replicas=replicas)
+    copies = f", {replicas} replica(s) each" if replicas else ""
     print(
-        f"saved sharded index ({len(engine.shard_names)} shard(s)) to {args.out}",
+        f"saved sharded index ({len(engine.shard_names)} shard(s){copies}) "
+        f"to {args.out}",
         file=sys.stderr,
     )
     for name in engine.shard_names:
@@ -432,6 +455,58 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.shard.scrub import scrub_index
+
+    schema = _schema_for(args.workload)
+    report = scrub_index(schema, args.index, repair=args.repair)
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"scrubbed {report.shards_checked} shard(s), "
+            f"{report.replicas_checked} replica(s): "
+            f"{'clean' if report.clean else f'{len(report.findings)} finding(s)'}"
+        )
+        for finding in report.findings:
+            where = finding.shard if finding.replica is None else (
+                f"{finding.shard}/{finding.replica}"
+            )
+            print(f"  {finding.kind:12s} {where}: {finding.detail}")
+        for repair in report.repairs:
+            where = repair.shard if repair.replica is None else (
+                f"{repair.shard}/{repair.replica}"
+            )
+            print(f"  {repair.action:12s} {where}: {repair.detail}")
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    # Clean pass → 0.  Findings healed in this pass → 0 (the index is
+    # healthy *now*).  Unrepaired damage (or --repair not given) → 1.
+    if report.clean:
+        return 0
+    if args.repair and not report.unrepaired:
+        return 0
+    return 1
+
+
+def _scrubber_from_args(args: argparse.Namespace):
+    interval = getattr(args, "scrub_interval_s", None)
+    if not interval:
+        return None
+    if not getattr(args, "index", None):
+        raise SystemExit("--scrub-interval-s needs --index (a saved sharded index)")
+    from repro.shard.manifest import is_sharded_index
+    from repro.shard.scrub import ScrubDaemon, scrub_index
+
+    if not is_sharded_index(args.index):
+        raise SystemExit("--scrub-interval-s needs a *sharded* --index to scrub")
+    schema = _schema_for(args.workload)
+    return ScrubDaemon(
+        lambda: scrub_index(schema, args.index, repair=True),
+        interval_s=interval,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -455,7 +530,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_page_size=args.max_page_size,
         drain_deadline_s=getattr(args, "drain_s", 5.0),
     )
-    server = QueryServer(backend, config)
+    server = QueryServer(backend, config, scrubber=_scrubber_from_args(args))
 
     # SIGTERM/SIGINT only set an event: calling server.shutdown() from
     # inside a handler would deadlock against the serve loop it interrupts.
@@ -609,6 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
     index = commands.add_parser("index", help="build and persist indexes")
     add_common(index, with_query=False)
     index.add_argument("--out", required=True, help="output directory")
+    index.add_argument(
+        "--replicas",
+        type=int,
+        help="persist N complete copies of the index (replica-{i}/ dirs)",
+    )
     index.set_defaults(handler=_cmd_index)
 
     stats = commands.add_parser("stats", help="index statistics")
@@ -693,7 +773,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown window: how long SIGTERM waits for "
         "in-flight requests before detaching them",
     )
+    serve.add_argument(
+        "--ack-quorum",
+        type=int,
+        dest="ack_quorum",
+        help="with --live over a replicated index: replica journals that "
+        "must fsync before an append is acknowledged (default: all)",
+    )
+    serve.add_argument(
+        "--scrub-interval-s",
+        type=float,
+        dest="scrub_interval_s",
+        help="run a background scrub-and-repair pass over the sharded "
+        "--index every N seconds (jittered; findings in GET /stats)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    scrub = commands.add_parser(
+        "scrub",
+        help="verify every replica of every shard (CRC32s + corpus "
+        "fingerprints); --repair quarantines damage and heals from a "
+        "verified peer or the recorded source",
+    )
+    scrub.add_argument("--workload", required=True, help="bibtex | logs | sgml")
+    scrub.add_argument(
+        "--index", required=True, help="directory of a saved sharded index"
+    )
+    scrub.add_argument(
+        "--repair",
+        action="store_true",
+        help="heal what verification finds: quarantine the damaged copy "
+        "(never delete), then copy a verified peer or rebuild from source",
+    )
+    add_json(scrub)
+    scrub.set_defaults(handler=_cmd_scrub)
 
     chaos = commands.add_parser(
         "chaos",
@@ -750,6 +863,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--partial",
         help="comma-separated non-terminals for partial region indexes",
+    )
+    build.add_argument(
+        "--replicas",
+        type=int,
+        help="persist N complete copies of every shard (replica-{i}/ "
+        "dirs); reads fail over between them and scrub heals damage",
     )
     build.add_argument("--out", required=True, help="output directory")
     build.set_defaults(handler=_cmd_shard_build)
@@ -851,6 +970,13 @@ def build_parser() -> argparse.ArgumentParser:
             dest="max_shard_bytes",
             help="split the tail shard during compaction once its corpus "
             "exceeds this many bytes",
+        )
+        sub.add_argument(
+            "--ack-quorum",
+            type=int,
+            dest="ack_quorum",
+            help="over a replicated index: replica journals that must "
+            "fsync before an append is acknowledged (default: all)",
         )
 
     live_append = live_commands.add_parser(

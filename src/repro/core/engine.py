@@ -231,6 +231,7 @@ class FileQueryEngine:
         directory: str,
         source_path: str | os.PathLike[str] | None = None,
         live: dict | None = None,
+        replicas: int | None = None,
     ) -> None:
         """Persist the built indexes (see :mod:`repro.index.persist`).
 
@@ -239,7 +240,9 @@ class FileQueryEngine:
         silently answering wrongly.  ``source_path`` (optional) records the
         original file's identity next to the corpus content hash, enabling
         staleness detection at load time.  ``live`` (optional) attaches
-        live-ingestion manifest state (see :func:`~repro.index.persist.save_index`).
+        live-ingestion manifest state; ``replicas`` (optional) writes N
+        sibling copies in the replicated layout (see
+        :func:`~repro.index.persist.save_index`).
         """
         from repro.index.persist import save_index, schema_fingerprint
 
@@ -249,6 +252,7 @@ class FileQueryEngine:
             schema_fingerprint=schema_fingerprint(self.schema),
             source_path=source_path,
             live=live,
+            replicas=replicas,
         )
 
     @classmethod
@@ -284,6 +288,7 @@ class FileQueryEngine:
         existed load without the check.
         """
         from repro.index.persist import (
+            is_replicated_index,
             load_index,
             load_manifest,
             load_schema_fingerprint,
@@ -293,6 +298,45 @@ class FileQueryEngine:
         )
 
         policy = policy if policy is not None else DegradationPolicy()
+
+        if is_replicated_index(directory):
+            # A replicated root (``repro index --replicas N``): route to the
+            # first healthy copy, breaker-aware, exactly like a replicated
+            # shard.  Strict per-replica loads first — a damaged copy must
+            # fail over to its sibling, not degrade to a full scan; the
+            # caller's real policy is the last resort.
+            from dataclasses import replace as _replace
+
+            from repro.shard.replica import ReplicaSet
+
+            replica_set = ReplicaSet.open(directory)
+            if replica_set is not None:
+                strict = _replace(
+                    policy, on_corrupt=RAISE, on_stale=RAISE, on_missing=RAISE
+                )
+                common = dict(
+                    optimize_expressions=optimize_expressions,
+                    cache_config=cache_config,
+                    tracing=tracing,
+                    budget=budget,
+                    source_text=source_text,
+                    source_path=source_path,
+                    feedback=feedback,
+                    feedback_history=feedback_history,
+                )
+                load = replica_set.load(
+                    lambda path: cls.from_saved(
+                        schema, path, policy=strict, **common
+                    ),
+                    fallback=lambda path: cls.from_saved(
+                        schema, path, policy=policy, **common
+                    ),
+                )
+                engine: "FileQueryEngine" = load.value
+                engine.policy = policy
+                if load.warnings:
+                    engine._load_warnings.extend(load.warnings)
+                return engine
 
         load_warnings: list[QueryWarning] = []
         for orphan in sweep_stale_staging(directory):

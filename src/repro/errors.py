@@ -241,6 +241,62 @@ class ShardFailedError(ShardError):
         super().__init__(message)
 
 
+class WriteQuorumError(ShardError):
+    """A live append could not reach its configured write quorum: fewer
+    than ``quorum`` replica journals acknowledged the frame.
+
+    Replica journals that *did* acknowledge keep the frame — recovery
+    promotes any frame durable on at least one journal — so the record may
+    reappear after a restart even though the append raised.  Idempotent
+    retries (a client ``request_id``) make that safe.
+
+    Attributes
+    ----------
+    shard:
+        The tail shard the append targeted.
+    acked / quorum / replicas:
+        How many journals acknowledged, how many were required, and how
+        many exist.
+    cause:
+        The last per-journal failure, when one exists.
+    """
+
+    def __init__(
+        self,
+        shard: str,
+        acked: int,
+        quorum: int,
+        replicas: int,
+        cause: BaseException | None = None,
+    ) -> None:
+        self.shard = shard
+        self.acked = acked
+        self.quorum = quorum
+        self.replicas = replicas
+        self.cause = cause
+        super().__init__(
+            f"append to shard {shard!r} reached {acked}/{replicas} replica "
+            f"journal(s); write quorum is {quorum}"
+        )
+
+
+class DuplicateRequestError(ReproError):
+    """An idempotent append reused a ``request_id`` with a *different*
+    record than the one originally acknowledged under that id.  Replaying
+    the same request is welcome (it dedupes); rebinding the id to new
+    content is always a client bug, answered with a conflict rather than a
+    silent second append.
+    """
+
+    def __init__(self, request_id: str, seq: int) -> None:
+        self.request_id = request_id
+        self.seq = seq
+        super().__init__(
+            f"request id {request_id!r} was already acknowledged as seq {seq} "
+            "with a different record"
+        )
+
+
 class ServerError(ReproError):
     """Errors in the query-serving layer (see :mod:`repro.server`)."""
 

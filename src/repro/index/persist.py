@@ -30,6 +30,21 @@ checksum verification.
 Saves are crash-safe: :func:`save_index` writes into a temporary sibling
 directory and renames it into place only once every file (manifest
 included) is on disk, so an interrupted save cannot leave a torn index.
+
+Replicated layout (``save_index(..., replicas=N)``)::
+
+    manifest.json      kind="replicated": the replica map, the corpus
+                       fingerprint every replica must match, and (v3) the
+                       live journal checkpoint — written last, the commit
+                       point for the whole set
+    replica-0/         a complete, self-verifying v2/v3 index
+    replica-1/         ...
+    quarantine-*/      damaged replicas set aside by the scrubber (never
+                       deleted automatically)
+
+Each ``replica-{i}/`` is a full saved index in its own right, so every
+single-directory primitive in this module (verify, load, swap-in-place)
+applies per replica unchanged.
 """
 
 from __future__ import annotations
@@ -66,6 +81,18 @@ _SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: The files covered by manifest checksums.
 _CHECKSUMMED = ("corpus.txt", "regions.json", "config.json")
+
+#: Manifest ``kind`` marking a replicated shard directory.
+REPLICA_KIND = "replicated"
+REPLICA_FORMAT_VERSION = 1
+#: Replica subdirectories are named ``replica-0``, ``replica-1``, ...
+REPLICA_DIR_PREFIX = "replica-"
+#: Damaged replicas are renamed (never deleted) under this prefix.
+QUARANTINE_PREFIX = "quarantine-"
+
+
+def replica_dir_name(index: int) -> str:
+    return f"{REPLICA_DIR_PREFIX}{index}"
 
 
 def schema_fingerprint(schema: "StructuringSchema") -> str:
@@ -142,6 +169,7 @@ def save_index(
     schema_fingerprint: str | None = None,
     source_path: str | os.PathLike[str] | None = None,
     live: dict | None = None,
+    replicas: int | None = None,
 ) -> None:
     """Persist an engine's text and region indexes to ``directory``.
 
@@ -156,6 +184,13 @@ def save_index(
     checkpoint, or vice versa.  Saves carrying ``live`` are stamped format
     version 3; plain saves stay at version 2.
 
+    ``replicas=N`` (optional, N >= 1) writes the replicated layout instead:
+    ``replica-{i}/`` sibling directories under ``directory``, each a
+    complete v2/v3 index, plus a ``kind="replicated"`` manifest recording
+    the replica map.  The manifest is written last inside the staging
+    sibling, and the whole set is promoted by one rename — the same commit
+    point discipline as a plain save.
+
     The save is crash-safe: every file is written into a temporary sibling
     directory which is renamed into place only once complete.  A process
     killed mid-save therefore never leaves a half-written index at
@@ -166,6 +201,8 @@ def save_index(
     index complete under a ``.<name>.retired-*`` sibling rather than a
     torn mixture of the two.
     """
+    if replicas is not None and replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
     target = Path(directory)
     target.parent.mkdir(parents=True, exist_ok=True)
     sweep_stale_staging(target)
@@ -174,10 +211,148 @@ def save_index(
         shutil.rmtree(staging)
     staging.mkdir()
     try:
-        _write_index_files(engine, staging, schema_fingerprint, source_path, live)
+        if replicas is None:
+            _write_index_files(engine, staging, schema_fingerprint, source_path, live)
+        else:
+            for i in range(replicas):
+                replica = staging / replica_dir_name(i)
+                replica.mkdir()
+                _write_index_files(engine, replica, schema_fingerprint, source_path, live)
+            _write_replica_manifest(
+                staging,
+                corpus_fingerprint(engine.text),
+                [replica_dir_name(i) for i in range(replicas)],
+                _source_record(source_path),
+                live,
+            )
         _swap_into_place(staging, target)
     finally:
         shutil.rmtree(staging, ignore_errors=True)
+
+
+def _source_record(source_path: str | os.PathLike[str] | None) -> dict | None:
+    if source_path is None:
+        return None
+    source: dict = {"path": str(source_path)}
+    try:
+        stat = os.stat(source_path)
+        source["mtime"] = stat.st_mtime
+        source["size"] = stat.st_size
+    except OSError:
+        pass  # fingerprint still works via the content hash
+    return source
+
+
+def _replica_manifest_data(
+    fingerprint: str,
+    replica_names: list[str],
+    source: dict | None,
+    live: dict | None,
+) -> dict:
+    manifest = {
+        "format_version": _FORMAT_VERSION if live is None else _LIVE_FORMAT_VERSION,
+        "kind": REPLICA_KIND,
+        "replica_format_version": REPLICA_FORMAT_VERSION,
+        "corpus_fingerprint": fingerprint,
+        "replicas": [{"directory": name} for name in replica_names],
+        "source": source,
+    }
+    if live is not None:
+        manifest["live"] = dict(live)
+    return manifest
+
+
+def _write_replica_manifest(
+    path: Path,
+    fingerprint: str,
+    replica_names: list[str],
+    source: dict | None,
+    live: dict | None,
+) -> None:
+    data = _replica_manifest_data(fingerprint, replica_names, source, live)
+    (path / "manifest.json").write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+
+def save_replica_manifest(
+    directory: str | os.PathLike[str],
+    fingerprint: str,
+    replica_names: list[str],
+    source: dict | None = None,
+    live: dict | None = None,
+) -> None:
+    """Atomically (re)write the shard-level manifest of a replicated
+    directory — the commit point for compactions and reconciliations that
+    update replicas in place rather than re-staging the whole set."""
+    target = Path(directory)
+    data = _replica_manifest_data(fingerprint, replica_names, source, live)
+    tmp = target / f".manifest.json.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(data, indent=2), encoding="utf-8")
+    os.replace(tmp, target / "manifest.json")
+
+
+def load_replica_manifest(directory: str | os.PathLike[str]) -> dict | None:
+    """The replicated-layout manifest of ``directory``, or ``None`` when
+    the directory is not a replicated index.
+
+    A damaged shard-level manifest must not make a shard with intact
+    replicas unreadable: when the manifest is missing or unparseable but
+    ``replica-*/`` subdirectories exist, a degraded manifest is synthesised
+    from the directory listing (``corpus_fingerprint`` is ``None`` — no
+    recorded expectation survives — and ``"manifest_damaged": True`` marks
+    it for the scrubber).
+    """
+    path = Path(directory)
+    try:
+        manifest = load_manifest(path)
+    except IndexCorruptError:
+        manifest = None
+    if manifest is not None and manifest.get("kind") == REPLICA_KIND:
+        replicas = manifest.get("replicas")
+        if not isinstance(replicas, list) or not all(
+            isinstance(r, dict) and isinstance(r.get("directory"), str)
+            for r in replicas
+        ):
+            raise IndexCorruptError(
+                str(path), "replicated manifest has a malformed replica map",
+                part="manifest.json",
+            )
+        return manifest
+    if manifest is not None:
+        return None  # a plain (or sharded-root) manifest
+    listed = sorted(
+        entry.name
+        for entry in path.glob(f"{REPLICA_DIR_PREFIX}*")
+        if entry.is_dir()
+    )
+    if not listed:
+        return None
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": REPLICA_KIND,
+        "replica_format_version": REPLICA_FORMAT_VERSION,
+        "corpus_fingerprint": None,
+        "replicas": [{"directory": name} for name in listed],
+        "source": None,
+        "manifest_damaged": True,
+    }
+
+
+def is_replicated_index(directory: str | os.PathLike[str]) -> bool:
+    """True when ``directory`` uses the replicated layout."""
+    try:
+        return load_replica_manifest(directory) is not None
+    except IndexCorruptError:
+        return True  # claims the layout, even if the replica map is torn
+
+
+def replica_directories(directory: str | os.PathLike[str]) -> list[Path]:
+    """The replica subdirectories recorded (or, degraded, discovered) at
+    ``directory``, in manifest order.  Empty for non-replicated layouts."""
+    manifest = load_replica_manifest(directory)
+    if manifest is None:
+        return []
+    root = Path(directory)
+    return [root / entry["directory"] for entry in manifest["replicas"]]
 
 
 def sweep_stale_staging(directory: str | os.PathLike[str]) -> list[str]:
@@ -284,15 +459,7 @@ def _write_index_files(
         config_data["schema_fingerprint"] = schema_fingerprint
     (path / "config.json").write_text(json.dumps(config_data, indent=2), encoding="utf-8")
 
-    source: dict | None = None
-    if source_path is not None:
-        source = {"path": str(source_path)}
-        try:
-            stat = os.stat(source_path)
-            source["mtime"] = stat.st_mtime
-            source["size"] = stat.st_size
-        except OSError:
-            pass  # fingerprint still works via the content hash
+    source = _source_record(source_path)
     manifest = {
         "format_version": format_version,
         "corpus_fingerprint": corpus_fingerprint(engine.text),

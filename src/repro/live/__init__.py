@@ -3,6 +3,7 @@ recovery-verified shard lifecycle (see :mod:`repro.live.engine`)."""
 
 from repro.live.engine import WAL_SUBDIR, LiveEngine
 from repro.live.journal import (
+    RID_FLAG,
     Frame,
     JournalWriter,
     ReplayResult,
@@ -13,6 +14,7 @@ from repro.live.journal import (
 
 __all__ = [
     "LiveEngine",
+    "RID_FLAG",
     "WAL_SUBDIR",
     "Frame",
     "JournalWriter",

@@ -31,6 +31,34 @@ durability guarantees.  The moving parts:
   ``delta-replayed`` warning; torn journal tails are truncated.  Every
   acked append survives, every unacked one vanishes.
 
+**Replicated shards** (saved with ``replicas=N``, see
+:mod:`repro.shard.replica`) extend each of those parts:
+
+- the WAL fans out: each replica gets its own journal
+  (``wal/<shard>.replica-{i}.wal``) and an append is acknowledged once
+  ``ack_quorum`` journals have fsynced the frame (default: all of them;
+  fewer acks than journals but at least the quorum surfaces a
+  ``quorum-degraded`` warning, fewer than the quorum raises
+  :class:`~repro.errors.WriteQuorumError`);
+- recovery replays the **union** of the replica journals (the same
+  sequence number must carry the same record everywhere) and re-levels
+  every journal to that union, so a frame durable on one journal when
+  the process died is promoted to all of them — for a replicated shard,
+  "acked" weakens to "fsynced on at least one journal";
+- compaction folds the delta into *every* replica, then rewrites the
+  shard-level replica manifest as the commit point; a crash in between is
+  finished at the next :meth:`open`, which reconciles a shard manifest
+  that fell behind replicas that all agree on a newer fingerprint
+  *before* the checkpoint is read (otherwise replay would re-apply frames
+  the replicas already hold).
+
+Appends may carry a client ``request_id`` for **idempotence**: a replayed
+id returns the original sequence number with ``deduped=True`` instead of
+appending again, and an id reused with *different* content raises
+:class:`~repro.errors.DuplicateRequestError`.  The dedupe window is the
+journal retention window — an id is remembered until its frame is folded
+by compaction.
+
 Appends go to the **tail shard** (the root manifest's last entry) and
 each record must be self-delimiting — it carries its own separators, so
 the logical shard text is exactly ``base + "".join(records)``.
@@ -38,6 +66,7 @@ the logical shard text is exactly ``base + "".join(records)``.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import shutil
 import threading
@@ -53,12 +82,35 @@ from repro.api import (
     query_response,
 )
 from repro.core.engine import FileQueryEngine
-from repro.errors import JournalCorruptError, ParseError
+from repro.errors import (
+    DuplicateRequestError,
+    IndexCorruptError,
+    JournalCorruptError,
+    ParseError,
+    WriteQuorumError,
+)
 from repro.index.persist import applied_seq as saved_applied_seq
-from repro.index.persist import corpus_fingerprint, load_manifest
-from repro.live.journal import Frame, JournalWriter, replay_journal, trim_journal
+from repro.index.persist import (
+    corpus_fingerprint,
+    load_manifest,
+    load_replica_manifest,
+    save_replica_manifest,
+)
+from repro.live.journal import (
+    Frame,
+    JournalWriter,
+    encode_frame,
+    replay_journal,
+    trim_journal,
+)
 from repro.resilience.budget import ResourceBudget
-from repro.resilience.warnings import DELTA_REPLAYED, SHARD_SPLIT, STALE_STAGING_REMOVED, QueryWarning
+from repro.resilience.warnings import (
+    DELTA_REPLAYED,
+    QUORUM_DEGRADED,
+    SHARD_SPLIT,
+    STALE_STAGING_REMOVED,
+    QueryWarning,
+)
 from repro.schema.structuring import StructuringSchema
 from repro.shard.engine import ShardedEngine, ShardedQueryResult
 from repro.shard.manifest import (
@@ -74,6 +126,10 @@ from repro.shard.split import split_corpus
 WAL_SUBDIR = "wal"
 
 
+def _record_digest(record: str) -> str:
+    return hashlib.sha256(record.encode("utf-8")).hexdigest()
+
+
 class LiveEngine:
     """A sharded query engine that accepts durable appends.
 
@@ -85,7 +141,8 @@ class LiveEngine:
     what lets ``repro serve`` put ``POST /append`` next to ``/query``.
 
     ``crash_hook`` is a test-only seam: a callable invoked with a named
-    point (``"append:written"``, ``"compact:shard-saved"``,
+    point (``"append:written"``, ``"append:journal-acked:{i}"``,
+    ``"compact:replica-saved:{name}"``, ``"compact:shard-saved"``,
     ``"compact:manifest-updated"``, ``"split:shards-saved"``,
     ``"split:manifest-updated"``) that may raise to simulate a crash
     exactly there — the chaos scenarios drive every window through it.
@@ -103,11 +160,14 @@ class LiveEngine:
         load_warnings: list[QueryWarning],
         max_shard_bytes: int | None = None,
         crash_hook=None,
+        ack_quorum: int | None = None,
+        request_seqs: dict[str, tuple[int, str]] | None = None,
     ) -> None:
         self.schema = schema
         self.root = root
         self.max_shard_bytes = max_shard_bytes
         self.crash_hook = crash_hook
+        self.ack_quorum = ack_quorum
         self._manifest = manifest
         self._engine = engine
         self._options = options
@@ -115,7 +175,10 @@ class LiveEngine:
         self._next_seq = next_seq
         self._load_warnings = load_warnings
         self._delta: dict[str, tuple[int, FileQueryEngine]] = {}
-        self._journal: JournalWriter | None = None
+        self._writers: dict[str, JournalWriter] = {}
+        self._replica_layout: dict[str, list[str] | None] = {}
+        self._request_seqs: dict[str, tuple[int, str]] = dict(request_seqs or {})
+        self._quorum_warned: set[tuple[str, tuple[str, ...]]] = set()
         self._lock = threading.RLock()
 
     # -- construction / recovery ------------------------------------------------
@@ -127,6 +190,7 @@ class LiveEngine:
         directory: str | os.PathLike[str],
         max_shard_bytes: int | None = None,
         crash_hook=None,
+        ack_quorum: int | None = None,
         **options: Any,
     ) -> "LiveEngine":
         """Open a saved sharded index for live ingestion, running the full
@@ -139,7 +203,8 @@ class LiveEngine:
 
         # 1. Sweep shard directories no manifest entry references: the
         # staging side of a split whose commit (the root manifest rewrite)
-        # never happened, or the retired side of one that did.
+        # never happened, or the retired side of one that did.  Quarantined
+        # replicas live *inside* shard directories and are never touched.
         referenced = {entry.directory for entry in manifest.shards}
         shards_dir = root / SHARDS_SUBDIR
         if shards_dir.is_dir():
@@ -160,7 +225,56 @@ class LiveEngine:
                         )
                     )
 
-        # 2. A shard whose own (atomically committed) manifest ran ahead
+        # 2. Replicated shards whose replicas all committed *ahead* of the
+        # shard-level manifest: a compaction crashed after folding every
+        # replica but before the manifest rewrite.  Finish that commit now
+        # — before the checkpoint is read in step 4 — or replay would
+        # re-apply frames the replicas already hold, duplicating rows.
+        for entry in manifest.shards:
+            shard_dir = root / entry.directory
+            replicated = load_replica_manifest(shard_dir)
+            if replicated is None:
+                continue
+            states: list[tuple[str, dict | None]] = []
+            for rel in replicated["replicas"]:
+                try:
+                    own = load_manifest(shard_dir / rel["directory"])
+                except IndexCorruptError:
+                    continue
+                if own is None or not isinstance(own.get("corpus_fingerprint"), str):
+                    continue
+                live = own.get("live")
+                states.append(
+                    (
+                        own["corpus_fingerprint"],
+                        dict(live) if isinstance(live, dict) else None,
+                    )
+                )
+            fingerprints = {fingerprint for fingerprint, _ in states}
+            if len(fingerprints) != 1:
+                continue  # unreadable or disagreeing replicas: scrubber territory
+            agreed = fingerprints.pop()
+            if agreed == replicated.get("corpus_fingerprint"):
+                continue
+            lives = [live for _, live in states if live]
+            live = max(lives, key=lambda l: l.get("applied_seq", 0), default=None)
+            save_replica_manifest(
+                shard_dir,
+                agreed,
+                [rel["directory"] for rel in replicated["replicas"]],
+                source=replicated.get("source"),
+                live=live,
+            )
+            warnings.append(
+                QueryWarning(
+                    DELTA_REPLAYED,
+                    f"shard {entry.name!r}'s replicas committed ahead of its "
+                    "manifest (crash mid-compaction); shard manifest reconciled",
+                    detail={"shard": entry.name, "fingerprint": agreed},
+                )
+            )
+
+        # 3. A shard whose own (atomically committed) manifest ran ahead
         # of the root manifest: a compaction crashed between the shard
         # swap and the root rewrite.  The shard is authoritative — refresh
         # the root entry.
@@ -198,59 +312,123 @@ class LiveEngine:
             )
             save_shard_manifest(root, manifest)
 
-        # 3. Replay journals: frames above a shard's applied_seq become
+        # 4. Replay journals: frames above a shard's applied_seq become
         # its delta segment again; torn tails are truncated; journals for
-        # vanished shards are deleted iff fully applied.
+        # vanished shards are deleted iff fully applied.  A replicated
+        # shard replays the *union* of its replica journals and re-levels
+        # each journal to that union, promoting frames that reached only
+        # some journals before a crash.
         applied_by_dir = {
             entry.directory: saved_applied_seq(root / entry.directory)
             for entry in entries
         }
         global_applied = max(applied_by_dir.values(), default=0)
-        by_basename = {Path(entry.directory).name: entry for entry in entries}
         pending: dict[str, list[Frame]] = {}
+        request_seqs: dict[str, tuple[int, str]] = {}
         next_seq = global_applied + 1
         wal_dir = root / WAL_SUBDIR
+        known_wals: set[str] = set()
+        for entry in entries:
+            applied = applied_by_dir[entry.directory]
+            replicated = load_replica_manifest(root / entry.directory)
+            replica_names = (
+                [rel["directory"] for rel in replicated["replicas"]]
+                if replicated is not None
+                else None
+            )
+            paths = cls._journal_paths_for(root, entry.directory, replica_names)
+            legacy: Path | None = None
+            if replica_names is not None:
+                # A shard replicated after it already journaled keeps its
+                # old single journal in the union until it is re-leveled.
+                legacy = wal_dir / f"{Path(entry.directory).name}.wal"
+                if legacy.exists():
+                    paths = paths + [legacy]
+            known_wals.update(path.name for path in paths)
+            replays = {path: replay_journal(path) for path in paths}
+            union: dict[int, Frame] = {}
+            for path, replay in replays.items():
+                for frame in replay.frames:
+                    prev = union.get(frame.seq)
+                    if prev is None:
+                        union[frame.seq] = frame
+                    elif prev.record != frame.record:
+                        raise JournalCorruptError(
+                            str(path),
+                            f"replica journals disagree at seq {frame.seq}: "
+                            "same sequence number, different record",
+                        )
+                    elif prev.request_id is None and frame.request_id is not None:
+                        union[frame.seq] = frame
+            ordered = [union[seq] for seq in sorted(union)]
+            if ordered:
+                next_seq = max(next_seq, ordered[-1].seq + 1)
+            frames = [frame for frame in ordered if frame.seq > applied]
+            torn = sum(replay.torn_bytes for replay in replays.values())
+            promoted = 0
+            if replica_names is not None:
+                want = [frame.seq for frame in frames]
+                for path in paths:
+                    if path is legacy:
+                        continue
+                    have = [
+                        frame.seq
+                        for frame in replays[path].frames
+                        if frame.seq > applied
+                    ]
+                    if have == want:
+                        continue
+                    promoted += len(set(want) - set(have))
+                    cls._rewrite_journal(path, frames)
+                if legacy is not None:
+                    legacy.unlink(missing_ok=True)
+            for frame in frames:
+                if frame.request_id is not None:
+                    request_seqs[frame.request_id] = (
+                        frame.seq,
+                        _record_digest(frame.record),
+                    )
+            if frames:
+                pending[entry.name] = frames
+            if frames or torn:
+                message = (
+                    f"replayed {len(frames)} journaled append(s) into "
+                    f"shard {entry.name!r}'s delta segment"
+                )
+                if torn:
+                    message += f"; truncated a {torn}-byte torn tail"
+                if promoted:
+                    message += (
+                        f"; promoted {promoted} frame(s) to lagging replica "
+                        "journal(s)"
+                    )
+                warnings.append(
+                    QueryWarning(
+                        DELTA_REPLAYED,
+                        message,
+                        detail={
+                            "shard": entry.name,
+                            "replayed": len(frames),
+                            "torn_bytes": torn,
+                            "promoted": promoted,
+                            "journals": [str(path) for path in paths],
+                        },
+                    )
+                )
         if wal_dir.is_dir():
             for wal in sorted(wal_dir.glob("*.wal")):
-                entry = by_basename.get(wal.name[: -len(".wal")])
+                if wal.name in known_wals:
+                    continue
                 replay = replay_journal(wal)
-                if entry is None:
-                    if replay.max_seq <= global_applied:
-                        wal.unlink(missing_ok=True)
-                        continue
-                    raise JournalCorruptError(
-                        str(wal),
-                        "journal for a shard absent from the manifest holds "
-                        f"frames beyond the applied checkpoint {global_applied} "
-                        "— acked appends would be lost",
-                    )
-                next_seq = max(next_seq, replay.max_seq + 1)
-                frames = [
-                    frame
-                    for frame in replay.frames
-                    if frame.seq > applied_by_dir[entry.directory]
-                ]
-                if frames:
-                    pending[entry.name] = frames
-                if frames or replay.torn_bytes:
-                    warnings.append(
-                        QueryWarning(
-                            DELTA_REPLAYED,
-                            f"replayed {len(frames)} journaled append(s) into "
-                            f"shard {entry.name!r}'s delta segment"
-                            + (
-                                f"; truncated a {replay.torn_bytes}-byte torn tail"
-                                if replay.torn_bytes
-                                else ""
-                            ),
-                            detail={
-                                "shard": entry.name,
-                                "replayed": len(frames),
-                                "torn_bytes": replay.torn_bytes,
-                                "journal": str(wal),
-                            },
-                        )
-                    )
+                if replay.max_seq <= global_applied:
+                    wal.unlink(missing_ok=True)
+                    continue
+                raise JournalCorruptError(
+                    str(wal),
+                    "journal for a shard absent from the manifest holds "
+                    f"frames beyond the applied checkpoint {global_applied} "
+                    "— acked appends would be lost",
+                )
 
         engine = ShardedEngine.from_saved(schema, root, **options)
         return cls(
@@ -264,11 +442,70 @@ class LiveEngine:
             load_warnings=warnings,
             max_shard_bytes=max_shard_bytes,
             crash_hook=crash_hook,
+            ack_quorum=ack_quorum,
+            request_seqs=request_seqs,
         )
+
+    @staticmethod
+    def _rewrite_journal(path: Path, frames: list[Frame]) -> None:
+        """Atomically replace one journal with exactly ``frames``."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if not frames:
+            path.unlink(missing_ok=True)
+            return
+        tmp = path.parent / f".{path.name}.sync-{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            for frame in frames:
+                handle.write(encode_frame(frame.seq, frame.record, frame.request_id))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # -- journal plumbing -------------------------------------------------------
+
+    @staticmethod
+    def _journal_paths_for(
+        root: Path, directory: str, replica_names: list[str] | None
+    ) -> list[Path]:
+        base = Path(directory).name
+        wal_dir = root / WAL_SUBDIR
+        if replica_names:
+            return [wal_dir / f"{base}.{name}.wal" for name in replica_names]
+        return [wal_dir / f"{base}.wal"]
+
+    def _replica_names(self, entry: ShardEntry) -> list[str] | None:
+        if entry.directory not in self._replica_layout:
+            replicated = load_replica_manifest(self.root / entry.directory)
+            self._replica_layout[entry.directory] = (
+                [rel["directory"] for rel in replicated["replicas"]]
+                if replicated is not None
+                else None
+            )
+        return self._replica_layout[entry.directory]
+
+    def _journal_paths(self, entry: ShardEntry) -> list[Path]:
+        return self._journal_paths_for(
+            self.root, entry.directory, self._replica_names(entry)
+        )
+
+    def _writer_for(self, path: Path) -> JournalWriter:
+        key = str(path)
+        writer = self._writers.get(key)
+        if writer is None:
+            writer = JournalWriter(path)
+            self._writers[key] = writer
+        return writer
+
+    def _close_writers(self) -> None:
+        """Trims and splits replace journal files; never keep a handle to
+        a replaced inode."""
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
 
     # -- appending --------------------------------------------------------------
 
-    def append(self, record: str) -> int:
+    def append(self, record: str, request_id: str | None = None) -> int:
         """Durably append one record to the tail shard.
 
         The record must parse under the engine's schema as at least one
@@ -278,34 +515,115 @@ class LiveEngine:
         the grammar needs, e.g. a trailing newline for line-oriented
         workloads.  Returns the record's journal sequence number; by the
         time it returns, the frame is fsynced — the append survives any
-        subsequent crash.
+        subsequent crash.  See :meth:`append_record` for the quorum and
+        idempotence contract on replicated tails.
+        """
+        return self.append_record(record, request_id=request_id)["seq"]
+
+    def append_record(
+        self, record: str, request_id: str | None = None
+    ) -> dict[str, Any]:
+        """:meth:`append` with the full ack envelope: ``{"seq", "deduped"}``.
+
+        On a replicated tail the frame is written and fsynced to every
+        replica journal; the append is acknowledged once ``ack_quorum``
+        journals acked (default: all).  Journals beyond the quorum that
+        failed surface a ``quorum-degraded`` warning on subsequent
+        queries; fewer acks than the quorum raise
+        :class:`~repro.errors.WriteQuorumError` — but any journal that
+        *did* ack keeps the frame, and recovery promotes it, so a
+        quorum-failed append may still reappear after a restart.  Supply a
+        ``request_id`` to make retries safe: a replayed id returns the
+        original sequence number with ``deduped=True``; an id reused with
+        different content raises
+        :class:`~repro.errors.DuplicateRequestError`.  Ids are remembered
+        until their frame is folded by compaction (the journal retention
+        window).
         """
         tree = self.schema.parse(record)
         if not list(tree.children):
             raise ParseError(
                 f"record contains no top-level <{tree.symbol}> record", 0
             )
+        digest = _record_digest(record) if request_id is not None else None
         with self._lock:
+            if request_id is not None:
+                known = self._request_seqs.get(request_id)
+                if known is not None:
+                    seq, known_digest = known
+                    if known_digest != digest:
+                        raise DuplicateRequestError(request_id, seq)
+                    return {"seq": seq, "deduped": True}
             tail = self._manifest.shards[-1]
+            paths = self._journal_paths(tail)
+            quorum = self._effective_quorum(len(paths))
             seq = self._next_seq
-            self._writer(tail).append(seq, record, crash_hook=self.crash_hook)
-            # Past this point the append is acked: frame fsynced.
+            # The sequence number is burned even if the fan-out fails
+            # below quorum: a journal that acked holds it durably, and
+            # reusing it for different content would corrupt replay.
             self._next_seq = seq + 1
+            acked = 0
+            failed: list[str] = []
+            last_error: OSError | None = None
+            for i, path in enumerate(paths):
+                try:
+                    self._writer_for(path).append(
+                        seq,
+                        record,
+                        crash_hook=self.crash_hook if i == 0 else None,
+                        request_id=request_id,
+                    )
+                except OSError as error:
+                    last_error = error
+                    failed.append(path.name)
+                    writer = self._writers.pop(str(path), None)
+                    if writer is not None:
+                        try:
+                            writer.close()
+                        except OSError:
+                            pass
+                    continue
+                acked += 1
+                self._crash(f"append:journal-acked:{i}")
+            if acked < quorum:
+                raise WriteQuorumError(
+                    tail.name, acked, quorum, len(paths), cause=last_error
+                ) from last_error
+            if failed:
+                self._note_quorum_degraded(tail.name, failed, acked, len(paths))
             self._pending.setdefault(tail.name, []).append(
-                Frame(seq=seq, record=record)
+                Frame(seq=seq, record=record, request_id=request_id)
             )
-            return seq
+            if request_id is not None and digest is not None:
+                self._request_seqs[request_id] = (seq, digest)
+            return {"seq": seq, "deduped": False}
 
-    def _writer(self, tail: ShardEntry) -> JournalWriter:
-        path = self._journal_path(tail)
-        if self._journal is None or self._journal.path != path:
-            if self._journal is not None:
-                self._journal.close()
-            self._journal = JournalWriter(path)
-        return self._journal
+    def _effective_quorum(self, journals: int) -> int:
+        if self.ack_quorum is None:
+            return journals
+        return max(1, min(int(self.ack_quorum), journals))
 
-    def _journal_path(self, entry: ShardEntry) -> Path:
-        return self.root / WAL_SUBDIR / f"{Path(entry.directory).name}.wal"
+    def _note_quorum_degraded(
+        self, shard: str, failed: list[str], acked: int, journals: int
+    ) -> None:
+        key = (shard, tuple(sorted(failed)))
+        if key in self._quorum_warned:
+            return
+        self._quorum_warned.add(key)
+        self._load_warnings.append(
+            QueryWarning(
+                QUORUM_DEGRADED,
+                f"append to shard {shard!r} acknowledged by {acked}/{journals} "
+                f"replica journal(s); {', '.join(failed)} failed — durability "
+                "is degraded until recovery re-levels the journals",
+                detail={
+                    "shard": shard,
+                    "acked": acked,
+                    "journals": journals,
+                    "failed": failed,
+                },
+            )
+        )
 
     # -- querying ---------------------------------------------------------------
 
@@ -372,29 +690,49 @@ class LiveEngine:
 
         Commit points, in order, per shard: (1) the staging-sibling
         rename-swap that lands the folded index *and* its ``applied_seq``
-        checkpoint atomically; (2) the root-manifest rewrite refreshing
-        the shard's fingerprint; (3) the atomic journal trim.  A crash
-        between any two is recovered by :meth:`open` — step 1 makes the
-        remaining steps idempotent housekeeping.
+        checkpoint atomically (a replicated shard folds into every replica
+        and commits via the shard-level manifest rewrite instead); (2) the
+        root-manifest rewrite refreshing the shard's fingerprint; (3) the
+        atomic journal trim.  A crash between any two is recovered by
+        :meth:`open` — step 1 makes the remaining steps idempotent
+        housekeeping.
         """
         with self._lock:
-            if self._journal is not None:
-                # Trims and splits replace journal files; never keep a
-                # handle to a replaced inode.
-                self._journal.close()
-                self._journal = None
+            self._close_writers()
             folded: dict[str, int] = {}
             for entry in list(self._manifest.shards):
                 frames = self._pending.get(entry.name)
                 if not frames:
                     continue
                 shard_dir = self.root / entry.directory
-                base_text = (shard_dir / "corpus.txt").read_text(encoding="utf-8")
-                new_text = base_text + "".join(frame.record for frame in frames)
+                replicated = load_replica_manifest(shard_dir)
                 applied = frames[-1].seq
-                FileQueryEngine(self.schema, new_text).save(
-                    str(shard_dir), live={"applied_seq": applied}
-                )
+                delta = "".join(frame.record for frame in frames)
+                if replicated is None:
+                    base_text = (shard_dir / "corpus.txt").read_text(encoding="utf-8")
+                    new_text = base_text + delta
+                    FileQueryEngine(self.schema, new_text).save(
+                        str(shard_dir), live={"applied_seq": applied}
+                    )
+                else:
+                    names = [rel["directory"] for rel in replicated["replicas"]]
+                    base_text = self._replica_corpus(
+                        shard_dir, names, replicated.get("corpus_fingerprint")
+                    )
+                    new_text = base_text + delta
+                    folded_engine = FileQueryEngine(self.schema, new_text)
+                    for name in names:
+                        folded_engine.save(
+                            str(shard_dir / name), live={"applied_seq": applied}
+                        )
+                        self._crash(f"compact:replica-saved:{name}")
+                    save_replica_manifest(
+                        shard_dir,
+                        corpus_fingerprint(new_text),
+                        names,
+                        source=replicated.get("source"),
+                        live={"applied_seq": applied},
+                    )
                 self._crash("compact:shard-saved")
                 self._replace_entry(
                     entry,
@@ -407,15 +745,45 @@ class LiveEngine:
                 )
                 save_shard_manifest(self.root, self._manifest)
                 self._crash("compact:manifest-updated")
-                trim_journal(self._journal_path(entry), applied)
+                for path in self._journal_paths(entry):
+                    trim_journal(path, applied)
                 self._pending.pop(entry.name, None)
                 self._delta.pop(entry.name, None)
+                for frame in frames:
+                    # Folded frames leave the journal, and their request
+                    # ids leave the dedupe window with them.
+                    if frame.request_id is not None:
+                        self._request_seqs.pop(frame.request_id, None)
                 folded[entry.name] = len(frames)
             split = self._maybe_split() if self.max_shard_bytes is not None else None
+            self._replica_layout.clear()
             self._engine = ShardedEngine.from_saved(
                 self.schema, self.root, **self._options
             )
             return {"folded": folded, "split": split}
+
+    def _replica_corpus(
+        self, shard_dir: Path, names: list[str], expected: str | None
+    ) -> str:
+        """The authoritative base text of a replicated shard: the first
+        replica whose corpus matches the recorded fingerprint (any
+        readable copy when no copy matches or no expectation is recorded
+        — the scrubber, not compaction, adjudicates damage)."""
+        fallback: str | None = None
+        for name in names:
+            try:
+                text = (shard_dir / name / "corpus.txt").read_text(encoding="utf-8")
+            except OSError:
+                continue
+            if expected is None or corpus_fingerprint(text) == expected:
+                return text
+            if fallback is None:
+                fallback = text
+        if fallback is not None:
+            return fallback
+        raise IndexCorruptError(
+            str(shard_dir), "no replica holds a readable corpus"
+        )
 
     def _replace_entry(self, old: ShardEntry, new: ShardEntry) -> None:
         entries = tuple(
@@ -433,10 +801,20 @@ class LiveEngine:
         byte budget.  New shard directories are always fresh slugs — the
         old directory is never reused — and the root manifest rewrite is
         the commit point; the old directory and journal are garbage
-        afterwards."""
+        afterwards.  A replicated tail splits into children saved with the
+        same replica count."""
         tail = self._manifest.shards[-1]
         shard_dir = self.root / tail.directory
-        text = (shard_dir / "corpus.txt").read_text(encoding="utf-8")
+        replicated = load_replica_manifest(shard_dir)
+        if replicated is None:
+            replicas = None
+            text = (shard_dir / "corpus.txt").read_text(encoding="utf-8")
+        else:
+            names = [rel["directory"] for rel in replicated["replicas"]]
+            replicas = len(names)
+            text = self._replica_corpus(
+                shard_dir, names, replicated.get("corpus_fingerprint")
+            )
         if len(text.encode("utf-8")) <= self.max_shard_bytes:
             return None
         halves = split_corpus(self.schema, text, 2)
@@ -453,7 +831,9 @@ class LiveEngine:
                 index += len(self._manifest.shards) + 1
                 relative = f"{SHARDS_SUBDIR}/{shard_slug(name, index)}"
             FileQueryEngine(self.schema, half).save(
-                str(self.root / relative), live={"applied_seq": applied}
+                str(self.root / relative),
+                live={"applied_seq": applied},
+                replicas=replicas,
             )
             new_entries.append(
                 ShardEntry(
@@ -464,6 +844,7 @@ class LiveEngine:
                 )
             )
         self._crash("split:shards-saved")
+        old_journals = self._journal_paths(tail)
         self._manifest = ShardManifest(
             shards=tuple(self._manifest.shards[:-1]) + tuple(new_entries),
             schema_fingerprint=self._manifest.schema_fingerprint,
@@ -472,7 +853,9 @@ class LiveEngine:
         save_shard_manifest(self.root, self._manifest)
         self._crash("split:manifest-updated")
         shutil.rmtree(shard_dir, ignore_errors=True)
-        self._journal_path(tail).unlink(missing_ok=True)
+        for path in old_journals:
+            path.unlink(missing_ok=True)
+        self._replica_layout.pop(tail.directory, None)
         warning = QueryWarning(
             SHARD_SPLIT,
             f"shard {tail.name!r} exceeded {self.max_shard_bytes} bytes and "
@@ -482,6 +865,7 @@ class LiveEngine:
                 "bytes": len(text.encode("utf-8")),
                 "max_shard_bytes": self.max_shard_bytes,
                 "into": [entry.name for entry in new_entries],
+                "replicas": replicas,
             },
         )
         self._load_warnings.append(warning)
@@ -489,6 +873,7 @@ class LiveEngine:
             "shard": tail.name,
             "into": [entry.name for entry in new_entries],
             "bytes": len(text.encode("utf-8")),
+            "replicas": replicas,
         }
 
     def _crash(self, point: str) -> None:
@@ -504,8 +889,10 @@ class LiveEngine:
             shards = []
             journal_bytes = 0
             for entry in self._manifest.shards:
-                wal = self._journal_path(entry)
-                size = wal.stat().st_size if wal.exists() else 0
+                names = self._replica_names(entry)
+                size = 0
+                for wal in self._journal_paths(entry):
+                    size += wal.stat().st_size if wal.exists() else 0
                 journal_bytes += size
                 shards.append(
                     {
@@ -514,6 +901,7 @@ class LiveEngine:
                         "applied_seq": saved_applied_seq(self.root / entry.directory),
                         "pending": len(self._pending.get(entry.name, [])),
                         "journal_bytes": size,
+                        "replicas": len(names) if names else 1,
                     }
                 )
             return {
@@ -526,7 +914,14 @@ class LiveEngine:
                 "next_seq": self._next_seq,
                 "max_shard_bytes": self.max_shard_bytes,
                 "journal_bytes": journal_bytes,
+                "ack_quorum": self.ack_quorum,
+                "request_ids": len(self._request_seqs),
             }
+
+    def replica_health(self) -> list[dict[str, Any]]:
+        """Per-shard replica health from the underlying sharded engine
+        (empty when no shard is replicated)."""
+        return self._engine.replica_health()
 
     def explain(self, query: Any) -> str | ExplainResponse:
         """The base engine's plan/roster explanation (the delta segment
@@ -553,12 +948,11 @@ class LiveEngine:
                     ),
                     "next_seq": self._next_seq,
                     "tail": self._manifest.shards[-1].name,
+                    "ack_quorum": self.ack_quorum,
                 }
             )
         return response
 
     def close(self) -> None:
         with self._lock:
-            if self._journal is not None:
-                self._journal.close()
-                self._journal = None
+            self._close_writers()

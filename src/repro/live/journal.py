@@ -5,12 +5,19 @@ format is fixed and self-delimiting::
 
     [u32 length][u32 crc32][payload]          (big-endian)
     payload = [u64 seq][UTF-8 record bytes]
+    payload = [u64 seq|RID_FLAG][u16 rid_len][rid bytes][UTF-8 record]
 
 ``length`` counts payload bytes; ``crc32`` covers the payload.  The
 sequence number is a monotonically increasing per-journal counter — it is
 what the compaction checkpoint (``applied_seq`` in the shard's own
 manifest) refers to, so replay can tell "already folded into the base
 index" from "pending in the delta segment" without comparing bytes.
+
+A frame may carry a client-supplied **request id** for idempotent
+appends: the high bit of the sequence field (:data:`RID_FLAG`) marks its
+presence, followed by a length-prefixed UTF-8 id before the record bytes.
+Journals written before this extension never set the bit (sequence
+numbers are far below 2**63), so old journals replay unchanged.
 
 The ack contract: :meth:`JournalWriter.append` returns only after the
 frame's bytes are flushed **and fsynced**.  A record whose append call
@@ -41,23 +48,37 @@ from repro.errors import JournalCorruptError
 
 _HEADER = struct.Struct(">II")  # payload length, payload crc32
 _SEQ = struct.Struct(">Q")
+_RID_LEN = struct.Struct(">H")
 
 #: Smallest legal payload: a u64 sequence number and an empty record.
 _MIN_PAYLOAD = _SEQ.size
 
+#: High bit of the sequence field: this frame carries a request id.
+RID_FLAG = 1 << 63
+
 
 @dataclass(frozen=True)
 class Frame:
-    """One journaled append: its sequence number and the record text."""
+    """One journaled append: its sequence number, the record text, and the
+    client request id (``None`` unless the append asked for idempotence)."""
 
     seq: int
     record: str
+    request_id: str | None = None
 
 
-def encode_frame(seq: int, record: str) -> bytes:
+def encode_frame(seq: int, record: str, request_id: str | None = None) -> bytes:
     """The on-disk bytes for one frame (exposed for tests and the chaos
     scenarios, which forge torn tails from real frame prefixes)."""
-    payload = _SEQ.pack(seq) + record.encode("utf-8")
+    if seq >= RID_FLAG:
+        raise ValueError(f"sequence number {seq} collides with the request-id flag bit")
+    if request_id is None:
+        payload = _SEQ.pack(seq) + record.encode("utf-8")
+    else:
+        rid = request_id.encode("utf-8")
+        if len(rid) > 0xFFFF:
+            raise ValueError(f"request id is {len(rid)} bytes; the frame format caps it at 65535")
+        payload = _SEQ.pack(seq | RID_FLAG) + _RID_LEN.pack(len(rid)) + rid + record.encode("utf-8")
     return _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
 
 
@@ -115,15 +136,45 @@ def replay_journal(
                 "frame checksum mismatch (in-place damage, not a torn tail)",
                 offset=offset,
             )
-        (seq,) = _SEQ.unpack_from(payload, 0)
+        (raw_seq,) = _SEQ.unpack_from(payload, 0)
+        seq = raw_seq & ~RID_FLAG
         if seq <= last_seq:
             raise JournalCorruptError(
                 str(journal),
                 f"sequence numbers must increase (frame {seq} after {last_seq})",
                 offset=offset,
             )
+        body = _MIN_PAYLOAD
+        request_id: str | None = None
+        if raw_seq & RID_FLAG:
+            if len(payload) < body + _RID_LEN.size:
+                raise JournalCorruptError(
+                    str(journal),
+                    "frame claims a request id but the payload cannot hold "
+                    "its length prefix",
+                    offset=offset,
+                )
+            (rid_len,) = _RID_LEN.unpack_from(payload, body)
+            body += _RID_LEN.size
+            if len(payload) < body + rid_len:
+                raise JournalCorruptError(
+                    str(journal),
+                    f"frame claims a {rid_len}-byte request id but the "
+                    "payload ends early",
+                    offset=offset,
+                )
+            try:
+                request_id = payload[body : body + rid_len].decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise JournalCorruptError(
+                    str(journal),
+                    f"frame request id is not valid UTF-8 despite a matching "
+                    f"checksum: {error}",
+                    offset=offset,
+                ) from None
+            body += rid_len
         try:
-            record = payload[_MIN_PAYLOAD:].decode("utf-8")
+            record = payload[body:].decode("utf-8")
         except UnicodeDecodeError as error:
             raise JournalCorruptError(
                 str(journal),
@@ -131,7 +182,7 @@ def replay_journal(
                 f"checksum: {error}",
                 offset=offset,
             ) from None
-        frames.append(Frame(seq=seq, record=record))
+        frames.append(Frame(seq=seq, record=record, request_id=request_id))
         last_seq = seq
         offset = start + length
         good_end = offset
@@ -164,7 +215,7 @@ def trim_journal(path: str | os.PathLike[str], applied_seq: int) -> int:
     tmp = journal.parent / f".{journal.name}.trim-{os.getpid()}"
     with open(tmp, "wb") as handle:
         for frame in kept:
-            handle.write(encode_frame(frame.seq, frame.record))
+            handle.write(encode_frame(frame.seq, frame.record, frame.request_id))
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, journal)
@@ -181,11 +232,13 @@ class JournalWriter:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "ab")
 
-    def append(self, seq: int, record: str, crash_hook=None) -> None:
+    def append(
+        self, seq: int, record: str, crash_hook=None, request_id: str | None = None
+    ) -> None:
         """Write one frame and fsync it.  Returning *is* the ack: the
         record is durable.  ``crash_hook`` (tests/chaos only) fires after
         the write but before the fsync — the widest unacked window."""
-        self._handle.write(encode_frame(seq, record))
+        self._handle.write(encode_frame(seq, record, request_id))
         if crash_hook is not None:
             crash_hook("append:written")
         self._handle.flush()

@@ -102,6 +102,7 @@ class CircuitBreaker:
         "_failures",
         "_probe_successes",
         "_probe_in_flight",
+        "_probe_owner",
         "_opened_at",
         "_trips",
     )
@@ -120,6 +121,7 @@ class CircuitBreaker:
         self._failures = 0
         self._probe_successes = 0
         self._probe_in_flight = False
+        self._probe_owner: int | None = None
         self._opened_at: float | None = None
         self._trips = 0
 
@@ -145,18 +147,27 @@ class CircuitBreaker:
                 self._state = HALF_OPEN
                 self._probe_successes = 0
                 self._probe_in_flight = False
+                self._probe_owner = None
 
     def _trip(self) -> None:
         self._state = OPEN
         self._opened_at = self._clock()
         self._trips += 1
         self._probe_in_flight = False
+        self._probe_owner = None
 
     # -- protocol -------------------------------------------------------------
 
     def allow(self) -> bool:
         """May a call proceed right now?  In half-open state a true answer
-        reserves the single probe slot until its outcome is recorded."""
+        reserves the single probe slot until its outcome is recorded.
+
+        The probe reservation is owned by the admitted *thread*: a caller
+        that was admitted earlier (while the breaker was still closed) and
+        only reports its outcome after the half-open transition cannot
+        release the slot or close the breaker — only the probe's own
+        ``record_success`` counts as probe evidence.
+        """
         with self._lock:
             self._poll()
             if self._state == CLOSED:
@@ -166,26 +177,43 @@ class CircuitBreaker:
             if self._probe_in_flight:
                 return False
             self._probe_in_flight = True
+            self._probe_owner = threading.get_ident()
             return True
+
+    def _is_probe_outcome(self) -> bool:
+        """Whether the reporting caller holds the half-open probe slot
+        (lock held).  Stale closed-era callers do not."""
+        return (
+            self._probe_in_flight
+            and self._probe_owner == threading.get_ident()
+        )
 
     def record_success(self) -> None:
         with self._lock:
-            self._probe_in_flight = False
             if self._state == HALF_OPEN:
+                if not self._is_probe_outcome():
+                    return  # stale success from the closed era: not evidence
+                self._probe_in_flight = False
+                self._probe_owner = None
                 self._probe_successes += 1
                 if self._probe_successes >= self.config.half_open_successes:
                     self._state = CLOSED
                     self._failures = 0
                     self._opened_at = None
             else:
+                self._probe_in_flight = False
+                self._probe_owner = None
                 self._failures = 0
 
     def record_failure(self) -> None:
         with self._lock:
-            self._probe_in_flight = False
             if self._state == HALF_OPEN:
+                # Any failure report re-opens — probe or stale caller alike;
+                # a failure is evidence of unhealth regardless of its era.
                 self._trip()
                 return
+            self._probe_in_flight = False
+            self._probe_owner = None
             self._failures += 1
             if self._state == CLOSED and self._failures >= self.config.failure_threshold:
                 self._trip()

@@ -31,6 +31,10 @@ DELTA_REPLAYED = "delta-replayed"
 SHARD_SPLIT = "shard-split"
 STALE_STAGING_REMOVED = "stale-staging-removed"
 UNVERIFIED_LEGACY_INDEX = "unverified-legacy-index"
+REPLICA_FAILOVER = "replica-failover"
+REPLICA_QUARANTINED = "replica-quarantined"
+REPLICA_REPAIRED = "replica-repaired"
+QUORUM_DEGRADED = "quorum-degraded"
 
 
 @dataclass(frozen=True)

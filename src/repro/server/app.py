@@ -28,6 +28,7 @@ from typing import Any, Mapping
 from repro.api import QueryBackend, QueryRequest
 from repro.errors import (
     BudgetExceededError,
+    DuplicateRequestError,
     JournalCorruptError,
     PaginationError,
     ParseError,
@@ -36,6 +37,7 @@ from repro.errors import (
     ServerDrainingError,
     ServerOverloadedError,
     ShardFailedError,
+    WriteQuorumError,
 )
 from repro.obs.trace import Span
 from repro.resilience.budget import ResourceBudget, combine_budgets
@@ -127,6 +129,8 @@ ERROR_CODES = {
     "ShardFailedError": "shard-failed",
     "ParseError": "bad-record",
     "JournalCorruptError": "journal-corrupt",
+    "DuplicateRequestError": "duplicate-request",
+    "WriteQuorumError": "write-quorum",
 }
 
 
@@ -136,9 +140,18 @@ class QueryServerApp:
     backend's caches are thread-safe and session-shared, so every request
     warms the next one."""
 
-    def __init__(self, backend: QueryBackend, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        backend: QueryBackend,
+        config: ServerConfig | None = None,
+        scrubber: Any | None = None,
+    ) -> None:
         self.backend = backend
         self.config = config if config is not None else ServerConfig()
+        #: Optional server-owned :class:`~repro.shard.ScrubDaemon`: started
+        #: by the caller (``repro serve --scrub-interval-s``), stopped on
+        #: :meth:`close`, surfaced on ``GET /stats``.
+        self.scrubber = scrubber
         self.admission = AdmissionController(
             workers=self.config.workers,
             queue_depth=self.config.queue_depth,
@@ -179,8 +192,10 @@ class QueryServerApp:
         return drained
 
     def close(self) -> None:
-        """Stop the worker pool (idempotent; graceful — same as
-        :meth:`drain` with the configured deadline)."""
+        """Stop the worker pool and the background scrubber (idempotent;
+        graceful — same as :meth:`drain` with the configured deadline)."""
+        if self.scrubber is not None:
+            self.scrubber.stop()
         if not self._closed.is_set():
             self.drain()
 
@@ -232,6 +247,8 @@ class QueryServerApp:
     def _health_envelope(self) -> dict[str, Any]:
         import repro
 
+        health = getattr(self.backend, "replica_health", None)
+        replicas = health() if callable(health) else None
         return {
             "ok": True,
             "kind": "health",
@@ -239,17 +256,21 @@ class QueryServerApp:
             "uptime_s": self.uptime_s,
             "backend": type(self.backend).__name__,
             "version": repro.__version__,
+            "replicas": replicas,
         }
 
     def _stats_envelope(self) -> dict[str, Any]:
+        server: dict[str, Any] = {
+            **self.stats.to_dict(),
+            "admission": self.admission.snapshot(),
+            "uptime_s": self.uptime_s,
+        }
+        if self.scrubber is not None:
+            server["scrub"] = self.scrubber.snapshot()
         return {
             "ok": True,
             "kind": "stats",
-            "server": {
-                **self.stats.to_dict(),
-                "admission": self.admission.snapshot(),
-                "uptime_s": self.uptime_s,
-            },
+            "server": server,
             "engine": self.backend.stats().to_dict(),
         }
 
@@ -316,6 +337,13 @@ class QueryServerApp:
                 400, "bad-request", 'append needs a JSON body {"record": "..."}'
             )
         record = body["record"]
+        request_id = body.get("request_id")
+        if request_id is not None and (
+            not isinstance(request_id, str) or not request_id
+        ):
+            return self._plain_error(
+                400, "bad-request", "request_id must be a non-empty string"
+            )
         if self.draining:
             raise ServerDrainingError(
                 "shutting down; not admitting new requests",
@@ -323,7 +351,9 @@ class QueryServerApp:
             )
         ticket = self.admission.admit()
         try:
-            future = self.pool.submit(lambda: self._execute_append(record))
+            future = self.pool.submit(
+                lambda: self._execute_append(record, request_id)
+            )
         except ServerOverloadedError:
             ticket.release()
             raise
@@ -332,9 +362,23 @@ class QueryServerApp:
         finally:
             ticket.release()
 
-    def _execute_append(self, record: str) -> dict[str, Any]:
-        seq = self.backend.append(record)
-        envelope: dict[str, Any] = {"ok": True, "kind": "append", "seq": seq}
+    def _execute_append(
+        self, record: str, request_id: str | None = None
+    ) -> dict[str, Any]:
+        append_record = getattr(self.backend, "append_record", None)
+        if callable(append_record):
+            ack = append_record(record, request_id=request_id)
+            seq, deduped = ack["seq"], bool(ack.get("deduped"))
+        else:
+            seq, deduped = self.backend.append(record), False
+        envelope: dict[str, Any] = {
+            "ok": True,
+            "kind": "append",
+            "seq": seq,
+            "deduped": deduped,
+        }
+        if request_id is not None:
+            envelope["request_id"] = request_id
         status = getattr(self.backend, "status", None)
         if callable(status):
             snapshot = status()
@@ -403,6 +447,19 @@ class QueryServerApp:
         elif isinstance(error, ShardFailedError):
             status = 503
             detail = {"shard": error.shard, "attempts": error.attempts}
+        elif isinstance(error, WriteQuorumError):
+            # The append may still be durable on the journals that acked;
+            # retry with the same request_id to find out safely.
+            status = 503
+            detail = {
+                "shard": error.shard,
+                "acked": error.acked,
+                "quorum": error.quorum,
+                "replicas": error.replicas,
+            }
+        elif isinstance(error, DuplicateRequestError):
+            status = 409
+            detail = {"request_id": error.request_id, "seq": error.seq}
         elif isinstance(error, QueryError):
             # Includes PaginationError: the client's request is at fault.
             status = 400

@@ -132,9 +132,14 @@ class QueryServer:
     tests' mode).
     """
 
-    def __init__(self, backend: QueryBackend, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        backend: QueryBackend,
+        config: ServerConfig | None = None,
+        scrubber=None,
+    ) -> None:
         self.config = config if config is not None else ServerConfig()
-        self.app = QueryServerApp(backend, self.config)
+        self.app = QueryServerApp(backend, self.config, scrubber=scrubber)
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), _Handler
         )
@@ -157,6 +162,8 @@ class QueryServer:
 
     def serve_forever(self) -> None:
         """Serve until :meth:`shutdown` (typically from a signal handler)."""
+        if self.app.scrubber is not None:
+            self.app.scrubber.start()
         try:
             self._httpd.serve_forever(poll_interval=0.1)
         finally:
@@ -164,6 +171,8 @@ class QueryServer:
 
     def start(self) -> "QueryServer":
         """Serve on a background thread; returns immediately."""
+        if self.app.scrubber is not None:
+            self.app.scrubber.start()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             kwargs={"poll_interval": 0.1},

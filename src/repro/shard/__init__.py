@@ -14,6 +14,13 @@ Layout on disk (see :mod:`repro.shard.manifest`)::
 
     <root>/manifest.json           kind="sharded" + per-shard fingerprints
     <root>/shards/<nnn>-<name>/    one crash-safe v2 index per shard
+
+With replication (``save(..., replicas=N)``, :mod:`repro.shard.replica`)
+each shard directory holds N complete sibling copies under
+``replica-{i}/`` plus a ``kind="replicated"`` shard-level manifest; reads
+route across the copies with per-replica circuit breakers, and the
+scrubber (:mod:`repro.shard.scrub`) quarantines and repairs damaged
+copies in the background.
 """
 
 from repro.shard.engine import (
@@ -29,6 +36,14 @@ from repro.shard.manifest import (
     save_shard_manifest,
     shard_slug,
 )
+from repro.shard.replica import ReplicaLoad, ReplicaLoadEvent, ReplicaSet
+from repro.shard.scrub import (
+    ScrubDaemon,
+    ScrubFinding,
+    ScrubRepair,
+    ScrubReport,
+    scrub_index,
+)
 from repro.shard.split import split_corpus
 from repro.shard.stats import FAILED, OK, SKIPPED, ShardedStats, ShardExecution
 
@@ -37,6 +52,13 @@ __all__ = [
     "FAILED",
     "OK",
     "SKIPPED",
+    "ReplicaLoad",
+    "ReplicaLoadEvent",
+    "ReplicaSet",
+    "ScrubDaemon",
+    "ScrubFinding",
+    "ScrubRepair",
+    "ScrubReport",
     "ShardEntry",
     "ShardExecution",
     "ShardManifest",
@@ -46,6 +68,7 @@ __all__ = [
     "is_sharded_index",
     "load_shard_manifest",
     "save_shard_manifest",
+    "scrub_index",
     "shard_slug",
     "split_corpus",
 ]

@@ -82,6 +82,7 @@ from repro.shard.manifest import (
     save_shard_manifest,
     shard_slug,
 )
+from repro.shard.replica import ReplicaSet
 from repro.shard.split import split_corpus
 from repro.shard.stats import FAILED, OK, SKIPPED, ShardedStats, ShardExecution
 
@@ -107,7 +108,8 @@ GATHER_GRACE_MAX_S = 1.0
 
 @dataclass
 class _Shard:
-    """One shard's mutable state: identity, lazily built engine, breaker."""
+    """One shard's mutable state: identity, lazily built engine, breaker,
+    and — for replicated shard directories — the replica routing state."""
 
     name: str
     text: str | None = None
@@ -116,6 +118,9 @@ class _Shard:
     engine: FileQueryEngine | None = None
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     lock: threading.Lock = field(default_factory=threading.Lock)
+    replica_set: "ReplicaSet | None" = None
+    replica_checked: bool = False
+    replica_events: list = field(default_factory=list)
 
 
 @dataclass
@@ -353,9 +358,15 @@ class ShardedEngine:
             )
         return cls(schema, shards, **options)
 
-    def save(self, directory: str | os.PathLike[str]) -> None:
+    def save(
+        self, directory: str | os.PathLike[str], replicas: int | None = None
+    ) -> None:
         """Persist every shard (each a crash-safe v2 single-index save)
         plus the root shard manifest with per-shard fingerprints.
+
+        ``replicas=N`` saves each shard in the replicated layout — N
+        complete sibling copies under ``replica-{i}/`` per shard directory
+        (see :mod:`repro.shard.replica`).
 
         The root manifest is written last: it is the commit point, and it
         only ever lists shards whose directories are already complete.
@@ -368,7 +379,11 @@ class ShardedEngine:
         for number, shard in enumerate(self._shards):
             engine = self._ensure_engine(shard)
             relative = f"{SHARDS_SUBDIR}/{shard_slug(shard.name, number)}"
-            engine.save(str(root / relative), source_path=shard.source_path)
+            engine.save(
+                str(root / relative),
+                source_path=shard.source_path,
+                replicas=replicas,
+            )
             source: dict[str, Any] | None = None
             if shard.source_path is not None:
                 source = {"path": str(shard.source_path)}
@@ -412,42 +427,97 @@ class ShardedEngine:
                 return shard
         raise KeyError(f"no shard named {name!r}")
 
-    def _ensure_engine(self, shard: _Shard) -> FileQueryEngine:
-        """Build or load the shard's engine (idempotent, lock-protected).
+    def _replica_set(self, shard: _Shard) -> "ReplicaSet | None":
+        """The shard's replica routing state (``None`` for text shards and
+        plain single-index directories).  Detected once, lock-protected."""
+        with shard.lock:
+            if not shard.replica_checked:
+                shard.replica_checked = True
+                if shard.directory is not None:
+                    shard.replica_set = ReplicaSet.open(
+                        shard.directory,
+                        breaker_config=self.breaker_config,
+                        shard_name=shard.name,
+                    )
+            return shard.replica_set
 
-        Failures leave ``shard.engine`` unset so the next attempt — this
-        query's retry, or the next query — starts clean.
+    def _ensure_engine(self, shard: _Shard, attempt_offset: int = 0) -> FileQueryEngine:
+        """Build or load the shard's engine (idempotent).
+
+        The load itself runs *outside* the shard lock — only the publish is
+        locked — so a hedge attempt can race the primary onto a different
+        replica instead of queueing behind a stuck load.  Failures leave
+        ``shard.engine`` unset so the next attempt — this query's retry, or
+        the next query — starts clean.
         """
         with shard.lock:
             if shard.engine is not None:
                 return shard.engine
-            if shard.directory is not None:
-                shard.engine = FileQueryEngine.from_saved(
-                    self.schema,
-                    str(shard.directory),
-                    optimize_expressions=self.optimize_expressions,
-                    cache_config=self.cache_config,
-                    tracing=self.tracing,
-                    policy=self.policy,
-                    budget=self.budget,
-                    source_path=shard.source_path,
-                    feedback=self.feedback_config,
-                    feedback_history=self.feedback_history,
-                )
-            else:
-                shard.engine = FileQueryEngine(
-                    self.schema,
-                    shard.text or "",
-                    self.config,
-                    optimize_expressions=self.optimize_expressions,
-                    cache_config=self.cache_config,
-                    tracing=self.tracing,
-                    policy=self.policy,
-                    budget=self.budget,
-                    feedback=self.feedback_config,
-                    feedback_history=self.feedback_history,
-                )
+        engine = self._load_shard_engine(shard, attempt_offset)
+        with shard.lock:
+            if shard.engine is None:
+                shard.engine = engine
             return shard.engine
+
+    def _load_shard_engine(
+        self, shard: _Shard, attempt_offset: int = 0
+    ) -> FileQueryEngine:
+        if shard.directory is None:
+            return FileQueryEngine(
+                self.schema,
+                shard.text or "",
+                self.config,
+                optimize_expressions=self.optimize_expressions,
+                cache_config=self.cache_config,
+                tracing=self.tracing,
+                policy=self.policy,
+                budget=self.budget,
+                feedback=self.feedback_config,
+                feedback_history=self.feedback_history,
+            )
+        replica_set = self._replica_set(shard)
+        if replica_set is None:
+            return self._load_saved(str(shard.directory), shard, self.policy)
+        # Replicated shard: strict per-replica loads first — a damaged copy
+        # must fail over to its sibling, not degrade to a full scan.  The
+        # engine's real policy is the *last* resort, once every replica has
+        # refused a clean load.
+        from dataclasses import replace as _replace
+
+        from repro.resilience.policy import RAISE
+
+        strict_load = _replace(
+            self.policy, on_corrupt=RAISE, on_stale=RAISE, on_missing=RAISE
+        )
+        load = replica_set.load(
+            lambda path: self._load_saved(path, shard, strict_load),
+            fallback=lambda path: self._load_saved(path, shard, self.policy),
+            offset=attempt_offset,
+        )
+        engine: FileQueryEngine = load.value
+        if load.warnings:
+            # Failover decisions surface on every result this engine
+            # serves, exactly like load-time degradation warnings.
+            engine._load_warnings.extend(load.warnings)
+        with shard.lock:
+            shard.replica_events = list(load.events)
+        return engine
+
+    def _load_saved(
+        self, path: str, shard: _Shard, policy: DegradationPolicy
+    ) -> FileQueryEngine:
+        return FileQueryEngine.from_saved(
+            self.schema,
+            path,
+            optimize_expressions=self.optimize_expressions,
+            cache_config=self.cache_config,
+            tracing=self.tracing,
+            policy=policy,
+            budget=self.budget,
+            source_path=shard.source_path,
+            feedback=self.feedback_config,
+            feedback_history=self.feedback_history,
+        )
 
     def _shared_plan(self, holder: dict, engine: FileQueryEngine, query: Query) -> Plan:
         """Plan once, under a lock; every other shard reuses the plan."""
@@ -574,8 +644,11 @@ class ShardedEngine:
                             continue
                         hedge_at = task.dispatched_at + hedge_after
                         if now >= hedge_at and not task.primary.done():
+                            # The hedge starts from the *next* replica of a
+                            # replicated shard, so a stuck copy is raced by
+                            # a different copy, not a duplicate of itself.
                             task.hedge = pool.submit(
-                                self._run_shard, task.shard, query, budget, holder
+                                self._run_shard, task.shard, query, budget, holder, 1
                             )
                             task.hedged_at = now
                         elif task.hedge is None:
@@ -688,6 +761,7 @@ class ShardedEngine:
         query: Query,
         budget: ResourceBudget | None,
         holder: dict[str, Any],
+        attempt_offset: int = 0,
     ) -> _Outcome:
         started = perf_counter()
         if budget is not None:
@@ -723,7 +797,7 @@ class ShardedEngine:
         def attempt_once() -> QueryResult:
             if self.fault_injector is not None:
                 self.fault_injector(shard.name)
-            engine = self._ensure_engine(shard)
+            engine = self._ensure_engine(shard, attempt_offset)
             if engine.degraded:
                 # A degraded engine has no indexed names; the shared
                 # (index-strategy) plan does not apply — plan locally.
@@ -894,7 +968,9 @@ class ShardedEngine:
 
     def _build_trace(self, outcomes: list[_Outcome], started: float) -> Trace:
         """One ``shard:<name>`` span per shard under a ``shard-query``
-        root, each healthy shard's own pipeline trace grafted beneath."""
+        root, each healthy shard's own pipeline trace grafted beneath.
+        Replicated shards additionally get one ``replica:{shard}:{i}``
+        child span per replica load attempt."""
         root = Span("shard-query", started_at=started)
         for outcome in outcomes:
             span = Span(
@@ -910,6 +986,23 @@ class ShardedEngine:
             )
             if outcome.hedged:
                 span.annotate(hedged=True, winner=outcome.winner)
+            try:
+                shard = self._shard_by_name(outcome.shard)
+            except KeyError:  # pragma: no cover — outcomes mirror shards
+                shard = None
+            if shard is not None and shard.replica_events:
+                for event in shard.replica_events:
+                    child = Span(
+                        f"replica:{outcome.shard}:{event.index}",
+                        started_at=event.started_at,
+                        ended_at=event.ended_at,
+                        metrics={"replica": event.replica, "ok": event.ok},
+                    )
+                    if event.error is not None:
+                        child.annotate(error=event.error)
+                    if event.reason is not None:
+                        child.annotate(reason=event.reason)
+                    span.children.append(child)
             if outcome.result is not None:
                 span.annotate(
                     rows=len(outcome.result.rows),
@@ -1065,8 +1158,20 @@ class ShardedEngine:
                     shard.name: shard.breaker.snapshot()["state"]
                     for shard in self._shards
                 },
+                "replica_health": self.replica_health(),
             },
         )
+
+    def replica_health(self) -> list[dict[str, Any]]:
+        """Per-replica health of every replicated shard, in shard order
+        (``[]`` when no shard uses the replicated layout) — the shape
+        served under ``replicas`` in ``GET /healthz``."""
+        health: list[dict[str, Any]] = []
+        for shard in self._shards:
+            replica_set = self._replica_set(shard)
+            if replica_set is not None:
+                health.append(replica_set.health())
+        return health
 
     def _any_engine(self) -> FileQueryEngine:
         """The first shard engine that loads (for planning/explain)."""

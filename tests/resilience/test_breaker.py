@@ -177,3 +177,122 @@ def test_config_validation() -> None:
         BreakerConfig(reset_timeout_s=-1)
     with pytest.raises(ValueError):
         BreakerConfig(half_open_successes=0)
+
+
+# -- half-open probe reservation under contention -----------------------------
+
+
+def tripped_to_half_open(clock: FakeClock, **overrides) -> CircuitBreaker:
+    breaker = make(clock, **overrides)
+    for _ in range(breaker.config.failure_threshold):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(breaker.config.reset_timeout_s + 1)
+    return breaker
+
+
+def test_half_open_admits_exactly_one_probe_under_race(clock: FakeClock) -> None:
+    """N threads hit the breaker at the instant the cooldown elapses: the
+    single probe slot must be granted exactly once, no matter the
+    interleaving."""
+    breaker = tripped_to_half_open(clock)
+    barrier = threading.Barrier(16)
+    admitted: list[bool] = []
+    lock = threading.Lock()
+
+    def contend() -> None:
+        barrier.wait()
+        verdict = breaker.allow()
+        with lock:
+            admitted.append(verdict)
+
+    threads = [threading.Thread(target=contend) for _ in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert admitted.count(True) == 1
+    assert breaker.state == HALF_OPEN
+
+
+def test_stale_success_without_probe_slot_is_not_evidence(clock: FakeClock) -> None:
+    """A caller admitted while the breaker was still closed reports success
+    only after the half-open transition: that success must not close the
+    breaker (it says nothing about the backend *now*)."""
+    breaker = make(clock, half_open_successes=1)
+    assert breaker.allow()  # closed-era admission, outcome still pending
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(31)
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()  # the stale caller reports in — no slot held
+    assert breaker.state == HALF_OPEN  # still waiting for a real probe
+    assert breaker.allow()  # the slot was never consumed
+    breaker.record_success()  # the actual probe's outcome closes it
+    assert breaker.state == CLOSED
+
+
+def test_stale_success_from_other_thread_cannot_release_probe(
+    clock: FakeClock,
+) -> None:
+    """The probe reservation is owned by the admitted thread: a stale
+    success reported from a *different* thread while the probe is in flight
+    neither releases the slot nor counts toward closing."""
+    breaker = tripped_to_half_open(clock, half_open_successes=1)
+    assert breaker.allow()  # this thread owns the probe slot
+
+    outcome: list[str] = []
+
+    def stale_reporter() -> None:
+        breaker.record_success()
+        outcome.append(breaker.state)
+
+    thread = threading.Thread(target=stale_reporter)
+    thread.start()
+    thread.join()
+    assert outcome == [HALF_OPEN]  # ignored: reporter does not hold the slot
+    assert not breaker.allow()  # slot still reserved by the real probe
+    breaker.record_success()  # owner reports: this one counts
+    assert breaker.state == CLOSED
+
+
+def test_failure_during_half_open_trips_regardless_of_owner(
+    clock: FakeClock,
+) -> None:
+    breaker = tripped_to_half_open(clock)
+    assert breaker.allow()
+
+    def stale_failure() -> None:
+        breaker.record_failure()
+
+    thread = threading.Thread(target=stale_failure)
+    thread.start()
+    thread.join()
+    assert breaker.state == OPEN  # failure is evidence whatever its era
+    assert breaker.trips == 2
+
+
+def test_probe_race_stress_over_many_cycles(clock: FakeClock) -> None:
+    """Repeatedly cycle open → half-open while threads race for the probe:
+    every cycle admits exactly one."""
+    breaker = make(clock, failure_threshold=1, reset_timeout_s=10.0)
+    for _ in range(20):
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(11)
+        barrier = threading.Barrier(8)
+        admitted: list[bool] = []
+        lock = threading.Lock()
+
+        def contend() -> None:
+            barrier.wait()
+            verdict = breaker.allow()
+            with lock:
+                admitted.append(verdict)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert admitted.count(True) == 1

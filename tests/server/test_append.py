@@ -92,3 +92,74 @@ def test_draining_server_rejects_appends_with_503(live_app, record) -> None:
     status, envelope = live_app.handle("POST", "/append", {"record": record})
     assert status == 503
     assert envelope["error"]["code"] == "server-draining"
+
+
+# -- idempotent appends (client request ids) ----------------------------------
+
+
+class TestIdempotentAppend:
+    def test_request_id_is_echoed_with_deduped_false(
+        self, live_app, record
+    ) -> None:
+        status, envelope = live_app.handle(
+            "POST", "/append", {"record": record, "request_id": "rid-1"}
+        )
+        assert status == 200
+        assert envelope["seq"] == 1
+        assert envelope["deduped"] is False
+        assert envelope["request_id"] == "rid-1"
+
+    def test_replayed_request_returns_the_original_ack(
+        self, live_app, record
+    ) -> None:
+        _, first = live_app.handle(
+            "POST", "/append", {"record": record, "request_id": "rid-1"}
+        )
+        status, replay = live_app.handle(
+            "POST", "/append", {"record": record, "request_id": "rid-1"}
+        )
+        assert status == 200
+        assert replay["seq"] == first["seq"]
+        assert replay["deduped"] is True
+        # The replay appended nothing: pending is unchanged.
+        assert replay["pending"] == first["pending"]
+
+    def test_rebinding_a_request_id_is_409_duplicate_request(
+        self, live_app, record, schema
+    ) -> None:
+        other = generate_bibtex(entries=1, seed=77)
+        tree = schema.parse(other)
+        other_record = other[tree.children[0].start : tree.children[0].end] + "\n\n"
+        live_app.handle("POST", "/append", {"record": record, "request_id": "rid-1"})
+        status, envelope = live_app.handle(
+            "POST", "/append", {"record": other_record, "request_id": "rid-1"}
+        )
+        assert status == 409
+        assert envelope["error"]["code"] == "duplicate-request"
+        assert envelope["error"]["detail"] == {"request_id": "rid-1", "seq": 1}
+
+    def test_append_without_request_id_still_reports_deduped(
+        self, live_app, record
+    ) -> None:
+        _, envelope = live_app.handle("POST", "/append", {"record": record})
+        assert envelope["deduped"] is False
+        assert "request_id" not in envelope
+
+    def test_malformed_request_id_is_400(self, live_app, record) -> None:
+        for bad in ("", 7, ["rid"]):
+            status, envelope = live_app.handle(
+                "POST", "/append", {"record": bad and record, "request_id": bad}
+            )
+            assert status == 400
+            assert envelope["error"]["code"] == "bad-request"
+
+    def test_deduped_envelope_conforms_to_schema(self, live_app, record) -> None:
+        from check_server_schema import SCHEMA_PATH, validate_envelope
+
+        schema_doc = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+        live_app.handle("POST", "/append", {"record": record, "request_id": "r"})
+        _, envelope = live_app.handle(
+            "POST", "/append", {"record": record, "request_id": "r"}
+        )
+        assert envelope["deduped"] is True
+        assert validate_envelope(envelope, schema_doc, {}) == []

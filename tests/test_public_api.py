@@ -9,7 +9,7 @@ import repro
 
 class TestExports:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_shard_exports(self):
         from repro import shard
